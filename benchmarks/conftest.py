@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table/figure of the paper (see
+DESIGN.md §4) and prints the measured rows next to the paper's values,
+so ``pytest benchmarks/ --benchmark-only`` reproduces the evaluation
+section in text form.  Training-heavy benches run at a reduced scale;
+``examples/reproduce_table1.py --scale standard`` runs the full grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+#: Reduced training budget so the whole bench suite stays in minutes.
+BENCH_SCALE = ExperimentScale(
+    name="bench", train_samples=600, test_samples=200, epochs=4
+)
+
+
+@pytest.fixture
+def announce(capsys):
+    """Print a block of experiment output past pytest's capture."""
+
+    def _announce(*blocks: str) -> None:
+        with capsys.disabled():
+            print()
+            for block in blocks:
+                print(block)
+
+    return _announce

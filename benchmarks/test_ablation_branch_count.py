@@ -1,0 +1,41 @@
+"""§IV-D.1 ablation — one binary branch vs two.
+
+The paper's expectation argument: a second branch deeper in the main
+network forces the browser to load and execute the intervening
+full-precision layers, and adjacent branches add little exit-rate lift,
+so E_e2 − E_e1 > 0.  Swept across all four networks and several lift
+assumptions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_branch_count
+from repro.models import MODEL_NAMES
+
+
+def test_branch_count_ablation(benchmark, announce):
+    results = benchmark.pedantic(
+        lambda: {net: run_branch_count(net) for net in MODEL_NAMES},
+        rounds=1,
+        iterations=1,
+    )
+    blocks = []
+    for net, result in results.items():
+        blocks.append(result.render())
+        blocks.extend(result.shape_checks())
+    announce(*blocks)
+
+    for net, result in results.items():
+        assert result.two_branch_ms > result.one_branch_ms, net
+
+    # Even granting the second branch an implausibly generous conditional
+    # exit lift, the cold-start load cost dominates.
+    for lift in (0.05, 0.15, 0.30):
+        generous = run_branch_count("alexnet", exit_lift=lift)
+        assert generous.two_branch_ms > generous.one_branch_ms, lift
+
+
+def test_benchmark_expectation_model(benchmark):
+    benchmark(lambda: run_branch_count("vgg16"))

@@ -1,0 +1,55 @@
+"""§IV-D.2 ablation — location of the binary branch.
+
+Sweep the attach point over the main branch's conv layers; under the
+web's cold-start regime the earliest point (after conv1) minimizes
+expected latency, exactly the paper's E_{e_h} − E_{e_1} > 0 argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_branch_location
+from repro.models import MODEL_NAMES
+
+
+def test_branch_location_ablation(benchmark, announce):
+    results = benchmark.pedantic(
+        lambda: {net: run_branch_location(net) for net in MODEL_NAMES},
+        rounds=1,
+        iterations=1,
+    )
+    blocks = []
+    for net, result in results.items():
+        blocks.append(result.render())
+        blocks.extend(result.shape_checks())
+    announce(*blocks)
+
+    strictly_optimal = 0
+    for net, result in results.items():
+        best_ms = min(result.expected_ms)
+        earliest_ms = result.expected_ms[0]
+        # The earliest attach point must be optimal or within 15 % of it.
+        # (On the channel-scaled VGG16 the early conv prefix is so light
+        # that a slightly deeper attach edges it out — a documented
+        # divergence; see EXPERIMENTS.md.)
+        assert earliest_ms <= best_ms * 1.15, net
+        if earliest_ms == best_ms:
+            strictly_optimal += 1
+        # Exit rates rise with depth (the accuracy lift) yet never pay off
+        # by more than that margin.
+        assert result.exit_rates == sorted(result.exit_rates), net
+    assert strictly_optimal >= len(results) - 1
+
+    # The warm regime shows the trade-off genuinely flips on load cost:
+    # deeper attachment gets *relatively* cheaper once loads amortize.
+    cold = run_branch_location("alexnet", cold_start=True)
+    warm = run_branch_location("alexnet", cold_start=False)
+    cold_penalty = cold.expected_ms[-1] / cold.expected_ms[0]
+    warm_penalty = warm.expected_ms[-1] / warm.expected_ms[0]
+    assert warm_penalty < cold_penalty
+
+
+def test_benchmark_location_sweep(benchmark):
+    benchmark(lambda: run_branch_location("resnet18"))

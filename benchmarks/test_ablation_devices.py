@@ -1,0 +1,71 @@
+"""Device-sensitivity ablation — robustness of the Table II conclusion.
+
+DESIGN.md §5: the device throughputs are simulated constants calibrated
+to published browser/server measurements.  This sweep re-prices the
+comparison across a 16x range of browser speeds (and both link presets)
+to show LCRS's win is not knife-edge on the calibration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_EXIT_RATES,
+    build_network_assets,
+    build_plans,
+    run_device_sensitivity,
+)
+from repro.models import MODEL_NAMES
+from repro.runtime import EDGE_SERVER, MOBILE_BROWSER_WASM, simulate_plan, three_g, wifi
+
+
+def test_device_sensitivity(benchmark, announce):
+    results = benchmark.pedantic(
+        lambda: {
+            net: run_device_sensitivity(net, num_samples=30) for net in MODEL_NAMES
+        },
+        rounds=1,
+        iterations=1,
+    )
+    blocks = []
+    for net, result in results.items():
+        blocks.append(result.render())
+        blocks.extend(result.shape_checks())
+    announce(*blocks)
+
+    for net, result in results.items():
+        assert all(s > 1.0 for s in result.speedups), net
+
+
+def test_link_sensitivity(benchmark, announce):
+    """LCRS keeps winning on both a worse (3G) and a better (WiFi) link."""
+
+    def sweep():
+        rows = {}
+        for link_name, link_factory in (("3g", three_g), ("wifi", wifi)):
+            for net in ("lenet", "vgg16"):
+                assets = build_network_assets(net)
+                link = link_factory(seed=0, jitter_sigma=0.0)
+                plans = build_plans(assets, link)
+                exit_rate = DEFAULT_EXIT_RATES[net]
+                miss = [i % 100 >= exit_rate * 100 for i in range(30)]
+                latencies = {}
+                for name, plan in plans.items():
+                    trace = simulate_plan(
+                        plan, 30, link, MOBILE_BROWSER_WASM, EDGE_SERVER,
+                        cold_start=True,
+                        miss_mask=miss if name == "lcrs" else None,
+                    )
+                    latencies[name] = trace.mean_latency_ms
+                rows[(link_name, net)] = latencies
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = []
+    for (link_name, net), latencies in rows.items():
+        ordered = ", ".join(f"{k}={v:.0f}ms" for k, v in latencies.items())
+        lines.append(f"  {link_name}/{net}: {ordered}")
+        lcrs = latencies.pop("lcrs")
+        assert lcrs < min(latencies.values()), (link_name, net)
+    announce("link sensitivity —", *lines)

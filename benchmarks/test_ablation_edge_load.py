@@ -1,0 +1,68 @@
+"""Edge concurrency ablation — the §I service-provider cost argument.
+
+"The computing cost of high concurrent requests is unacceptable" for
+edge-only offloading; LCRS's exit rate divides the edge's arrival rate.
+The M/M/c model quantifies it: sustainable user population scales by
+1/(1−exit_rate).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import DEFAULT_EXIT_RATES, build_network_assets
+from repro.experiments.reporting import render_table
+from repro.runtime import edge_load_curve, max_sustainable_users
+
+
+def _run_load_study():
+    results = {}
+    for network in ("lenet", "alexnet", "resnet18", "vgg16"):
+        trunk = build_network_assets(network).lcrs.trunk_profile
+        exit_rate = DEFAULT_EXIT_RATES[network]
+        results[network] = {
+            "exit_rate": exit_rate,
+            "edge_only_users": max_sustainable_users(trunk, 0.0),
+            "lcrs_users": max_sustainable_users(trunk, exit_rate),
+            "curve_lcrs": edge_load_curve(trunk, exit_rate, [100, 1000, 5000]),
+            "curve_edge": edge_load_curve(trunk, 0.0, [100, 1000, 5000]),
+        }
+    return results
+
+
+def test_edge_load_ablation(benchmark, announce):
+    results = benchmark.pedantic(_run_load_study, rounds=1, iterations=1)
+    announce(
+        render_table(
+            ["network", "exit%", "edge-only max users", "LCRS max users", "gain"],
+            [
+                [
+                    net,
+                    f"{100 * r['exit_rate']:.0f}",
+                    f"{r['edge_only_users']:.0f}",
+                    f"{r['lcrs_users']:.0f}",
+                    f"{r['lcrs_users'] / r['edge_only_users']:.1f}x",
+                ]
+                for net, r in results.items()
+            ],
+            title="edge capacity at 80% utilization, 1 scan/s per user",
+        )
+    )
+
+    for net, r in results.items():
+        expected_gain = 1.0 / (1.0 - r["exit_rate"])
+        assert r["lcrs_users"] / r["edge_only_users"] == pytest.approx(
+            expected_gain, rel=1e-6
+        ), net
+        # Under load, LCRS stays stable longer than edge-only.
+        for lcrs_point, edge_point in zip(r["curve_lcrs"], r["curve_edge"]):
+            assert lcrs_point.utilization <= edge_point.utilization
+
+
+def test_benchmark_erlang_c(benchmark):
+    from repro.runtime import QueueModel
+
+    queue = QueueModel(workers=12, service_time_s=0.02)
+    benchmark(lambda: [queue.mean_response_s(lam) for lam in range(1, 400, 10)])

@@ -1,0 +1,76 @@
+"""Browser energy ablation — the abstract's energy-consumption claim.
+
+Expected per-scan browser joules (compute + radio) for LCRS vs the
+baselines under the cold-start 4G setting, plus the binary-vs-float
+compute split that motivates binarization in the first place.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import DEFAULT_EXIT_RATES, build_network_assets, build_plans
+from repro.experiments.reporting import render_table
+from repro.runtime import expected_sample_energy, four_g, plan_energy
+
+
+def _run_energy_study():
+    link = four_g(seed=0)
+    results = {}
+    for network in ("lenet", "alexnet", "resnet18", "vgg16"):
+        assets = build_network_assets(network)
+        plans = build_plans(assets, link)
+        exit_rate = DEFAULT_EXIT_RATES[network]
+        results[network] = {
+            name: expected_sample_energy(
+                plan, link, exit_rate=exit_rate, include_setup=True
+            )
+            for name, plan in plans.items()
+        }
+    return results
+
+
+def test_browser_energy_ablation(benchmark, announce):
+    results = benchmark.pedantic(_run_energy_study, rounds=1, iterations=1)
+    approaches = ["lcrs", "neurosurgeon", "edgent", "mobile-only"]
+    announce(
+        render_table(
+            ["network"] + [f"{a}(J)" for a in approaches],
+            [
+                [net] + [f"{results[net][a]:.2f}" for a in approaches]
+                for net in results
+            ],
+            title="expected browser energy per cold-start scan (4G)",
+        )
+    )
+
+    for net, energies in results.items():
+        lcrs = energies["lcrs"]
+        others = [v for k, v in energies.items() if k != "lcrs"]
+        # LCRS is the cheapest on the phone's battery on every network.
+        assert lcrs < min(others), net
+        # And by a wide margin on the deep networks (radio dominates).
+        if net != "lenet":
+            assert min(others) / lcrs > 3, net
+
+
+def test_binary_compute_energy_split(announce, benchmark):
+    """Binary-branch compute costs a small fraction of fp32-equivalent."""
+    from repro.runtime import EnergyProfile
+
+    assets = build_network_assets("alexnet")
+    profile = EnergyProfile()
+    branch = assets.lcrs.branch_profile
+
+    def split():
+        as_binary = profile.compute_joules(branch.float_flops, branch.binary_flops)
+        all_float = profile.compute_joules(branch.total_flops, 0.0)
+        return as_binary, all_float
+
+    as_binary, all_float = benchmark.pedantic(split, rounds=1, iterations=1)
+    announce(
+        f"alexnet binary branch: {as_binary * 1e3:.2f} mJ with XNOR kernels "
+        f"vs {all_float * 1e3:.2f} mJ if executed in fp32 "
+        f"({all_float / as_binary:.1f}x saving)"
+    )
+    assert all_float / as_binary > 2.0

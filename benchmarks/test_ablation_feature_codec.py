@@ -1,0 +1,92 @@
+"""Feature-codec ablation: miss-path payload vs accuracy.
+
+Quantizing the conv1 feature map on the wire (fp32 → fp16 → int8) cuts
+the collaborative path's upload by 2–4× — attacking the transfer term
+the paper identifies as the cost of collaboration — while the edge's
+answers barely move.  This extends the paper's fp32-only design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LCRS, JointTrainingConfig
+from repro.data import make_dataset
+from repro.experiments.reporting import render_table
+from repro.runtime import (
+    FEATURE_CODECS,
+    LCRSDeployment,
+    TransferStep,
+    four_g,
+)
+
+
+def _run_codec_study():
+    train, test = make_dataset("mnist", 700, 250, seed=5)
+    system = LCRS.build(
+        "lenet",
+        train,
+        training_config=JointTrainingConfig(epochs=5, lr_main=2e-3, seed=5),
+        dataset_name="mnist",
+        seed=5,
+    )
+    system.fit(train)
+    system.calibrate(test)
+    # Pin tau at the 20th percentile of observed entropies so ~80% of
+    # samples take the collaborative (codec-exercising) path — a
+    # well-trained branch would otherwise exit everything locally and
+    # leave the codecs untested.
+    from dataclasses import replace
+
+    from repro.core import branch_entropies
+
+    entropies, _, _ = branch_entropies(system.model, test.images)
+    system.calibration = replace(
+        system.calibration, threshold=float(np.quantile(entropies, 0.2))
+    )
+
+    rows = {}
+    for name, codec in FEATURE_CODECS.items():
+        deployment = LCRSDeployment(system, four_g(seed=5), feature_codec=codec)
+        session = deployment.run_session(test.images)
+        upload = next(
+            s
+            for s in deployment.plan().miss_steps
+            if isinstance(s, TransferStep) and s.upload
+        )
+        rows[name] = {
+            "bytes": upload.num_bytes,
+            "accuracy": session.accuracy(test.labels),
+            "exit_rate": session.exit_rate,
+            "mean_ms": session.mean_latency_ms,
+        }
+    return rows
+
+
+def test_feature_codec_ablation(benchmark, announce):
+    rows = benchmark.pedantic(_run_codec_study, rounds=1, iterations=1)
+    announce(
+        render_table(
+            ["codec", "miss payload(B)", "accuracy", "mean(ms)"],
+            [
+                [name, f"{r['bytes']:.0f}", f"{r['accuracy']:.3f}", f"{r['mean_ms']:.1f}"]
+                for name, r in rows.items()
+            ],
+            title="feature-codec ablation (lenet/mnist, strict tau)",
+        )
+    )
+
+    # Payload ordering is structural.
+    assert rows["int8"]["bytes"] < rows["fp16"]["bytes"] < rows["fp32"]["bytes"]
+    # Quantization must not cost meaningful accuracy.
+    assert rows["int8"]["accuracy"] >= rows["fp32"]["accuracy"] - 0.02
+    assert rows["fp16"]["accuracy"] >= rows["fp32"]["accuracy"] - 0.005
+
+
+def test_benchmark_int8_roundtrip(benchmark):
+    from repro.runtime import INT8_CODEC
+
+    rng = np.random.default_rng(0)
+    features = np.abs(rng.standard_normal((8, 32, 16, 16)).astype(np.float32))
+    benchmark(lambda: INT8_CODEC.decode(INT8_CODEC.encode(features), features.shape))

@@ -1,0 +1,86 @@
+"""Weight-precision spectrum ablation: 1-bit XNOR vs k-bit vs fp32.
+
+The paper jumps from fp32 to 1-bit; this sweep fills in the middle.
+Each precision gets the same branch topology, joint-trained on the same
+data, and reports (accuracy, branch bytes) — showing where the XNOR
+point sits on the size/accuracy frontier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BinaryBranchConfig,
+    CompositeNetwork,
+    JointTrainer,
+    JointTrainingConfig,
+    build_binary_branch,
+    build_quantized_branch,
+)
+from repro.data import make_dataset
+from repro.experiments.reporting import render_table
+from repro.models import build_model
+from repro.profiling import NetworkProfile
+
+
+def _train_precision_spectrum():
+    train, test = make_dataset("mnist", 800, 250, seed=6)
+    config = BinaryBranchConfig(channels=16, hidden=64)
+    results = {}
+
+    for label, bits in (("1-bit xnor", None), ("2-bit", 2), ("4-bit", 4), ("8-bit", 8)):
+        rng = np.random.default_rng(6)
+        base = build_model("lenet", 1, train.num_classes, 28, rng=rng)
+        composite = CompositeNetwork(base, config, rng=rng)
+        stem_shape = composite.stem_output_shape
+        if bits is not None:
+            # Swap in the k-bit branch (same topology, different precision).
+            composite.binary_branch = build_quantized_branch(
+                stem_shape, train.num_classes, bits, config, rng=np.random.default_rng(6)
+            )
+        trainer = JointTrainer(
+            composite, JointTrainingConfig(epochs=4, lr_main=2e-3, seed=6)
+        )
+        trainer.fit(train)
+        _, branch_acc = trainer.evaluate(test)
+        branch_bytes = NetworkProfile.of(
+            composite.binary_branch, stem_shape
+        ).total_param_bytes
+        results[label] = {"accuracy": branch_acc, "bytes": branch_bytes}
+    return results
+
+
+def test_precision_spectrum(benchmark, announce):
+    results = benchmark.pedantic(_train_precision_spectrum, rounds=1, iterations=1)
+    announce(
+        render_table(
+            ["precision", "branch acc", "branch bytes"],
+            [
+                [label, f"{r['accuracy']:.3f}", f"{r['bytes']:,}"]
+                for label, r in results.items()
+            ],
+            title="weight-precision spectrum (lenet/mnist side branch)",
+        )
+    )
+
+    # Size ordering is structural: 1-bit < 2-bit < 4-bit < 8-bit.
+    sizes = [results[k]["bytes"] for k in ("1-bit xnor", "2-bit", "4-bit", "8-bit")]
+    assert sizes == sorted(sizes)
+    # Every precision must learn the task (the branch is not crippled by
+    # quantization on this dataset)...
+    for label, r in results.items():
+        assert r["accuracy"] > 0.7, label
+    # ...and the XNOR point must be competitive with 8-bit within a few
+    # points while being ~8x smaller — the paper's design bet.
+    assert results["1-bit xnor"]["accuracy"] >= results["8-bit"]["accuracy"] - 0.08
+    assert results["8-bit"]["bytes"] > 3 * results["1-bit xnor"]["bytes"]
+
+
+def test_benchmark_quantization_kernel(benchmark):
+    from repro.nn import quantize_weights
+
+    rng = np.random.default_rng(0)
+    w = rng.standard_normal((256, 1024)).astype(np.float32)
+    benchmark(lambda: quantize_weights(w, 4))

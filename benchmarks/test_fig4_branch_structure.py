@@ -1,0 +1,70 @@
+"""Figure 4 — accuracy & model size vs binary-branch structure.
+
+Sweep (a): n binary conv layers; sweep (b): n binary FC layers, on an
+AlexNet main branch over the CIFAR10-like set (§IV-D.3).  Reduced sweep
+depths for bench time; the full sweep is ``examples/branch_design.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale, run_figure4
+
+FIG4_SCALE = ExperimentScale(name="fig4-bench", train_samples=200, test_samples=100, epochs=1)
+
+
+def test_figure4_branch_structure(benchmark, announce):
+    result = benchmark.pedantic(
+        lambda: run_figure4(
+            network="alexnet",
+            dataset="cifar10",
+            conv_depths=(1, 2),
+            fc_depths=(1, 2),
+            scale=FIG4_SCALE,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    announce(result.render(), *result.shape_checks())
+
+    # Figure 4(a)'s story: extra binary conv layers *shrink* the bundle
+    # (each pooling stage shrinks the dominant FC fan-in) yet do not buy
+    # accuracy — "not a better choice ... due to the accuracy decrease".
+    assert result.conv_sweep[1].bundle_bytes <= result.conv_sweep[0].bundle_bytes
+    assert (
+        result.conv_sweep[1].binary_accuracy
+        <= result.conv_sweep[0].binary_accuracy + 0.05
+    )
+    # Extra binary FC layers grow the bundle (4(b)'s x-axis).
+    assert result.fc_sweep[1].bundle_bytes > result.fc_sweep[0].bundle_bytes
+
+    # All structures stay far below the fp32 main branch.
+    from repro.experiments import build_network_assets
+
+    main_bytes = build_network_assets("alexnet").main_bytes
+    for point in result.conv_sweep + result.fc_sweep:
+        assert point.bundle_bytes < main_bytes / 8
+        assert 0.0 <= point.binary_accuracy <= 1.0
+
+
+def test_benchmark_branch_forward(benchmark):
+    """Time the binary branch's forward pass (browser-side compute)."""
+    import numpy as np
+
+    from repro.core import BinaryBranchConfig, build_binary_branch
+    from repro.nn.autograd import Tensor, no_grad
+
+    rng = np.random.default_rng(0)
+    branch = build_binary_branch(
+        (32, 16, 16), 10, BinaryBranchConfig(channels=32, hidden=256), rng=rng
+    )
+    branch.eval()
+    x = Tensor(rng.standard_normal((8, 32, 16, 16)).astype(np.float32))
+
+    def run():
+        with no_grad():
+            return branch(x)
+
+    benchmark(run)

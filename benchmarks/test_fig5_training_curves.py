@@ -1,0 +1,53 @@
+"""Figure 5 — training performance of the binary branch.
+
+Per-epoch loss/accuracy curves of the binary branch; the paper observes
+rapid early convergence tracking the full-precision branch.  LeNet rows
+only at bench scale (the full grid is ``examples/reproduce_table1.py``,
+whose cells carry their histories).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale, run_figure5
+
+FIG5_SCALE = ExperimentScale(name="fig5-bench", train_samples=300, test_samples=100, epochs=4)
+
+
+def test_figure5_training_curves(benchmark, announce):
+    result = benchmark.pedantic(
+        lambda: run_figure5(
+            networks=("lenet",),
+            datasets=("mnist", "fashion_mnist", "cifar10"),
+            scale=FIG5_SCALE,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    announce(result.render(), *result.shape_checks())
+
+    for (network, dataset), history in result.histories.items():
+        losses = history.series("loss_binary")
+        assert len(losses) == FIG5_SCALE.epochs
+        # Rapid convergence: the loss must fall from epoch 0.
+        assert losses[-1] < losses[0], (network, dataset)
+        # Early progress: most of the drop happens in the first half.
+        half = losses[len(losses) // 2]
+        assert (losses[0] - half) >= 0.3 * (losses[0] - losses[-1]) - 1e-9
+
+
+def test_benchmark_epoch(benchmark):
+    """Time one full joint epoch on the LeNet composite."""
+    from repro.core import LCRS, JointTrainingConfig
+    from repro.data import make_dataset
+
+    train, _ = make_dataset("mnist", 256, 64, seed=0)
+    system = LCRS.build(
+        "lenet",
+        train,
+        training_config=JointTrainingConfig(epochs=1, seed=0),
+        seed=0,
+    )
+    benchmark.pedantic(lambda: system.fit(train), rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""Figure 6 — average latency vs number of samples (warm sessions).
+
+The running-average latency per network over a jittery 4G link; the
+paper observes it "almost stable" as samples grow, with fluctuations
+from communication jitter on binary-branch misses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_figure6
+
+
+def test_figure6_latency_vs_samples(benchmark, announce):
+    result = benchmark.pedantic(
+        lambda: run_figure6(max_samples=100, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    announce(result.render(), *result.stability_check())
+
+    for network, series in result.series.items():
+        assert len(series) == 100
+        # Stability: the tail running average varies within a band.
+        tail = series[50:]
+        assert (tail.max() - tail.min()) / tail.mean() < 0.5, network
+        # All averages stay sub-second in the warm regime.
+        assert series[-1] < 1000, network
+
+    # LeNet's average sits below the deeper networks' (lighter browser
+    # compute and smaller miss payloads).
+    assert result.series["lenet"][-1] == min(
+        s[-1] for s in result.series.values()
+    )
+
+
+def test_benchmark_running_average(benchmark):
+    """Time the per-session trace aggregation."""
+    from repro.experiments import build_network_assets
+    from repro.runtime import EDGE_SERVER, MOBILE_BROWSER_WASM, four_g, simulate_plan
+
+    plan = build_network_assets("vgg16").lcrs.plan()
+    link = four_g(seed=3, jitter_sigma=0.2)
+    rng = np.random.default_rng(0)
+    miss = (rng.random(200) > 0.78).tolist()
+
+    def run():
+        trace = simulate_plan(
+            plan, 200, link, MOBILE_BROWSER_WASM, EDGE_SERVER,
+            cold_start=False, miss_mask=miss,
+        )
+        return trace.running_average()
+
+    benchmark(run)

@@ -1,0 +1,52 @@
+"""Figure 7 — browser-side model size per approach (CIFAR10 networks).
+
+Bytes each approach must ship to the mobile web browser: LCRS sends the
+bit-packed conv1 + binary-branch bundle; partition approaches send their
+fp32 device-side prefix; mobile-only sends everything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_figure7
+
+
+def test_figure7_model_sizes(benchmark, announce):
+    result = benchmark.pedantic(lambda: run_figure7(seed=0), rounds=1, iterations=1)
+    announce(result.render(), *result.shape_checks())
+
+    networks = {net for net, _ in result.bytes_by_cell}
+    for net in networks:
+        lcrs = result.bytes_by_cell[(net, "lcrs")]
+        mobile = result.bytes_by_cell[(net, "mobile-only")]
+        neuro = result.bytes_by_cell[(net, "neurosurgeon")]
+        # LCRS ships at least 10x less than any full/partition model.
+        assert lcrs * 10 < mobile, net
+        assert lcrs < neuro, net
+        # Partition prefixes are genuinely partial.
+        assert neuro <= mobile, net
+
+    # Size ordering across networks follows the parameter ordering.
+    mobile_sizes = {
+        net: result.bytes_by_cell[(net, "mobile-only")] for net in networks
+    }
+    assert (
+        mobile_sizes["alexnet"]
+        > mobile_sizes["vgg16"]
+        > mobile_sizes["resnet18"]
+        > mobile_sizes["lenet"]
+    )
+
+
+def test_benchmark_bitpacked_engine_load(benchmark):
+    """Time loading a serialized bundle into the browser engine."""
+    from repro.experiments import build_network_assets
+    from repro.wasm import WasmModel
+
+    assets = build_network_assets("alexnet").lcrs
+    payload = assets.stem_payload + b""  # ensure materialized bytes
+    branch_payload = assets.branch_payload
+    benchmark(
+        lambda: (WasmModel.load(payload), WasmModel.load(branch_payload))
+    )

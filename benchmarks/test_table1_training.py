@@ -1,0 +1,70 @@
+"""Table I — training results of LCRS (M_Acc, B_Acc, τ, Exit %, sizes).
+
+Reduced grid for bench time: LeNet runs the full dataset column; the
+deeper networks run the CIFAR10 column (the dataset Figures 6/7 use).
+The full 16-cell grid is ``examples/reproduce_table1.py``.
+
+Two timed entries: the whole Table I harness (one round — it trains
+seven systems) and Algorithm 1's minibatch step, the training section's
+unit of work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LCRS, JointTrainingConfig
+from repro.data import make_dataset
+from repro.experiments import Table1Result, run_table1_cell
+from .conftest import BENCH_SCALE
+
+GRID = [
+    ("lenet", "mnist"),
+    ("lenet", "fashion_mnist"),
+    ("lenet", "cifar10"),
+    ("lenet", "cifar100"),
+    ("alexnet", "cifar10"),
+    ("resnet18", "cifar10"),
+    ("vgg16", "cifar10"),
+]
+
+
+def _build_table1() -> Table1Result:
+    result = Table1Result(scale_name=BENCH_SCALE.name)
+    for network, dataset in GRID:
+        result.add(run_table1_cell(network, dataset, scale=BENCH_SCALE, seed=0))
+    return result
+
+
+def test_table1_training_results(benchmark, announce):
+    result = benchmark.pedantic(_build_table1, rounds=1, iterations=1)
+    announce(result.render(), *result.shape_checks())
+
+    ratios = []
+    for (network, dataset), cell in result.cells.items():
+        r = cell.report
+        assert 0.0 <= r.exit_rate <= 1.0, (network, dataset)
+        # The headline compression claim must hold in every cell
+        # (paper band 16-30x; tolerance for the channel-scaled networks
+        # and for the 100-class float classifier head).
+        assert 8 <= r.compression_ratio <= 40, (network, dataset)
+        # Collaboration must never do worse than the binary branch alone.
+        assert r.collaborative_accuracy >= r.binary_accuracy - 0.02
+        ratios.append(r.compression_ratio)
+    # Most cells sit inside the paper band proper.
+    in_band = [r for r in ratios if 11 <= r <= 35]
+    assert len(in_band) >= int(0.75 * len(ratios))
+
+    # LeNet at this scale must clearly learn the MNIST-like set.
+    lenet_mnist = result.cells[("lenet", "mnist")].report
+    assert lenet_mnist.main_accuracy > 0.75
+
+
+def test_benchmark_joint_training_step(benchmark):
+    """Time Algorithm 1's minibatch update on LeNet/MNIST."""
+    train, _ = make_dataset("mnist", 256, 64, seed=0)
+    system = LCRS.build(
+        "lenet", train, training_config=JointTrainingConfig(epochs=1, seed=0), seed=0
+    )
+    x, y = train.images[:64], train.labels[:64]
+    benchmark(lambda: system.trainer.train_step(x, y))

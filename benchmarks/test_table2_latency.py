@@ -1,0 +1,54 @@
+"""Table II — average end-to-end latency on the mobile web browser.
+
+Cold-start sessions over 100 samples on the paper's 4G link (10 Mb/s
+down, 3 Mb/s up), LCRS vs Neurosurgeon/Edgent/mobile-only on all four
+networks.  The timed kernel is the latency engine pricing one full
+comparison grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_latency_comparison
+
+
+def test_table2_end_to_end_latency(benchmark, announce):
+    comparison = benchmark.pedantic(
+        lambda: run_latency_comparison(num_samples=100, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    announce(comparison.table2(), *comparison.shape_checks())
+
+    for net in comparison.networks():
+        lcrs = comparison.mean_latency(net, "lcrs")
+        others = {
+            a: comparison.mean_latency(net, a)
+            for a in ("neurosurgeon", "edgent", "mobile-only")
+        }
+        # Paper shape: LCRS wins on every network, by 3x-61x overall.
+        assert lcrs < min(others.values()), net
+        assert min(others.values()) / lcrs > 1.5, net
+        # LCRS stays interactive; mobile-only degrades with model size.
+        assert lcrs < 1000, net
+    assert (
+        comparison.mean_latency("alexnet", "mobile-only")
+        > comparison.mean_latency("lenet", "mobile-only")
+    )
+
+
+def test_benchmark_plan_pricing(benchmark):
+    """Time one simulate_plan call (the engine's inner loop)."""
+    from repro.experiments import build_network_assets, build_plans
+    from repro.runtime import EDGE_SERVER, MOBILE_BROWSER_WASM, four_g, simulate_plan
+
+    assets = build_network_assets("resnet18")
+    link = four_g(seed=0)
+    plan = build_plans(assets, link)["lcrs"]
+    miss = [i % 4 == 0 for i in range(100)]
+    benchmark(
+        lambda: simulate_plan(
+            plan, 100, link, MOBILE_BROWSER_WASM, EDGE_SERVER, miss_mask=miss
+        )
+    )

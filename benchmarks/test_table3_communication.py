@@ -1,0 +1,55 @@
+"""Table III — average communication costs on the mobile web browser.
+
+Same sessions as Table II, communication component only: model loading,
+intermediate-result transfer, and task upload.  LCRS ships a bit-packed
+bundle and, on misses, only the conv1 feature map — never the raw task.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_latency_comparison
+
+
+def test_table3_communication_costs(benchmark, announce):
+    comparison = benchmark.pedantic(
+        lambda: run_latency_comparison(num_samples=100, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    announce(comparison.table3())
+
+    for net in comparison.networks():
+        lcrs = comparison.mean_communication(net, "lcrs")
+        others = {
+            a: comparison.mean_communication(net, a)
+            for a in ("neurosurgeon", "edgent", "mobile-only")
+        }
+        # LCRS has the cheapest communication everywhere (paper shape).
+        assert lcrs < min(others.values()), net
+        # Communication must dominate the baselines' cold-start cost —
+        # the paper's explanation for why they degrade on the web.
+        total = comparison.mean_latency(net, "mobile-only")
+        comm = comparison.mean_communication(net, "mobile-only")
+        assert comm / total > 0.5, net
+
+    # Mobile-only communication grows with model size (LeNet < AlexNet).
+    assert (
+        comparison.mean_communication("lenet", "mobile-only")
+        < comparison.mean_communication("alexnet", "mobile-only")
+    )
+
+
+def test_benchmark_bundle_serialization(benchmark):
+    """Time the .lcrs export — the conversion step of Figure 3."""
+    from repro.experiments import build_network_assets
+    from repro.runtime import build_lcrs_assets
+    from repro.core import CompositeNetwork, DEFAULT_BRANCH_CONFIGS
+    from repro.models import build_model
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    base = build_model("alexnet", 3, 10, 32, rng=rng)
+    composite = CompositeNetwork(base, DEFAULT_BRANCH_CONFIGS["alexnet"], rng=rng)
+    benchmark(lambda: build_lcrs_assets(composite).bundle_bytes)

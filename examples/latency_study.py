@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Latency & communication study: Tables II/III, Figures 6/7, ablations.
+
+Everything here is training-free (profiles and plans depend only on the
+architectures), so the full study runs in seconds.  Exit rates default
+to the paper's Table I values; pass ``--exit-rate`` to sweep your own.
+
+Run:  python examples/latency_study.py
+      python examples/latency_study.py --samples 200 --exit-rate 0.9
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    run_branch_count,
+    run_branch_location,
+    run_device_sensitivity,
+    run_figure6,
+    run_figure7,
+    run_latency_comparison,
+)
+from repro.models import MODEL_NAMES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=100)
+    parser.add_argument(
+        "--exit-rate",
+        type=float,
+        default=None,
+        help="override the per-network exit rates with one value",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    exit_rates = (
+        {net: args.exit_rate for net in MODEL_NAMES} if args.exit_rate else None
+    )
+
+    comparison = run_latency_comparison(
+        num_samples=args.samples, exit_rates=exit_rates, seed=args.seed
+    )
+    print(comparison.table2())
+    print()
+    print(comparison.table3())
+    print()
+    for line in comparison.shape_checks():
+        print(line)
+
+    print()
+    fig6 = run_figure6(exit_rates=exit_rates, seed=args.seed)
+    print(fig6.render())
+    for line in fig6.stability_check():
+        print(line)
+
+    print()
+    fig7 = run_figure7(seed=args.seed)
+    print(fig7.render())
+    for line in fig7.shape_checks():
+        print(line)
+
+    print("\n== §IV-D design ablations ==")
+    for network in ("lenet", "alexnet"):
+        location = run_branch_location(network, seed=args.seed)
+        print(location.render())
+        for line in location.shape_checks():
+            print(line)
+        count = run_branch_count(network, seed=args.seed)
+        print(count.render())
+        for line in count.shape_checks():
+            print(line)
+        print()
+
+    print("== device sensitivity ==")
+    sensitivity = run_device_sensitivity("resnet18", seed=args.seed)
+    print(sensitivity.render())
+    for line in sensitivity.shape_checks():
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

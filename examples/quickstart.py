@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Quickstart: train an LCRS, calibrate its exit, and deploy it.
+
+Walks the full lifecycle of the paper's system on the smallest
+configuration (LeNet on the synthetic MNIST-like set):
+
+1. joint-train the composite network (Algorithm 1);
+2. calibrate the entropy exit threshold τ (Eq. 7, BranchyNet screening);
+3. inspect the Table-I-style report (accuracies, exit rate, model sizes);
+4. serialize the browser bundle and cross-validate the bit-packed engine
+   against the training framework (Figure 3's correctness check);
+5. run a collaborative browser↔edge session over a simulated 4G link.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import LCRS, JointTrainingConfig
+from repro.data import make_dataset
+from repro.runtime import LCRSDeployment, four_g
+from repro.wasm import validate_bundle
+
+
+def main() -> None:
+    print("== 1. data + joint training ==")
+    train, test = make_dataset("mnist", 1500, 400, seed=0)
+    system = LCRS.build(
+        "lenet",
+        train,
+        training_config=JointTrainingConfig(epochs=6, lr_main=2e-3, seed=0),
+        dataset_name="mnist",
+        seed=0,
+    )
+    history = system.fit(train, test, verbose=True)
+    final = history.final
+    print(
+        f"final: main={final.test_accuracy_main:.3f} "
+        f"binary={final.test_accuracy_binary:.3f}"
+    )
+
+    print("\n== 2. exit-threshold calibration ==")
+    calibration = system.calibrate(test)
+    print(
+        f"tau={calibration.threshold:.4f} exit_rate={calibration.exit_rate:.2f} "
+        f"overall_accuracy={calibration.overall_accuracy:.3f}"
+    )
+
+    print("\n== 3. system report (one Table I row) ==")
+    report = system.report(test)
+    print(
+        f"M_Acc={100 * report.main_accuracy:.2f}%  "
+        f"B_Acc={100 * report.binary_accuracy:.2f}%  "
+        f"exit={100 * report.exit_rate:.0f}%  "
+        f"M_size={report.main_size_mb:.3f}MB  "
+        f"B_size={report.binary_size_mb:.4f}MB  "
+        f"compression={report.compression_ratio:.1f}x"
+    )
+
+    print("\n== 4. browser-engine validation ==")
+    validation = validate_bundle(
+        system.model.browser_modules(),
+        (1, system.model.input_size, system.model.input_size),
+        num_samples=32,
+    )
+    print(
+        f"max_abs_error={validation.max_abs_error:.2e}  "
+        f"argmax_agreement={100 * validation.argmax_agreement:.0f}%  "
+        f"passed={validation.passed}"
+    )
+
+    print("\n== 5. deployed session over 4G ==")
+    deployment = LCRSDeployment(system, four_g(seed=0))
+    session = deployment.run_session(test.images[:100])
+    print(
+        f"bundle={deployment.bundle_bytes / 1024:.1f}KB  "
+        f"accuracy={session.accuracy(test.labels[:100]):.3f}  "
+        f"exit_rate={session.exit_rate:.2f}  "
+        f"mean_latency={session.mean_latency_ms:.1f}ms  "
+        f"edge_requests={deployment.edge.requests_served}"
+    )
+
+
+if __name__ == "__main__":
+    main()

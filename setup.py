@@ -1,0 +1,21 @@
+"""Legacy setup shim so ``pip install -e .`` works without network access.
+
+The authoritative metadata lives in ``pyproject.toml``; this file only
+exists because the offline environment's setuptools cannot build wheels
+(no ``wheel`` package), which the PEP 517 editable path requires.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "LCRS: Lightweight Collaborative Recognition System with Binary "
+        "Convolutional Neural Networks for Mobile Web AR (ICDCS 2019 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,67 @@
+"""LCRS — Lightweight Collaborative Recognition System.
+
+A full reproduction of "A Lightweight Collaborative Recognition System
+with Binary Convolutional Neural Network for Mobile Web Augmented
+Reality" (Huang et al., ICDCS 2019), built on a from-scratch numpy
+deep-learning substrate.
+
+Package map
+-----------
+``repro.nn``         autograd engine, layers, XNOR binary layers, losses
+``repro.optim``      SGD / Adam, LR schedules
+``repro.data``       datasets, loaders, synthetic generators, augmentation
+``repro.models``     LeNet / AlexNet / ResNet18 / VGG16 main branches
+``repro.core``       the contribution: composite net, joint training,
+                     entropy exit policy, collaborative inference
+``repro.wasm``       browser library analog: .lcrs format + bit-packed
+                     XNOR interpreter + validation
+``repro.profiling``  per-layer FLOPs / bytes / activation sizes
+``repro.runtime``    device profiles, 4G link model, latency engine,
+                     deployed browser/edge sessions
+``repro.baselines``  Neurosurgeon, Edgent, mobile-only, edge-only
+``repro.webar``      scan→recognize→render AR pipeline and case studies
+``repro.experiments``  harnesses that regenerate every paper table/figure
+``repro.metrics``    confusion/PRF1, calibration, exit risk–coverage
+``repro.cli``        ``python -m repro train/evaluate/export/study``
+
+Quickstart
+----------
+>>> from repro.core import LCRS, JointTrainingConfig
+>>> from repro.data import make_dataset
+>>> train, test = make_dataset("mnist", 2000, 500)           # doctest: +SKIP
+>>> system = LCRS.build("lenet", train)                      # doctest: +SKIP
+>>> system.fit(train, test)                                  # doctest: +SKIP
+>>> system.calibrate(test)                                   # doctest: +SKIP
+>>> print(system.report(test))                               # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    baselines,
+    core,
+    data,
+    metrics,
+    models,
+    nn,
+    optim,
+    profiling,
+    runtime,
+    wasm,
+    webar,
+)
+
+__all__ = [
+    "__version__",
+    "baselines",
+    "core",
+    "data",
+    "metrics",
+    "models",
+    "nn",
+    "optim",
+    "profiling",
+    "runtime",
+    "wasm",
+    "webar",
+]

@@ -1,0 +1,27 @@
+"""Comparison approaches of the paper's evaluation (Tables II/III, Fig. 7/10)."""
+
+from .base import BaselinePlanner, PlanningContext
+from .edgent import Edgent, EdgentDecision, default_accuracy_curve
+from .neurosurgeon import Neurosurgeon, PartitionDecision
+from .trivial import EdgeOnly, MobileOnly
+
+#: Paper-order registry for the comparison harnesses.
+BASELINE_PLANNERS = {
+    "neurosurgeon": Neurosurgeon,
+    "edgent": Edgent,
+    "mobile-only": MobileOnly,
+    "edge-only": EdgeOnly,
+}
+
+__all__ = [
+    "BASELINE_PLANNERS",
+    "BaselinePlanner",
+    "Edgent",
+    "EdgentDecision",
+    "EdgeOnly",
+    "MobileOnly",
+    "Neurosurgeon",
+    "PartitionDecision",
+    "PlanningContext",
+    "default_accuracy_curve",
+]

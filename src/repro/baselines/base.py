@@ -1,0 +1,70 @@
+"""Shared vocabulary for the comparison approaches of Tables II/III.
+
+Each baseline is a *planner*: given the per-layer profile of a
+full-precision network plus the deployment context (link, devices), it
+emits an :class:`~repro.runtime.latency.ExecutionPlan` that the common
+latency engine prices.  Keeping all approaches inside one cost model is
+what makes the comparison apples-to-apples (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..profiling.layer_stats import FLOAT_BYTES, NetworkProfile
+from ..runtime.latency import ExecutionPlan
+from ..runtime.network import NetworkLink
+from ..runtime.profiles import DeviceProfile
+
+
+@dataclass(frozen=True)
+class PlanningContext:
+    """Everything a planner may consult when choosing its strategy.
+
+    ``task_bytes`` is the size of one raw task on the wire — for Web AR
+    that is a camera frame (JPEG), considerably larger than the decoded
+    input tensor.  It defaults to the fp32 tensor size when unset.
+    """
+
+    profile: NetworkProfile
+    network_name: str
+    input_shape: tuple[int, int, int]
+    link: NetworkLink
+    browser: DeviceProfile
+    edge: DeviceProfile
+    task_bytes: int | None = None
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes of one raw task (the image the browser would upload)."""
+        if self.task_bytes is not None:
+            return self.task_bytes
+        return int(np.prod(self.input_shape)) * FLOAT_BYTES
+
+
+class BaselinePlanner:
+    """Interface: subclasses implement :meth:`plan`."""
+
+    name = "baseline"
+
+    def plan(self, context: PlanningContext) -> ExecutionPlan:  # pragma: no cover
+        raise NotImplementedError
+
+    def expected_sample_ms(
+        self, context: PlanningContext, cold_start: bool = True
+    ) -> float:
+        """Deterministic expected per-sample latency of this planner's plan."""
+        from ..runtime.latency import simulate_plan
+
+        plan = self.plan(context)
+        trace = simulate_plan(
+            plan,
+            num_samples=1,
+            link=context.link.deterministic(),
+            browser=context.browser,
+            edge=context.edge,
+            cold_start=cold_start,
+        )
+        return trace.mean_latency_ms

@@ -1,0 +1,222 @@
+"""Edgent (Li et al., MECOMM 2018) partition + early-exit planner.
+
+Edgent extends partition-offloading with *model right-sizing*: it trains
+exit classifiers at intermediate depths and jointly searches the exit
+point ``e`` and partition point ``p ≤ e`` that maximize accuracy subject
+to a latency budget.  Running only the first ``e`` layers trades accuracy
+for latency; partitioning splits those ``e`` layers across the two
+endpoints.
+
+The accuracy of each candidate exit comes from an *accuracy curve* — in
+the original system, measured on a validation set per exit head.  Our
+default curve is the published BranchyNet/Edgent shape (steep early
+gains, saturating near full depth):  ``acc(e) = top · (depth_fraction)^γ``
+with γ ≈ 0.35.  The harness can substitute measured curves when a
+trained composite network is available.
+
+In the web regime the device-side prefix must be downloaded per visit,
+exactly as for Neurosurgeon; each exit head adds a small classifier whose
+weights ship with the prefix.  The ``optimize_with_load`` /
+``deploy_preloaded`` switches mirror :class:`repro.baselines.Neurosurgeon`:
+the paper's harness searches with app-era costs (no load) but deploys on
+the web (pays the load), which is what makes Edgent's Table II rows climb
+into the seconds for deep networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..profiling.layer_stats import FLOAT_BYTES
+from ..runtime.latency import (
+    ExecutionPlan,
+    Location,
+    ModelLoadStep,
+    TransferStep,
+    compute_step_from_layers,
+)
+from ..runtime.session import RESULT_BYTES
+from .base import BaselinePlanner, PlanningContext
+
+
+def default_accuracy_curve(depth_fraction: float, top_accuracy: float = 1.0) -> float:
+    """Saturating exit-accuracy model: steep early, flat near full depth."""
+    return top_accuracy * depth_fraction**0.35
+
+
+@dataclass(frozen=True)
+class EdgentDecision:
+    """Chosen (exit, partition) configuration and its predicted cost."""
+
+    exit_layer: int
+    cut: int
+    total_ms: float
+    predicted_accuracy: float
+    meets_budget: bool
+
+
+class Edgent(BaselinePlanner):
+    """Joint exit-point / partition-point search under a latency budget."""
+
+    name = "edgent"
+
+    def __init__(
+        self,
+        latency_budget_ms: Optional[float] = None,
+        accuracy_curve: Callable[[float], float] = default_accuracy_curve,
+        exit_head_bytes: int = 8 * 1024,
+        exit_head_flops: float = 1e5,
+        optimize_with_load: bool = True,
+        deploy_preloaded: bool = False,
+    ) -> None:
+        self.latency_budget_ms = latency_budget_ms
+        self.accuracy_curve = accuracy_curve
+        self.exit_head_bytes = exit_head_bytes
+        self.exit_head_flops = exit_head_flops
+        self.optimize_with_load = optimize_with_load
+        self.deploy_preloaded = deploy_preloaded
+
+    # ------------------------------------------------------------------
+    # Candidate enumeration
+    # ------------------------------------------------------------------
+    def candidate_exits(self, context: PlanningContext) -> list[int]:
+        """Exit points: after each layer that changes the feature map
+        (conv / pool), plus the full network."""
+        exits = [
+            layer.index + 1
+            for layer in context.profile
+            if layer.kind in ("Conv2d", "MaxPool2d", "AvgPool2d")
+        ]
+        full = len(context.profile)
+        if full not in exits:
+            exits.append(full)
+        return exits
+
+    def evaluate(
+        self,
+        context: PlanningContext,
+        exit_layer: int,
+        cut: int,
+        include_load: bool | None = None,
+    ) -> tuple[float, float]:
+        """Return (total_ms, predicted_accuracy) for one configuration."""
+        profile = context.profile
+        link = context.link.deterministic()
+        browser, edge = context.browser, context.edge
+        if include_load is None:
+            include_load = self.optimize_with_load
+
+        total = 0.0
+        prefix_bytes = profile.prefix_param_bytes(cut)
+        if include_load and cut > 0:
+            load_bytes = prefix_bytes + self.exit_head_bytes
+            total += link.download_ms(load_bytes) + browser.parse_ms(load_bytes)
+
+        prefix = compute_step_from_layers(profile.layers[:cut], Location.BROWSER)
+        total += prefix.duration_ms(browser)
+
+        if cut < exit_layer:
+            crossing = (
+                context.input_bytes if cut == 0 else profile.cut_activation_bytes(cut)
+            )
+            total += link.upload_ms(crossing)
+            suffix = compute_step_from_layers(
+                profile.layers[cut:exit_layer], Location.EDGE
+            )
+            total += suffix.duration_ms(edge)
+            total += edge.compute_ms(self.exit_head_flops)
+            total += link.download_ms(RESULT_BYTES)
+        else:
+            # Exit fires on the device side.
+            total += browser.compute_ms(self.exit_head_flops)
+
+        depth_fraction = exit_layer / max(len(profile), 1)
+        return total, self.accuracy_curve(depth_fraction)
+
+    def choose(self, context: PlanningContext) -> EdgentDecision:
+        """Maximize accuracy subject to the budget; min latency tie-break.
+
+        Without a budget Edgent keeps full accuracy (exit = full depth)
+        and minimizes latency over partition points — which degenerates
+        to Neurosurgeon, as the original paper notes.
+        """
+        best: Optional[EdgentDecision] = None
+        for exit_layer in self.candidate_exits(context):
+            for cut in range(exit_layer + 1):
+                total_ms, acc = self.evaluate(context, exit_layer, cut)
+                meets = (
+                    self.latency_budget_ms is None
+                    or total_ms <= self.latency_budget_ms
+                )
+                candidate = EdgentDecision(exit_layer, cut, total_ms, acc, meets)
+                if best is None:
+                    best = candidate
+                    continue
+                best = self._better(best, candidate)
+        assert best is not None  # candidate_exits is never empty
+        return best
+
+    def _better(self, a: EdgentDecision, b: EdgentDecision) -> EdgentDecision:
+        if a.meets_budget != b.meets_budget:
+            return a if a.meets_budget else b
+        if a.meets_budget:
+            # Both feasible: maximize accuracy, then minimize latency.
+            if b.predicted_accuracy != a.predicted_accuracy:
+                return b if b.predicted_accuracy > a.predicted_accuracy else a
+            return b if b.total_ms < a.total_ms else a
+        # Neither feasible: minimize latency.
+        return b if b.total_ms < a.total_ms else a
+
+    # ------------------------------------------------------------------
+    # Plan emission
+    # ------------------------------------------------------------------
+    def plan(self, context: PlanningContext) -> ExecutionPlan:
+        """Run the (exit, cut) search, then emit the chosen plan."""
+        decision = self.choose(context)
+        return self.plan_for(context, decision.exit_layer, decision.cut)
+
+    def plan_for(
+        self, context: PlanningContext, exit_layer: int, cut: int
+    ) -> ExecutionPlan:
+        """Emit the plan for an explicit (exit, partition) configuration.
+
+        Used by the paper harness to pin Edgent to literature-style
+        points instead of re-optimizing under this simulator's profiles.
+        """
+        profile = context.profile
+
+        setup = []
+        if not self.deploy_preloaded and cut > 0:
+            setup.append(
+                ModelLoadStep(
+                    profile.prefix_param_bytes(cut) + self.exit_head_bytes,
+                    label=f"download partition [0,{cut}) + exit head",
+                )
+            )
+        per_sample = []
+        if cut > 0:
+            per_sample.append(
+                compute_step_from_layers(
+                    profile.layers[:cut], Location.BROWSER, "device prefix"
+                )
+            )
+        if cut < exit_layer:
+            crossing = (
+                context.input_bytes if cut == 0 else profile.cut_activation_bytes(cut)
+            )
+            per_sample.extend(
+                [
+                    TransferStep(crossing, upload=True, label="cut activation"),
+                    compute_step_from_layers(
+                        profile.layers[cut:exit_layer], Location.EDGE, "edge to exit"
+                    ),
+                    TransferStep(RESULT_BYTES, upload=False, label="result"),
+                ]
+            )
+        return ExecutionPlan(
+            approach=self.name, network=context.network_name,
+            setup_steps=setup, per_sample_steps=per_sample,
+        )

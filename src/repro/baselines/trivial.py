@@ -1,0 +1,68 @@
+"""Mobile-only and edge-only execution strategies (§I, §III-A).
+
+*Mobile-only* (Keras.js / TensorFlow.js class): the browser downloads the
+entire trained model and runs every layer locally — no per-sample
+communication, but the model transfer and the browser's limited compute
+dominate ("the model size of AlexNet is up to 249 MB", §I).
+
+*Edge-only*: the browser uploads the raw task and the edge runs the whole
+network — cheap for the browser, but every sample pays the upload of a
+full image over the 3 Mb/s 4G uplink, and the operator pays for all the
+compute (§I's service-provider cost argument).
+"""
+
+from __future__ import annotations
+
+from ..runtime.latency import (
+    ExecutionPlan,
+    Location,
+    ModelLoadStep,
+    TransferStep,
+    profile_compute_step,
+)
+from .base import BaselinePlanner, PlanningContext
+from ..runtime.session import RESULT_BYTES
+
+
+class MobileOnly(BaselinePlanner):
+    """Everything in the browser; model fetched from the edge/CDN."""
+
+    name = "mobile-only"
+
+    def plan(self, context: PlanningContext) -> ExecutionPlan:
+        """Download the full model once; run every layer on the browser."""
+        return ExecutionPlan(
+            approach=self.name,
+            network=context.network_name,
+            setup_steps=[
+                ModelLoadStep(
+                    context.profile.total_param_bytes, label="download full model"
+                )
+            ],
+            per_sample_steps=[
+                profile_compute_step(
+                    context.profile, Location.BROWSER, "full network on browser"
+                )
+            ],
+        )
+
+
+class EdgeOnly(BaselinePlanner):
+    """Everything on the edge server; the raw task travels per sample."""
+
+    name = "edge-only"
+
+    def plan(self, context: PlanningContext) -> ExecutionPlan:
+        """Upload the raw task per sample; run every layer on the edge."""
+        return ExecutionPlan(
+            approach=self.name,
+            network=context.network_name,
+            setup_steps=[],
+            per_sample_steps=[
+                TransferStep(context.input_bytes, upload=True, label="raw task upload"),
+                profile_compute_step(
+                    context.profile, Location.EDGE, "full network on edge"
+                ),
+                TransferStep(RESULT_BYTES, upload=False, label="result"),
+            ],
+        )

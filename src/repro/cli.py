@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the library's lifecycle without writing Python:
+
+* ``train``   — joint-train an LCRS on a synthetic dataset, calibrate,
+  report, and optionally checkpoint.
+* ``evaluate``— load a checkpoint and report accuracy/exit behaviour on
+  a fresh draw of its dataset.
+* ``export``  — write the browser bundle (``.lcrs``) from a checkpoint.
+* ``study``   — run the training-free latency/communication study
+  (Tables II/III, Figures 6/7).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core import LCRS, JointTrainingConfig, load_system, save_system
+from .data import make_dataset
+from .data.synthetic import DATASET_NAMES
+from .models import MODEL_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all four subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LCRS: lightweight collaborative recognition (ICDCS'19 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="joint-train, calibrate, and report")
+    train.add_argument("--network", choices=MODEL_NAMES, default="lenet")
+    train.add_argument("--dataset", choices=DATASET_NAMES, default="mnist")
+    train.add_argument("--train-samples", type=int, default=1500)
+    train.add_argument("--test-samples", type=int, default=400)
+    train.add_argument("--epochs", type=int, default=6)
+    train.add_argument("--lr-main", type=float, default=2e-3)
+    train.add_argument("--lr-binary", type=float, default=2e-3)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--checkpoint", type=Path, help="save the trained system here")
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a checkpoint")
+    evaluate.add_argument("checkpoint", type=Path)
+    evaluate.add_argument("--test-samples", type=int, default=400)
+    evaluate.add_argument("--seed", type=int, default=100)
+
+    export = sub.add_parser("export", help="write the .lcrs browser bundle")
+    export.add_argument("checkpoint", type=Path)
+    export.add_argument("output", type=Path)
+
+    study = sub.add_parser("study", help="latency/communication study (no training)")
+    study.add_argument("--samples", type=int, default=100)
+    study.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    train, test = make_dataset(
+        args.dataset, args.train_samples, args.test_samples, seed=args.seed
+    )
+    system = LCRS.build(
+        args.network,
+        train,
+        training_config=JointTrainingConfig(
+            epochs=args.epochs,
+            lr_main=args.lr_main,
+            lr_binary=args.lr_binary,
+            seed=args.seed,
+        ),
+        dataset_name=args.dataset,
+        seed=args.seed,
+    )
+    system.fit(train, test, verbose=True)
+    system.calibrate(test)
+    report = system.report(test)
+    print(
+        f"\n{report.network}/{report.dataset}: "
+        f"M_Acc={100 * report.main_accuracy:.2f}% "
+        f"B_Acc={100 * report.binary_accuracy:.2f}% "
+        f"tau={report.threshold:.4f} exit={100 * report.exit_rate:.0f}% "
+        f"sizes={report.main_size_mb:.3f}/{report.binary_size_mb:.4f}MB "
+        f"({report.compression_ratio:.1f}x)"
+    )
+    if args.checkpoint is not None:
+        path = save_system(system, args.checkpoint)
+        print(f"checkpoint written: {path}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    system = load_system(args.checkpoint)
+    if not system.dataset_name:
+        print("checkpoint has no dataset name; cannot regenerate data", file=sys.stderr)
+        return 2
+    _, test = make_dataset(
+        system.dataset_name, 10, args.test_samples, seed=args.seed
+    )
+    if system.calibration is None:
+        system.calibrate(test)
+    report = system.report(test)
+    print(
+        f"{report.network}/{report.dataset} (fresh draw, seed={args.seed}): "
+        f"M_Acc={100 * report.main_accuracy:.2f}% "
+        f"B_Acc={100 * report.binary_accuracy:.2f}% "
+        f"collab={100 * report.collaborative_accuracy:.2f}% "
+        f"exit={100 * report.exit_rate:.0f}%"
+    )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .wasm import serialize_browser_bundle
+
+    system = load_system(args.checkpoint)
+    model = system.model
+    payload = serialize_browser_bundle(
+        model.browser_modules(),
+        (model.in_channels, model.input_size, model.input_size),
+        metadata={
+            "network": model.base_name,
+            "tau": system.calibration.threshold if system.calibration else None,
+        },
+    )
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_bytes(payload)
+    print(f"wrote {len(payload):,} bytes to {args.output}")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from .experiments import run_figure6, run_figure7, run_latency_comparison
+
+    comparison = run_latency_comparison(num_samples=args.samples, seed=args.seed)
+    print(comparison.table2())
+    print()
+    print(comparison.table3())
+    print()
+    for line in comparison.shape_checks():
+        print(line)
+    print()
+    print(run_figure6(seed=args.seed).render())
+    print()
+    print(run_figure7(seed=args.seed).render())
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "export": _cmd_export,
+    "study": _cmd_study,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

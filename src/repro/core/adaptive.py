@@ -1,0 +1,139 @@
+"""Runtime-adaptive exit threshold under unstable bandwidth.
+
+§IV-D.1 observes that "in a real environment, the network bandwidth is
+instability resulting in large communication costs".  A fixed τ chosen
+offline is then suboptimal: when the link degrades, misses become very
+expensive and the system should exit more aggressively (trading a little
+accuracy); when the link is fast, it can afford stricter thresholds.
+
+:class:`AdaptiveThresholdController` is a bounded integral controller on
+the *observed per-sample latency*: it nudges τ between the calibrated
+value and ``tau_max`` so the running latency tracks a target SLA.  The
+controller only ever loosens/tightens within ``[tau_min, tau_max]`` —
+accuracy can degrade at most to the binary branch's own level, never
+below (Algorithm 2's local answer is the floor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class AdaptiveThresholdController:
+    """Latency-tracking τ controller.
+
+    Parameters
+    ----------
+    tau_initial:
+        The offline-calibrated threshold (the starting point).
+    tau_min / tau_max:
+        Hard bounds; ``tau_min`` keeps some collaboration available,
+        ``tau_max`` caps the accuracy sacrifice.
+    target_latency_ms:
+        The SLA the controller steers toward.
+    gain:
+        Integral gain: τ moves by ``gain · normalized_error`` per update.
+    window:
+        Number of recent samples in the latency estimate.
+    """
+
+    tau_initial: float
+    target_latency_ms: float
+    tau_min: float = 1e-4
+    tau_max: float = 0.99
+    gain: float = 0.05
+    window: int = 20
+    _tau: float = field(init=False)
+    _history: list[float] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.tau_min <= self.tau_initial <= self.tau_max:
+            raise ValueError("tau_initial must lie within [tau_min, tau_max]")
+        if self.target_latency_ms <= 0:
+            raise ValueError("target_latency_ms must be positive")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        self._tau = self.tau_initial
+
+    @property
+    def threshold(self) -> float:
+        """The τ the next sample should be gated with."""
+        return self._tau
+
+    @property
+    def observed_latency_ms(self) -> Optional[float]:
+        if not self._history:
+            return None
+        return float(np.mean(self._history[-self.window :]))
+
+    def observe(self, latency_ms: float) -> float:
+        """Record one sample's latency and update τ.
+
+        Returns the threshold to use for the *next* sample.  Latency
+        above target raises τ (more local exits); below target lowers it
+        back toward the calibrated operating point.
+        """
+        if latency_ms < 0:
+            raise ValueError("latency_ms must be non-negative")
+        self._history.append(float(latency_ms))
+        observed = self.observed_latency_ms
+        assert observed is not None
+        error = (observed - self.target_latency_ms) / self.target_latency_ms
+        self._tau = float(np.clip(self._tau + self.gain * error, self.tau_min, self.tau_max))
+        return self._tau
+
+    def reset(self) -> None:
+        """Return to the calibrated τ and forget the latency history."""
+        self._tau = self.tau_initial
+        self._history.clear()
+
+
+@dataclass(frozen=True)
+class AdaptiveSessionSummary:
+    """Outcome of an adaptive-vs-fixed comparison run."""
+
+    fixed_mean_ms: float
+    adaptive_mean_ms: float
+    fixed_exit_rate: float
+    adaptive_exit_rate: float
+    final_tau: float
+
+    @property
+    def latency_improvement(self) -> float:
+        if self.fixed_mean_ms == 0:
+            return 0.0
+        return 1.0 - self.adaptive_mean_ms / self.fixed_mean_ms
+
+
+def simulate_adaptive_session(
+    entropies: np.ndarray,
+    hit_latency_ms: float,
+    miss_latency_ms: np.ndarray,
+    controller: AdaptiveThresholdController,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drive the controller over a sample stream.
+
+    ``entropies`` are the binary branch's per-sample scores;
+    ``miss_latency_ms`` the (possibly time-varying) cost of each
+    potential miss — e.g. drawn from a degrading link.  Returns
+    (per-sample latency, per-sample exit flags).
+    """
+    entropies = np.asarray(entropies, dtype=np.float64)
+    miss_latency_ms = np.asarray(miss_latency_ms, dtype=np.float64)
+    if len(miss_latency_ms) != len(entropies):
+        raise ValueError("entropies and miss_latency_ms must align")
+
+    latencies = np.empty(len(entropies))
+    exits = np.empty(len(entropies), dtype=bool)
+    tau = controller.threshold
+    for i, (entropy, miss_ms) in enumerate(zip(entropies, miss_latency_ms)):
+        exited = entropy < tau
+        latency = hit_latency_ms if exited else hit_latency_ms + miss_ms
+        latencies[i] = latency
+        exits[i] = exited
+        tau = controller.observe(latency)
+    return latencies, exits

@@ -1,0 +1,237 @@
+"""The LCRS composite network: shared conv1, main branch, binary branch.
+
+Figure 2 of the paper: the full-precision *main branch* and the tiny
+*binary branch* share the first convolutional layer.  At deployment the
+browser holds conv1 + the binary branch; the edge server holds the rest
+of the main branch.  Sharing conv1 means a binary-branch miss only ships
+the conv1 feature map — never the raw task — to the edge (§IV-A).
+
+The binary-branch *structure* follows §IV-D.3: a configurable stack of
+binary conv layers and binary FC layers, always terminated by one
+full-precision FC classifier ("the last layer of all structures is a
+full connection layer with float weights").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..models.base import BranchableNetwork
+from ..nn.autograd import Tensor
+
+
+@dataclass(frozen=True)
+class BinaryBranchConfig:
+    """Structure of the binary branch (the Figure 4 design space).
+
+    ``num_conv_layers`` / ``num_fc_layers`` are the counts of *binary*
+    layers; the float classifier FC is always appended.  ``channels``
+    is the output width of each binary conv; ``hidden`` the width of
+    each binary FC.
+    """
+
+    num_conv_layers: int = 1
+    num_fc_layers: int = 1
+    channels: int = 32
+    hidden: int = 64
+    binarize_input: bool = True
+    pool_after_conv: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_conv_layers < 0 or self.num_fc_layers < 0:
+            raise ValueError("layer counts must be non-negative")
+        if self.num_conv_layers == 0 and self.num_fc_layers == 0:
+            raise ValueError("binary branch needs at least one binary layer")
+
+
+def build_binary_branch(
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    config: BinaryBranchConfig = BinaryBranchConfig(),
+    rng: Optional[np.random.Generator] = None,
+) -> nn.Sequential:
+    """Construct a binary branch for a given stem output shape.
+
+    The branch maps the shared conv1 feature map to class logits using
+    ``config.num_conv_layers`` binary convolutions (each optionally
+    followed by 2×2 max-pooling while the spatial extent allows it),
+    then ``config.num_fc_layers`` binary FC layers, then the float
+    classifier.
+
+    Every binarized layer is preceded by batch normalization, following
+    the XNOR-Net block order (BN → binarize → conv).  This is essential,
+    not cosmetic: the shared stem ends in ReLU, so its raw output is
+    non-negative and ``sign(·)`` of it would be constant +1 — BN
+    re-centers the activations so the binarized input actually carries
+    information.
+
+    Normalization is kept *per channel* (2-D) up to the flatten, never
+    over the flattened feature vector: a ``BatchNorm1d`` over thousands
+    of flattened features would ship four fp32 arrays of that size to
+    the browser and silently dominate the bundle, defeating the
+    compression the binary branch exists for.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    c, h, w = input_shape
+    layers: list[nn.Module] = []
+
+    # Center the (post-ReLU, non-negative) stem output before the first
+    # binarization.
+    layers.append(nn.BatchNorm2d(c))
+
+    cin = c
+    for _ in range(config.num_conv_layers):
+        layers.append(
+            nn.BinaryConv2d(
+                cin,
+                config.channels,
+                3,
+                padding=1,
+                binarize_input=config.binarize_input,
+                rng=rng,
+            )
+        )
+        cin = config.channels
+        if config.pool_after_conv and min(h, w) >= 4:
+            layers.append(nn.MaxPool2d(2))
+            h, w = h // 2, w // 2
+        layers.append(nn.BatchNorm2d(cin))
+
+    layers.append(nn.Flatten())
+    features = cin * h * w
+
+    fin = features
+    for _ in range(config.num_fc_layers):
+        layers.append(
+            nn.BinaryLinear(
+                fin, config.hidden, binarize_input=config.binarize_input, rng=rng
+            )
+        )
+        fin = config.hidden
+        layers.append(nn.BatchNorm1d(fin))
+
+    # Float classifier head (always full precision, per §IV-D.3).
+    layers.append(nn.Linear(fin, num_classes, rng=rng))
+    return nn.Sequential(*layers)
+
+
+def build_quantized_branch(
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    bits: int,
+    config: BinaryBranchConfig = BinaryBranchConfig(),
+    rng: Optional[np.random.Generator] = None,
+) -> nn.Sequential:
+    """A k-bit variant of the binary branch (the precision-spectrum study).
+
+    Same topology as :func:`build_binary_branch` with the binary layers
+    replaced by :class:`~repro.nn.quantized.QuantizedConv2d` /
+    ``QuantizedLinear``; ``bits = 1`` is the BWN point of the spectrum
+    (weight-only binarization), ``bits = 32`` effectively full precision.
+    Activations stay fp32 throughout — the study isolates the *weight*
+    precision axis the paper's §II-B discussion is about.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    c, h, w = input_shape
+    layers: list[nn.Module] = [nn.BatchNorm2d(c)]
+
+    cin = c
+    for _ in range(config.num_conv_layers):
+        layers.append(
+            nn.QuantizedConv2d(cin, config.channels, 3, bits=bits, padding=1, rng=rng)
+        )
+        cin = config.channels
+        if config.pool_after_conv and min(h, w) >= 4:
+            layers.append(nn.MaxPool2d(2))
+            h, w = h // 2, w // 2
+        layers.append(nn.BatchNorm2d(cin))
+
+    layers.append(nn.Flatten())
+    fin = cin * h * w
+    for _ in range(config.num_fc_layers):
+        layers.append(nn.QuantizedLinear(fin, config.hidden, bits=bits, rng=rng))
+        fin = config.hidden
+        layers.append(nn.BatchNorm1d(fin))
+
+    layers.append(nn.Linear(fin, num_classes, rng=rng))
+    return nn.Sequential(*layers)
+
+
+class CompositeNetwork(nn.Module):
+    """Main branch + binary branch sharing the first conv layer.
+
+    Built from any :class:`~repro.models.base.BranchableNetwork`:
+    ``stem`` and ``main_trunk`` come from the donor network, and a fresh
+    binary branch is attached to the stem output.
+    """
+
+    def __init__(
+        self,
+        network: BranchableNetwork,
+        branch_config: BinaryBranchConfig = BinaryBranchConfig(),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.stem = network.stem
+        self.main_trunk = network.trunk
+        self.branch_config = branch_config
+        self.num_classes = network.num_classes
+        self.in_channels = network.in_channels
+        self.input_size = network.input_size
+        self.base_name = network.name
+        stem_shape = network.stem_output_shape()
+        self.stem_output_shape = stem_shape
+        self.binary_branch = build_binary_branch(
+            stem_shape, network.num_classes, branch_config, rng=rng
+        )
+
+    # ------------------------------------------------------------------
+    # Forward views
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        """Joint forward: returns (main_logits, binary_logits)."""
+        features = self.stem(x)
+        return self.main_trunk(features), self.binary_branch(features)
+
+    def forward_main(self, x: Tensor) -> Tensor:
+        return self.main_trunk(self.stem(x))
+
+    def forward_binary(self, x: Tensor) -> Tensor:
+        return self.binary_branch(self.stem(x))
+
+    def forward_features(self, x: Tensor) -> Tensor:
+        """Shared conv1 output — the tensor that crosses to the edge."""
+        return self.stem(x)
+
+    # ------------------------------------------------------------------
+    # Parameter groups (Algorithm 1 trains the branches with separate
+    # learning rates η_main and η_binary)
+    # ------------------------------------------------------------------
+    def main_parameters(self) -> list[nn.Parameter]:
+        """Stem + main trunk parameters (updated by the main-branch pass)."""
+        return list(self.stem.parameters()) + list(self.main_trunk.parameters())
+
+    def binary_parameters(self) -> list[nn.Parameter]:
+        """Binary-branch parameters (updated by the binary-branch pass)."""
+        return list(self.binary_branch.parameters())
+
+    # ------------------------------------------------------------------
+    # Deployment views
+    # ------------------------------------------------------------------
+    def browser_modules(self) -> nn.Sequential:
+        """What ships to the mobile web browser: conv1 + binary branch."""
+        return nn.Sequential(self.stem, self.binary_branch)
+
+    def edge_modules(self) -> nn.Sequential:
+        """What stays on the edge server: the main trunk."""
+        return self.main_trunk
+
+    def __repr__(self) -> str:
+        return (
+            f"CompositeNetwork(base={self.base_name!r}, "
+            f"branch={self.branch_config}, classes={self.num_classes})"
+        )

@@ -1,0 +1,104 @@
+"""Pluggable exit criteria for the binary branch.
+
+The paper gates exits on normalized entropy (Eq. 7).  The early-exit
+literature uses several other confidence scores; this module makes the
+criterion a first-class object so the calibration machinery and the
+collaborative predictor work with any of them, and so the criterion
+choice itself can be ablated (``benchmarks/test_ablation_exit_criteria``).
+
+A criterion maps a batch of softmax vectors to per-sample *uncertainty*
+scores in a fixed orientation — **lower means more confident** — so the
+exit rule is uniformly ``score < τ``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .entropy import ThresholdCalibration, calibrate_threshold, normalized_entropy
+
+Criterion = Callable[[np.ndarray], np.ndarray]
+
+
+def entropy_criterion(probs: np.ndarray) -> np.ndarray:
+    """The paper's Eq. 7: normalized entropy in [0, 1]."""
+    return normalized_entropy(probs, axis=1)
+
+
+def max_probability_criterion(probs: np.ndarray) -> np.ndarray:
+    """1 − max softmax probability (BranchyNet's alternative score)."""
+    probs = np.asarray(probs, dtype=np.float64)
+    return 1.0 - probs.max(axis=1)
+
+
+def margin_criterion(probs: np.ndarray) -> np.ndarray:
+    """1 − (top1 − top2): small top-two margin means uncertain."""
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.shape[1] < 2:
+        raise ValueError("margin criterion needs at least two classes")
+    part = np.partition(probs, -2, axis=1)
+    margin = part[:, -1] - part[:, -2]
+    return 1.0 - margin
+
+
+#: Registry for ablation harnesses and CLI surfaces.
+EXIT_CRITERIA: dict[str, Criterion] = {
+    "entropy": entropy_criterion,
+    "max_probability": max_probability_criterion,
+    "margin": margin_criterion,
+}
+
+
+def get_criterion(name: str) -> Criterion:
+    """Look up a registered criterion by name."""
+    if name not in EXIT_CRITERIA:
+        raise KeyError(f"unknown exit criterion {name!r}; available: {sorted(EXIT_CRITERIA)}")
+    return EXIT_CRITERIA[name]
+
+
+def calibrate_criterion(
+    criterion: Criterion,
+    binary_probs: np.ndarray,
+    binary_correct: np.ndarray,
+    main_correct: np.ndarray,
+    accuracy_tolerance: float = 0.02,
+    min_overall_accuracy: Optional[float] = None,
+) -> ThresholdCalibration:
+    """Screen thresholds for an arbitrary criterion.
+
+    Identical to the entropy calibration but with the criterion's scores
+    substituted; returns the same :class:`ThresholdCalibration` record.
+    """
+    scores = criterion(binary_probs)
+    return calibrate_threshold(
+        scores,
+        binary_correct,
+        main_correct,
+        accuracy_tolerance=accuracy_tolerance,
+        min_overall_accuracy=min_overall_accuracy,
+    )
+
+
+def compare_criteria(
+    binary_probs: np.ndarray,
+    binary_correct: np.ndarray,
+    main_correct: np.ndarray,
+    accuracy_tolerance: float = 0.02,
+) -> dict[str, ThresholdCalibration]:
+    """Calibrate every registered criterion on the same data.
+
+    The interesting output is the exit rate each achieves at equal
+    accuracy tolerance — the criterion ablation's headline number.
+    """
+    return {
+        name: calibrate_criterion(
+            criterion,
+            binary_probs,
+            binary_correct,
+            main_correct,
+            accuracy_tolerance=accuracy_tolerance,
+        )
+        for name, criterion in EXIT_CRITERIA.items()
+    }

@@ -1,0 +1,177 @@
+"""Entropy-gated collaborative inference (paper Algorithm 2).
+
+For an input sample ``x``:
+
+1. the browser computes ``t = conv1(x)`` (the shared stem),
+2. the browser runs the binary branch: ``ŷ_b = softmax(f_binary(t))``,
+3. if ``S(ŷ_b) < τ`` the sample exits locally with ``argmax ŷ_b``,
+4. otherwise ``t`` is shipped to the edge, which returns
+   ``argmax softmax(f_main^rest(t))``.
+
+This module implements the *functional* decision logic, shared by the
+accuracy experiments and the latency simulator (which adds network and
+device timing around the same decisions in :mod:`repro.runtime`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..nn import functional as F
+from ..nn.autograd import Tensor, no_grad
+from .composite import CompositeNetwork
+from .entropy import normalized_entropy
+
+
+@dataclass(frozen=True)
+class ExitRecord:
+    """Per-sample outcome of Algorithm 2."""
+
+    index: int
+    exited_locally: bool
+    entropy: float
+    prediction: int
+    binary_prediction: int
+    main_prediction: Optional[int]
+
+    @property
+    def used_edge(self) -> bool:
+        return not self.exited_locally
+
+
+@dataclass
+class InferenceResult:
+    """Batch outcome: predictions plus the per-sample exit trace."""
+
+    predictions: np.ndarray
+    records: list[ExitRecord]
+    threshold: float
+
+    @property
+    def exit_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.exited_locally for r in self.records]))
+
+    def accuracy(self, labels: np.ndarray) -> float:
+        return float((self.predictions == np.asarray(labels)).mean())
+
+    def exit_accuracy(self, labels: np.ndarray) -> float:
+        """Accuracy restricted to locally-exited samples."""
+        mask = np.array([r.exited_locally for r in self.records])
+        if not mask.any():
+            return 1.0
+        return float((self.predictions[mask] == np.asarray(labels)[mask]).mean())
+
+
+class CollaborativePredictor:
+    """Executes Algorithm 2 over batches of samples.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`CompositeNetwork`.
+    threshold:
+        The calibrated exit threshold τ.
+    force_edge:
+        If True every sample takes the edge path (for baseline studies).
+    force_local:
+        If True every sample exits locally regardless of entropy.
+    """
+
+    def __init__(
+        self,
+        model: CompositeNetwork,
+        threshold: float,
+        force_edge: bool = False,
+        force_local: bool = False,
+    ) -> None:
+        if force_edge and force_local:
+            raise ValueError("force_edge and force_local are mutually exclusive")
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.model = model
+        self.threshold = float(threshold)
+        self.force_edge = force_edge
+        self.force_local = force_local
+
+    def predict(self, images: np.ndarray, batch_size: int = 256) -> InferenceResult:
+        """Run collaborative inference on an NCHW image array."""
+        model = self.model
+        model.eval()
+        records: list[ExitRecord] = []
+        predictions = np.empty(len(images), dtype=np.int64)
+
+        with no_grad():
+            for start in range(0, len(images), batch_size):
+                batch = images[start : start + batch_size]
+                features = model.forward_features(Tensor(batch))
+                binary_logits = model.binary_branch(features).data
+                binary_probs = F.softmax(binary_logits, axis=1)
+                entropies = normalized_entropy(binary_probs, axis=1)
+                binary_preds = binary_logits.argmax(axis=1)
+
+                if self.force_local:
+                    exits = np.ones(len(batch), dtype=bool)
+                elif self.force_edge:
+                    exits = np.zeros(len(batch), dtype=bool)
+                else:
+                    exits = entropies < self.threshold
+
+                main_preds = np.full(len(batch), -1, dtype=np.int64)
+                if (~exits).any():
+                    # Only misses travel to the edge; slice the shared
+                    # feature map exactly as the browser would ship it.
+                    miss_features = Tensor(features.data[~exits])
+                    main_logits = model.main_trunk(miss_features).data
+                    main_preds[~exits] = main_logits.argmax(axis=1)
+
+                for i in range(len(batch)):
+                    global_index = start + i
+                    exited = bool(exits[i])
+                    pred = int(binary_preds[i]) if exited else int(main_preds[i])
+                    predictions[global_index] = pred
+                    records.append(
+                        ExitRecord(
+                            index=global_index,
+                            exited_locally=exited,
+                            entropy=float(entropies[i]),
+                            prediction=pred,
+                            binary_prediction=int(binary_preds[i]),
+                            main_prediction=None if exited else int(main_preds[i]),
+                        )
+                    )
+
+        return InferenceResult(predictions=predictions, records=records, threshold=self.threshold)
+
+    def predict_dataset(self, dataset: ArrayDataset, batch_size: int = 256) -> InferenceResult:
+        return self.predict(dataset.images, batch_size=batch_size)
+
+
+def branch_entropies(
+    model: CompositeNetwork, images: np.ndarray, batch_size: int = 256
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return (entropies, binary_preds, main_preds) for calibration.
+
+    One pass computes everything :func:`repro.core.entropy.calibrate_threshold`
+    needs: binary-branch entropies and both branches' predictions.
+    """
+    model.eval()
+    ents: list[np.ndarray] = []
+    bpreds: list[np.ndarray] = []
+    mpreds: list[np.ndarray] = []
+    with no_grad():
+        for start in range(0, len(images), batch_size):
+            x = Tensor(images[start : start + batch_size])
+            features = model.forward_features(x)
+            binary_logits = model.binary_branch(features).data
+            main_logits = model.main_trunk(features).data
+            probs = F.softmax(binary_logits, axis=1)
+            ents.append(normalized_entropy(probs, axis=1))
+            bpreds.append(binary_logits.argmax(axis=1))
+            mpreds.append(main_logits.argmax(axis=1))
+    return np.concatenate(ents), np.concatenate(bpreds), np.concatenate(mpreds)

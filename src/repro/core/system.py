@@ -1,0 +1,207 @@
+"""High-level LCRS facade: build → joint-train → calibrate → deploy.
+
+This is the public entry point a downstream user works with:
+
+>>> from repro.core import LCRS
+>>> from repro.data import make_dataset
+>>> train, test = make_dataset("mnist", 2000, 500)
+>>> system = LCRS.build("lenet", train)            # doctest: +SKIP
+>>> system.fit(train, test)                        # doctest: +SKIP
+>>> system.calibrate(test)                         # doctest: +SKIP
+>>> result = system.predictor().predict(test.images)  # doctest: +SKIP
+
+The per-network default branch configurations keep the binary branch's
+deployment size inside the paper's 16×–30× compression band relative to
+the main branch (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..models import build_model
+from ..profiling import NetworkProfile
+from .composite import BinaryBranchConfig, CompositeNetwork
+from .entropy import ThresholdCalibration, calibrate_threshold
+from .inference import CollaborativePredictor, branch_entropies
+from .training import JointTrainer, JointTrainingConfig, TrainingHistory
+
+#: Branch structures per main-branch network.  Widths are chosen so the
+#: browser bundle (conv1 + bit-packed binary branch) is 16×–30× smaller
+#: than the full-precision main branch, mirroring Table I; depth follows
+#: §IV-D.3 (one binary conv + one or two binary FC layers is the sweet
+#: spot — more binary convs cost accuracy for little size gain).
+DEFAULT_BRANCH_CONFIGS: dict[str, BinaryBranchConfig] = {
+    "lenet": BinaryBranchConfig(num_conv_layers=1, num_fc_layers=1, channels=16, hidden=64),
+    "alexnet": BinaryBranchConfig(num_conv_layers=1, num_fc_layers=1, channels=32, hidden=256),
+    "resnet18": BinaryBranchConfig(num_conv_layers=1, num_fc_layers=1, channels=16, hidden=64),
+    "vgg16": BinaryBranchConfig(num_conv_layers=1, num_fc_layers=1, channels=16, hidden=128),
+}
+
+
+@dataclass(frozen=True)
+class SystemReport:
+    """One Table I row: accuracies, τ, exit rate, and model sizes."""
+
+    network: str
+    dataset: str
+    main_accuracy: float
+    binary_accuracy: float
+    threshold: float
+    exit_rate: float
+    collaborative_accuracy: float
+    main_size_bytes: int
+    binary_size_bytes: int
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.main_size_bytes / max(self.binary_size_bytes, 1)
+
+    @property
+    def main_size_mb(self) -> float:
+        return self.main_size_bytes / (1024 * 1024)
+
+    @property
+    def binary_size_mb(self) -> float:
+        return self.binary_size_bytes / (1024 * 1024)
+
+
+class LCRS:
+    """The Lightweight Collaborative Recognition System.
+
+    Owns the composite network, the joint trainer, the calibrated exit
+    threshold, and the profiling views the deployment story needs.
+    """
+
+    def __init__(
+        self,
+        model: CompositeNetwork,
+        training_config: JointTrainingConfig = JointTrainingConfig(),
+        dataset_name: str = "",
+    ) -> None:
+        self.model = model
+        self.trainer = JointTrainer(model, training_config)
+        self.dataset_name = dataset_name
+        self.calibration: Optional[ThresholdCalibration] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        network: str,
+        train: ArrayDataset,
+        branch_config: Optional[BinaryBranchConfig] = None,
+        training_config: JointTrainingConfig = JointTrainingConfig(),
+        dataset_name: str = "",
+        seed: int = 0,
+        **model_kwargs: object,
+    ) -> "LCRS":
+        """Build an LCRS for a named main-branch network and a dataset.
+
+        Input channels, image size and class count are inferred from the
+        training dataset.
+        """
+        rng = np.random.default_rng(seed)
+        c, h, w = train.image_shape
+        if h != w:
+            raise ValueError(f"expected square images, got {h}x{w}")
+        base = build_model(network, c, train.num_classes, h, rng=rng, **model_kwargs)
+        config = branch_config or DEFAULT_BRANCH_CONFIGS.get(network, BinaryBranchConfig())
+        composite = CompositeNetwork(base, config, rng=rng)
+        return cls(composite, training_config, dataset_name=dataset_name)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train: ArrayDataset,
+        test: Optional[ArrayDataset] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Joint-train both branches (Algorithm 1)."""
+        return self.trainer.fit(train, test, verbose=verbose)
+
+    def calibrate(
+        self,
+        dataset: ArrayDataset,
+        accuracy_tolerance: float = 0.02,
+        min_overall_accuracy: Optional[float] = None,
+    ) -> ThresholdCalibration:
+        """Screen exit thresholds on held-out data (BranchyNet style)."""
+        entropies, binary_preds, main_preds = branch_entropies(
+            self.model, dataset.images
+        )
+        self.calibration = calibrate_threshold(
+            entropies,
+            binary_preds == dataset.labels,
+            main_preds == dataset.labels,
+            min_overall_accuracy=min_overall_accuracy,
+            accuracy_tolerance=accuracy_tolerance,
+        )
+        return self.calibration
+
+    @property
+    def threshold(self) -> float:
+        if self.calibration is None:
+            raise RuntimeError("call calibrate() before using the exit threshold")
+        return self.calibration.threshold
+
+    def predictor(
+        self, force_edge: bool = False, force_local: bool = False
+    ) -> CollaborativePredictor:
+        """Algorithm 2 executor with the calibrated threshold."""
+        return CollaborativePredictor(
+            self.model, self.threshold, force_edge=force_edge, force_local=force_local
+        )
+
+    # ------------------------------------------------------------------
+    # Profiling views
+    # ------------------------------------------------------------------
+    def _input_shape(self) -> tuple[int, int, int]:
+        return (self.model.in_channels, self.model.input_size, self.model.input_size)
+
+    def main_branch_profile(self) -> NetworkProfile:
+        """Full-precision main branch: conv1 + trunk."""
+        from ..nn import Sequential
+
+        return NetworkProfile.of(
+            Sequential(self.model.stem, self.model.main_trunk), self._input_shape()
+        )
+
+    def browser_bundle_profile(self) -> NetworkProfile:
+        """What ships to the browser: conv1 (fp32) + binary branch (packed)."""
+        return NetworkProfile.of(self.model.browser_modules(), self._input_shape())
+
+    def main_size_bytes(self) -> int:
+        return self.main_branch_profile().total_param_bytes
+
+    def binary_size_bytes(self) -> int:
+        return self.browser_bundle_profile().total_param_bytes
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self, test: ArrayDataset) -> SystemReport:
+        """Produce this system's Table I row on a test set."""
+        if self.calibration is None:
+            self.calibrate(test)
+        main_acc, binary_acc = self.trainer.evaluate(test)
+        result = self.predictor().predict_dataset(test)
+        return SystemReport(
+            network=self.model.base_name,
+            dataset=self.dataset_name,
+            main_accuracy=main_acc,
+            binary_accuracy=binary_acc,
+            threshold=self.threshold,
+            exit_rate=result.exit_rate,
+            collaborative_accuracy=result.accuracy(test.labels),
+            main_size_bytes=self.main_size_bytes(),
+            binary_size_bytes=self.binary_size_bytes(),
+        )

@@ -1,0 +1,207 @@
+"""Joint training of the composite network (paper Algorithm 1).
+
+The procedure per minibatch:
+
+1. *Main branch pass* — standard forward/backward through conv1 + trunk,
+   update with η_main (Algorithm 1 lines 1–5).
+2. *Binary branch pass* — forward with binarized weights & inputs
+   (Eq. 4: ``(sign(I) ⊛ sign(W)) ⊙ K·α``), STE backward (Eq. 5–6), update
+   the *full-precision master weights* with η_binary (lines 6–14), then
+   clamp them to [−1, 1] so they stay inside the STE window.
+
+The joint loss (Eq. 1) is the sum of both branch losses; since the two
+branches share conv1, the shared layer receives gradients from both
+objectives, which is what lets the edge-side trunk "supply the accuracy
+shortage" of the browser-side branch at inference time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset, DataLoader
+from ..nn import functional as F
+from ..nn.autograd import Tensor, no_grad
+from ..nn.binary import clamp_master_weights
+from ..optim import Adam, Optimizer
+from .composite import CompositeNetwork
+
+
+@dataclass
+class EpochStats:
+    """Per-epoch training record (the series plotted in Figure 5)."""
+
+    epoch: int
+    loss_total: float
+    loss_main: float
+    loss_binary: float
+    train_accuracy_main: float
+    train_accuracy_binary: float
+    test_accuracy_main: Optional[float] = None
+    test_accuracy_binary: Optional[float] = None
+
+
+@dataclass
+class TrainingHistory:
+    """Full training trace of a joint run."""
+
+    epochs: list[EpochStats] = field(default_factory=list)
+
+    def append(self, stats: EpochStats) -> None:
+        self.epochs.append(stats)
+
+    @property
+    def final(self) -> EpochStats:
+        if not self.epochs:
+            raise ValueError("no epochs recorded")
+        return self.epochs[-1]
+
+    def series(self, attribute: str) -> list[float]:
+        """Extract one metric across epochs (for the Figure 5 curves)."""
+        return [getattr(e, attribute) for e in self.epochs]
+
+
+@dataclass(frozen=True)
+class JointTrainingConfig:
+    """Hyperparameters of Algorithm 1."""
+
+    epochs: int = 8
+    batch_size: int = 64
+    lr_main: float = 1e-3
+    lr_binary: float = 2e-3
+    weight_decay: float = 0.0
+    main_loss_weight: float = 1.0
+    binary_loss_weight: float = 1.0
+    clamp_binary_weights: bool = True
+    seed: int = 0
+
+
+class JointTrainer:
+    """Runs Algorithm 1 on a :class:`CompositeNetwork`."""
+
+    def __init__(
+        self,
+        model: CompositeNetwork,
+        config: JointTrainingConfig = JointTrainingConfig(),
+    ) -> None:
+        self.model = model
+        self.config = config
+        # Separate optimizers realize the separate learning-rate tracks
+        # η_main / η_binary of Algorithm 1.  The shared conv1 belongs to
+        # the main group; the binary pass still sends it gradient through
+        # the joint backward.
+        self.main_optimizer: Optimizer = Adam(
+            model.main_parameters(), lr=config.lr_main, weight_decay=config.weight_decay
+        )
+        self.binary_optimizer: Optimizer = Adam(
+            model.binary_parameters(), lr=config.lr_binary
+        )
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------
+    # Single step
+    # ------------------------------------------------------------------
+    def train_step(self, images: np.ndarray, labels: np.ndarray) -> tuple[float, float, float]:
+        """One joint minibatch update; returns (total, main, binary) losses."""
+        model = self.model
+        model.train()
+        x = Tensor(images)
+
+        main_logits, binary_logits = model(x)
+        loss_main = F.cross_entropy(main_logits, labels)
+        loss_binary = F.cross_entropy(binary_logits, labels)
+        total = (
+            loss_main * self.config.main_loss_weight
+            + loss_binary * self.config.binary_loss_weight
+        )
+
+        model.zero_grad()
+        total.backward()
+        self.main_optimizer.step()
+        self.binary_optimizer.step()
+        if self.config.clamp_binary_weights:
+            clamp_master_weights(model.binary_branch)
+        return float(total.item()), float(loss_main.item()), float(loss_binary.item())
+
+    # ------------------------------------------------------------------
+    # Full run
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train: ArrayDataset,
+        test: Optional[ArrayDataset] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        loader = DataLoader(
+            train,
+            batch_size=self.config.batch_size,
+            shuffle=True,
+            seed=self.config.seed,
+        )
+        for epoch in range(self.config.epochs):
+            totals = np.zeros(3)
+            batches = 0
+            correct_main = 0
+            correct_binary = 0
+            seen = 0
+            for images, labels in loader:
+                t, m, b = self.train_step(images, labels)
+                totals += (t, m, b)
+                batches += 1
+                # Reuse the just-computed logits? They are gone; cheap
+                # re-eval on the batch would double compute, so track
+                # training accuracy from a fresh eval pass per epoch below
+                # only for small sets; here approximate from the last step.
+                seen += len(labels)
+            avg = totals / max(batches, 1)
+
+            train_acc_main, train_acc_binary = self.evaluate(train)
+            stats = EpochStats(
+                epoch=epoch,
+                loss_total=float(avg[0]),
+                loss_main=float(avg[1]),
+                loss_binary=float(avg[2]),
+                train_accuracy_main=train_acc_main,
+                train_accuracy_binary=train_acc_binary,
+            )
+            if test is not None:
+                stats.test_accuracy_main, stats.test_accuracy_binary = self.evaluate(test)
+            self.history.append(stats)
+            if verbose:
+                print(
+                    f"epoch {epoch}: loss={stats.loss_total:.4f} "
+                    f"main_acc={train_acc_main:.3f} binary_acc={train_acc_binary:.3f}"
+                )
+        return self.history
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, dataset: ArrayDataset, batch_size: int = 256
+    ) -> tuple[float, float]:
+        """Return (main_accuracy, binary_accuracy) on a dataset."""
+        main_logits, binary_logits = self.predict_logits(dataset, batch_size)
+        return (
+            F.accuracy(main_logits, dataset.labels),
+            F.accuracy(binary_logits, dataset.labels),
+        )
+
+    def predict_logits(
+        self, dataset: ArrayDataset, batch_size: int = 256
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch inference of both branches with gradients off."""
+        model = self.model
+        model.eval()
+        main_out: list[np.ndarray] = []
+        binary_out: list[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(dataset), batch_size):
+                x = Tensor(dataset.images[start : start + batch_size])
+                main_logits, binary_logits = model(x)
+                main_out.append(main_logits.data)
+                binary_out.append(binary_logits.data)
+        return np.concatenate(main_out), np.concatenate(binary_out)

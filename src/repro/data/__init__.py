@@ -1,0 +1,52 @@
+"""Data substrate: datasets, loaders, synthetic generators, augmentation.
+
+Synthetic generators replace the paper's public datasets (MNIST /
+FashionMNIST / CIFAR10 / CIFAR100) for offline reproduction; see
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from .augment import (
+    Augmenter,
+    additive_noise,
+    affine_warp,
+    color_perturbation,
+    horizontal_flip,
+    rotate,
+    translate,
+    vertical_flip,
+    zoom,
+)
+from .dataset import ArrayDataset, DataLoader, Dataset
+from .logos import (
+    LOGO_RENDERERS,
+    LogoDatasetConfig,
+    make_logo_dataset,
+    render_china_mobile_style,
+    render_fenjiu_style,
+)
+from .synthetic import DATASET_NAMES, SPECS, SyntheticSpec, generate, make_dataset
+
+__all__ = [
+    "ArrayDataset",
+    "Augmenter",
+    "DATASET_NAMES",
+    "DataLoader",
+    "Dataset",
+    "LOGO_RENDERERS",
+    "LogoDatasetConfig",
+    "SPECS",
+    "SyntheticSpec",
+    "additive_noise",
+    "affine_warp",
+    "color_perturbation",
+    "generate",
+    "horizontal_flip",
+    "make_dataset",
+    "make_logo_dataset",
+    "render_china_mobile_style",
+    "render_fenjiu_style",
+    "rotate",
+    "translate",
+    "vertical_flip",
+    "zoom",
+]

@@ -1,0 +1,172 @@
+"""Image augmentation pipeline.
+
+The paper's AR case studies (§V-C) expand small logo datasets with
+"rotation, translation, zoom, flips and colour perturbation"; this module
+implements exactly those operators on CHW float arrays, plus a composable
+:class:`Augmenter` that applies a random subset per sample.
+
+All geometric ops go through a single bilinear affine warp so they compose
+without repeated resampling loss.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+
+def affine_warp(image: np.ndarray, matrix: np.ndarray, fill: float = 0.0) -> np.ndarray:
+    """Apply an inverse-mapped 2×3 affine warp with bilinear sampling.
+
+    ``matrix`` maps *output* pixel coordinates (centered) to *input*
+    coordinates — the inverse transform, which is what you want for
+    resampling without holes.
+    """
+    c, h, w = image.shape
+    cy, cx = (h - 1) / 2.0, (w - 1) / 2.0
+    ys, xs = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+    coords = np.stack([ys - cy, xs - cx], axis=0).reshape(2, -1)  # centered (y, x)
+
+    src = matrix[:, :2] @ coords + matrix[:, 2:3]
+    sy = src[0] + cy
+    sx = src[1] + cx
+
+    y0 = np.floor(sy).astype(np.int64)
+    x0 = np.floor(sx).astype(np.int64)
+    wy = (sy - y0).astype(image.dtype)
+    wx = (sx - x0).astype(image.dtype)
+
+    def sample(yi: np.ndarray, xi: np.ndarray) -> np.ndarray:
+        valid = (yi >= 0) & (yi < h) & (xi >= 0) & (xi < w)
+        yc = np.clip(yi, 0, h - 1)
+        xc = np.clip(xi, 0, w - 1)
+        vals = image[:, yc, xc]  # (C, H*W)
+        return np.where(valid[None, :], vals, fill)
+
+    top = sample(y0, x0) * (1 - wx) + sample(y0, x0 + 1) * wx
+    bottom = sample(y0 + 1, x0) * (1 - wx) + sample(y0 + 1, x0 + 1) * wx
+    out = top * (1 - wy) + bottom * wy
+    return out.reshape(c, h, w).astype(image.dtype)
+
+
+def rotate(image: np.ndarray, degrees: float, fill: float = 0.0) -> np.ndarray:
+    """Rotate about the image center by ``degrees`` (counter-clockwise)."""
+    rad = math.radians(degrees)
+    cos, sin = math.cos(rad), math.sin(rad)
+    # Inverse rotation matrix in (y, x) coordinates.
+    matrix = np.array([[cos, sin, 0.0], [-sin, cos, 0.0]], dtype=np.float64)
+    return affine_warp(image, matrix, fill)
+
+
+def translate(image: np.ndarray, dy: float, dx: float, fill: float = 0.0) -> np.ndarray:
+    """Shift by (dy, dx) pixels; positive moves content down/right."""
+    matrix = np.array([[1.0, 0.0, -dy], [0.0, 1.0, -dx]], dtype=np.float64)
+    return affine_warp(image, matrix, fill)
+
+
+def zoom(image: np.ndarray, factor: float, fill: float = 0.0) -> np.ndarray:
+    """Scale about the center; ``factor > 1`` zooms in."""
+    if factor <= 0:
+        raise ValueError(f"zoom factor must be positive, got {factor}")
+    inv = 1.0 / factor
+    matrix = np.array([[inv, 0.0, 0.0], [0.0, inv, 0.0]], dtype=np.float64)
+    return affine_warp(image, matrix, fill)
+
+
+def horizontal_flip(image: np.ndarray) -> np.ndarray:
+    return image[:, :, ::-1].copy()
+
+
+def vertical_flip(image: np.ndarray) -> np.ndarray:
+    return image[:, ::-1, :].copy()
+
+
+def color_perturbation(
+    image: np.ndarray,
+    rng: np.random.Generator,
+    brightness: float = 0.2,
+    contrast: float = 0.2,
+    channel_shift: float = 0.1,
+) -> np.ndarray:
+    """Random brightness/contrast scaling plus per-channel offsets."""
+    out = image.astype(np.float32)
+    b = rng.uniform(-brightness, brightness)
+    c = 1.0 + rng.uniform(-contrast, contrast)
+    mean = out.mean()
+    out = (out - mean) * c + mean + b
+    if image.shape[0] > 1 and channel_shift > 0:
+        shifts = rng.uniform(-channel_shift, channel_shift, size=(image.shape[0], 1, 1))
+        out = out + shifts.astype(np.float32)
+    return out
+
+
+def additive_noise(image: np.ndarray, rng: np.random.Generator, sigma: float) -> np.ndarray:
+    return image + rng.normal(0.0, sigma, size=image.shape).astype(image.dtype)
+
+
+@dataclass
+class Augmenter:
+    """Random augmentation policy matching the paper's §V-C list.
+
+    Each field bounds the corresponding random transform; set a field to
+    zero/False to disable it.  Call the instance on a CHW image to get an
+    augmented copy.
+    """
+
+    max_rotation: float = 15.0
+    max_translation: float = 2.0
+    zoom_range: tuple[float, float] = (0.9, 1.1)
+    allow_hflip: bool = True
+    allow_vflip: bool = False
+    brightness: float = 0.15
+    contrast: float = 0.15
+    channel_shift: float = 0.1
+    noise_sigma: float = 0.0
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        rng = self._rng
+        out = image
+        if self.max_rotation > 0:
+            out = rotate(out, rng.uniform(-self.max_rotation, self.max_rotation))
+        if self.max_translation > 0:
+            out = translate(
+                out,
+                rng.uniform(-self.max_translation, self.max_translation),
+                rng.uniform(-self.max_translation, self.max_translation),
+            )
+        lo, hi = self.zoom_range
+        if (lo, hi) != (1.0, 1.0):
+            out = zoom(out, rng.uniform(lo, hi))
+        if self.allow_hflip and rng.random() < 0.5:
+            out = horizontal_flip(out)
+        if self.allow_vflip and rng.random() < 0.5:
+            out = vertical_flip(out)
+        if self.brightness > 0 or self.contrast > 0:
+            out = color_perturbation(
+                out, rng, self.brightness, self.contrast, self.channel_shift
+            )
+        if self.noise_sigma > 0:
+            out = additive_noise(out, rng, self.noise_sigma)
+        return out.astype(np.float32)
+
+    def expand(
+        self, images: np.ndarray, labels: np.ndarray, copies: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Data-augmentation expansion used for the AR logo datasets.
+
+        Returns the originals plus ``copies`` augmented variants of each.
+        """
+        out_images = [images]
+        out_labels = [labels]
+        for _ in range(copies):
+            out_images.append(np.stack([self(img) for img in images]))
+            out_labels.append(labels)
+        return np.concatenate(out_images), np.concatenate(out_labels)

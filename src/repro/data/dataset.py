@@ -1,0 +1,110 @@
+"""Dataset and batching primitives.
+
+A tiny, fully-seedable analog of ``torch.utils.data``: array-backed
+datasets, deterministic shuffling loaders, and train/test splitting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+
+class Dataset:
+    """Abstract indexable dataset of ``(image, label)`` pairs."""
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset backed by in-memory arrays.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(N, C, H, W)``, float32.
+    labels:
+        Integer array of shape ``(N,)``.
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray) -> None:
+        images = np.asarray(images, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.ndim != 4:
+            raise ValueError(f"images must be NCHW, got shape {images.shape}")
+        if len(images) != len(labels):
+            raise ValueError(
+                f"images/labels length mismatch: {len(images)} vs {len(labels)}"
+            )
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        return tuple(self.images.shape[1:])
+
+    def subset(self, indices: Sequence[int]) -> "ArrayDataset":
+        idx = np.asarray(indices)
+        return ArrayDataset(self.images[idx], self.labels[idx])
+
+    def split(
+        self, train_fraction: float, rng: Optional[np.random.Generator] = None
+    ) -> tuple["ArrayDataset", "ArrayDataset"]:
+        """Shuffle and split into (train, test) datasets."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        rng = rng or np.random.default_rng(0)
+        order = rng.permutation(len(self))
+        cut = int(len(self) * train_fraction)
+        return self.subset(order[:cut]), self.subset(order[cut:])
+
+
+class DataLoader:
+    """Deterministic minibatch iterator over an :class:`ArrayDataset`."""
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            yield self.dataset.images[idx], self.dataset.labels[idx]

@@ -1,0 +1,90 @@
+"""Experiment harnesses: one per table/figure of the paper's evaluation.
+
+| Paper artifact | Harness |
+|---|---|
+| Table I        | :func:`repro.experiments.table1.run_table1` |
+| Figure 4       | :func:`repro.experiments.structure.run_figure4` |
+| Figure 5       | :func:`repro.experiments.curves.run_figure5` |
+| Figure 6       | :func:`repro.experiments.latency.run_figure6` |
+| Table II/III   | :func:`repro.experiments.latency.run_latency_comparison` |
+| Figure 7       | :func:`repro.experiments.latency.run_figure7` |
+| Figure 10      | :func:`repro.experiments.webar_exp.run_figure10` |
+| §IV-D ablations| :mod:`repro.experiments.ablations` |
+"""
+
+from .ablations import (
+    BranchCountResult,
+    BranchLocationResult,
+    DeviceSensitivityResult,
+    run_branch_count,
+    run_branch_location,
+    run_device_sensitivity,
+)
+from .curves import Figure5Result, run_figure5
+from .latency import (
+    DEFAULT_EXIT_RATES,
+    Figure6Result,
+    Figure7Result,
+    LatencyComparison,
+    build_network_assets,
+    build_plans,
+    run_figure6,
+    run_figure7,
+    run_latency_comparison,
+)
+from .paper_values import (
+    PAPER_CLAIMS,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    Table1Row,
+    paper_table1_row,
+)
+from .reporting import render_series, render_table, shape_check
+from .scale import FULL, QUICK, SCALES, STANDARD, ExperimentScale
+from .structure import Figure4Result, StructurePoint, run_figure4
+from .table1 import Table1Cell, Table1Result, run_table1, run_table1_cell
+from .webar_exp import Figure10Result, run_figure10
+
+__all__ = [
+    "BranchCountResult",
+    "BranchLocationResult",
+    "DEFAULT_EXIT_RATES",
+    "DeviceSensitivityResult",
+    "ExperimentScale",
+    "FULL",
+    "Figure10Result",
+    "Figure4Result",
+    "Figure5Result",
+    "Figure6Result",
+    "Figure7Result",
+    "LatencyComparison",
+    "PAPER_CLAIMS",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "QUICK",
+    "SCALES",
+    "STANDARD",
+    "StructurePoint",
+    "Table1Cell",
+    "Table1Result",
+    "Table1Row",
+    "build_network_assets",
+    "build_plans",
+    "paper_table1_row",
+    "render_series",
+    "render_table",
+    "run_branch_count",
+    "run_branch_location",
+    "run_device_sensitivity",
+    "run_figure10",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_latency_comparison",
+    "run_table1",
+    "run_table1_cell",
+    "shape_check",
+]

@@ -1,0 +1,81 @@
+"""Reference numbers transcribed from the paper, for side-by-side reports.
+
+Every harness prints its measured values next to these so EXPERIMENTS.md
+can record paper-vs-measured per cell.  Absolute agreement is not the
+goal (see DESIGN.md §2 — synthetic data, scaled networks, simulated
+devices); the *shape* is: orderings, ratios, and crossovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table I."""
+
+    network: str
+    dataset: str
+    main_accuracy: float
+    binary_accuracy: float
+    threshold: float
+    exit_percent: float
+    main_size_mb: float
+    binary_size_mb: float
+
+
+#: Table I — performance of training results (paper §V-A).
+PAPER_TABLE1: tuple[Table1Row, ...] = (
+    Table1Row("lenet", "mnist", 99.50, 98.81, 0.0001, 94, 1.7, 0.103),
+    Table1Row("lenet", "fashion_mnist", 99.41, 98.67, 0.0001, 93, 1.695, 0.102),
+    Table1Row("lenet", "cifar10", 65.49, 63.21, 0.0001, 84, 1.71, 0.102),
+    Table1Row("lenet", "cifar100", 55.32, 54.23, 0.0001, 83, 1.7, 0.103),
+    Table1Row("alexnet", "mnist", 97.26, 95.34, 0.025, 87, 90.906, 3.3),
+    Table1Row("alexnet", "fashion_mnist", 97.89, 96.12, 0.025, 87, 90.905, 3.3),
+    Table1Row("alexnet", "cifar10", 76.85, 73.99, 0.025, 79, 90.911, 3.3),
+    Table1Row("alexnet", "cifar100", 57.31, 54.73, 0.025, 76, 92.351, 3.5),
+    Table1Row("resnet18", "mnist", 97.91, 96.13, 0.045, 85, 43.70, 1.6),
+    Table1Row("resnet18", "fashion_mnist", 94.88, 92.43, 0.045, 86, 43.68, 1.6),
+    Table1Row("resnet18", "cifar10", 93.02, 88.89, 0.045, 73, 43.705, 1.6),
+    Table1Row("resnet18", "cifar100", 78.32, 73.96, 0.045, 60, 43.885, 1.7),
+    Table1Row("vgg16", "mnist", 97.31, 95.55, 0.05, 86, 57.575, 1.9),
+    Table1Row("vgg16", "fashion_mnist", 94.01, 91.91, 0.05, 86, 57.574, 1.9),
+    Table1Row("vgg16", "cifar10", 92.29, 87.76, 0.05, 78, 59.0, 2.0),
+    Table1Row("vgg16", "cifar100", 70.48, 65.32, 0.05, 76, 59.759, 2.1),
+)
+
+#: Table II — average end-to-end latency on the mobile web browser (ms).
+PAPER_TABLE2: dict[str, dict[str, float]] = {
+    "lenet": {"lcrs": 37, "neurosurgeon": 110, "edgent": 204, "mobile-only": 109},
+    "alexnet": {"lcrs": 153, "neurosurgeon": 5256, "edgent": 4617, "mobile-only": 9313},
+    "resnet18": {"lcrs": 261, "neurosurgeon": 2820, "edgent": 2613, "mobile-only": 5882},
+    "vgg16": {"lcrs": 264, "neurosurgeon": 3421, "edgent": 3231, "mobile-only": 8205},
+}
+
+#: Table III — average communication costs (ms).
+PAPER_TABLE3: dict[str, dict[str, float]] = {
+    "lenet": {"lcrs": 19, "neurosurgeon": 72, "edgent": 56, "mobile-only": 170},
+    "alexnet": {"lcrs": 340, "neurosurgeon": 512, "edgent": 492, "mobile-only": 9104},
+    "resnet18": {"lcrs": 188, "neurosurgeon": 297, "edgent": 287, "mobile-only": 4406},
+    "vgg16": {"lcrs": 234, "neurosurgeon": 365, "edgent": 324, "mobile-only": 5832},
+}
+
+#: The evaluation link of Tables II/III: 4G, 10 Mb/s down / 3 Mb/s up.
+PAPER_LINK = {"downlink_mbps": 10.0, "uplink_mbps": 3.0}
+
+#: Headline claims to check the reproduction's shape against (§Abstract).
+PAPER_CLAIMS = {
+    "compression_ratio_range": (16.0, 30.0),
+    "speedup_range": (3.0, 61.0),
+    "exit_percent_range": (60.0, 94.0),
+    "webar_total_latency_budget_ms": 1000.0,
+}
+
+
+def paper_table1_row(network: str, dataset: str) -> Table1Row:
+    """Lookup helper; raises ``KeyError`` for unknown combinations."""
+    for row in PAPER_TABLE1:
+        if row.network == network and row.dataset == dataset:
+            return row
+    raise KeyError(f"no Table I row for {network}/{dataset}")

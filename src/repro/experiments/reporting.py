@@ -1,0 +1,57 @@
+"""Plain-text table/series rendering for the experiment harnesses.
+
+Every harness prints the same rows/series the paper reports, so a run of
+``pytest benchmarks/ --benchmark-only -s`` regenerates the evaluation
+section in text form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(name: str, values: Sequence[float], precision: int = 1) -> str:
+    """One labelled numeric series (a figure's line, as text)."""
+    body = ", ".join(f"{v:.{precision}f}" for v in values)
+    return f"{name}: [{body}]"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) < 0.01:
+            return f"{cell:.4g}"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def shape_check(label: str, condition: bool) -> str:
+    """One-line pass/fail marker for a qualitative claim."""
+    return f"[{'ok' if condition else 'DIVERGES'}] {label}"

@@ -1,0 +1,48 @@
+"""Training-budget presets for the experiment harnesses.
+
+The paper trains on a GPU; this reproduction trains the numpy substrate
+on a CPU, so every harness takes an :class:`ExperimentScale` that sizes
+sample counts and epochs.  ``QUICK`` keeps the benchmark suite fast,
+``STANDARD`` reproduces the qualitative Table I bands, and ``FULL`` is
+for unattended runs (``examples/reproduce_table1.py --scale full``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sample/epoch budget for one training run."""
+
+    name: str
+    train_samples: int
+    test_samples: int
+    epochs: int
+    batch_size: int = 64
+
+    #: Per-dataset sample multipliers: the harder generators need more
+    #: data for the main branches to exceed chance by a useful margin.
+    _DATA_FACTOR = {"mnist": 1.0, "fashion_mnist": 1.5, "cifar10": 2.5, "cifar100": 3.0}
+
+    def samples_for(self, dataset: str) -> tuple[int, int]:
+        """Dataset-adjusted (train, test) sample counts."""
+        factor = self._DATA_FACTOR.get(dataset, 1.0)
+        return int(self.train_samples * factor), int(self.test_samples * factor)
+
+    def epochs_for(self, network: str, dataset: str = "") -> int:
+        """Deeper main branches and the 100-class set converge slower."""
+        epochs = self.epochs
+        if network in ("resnet18", "vgg16", "alexnet"):
+            epochs += 2
+        if dataset == "cifar100":
+            epochs += 4
+        return epochs
+
+
+QUICK = ExperimentScale(name="quick", train_samples=400, test_samples=200, epochs=3)
+STANDARD = ExperimentScale(name="standard", train_samples=1500, test_samples=400, epochs=6)
+FULL = ExperimentScale(name="full", train_samples=3000, test_samples=600, epochs=10)
+
+SCALES = {scale.name: scale for scale in (QUICK, STANDARD, FULL)}

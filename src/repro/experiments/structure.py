@@ -1,0 +1,167 @@
+"""Figure 4 harness: accuracy & model size vs binary-branch structure.
+
+§IV-D.3 sweeps the branch design space on an AlexNet main branch:
+
+* Figure 4(a) — ``n`` binary *conv* layers + one binary FC layer;
+* Figure 4(b) — one binary conv layer + ``n`` binary *FC* layers.
+
+The paper's finding: more binary conv layers hurt accuracy for little
+size gain, while one or two binary FC layers are the sweet spot.  This
+harness joint-trains each structure and reports (accuracy, bundle KB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.composite import BinaryBranchConfig
+from ..core.system import LCRS
+from ..core.training import JointTrainingConfig
+from ..data import make_dataset
+from .reporting import render_table, shape_check
+from .scale import ExperimentScale, QUICK
+
+
+@dataclass(frozen=True)
+class StructurePoint:
+    """One structure's measured outcome."""
+
+    num_conv_layers: int
+    num_fc_layers: int
+    binary_accuracy: float
+    main_accuracy: float
+    bundle_bytes: int
+
+
+@dataclass
+class Figure4Result:
+    """Both sweeps, with the paper's qualitative checks."""
+
+    conv_sweep: list[StructurePoint] = field(default_factory=list)
+    fc_sweep: list[StructurePoint] = field(default_factory=list)
+    network: str = "alexnet"
+    dataset: str = "cifar10"
+
+    def render(self) -> str:
+        def rows(points: list[StructurePoint]) -> list[list[object]]:
+            return [
+                [
+                    f"conv={p.num_conv_layers} fc={p.num_fc_layers}",
+                    f"{100 * p.binary_accuracy:.1f}",
+                    f"{100 * p.main_accuracy:.1f}",
+                    f"{p.bundle_bytes / 1024:.0f}",
+                ]
+                for p in points
+            ]
+
+        a = render_table(
+            ["structure", "B_Acc%", "M_Acc%", "bundle(KB)"],
+            rows(self.conv_sweep),
+            title=f"Figure 4(a) — binary conv sweep ({self.network}/{self.dataset})",
+        )
+        b = render_table(
+            ["structure", "B_Acc%", "M_Acc%", "bundle(KB)"],
+            rows(self.fc_sweep),
+            title=f"Figure 4(b) — binary FC sweep ({self.network}/{self.dataset})",
+        )
+        return a + "\n\n" + b
+
+    def shape_checks(self) -> list[str]:
+        lines = []
+        if len(self.conv_sweep) >= 2:
+            first, last = self.conv_sweep[0], self.conv_sweep[-1]
+            lines.append(
+                shape_check(
+                    "stacking binary conv layers does not improve accuracy "
+                    f"({100 * first.binary_accuracy:.1f}% → "
+                    f"{100 * last.binary_accuracy:.1f}%)",
+                    last.binary_accuracy <= first.binary_accuracy + 0.03,
+                )
+            )
+        if len(self.fc_sweep) >= 2:
+            best_fc = max(self.fc_sweep, key=lambda p: p.binary_accuracy)
+            lines.append(
+                shape_check(
+                    "one or two binary FC layers are the accuracy sweet spot "
+                    f"(best at fc={best_fc.num_fc_layers})",
+                    best_fc.num_fc_layers <= 2,
+                )
+            )
+        return lines
+
+
+def _measure_structure(
+    config: BinaryBranchConfig,
+    network: str,
+    dataset: str,
+    scale: ExperimentScale,
+    seed: int,
+) -> StructurePoint:
+    n_train, n_test = scale.samples_for(dataset)
+    train, test = make_dataset(dataset, n_train, n_test, seed=seed)
+    system = LCRS.build(
+        network,
+        train,
+        branch_config=config,
+        training_config=JointTrainingConfig(
+            epochs=scale.epochs_for(network), batch_size=scale.batch_size, seed=seed
+        ),
+        dataset_name=dataset,
+        seed=seed,
+    )
+    system.fit(train)
+    main_acc, binary_acc = system.trainer.evaluate(test)
+    return StructurePoint(
+        num_conv_layers=config.num_conv_layers,
+        num_fc_layers=config.num_fc_layers,
+        binary_accuracy=binary_acc,
+        main_accuracy=main_acc,
+        bundle_bytes=system.binary_size_bytes(),
+    )
+
+
+def run_figure4(
+    network: str = "alexnet",
+    dataset: str = "cifar10",
+    conv_depths: Sequence[int] = (1, 2, 3),
+    fc_depths: Sequence[int] = (1, 2, 3),
+    scale: ExperimentScale = QUICK,
+    seed: int = 0,
+    channels: int = 32,
+    hidden: int = 128,
+    verbose: bool = False,
+) -> Figure4Result:
+    """Regenerate both Figure 4 sweeps."""
+    result = Figure4Result(network=network, dataset=dataset)
+    for n in conv_depths:
+        if verbose:
+            print(f"[fig4] conv sweep n={n} ...", flush=True)
+        result.conv_sweep.append(
+            _measure_structure(
+                BinaryBranchConfig(
+                    num_conv_layers=n, num_fc_layers=1, channels=channels, hidden=hidden
+                ),
+                network,
+                dataset,
+                scale,
+                seed,
+            )
+        )
+    for n in fc_depths:
+        if verbose:
+            print(f"[fig4] fc sweep n={n} ...", flush=True)
+        result.fc_sweep.append(
+            _measure_structure(
+                BinaryBranchConfig(
+                    num_conv_layers=1, num_fc_layers=n, channels=channels, hidden=hidden
+                ),
+                network,
+                dataset,
+                scale,
+                seed,
+            )
+        )
+    return result

@@ -1,0 +1,156 @@
+"""Classification metrics beyond top-1 accuracy.
+
+The paper reports only accuracy; a deployable recognition system also
+needs per-class behaviour (AR apps care which logo was confused with
+which) and confidence diagnostics (the exit policy's quality depends on
+calibration).  Everything here is numpy-only and shape-checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Counts matrix ``M[i, j]`` = samples of true class i predicted as j."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must align")
+    if num_classes <= 0:
+        raise ValueError("num_classes must be positive")
+    if len(labels) and (labels.max() >= num_classes or predictions.max() >= num_classes):
+        raise ValueError("class index out of range")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Per-class precision/recall/F1 plus macro aggregates."""
+
+    precision: np.ndarray
+    recall: np.ndarray
+    f1: np.ndarray
+    support: np.ndarray
+    accuracy: float
+
+    @property
+    def macro_precision(self) -> float:
+        return float(self.precision.mean())
+
+    @property
+    def macro_recall(self) -> float:
+        return float(self.recall.mean())
+
+    @property
+    def macro_f1(self) -> float:
+        return float(self.f1.mean())
+
+    def render(self, class_names: list[str] | None = None) -> str:
+        num_classes = len(self.precision)
+        names = class_names or [str(i) for i in range(num_classes)]
+        lines = [f"{'class':>12} {'prec':>6} {'rec':>6} {'f1':>6} {'n':>6}"]
+        for i in range(num_classes):
+            lines.append(
+                f"{names[i]:>12} {self.precision[i]:6.3f} {self.recall[i]:6.3f} "
+                f"{self.f1[i]:6.3f} {self.support[i]:6d}"
+            )
+        lines.append(
+            f"{'macro':>12} {self.macro_precision:6.3f} {self.macro_recall:6.3f} "
+            f"{self.macro_f1:6.3f} {int(self.support.sum()):6d}"
+        )
+        lines.append(f"accuracy: {self.accuracy:.3f}")
+        return "\n".join(lines)
+
+
+def classification_report(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> ClassificationReport:
+    """Per-class precision/recall/F1 from hard predictions."""
+    matrix = confusion_matrix(predictions, labels, num_classes)
+    tp = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(actual > 0, tp / actual, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+
+    total = matrix.sum()
+    accuracy = float(tp.sum() / total) if total else 0.0
+    return ClassificationReport(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        support=actual.astype(np.int64),
+        accuracy=accuracy,
+    )
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose true class is within the top-k logits."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, logits.shape[1])
+    top = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return float((top == labels[:, None]).any(axis=1).mean())
+
+
+def expected_calibration_error(
+    probs: np.ndarray, labels: np.ndarray, bins: int = 10
+) -> float:
+    """ECE of the max-probability confidence (the exit score's cousin).
+
+    A well-calibrated binary branch is what makes entropy gating safe:
+    low entropy should genuinely mean high correctness probability.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    labels = np.asarray(labels)
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    confidence = probs.max(axis=1)
+    correct = probs.argmax(axis=1) == labels
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    ece = 0.0
+    n = len(labels)
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (confidence > lo) & (confidence <= hi)
+        if not mask.any():
+            continue
+        gap = abs(correct[mask].mean() - confidence[mask].mean())
+        ece += (mask.sum() / n) * gap
+    return float(ece)
+
+
+def exit_risk_coverage(
+    scores: np.ndarray, correct: np.ndarray, points: int = 20
+) -> tuple[np.ndarray, np.ndarray]:
+    """Risk–coverage curve of an exit score (selective-prediction view).
+
+    Sweeping the exit threshold trades *coverage* (fraction exiting) for
+    *risk* (error rate among exits); a good exit score gives a curve
+    that stays low until high coverage.  Returns (coverage, risk) arrays.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    correct = np.asarray(correct, dtype=bool)
+    if scores.shape != correct.shape:
+        raise ValueError("scores and correct must align")
+    order = np.argsort(scores)  # most confident first
+    sorted_correct = correct[order]
+    coverage = np.linspace(1.0 / points, 1.0, points)
+    risk = np.empty(points)
+    n = len(scores)
+    for i, c in enumerate(coverage):
+        take = max(int(round(c * n)), 1)
+        risk[i] = 1.0 - sorted_correct[:take].mean()
+    return coverage, risk

@@ -1,0 +1,60 @@
+"""Main-branch model zoo: the four networks of the paper's evaluation."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .alexnet import alexnet
+from .base import BranchableNetwork, flattened_size
+from .lenet import lenet
+from .resnet import BasicBlock, resnet18
+from .vgg import vgg16
+
+#: Paper-order registry used by the experiment harness.
+MODEL_BUILDERS: dict[str, Callable[..., BranchableNetwork]] = {
+    "lenet": lenet,
+    "alexnet": alexnet,
+    "resnet18": resnet18,
+    "vgg16": vgg16,
+}
+
+MODEL_NAMES: tuple[str, ...] = ("lenet", "alexnet", "resnet18", "vgg16")
+
+
+def build_model(
+    name: str,
+    in_channels: int,
+    num_classes: int,
+    input_size: int,
+    rng: Optional[np.random.Generator] = None,
+    **kwargs: object,
+) -> BranchableNetwork:
+    """Construct a registered network by name.
+
+    Extra keyword arguments (e.g. ``width``) pass through to the builder.
+    """
+    if name not in MODEL_BUILDERS:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}")
+    return MODEL_BUILDERS[name](
+        in_channels=in_channels,
+        num_classes=num_classes,
+        input_size=input_size,
+        rng=rng,
+        **kwargs,
+    )
+
+
+__all__ = [
+    "BasicBlock",
+    "BranchableNetwork",
+    "MODEL_BUILDERS",
+    "MODEL_NAMES",
+    "alexnet",
+    "build_model",
+    "flattened_size",
+    "lenet",
+    "resnet18",
+    "vgg16",
+]

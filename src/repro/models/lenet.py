@@ -1,0 +1,47 @@
+"""LeNet-5 main branch (the paper's smallest network)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from .base import BranchableNetwork, flattened_size
+
+
+def lenet(
+    in_channels: int = 1,
+    num_classes: int = 10,
+    input_size: int = 28,
+    rng: Optional[np.random.Generator] = None,
+) -> BranchableNetwork:
+    """Classic LeNet-5 with ReLU activations and max pooling.
+
+    The stem is conv1 (5×5, 6 filters) + ReLU + 2×2 pool — the layer the
+    binary branch shares and whose output travels to the edge server.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    stem = nn.Sequential(
+        nn.Conv2d(in_channels, 6, 5, padding=2, rng=rng),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+    )
+    conv_rest = nn.Sequential(
+        nn.Conv2d(6, 16, 5, rng=rng),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+    )
+    feat = flattened_size(
+        nn.Sequential(stem, conv_rest), in_channels, input_size
+    )
+    trunk = nn.Sequential(
+        conv_rest,
+        nn.Flatten(),
+        nn.Linear(feat, 120, rng=rng),
+        nn.ReLU(),
+        nn.Linear(120, 84, rng=rng),
+        nn.ReLU(),
+        nn.Linear(84, num_classes, rng=rng),
+    )
+    return BranchableNetwork(stem, trunk, in_channels, num_classes, input_size, "lenet")

@@ -1,0 +1,68 @@
+"""VGG-16 main branch, channel-scaled for 28/32-pixel inputs."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from .base import BranchableNetwork, flattened_size
+
+#: VGG-16 block plan: (convs per block, width multiplier) — 13 conv layers.
+_VGG16_PLAN: tuple[tuple[int, int], ...] = ((2, 1), (2, 2), (3, 4), (3, 8), (3, 8))
+
+
+def vgg16(
+    in_channels: int = 3,
+    num_classes: int = 10,
+    input_size: int = 32,
+    width: int = 10,
+    rng: Optional[np.random.Generator] = None,
+) -> BranchableNetwork:
+    """VGG-16 (13 conv + 3 FC) with global average pooling before the head.
+
+    The fifth pooling stage of the ImageNet original is dropped so both
+    28- and 32-pixel inputs flow through the full 13-conv stack without
+    degenerate 0-sized maps; a flatten + FC head follows (see below).
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    w = width
+
+    stem = nn.Sequential(
+        nn.Conv2d(in_channels, w, 3, padding=1, rng=rng),
+        nn.ReLU(),
+    )
+
+    # Batch normalization after every conv (the "VGG16-BN" variant):
+    # essential for CPU-scale training budgets; see the AlexNet builder's
+    # docstring for the rationale.
+    layers: list[nn.Module] = []
+    cin = w
+    for block_index, (convs, mult) in enumerate(_VGG16_PLAN):
+        cout = w * mult
+        start = 1 if block_index == 0 else 0  # stem already holds conv1
+        for _ in range(start, convs):
+            layers.append(nn.Conv2d(cin, cout, 3, padding=1, rng=rng))
+            layers.append(nn.BatchNorm2d(cout))
+            layers.append(nn.ReLU())
+            cin = cout
+        if block_index < 4:  # pool after the first four blocks
+            layers.append(nn.MaxPool2d(2))
+
+    # Flatten + FC head rather than global average pooling, for the same
+    # small-input reason as the ResNet builder (spatial layout is still
+    # class-bearing at 4x4).
+    conv_stack = nn.Sequential(*layers)
+    feat = flattened_size(nn.Sequential(stem, conv_stack), in_channels, input_size)
+    trunk = nn.Sequential(
+        conv_stack,
+        nn.Flatten(),
+        nn.Linear(feat, 8 * w, rng=rng),
+        nn.ReLU(),
+        nn.Dropout(0.25, rng=rng),
+        nn.Linear(8 * w, 4 * w, rng=rng),
+        nn.ReLU(),
+        nn.Linear(4 * w, num_classes, rng=rng),
+    )
+    return BranchableNetwork(stem, trunk, in_channels, num_classes, input_size, "vgg16")

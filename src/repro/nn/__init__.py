@@ -1,0 +1,74 @@
+"""Neural-network substrate: autograd, layers, binary layers, losses.
+
+This package is a from-scratch numpy replacement for the PyTorch stack
+the paper trained with (see DESIGN.md §2 for the substitution rationale).
+"""
+
+from . import functional, init
+from .autograd import Tensor, backward, concatenate, no_grad, pad2d, tensor
+from .binary import (
+    BinaryConv2d,
+    BinaryLinear,
+    binarize,
+    clamp_master_weights,
+    input_scaling_factors,
+)
+from .layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from .loss import CrossEntropyLoss, JointLoss
+from .quantized import (
+    QuantizedConv2d,
+    QuantizedLinear,
+    dequantize,
+    quantize_weights,
+    quantized_param_bytes,
+)
+from .module import Module, Parameter, Sequential
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "BinaryConv2d",
+    "BinaryLinear",
+    "Conv2d",
+    "CrossEntropyLoss",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "JointLoss",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "Parameter",
+    "QuantizedConv2d",
+    "QuantizedLinear",
+    "ReLU",
+    "Sequential",
+    "Tensor",
+    "backward",
+    "binarize",
+    "clamp_master_weights",
+    "concatenate",
+    "dequantize",
+    "functional",
+    "init",
+    "input_scaling_factors",
+    "no_grad",
+    "pad2d",
+    "quantize_weights",
+    "quantized_param_bytes",
+    "tensor",
+]

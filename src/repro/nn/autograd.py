@@ -1,0 +1,507 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the numerical substrate of the reproduction: a small,
+dependency-free autograd engine in the style of PyTorch's eager tensors.
+``Tensor`` wraps a ``numpy.ndarray`` and records the operations applied to
+it; calling :meth:`Tensor.backward` walks the recorded graph in reverse
+topological order and accumulates gradients into every tensor created with
+``requires_grad=True``.
+
+Only the operations needed by the LCRS networks are implemented, but they
+are implemented completely (broadcasting-aware, with correct gradients)
+so the layer library in :mod:`repro.nn.layers` can be written as ordinary
+compositions of tensor ops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+Arrayish = Union["Tensor", np.ndarray, float, int]
+
+_grad_enabled = True
+
+
+class no_grad:
+    """Context manager that disables graph recording.
+
+    Used during evaluation and inside the binary-weight update step of
+    Algorithm 1, where the full-precision master weights are mutated
+    outside the differentiated graph.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _grad_enabled
+        self._prev = _grad_enabled
+        _grad_enabled = False
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        global _grad_enabled
+        _grad_enabled = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently being recorded."""
+    return _grad_enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: Arrayish, dtype: np.dtype = np.float32) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A numpy array with an optional gradient and autograd history.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float32`` unless it already is a
+        floating numpy array.
+    requires_grad:
+        If True, gradients are accumulated into :attr:`grad` on backward.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: Arrayish,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        arr = np.asarray(data)
+        if arr.dtype not in (np.float32, np.float64):
+            arr = arr.astype(np.float32)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self._parents: tuple[Tensor, ...] = tuple(_parents) if _grad_enabled else ()
+        self._backward = _backward if _grad_enabled else None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_note})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = grad.astype(self.data.dtype, copy=False)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode AD from this tensor.
+
+        ``grad`` seeds the sweep and defaults to ones.  Gradients
+        accumulate into ``.grad`` of every reachable tensor that has
+        ``requires_grad=True``.  Implemented by the module-level
+        :func:`backward`; see there for the traversal contract.
+        """
+        backward(self, grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Arrayish) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        data = self.data + other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(_unbroadcast(grad, self.shape))
+            other_t._receive(_unbroadcast(grad, other_t.shape))
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._receive(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: Arrayish) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        data = self.data - other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(_unbroadcast(grad, self.shape))
+            other_t._receive(_unbroadcast(-grad, other_t.shape))
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    def __rsub__(self, other: Arrayish) -> "Tensor":
+        return Tensor(_as_array(other)) - self
+
+    def __mul__(self, other: Arrayish) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(_unbroadcast(grad * other_t.data, self.shape))
+            other_t._receive(_unbroadcast(grad * self.data, other_t.shape))
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Arrayish) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(_unbroadcast(grad / other_t.data, self.shape))
+            other_t._receive(
+                _unbroadcast(-grad * self.data / (other_t.data**2), other_t.shape)
+            )
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: Arrayish) -> "Tensor":
+        return Tensor(_as_array(other)) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(grad @ other.data.swapaxes(-1, -2))
+            other._receive(self.data.swapaxes(-1, -2) @ grad)
+
+        return Tensor._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(grad.reshape(original))
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_t = axes if axes else tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes_t)
+        data = self.data.transpose(axes_t)
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(grad.transpose(inverse))
+
+        return Tensor._make(data, (self,), backward)
+
+    def flatten_batch(self) -> "Tensor":
+        """Flatten all but the first (batch) dimension."""
+        return self.reshape(self.shape[0], -1)
+
+    def __getitem__(self, index: object) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._receive(full)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions & nonlinearities
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, tuple]] = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._receive(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis: Optional[Union[int, tuple]] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = data if keepdims else np.expand_dims(data, axis)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            g = grad if keepdims else np.expand_dims(grad, axis)
+            self._receive(mask * g)
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(grad * mask)
+
+        return Tensor._make(data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(grad * data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(grad / self.data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(grad * 0.5 / np.maximum(data, 1e-12))
+
+        return Tensor._make(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(grad * np.sign(self.data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(grad * (1.0 - data**2))
+
+        return Tensor._make(data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(grad * mask)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sign_ste(self, clip: float = 1.0) -> "Tensor":
+        """Binarize with the straight-through estimator (paper Eq. 5).
+
+        Forward: ``sign(x)`` with sign(0) mapped to +1 (a binary code must
+        not contain zeros).  Backward: the gradient passes through
+        unchanged wherever ``|x| <= clip`` and is zeroed elsewhere —
+        exactly :math:`\\partial\\,\\mathrm{sign}/\\partial x = 1_{|x|\\le 1}`.
+        """
+        data = np.where(self.data >= 0, 1.0, -1.0).astype(self.data.dtype)
+        mask = np.abs(self.data) <= clip
+
+        def backward(grad: np.ndarray) -> None:
+            self._receive(grad * mask)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Gradient plumbing
+    # ------------------------------------------------------------------
+    def _receive(self, grad: np.ndarray) -> None:
+        """Accumulate an upstream gradient contribution.
+
+        Backward closures call this on their parents; during the backward
+        sweep the engine drains accumulated contributions in topological
+        order so each node's closure fires exactly once with the full
+        gradient.
+        """
+        if not self.requires_grad:
+            return
+        self._accumulate(grad)
+
+
+def _toposort(root: Tensor) -> list[Tensor]:
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    return order
+
+
+def backward(root: Tensor, grad: Optional[np.ndarray] = None) -> None:
+    """Functional entry point for the backward pass.
+
+    Unlike the method on :class:`Tensor` (kept for API familiarity), this
+    version drives closures strictly in reverse topological order using the
+    gradients accumulated so far in each node's ``.grad``.  All layer code
+    in this repository routes through here via ``Tensor.backward``.
+    """
+    if grad is None:
+        grad = np.ones_like(root.data)
+    root._accumulate(np.asarray(grad, dtype=root.data.dtype))
+    for node in reversed(_toposort(root)):
+        if node._backward is not None and node.grad is not None:
+            node._backward(node.grad)
+
+
+def tensor(data: Arrayish, requires_grad: bool = False) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(shape: Iterable[int], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(tuple(shape), dtype=np.float32), requires_grad=requires_grad)
+
+
+def ones(shape: Iterable[int], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(tuple(shape), dtype=np.float32), requires_grad=requires_grad)
+
+
+def randn(
+    shape: Iterable[int],
+    scale: float = 1.0,
+    requires_grad: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    rng = rng or np.random.default_rng()
+    data = (rng.standard_normal(tuple(shape)) * scale).astype(np.float32)
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index: list[object] = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            t._receive(grad[tuple(index)])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the spatial dims of an NCHW tensor."""
+    if padding == 0:
+        return x
+    p = padding
+    data = np.pad(x.data, ((0, 0), (0, 0), (p, p), (p, p)))
+
+    def backward(grad: np.ndarray) -> None:
+        x._receive(grad[:, :, p:-p, p:-p])
+
+    return Tensor._make(data, (x,), backward)

@@ -1,0 +1,193 @@
+"""XNOR-style binary layers — the browser-side branch of LCRS.
+
+The paper (Eq. 4) approximates a convolution between input ``I`` and
+weight filter ``W`` as::
+
+    I * W  ≈  (sign(I) ⊛ sign(W)) ⊙ K · α
+
+where ``α`` is the per-filter scaling factor (the L1 mean of the filter,
+Algorithm 1 line 9: ``W̃ = (1/n)‖W‖_ℓ1 · sign(W)``) and ``K`` holds the
+per-window scaling factors of the input sub-tensors.  During training the
+straight-through estimator (Eq. 5) passes gradients through ``sign`` where
+``|x| ≤ 1``, and updates are applied to full-precision master weights
+(Eq. 6) — binarization happens in the forward pass only.
+
+At deployment the master weights are discarded: only ``sign(W)`` (1 bit
+per weight) plus the float ``α`` per filter are shipped to the mobile web
+browser, which is where the 16×–30× model-size reduction of Table I comes
+from.  The bit-packed execution path lives in :mod:`repro.wasm`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .autograd import Tensor
+from .module import Module, Parameter
+
+
+def binarize(weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a weight array into (sign, alpha) per output filter/row.
+
+    ``sign`` contains ±1; ``alpha`` is the mean absolute value over each
+    output unit's fan-in — the optimal L2 reconstruction scale from
+    XNOR-Net.  Works for conv ``(OC, IC, K, K)`` and linear ``(OUT, IN)``
+    weights.
+    """
+    axes = tuple(range(1, weights.ndim))
+    alpha = np.abs(weights).mean(axis=axes)
+    sign = np.where(weights >= 0, 1.0, -1.0).astype(weights.dtype)
+    return sign, alpha.astype(weights.dtype)
+
+
+def input_scaling_factors(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> np.ndarray:
+    """Compute the K matrix of Eq. 4 for an NCHW input.
+
+    ``K = A ⊛ k`` where ``A`` is the channel-mean of ``|I|`` and ``k`` is a
+    box filter of value ``1/(k·k)``.  Returned shape is ``(N, 1, OH, OW)``.
+    """
+    a = np.abs(x).mean(axis=1, keepdims=True)  # (N, 1, H, W)
+    cols, oh, ow = F.im2col(a, kernel, stride, padding)
+    k = cols.mean(axis=1).reshape(x.shape[0], 1, oh, ow)
+    return k.astype(x.dtype)
+
+
+class BinaryConv2d(Module):
+    """Binary convolution with STE training and XNOR-style scaling.
+
+    Parameters
+    ----------
+    binarize_input:
+        If True (XNOR-Net regime, the paper's default) the input is also
+        binarized and rescaled by the K matrix; if False only the weights
+        are binary (BinaryConnect/BWN regime).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        binarize_input: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.binarize_input = binarize_input
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape, rng), name="weight")
+        self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        # α per filter, kept in the graph so master weights receive the
+        # 1/n term of Eq. 6 through autograd.
+        alpha = self.weight.abs().mean(axis=(1, 2, 3), keepdims=True)  # (OC,1,1,1)
+        sign_w = self.weight.sign_ste()
+
+        if self.binarize_input:
+            k = input_scaling_factors(
+                x.data, self.kernel_size, self.stride, self.padding
+            )
+            x_in = x.sign_ste()
+        else:
+            k = None
+            x_in = x
+
+        out = F.conv2d(x_in, sign_w, bias=None, stride=self.stride, padding=self.padding)
+        out = out * alpha.reshape(1, self.out_channels, 1, 1)
+        if k is not None:
+            out = out * Tensor(k)
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, self.out_channels, 1, 1)
+        return out
+
+    def binary_weights(self) -> tuple[np.ndarray, np.ndarray]:
+        """Deployment view: (±1 filter signs, per-filter α)."""
+        return binarize(self.weight.data)
+
+    def output_shape(self, h: int, w: int) -> tuple[int, int, int]:
+        oh = (h + 2 * self.padding - self.kernel_size) // self.stride + 1
+        ow = (w + 2 * self.padding - self.kernel_size) // self.stride + 1
+        return self.out_channels, oh, ow
+
+    def __repr__(self) -> str:
+        mode = "xnor" if self.binarize_input else "bwn"
+        return (
+            f"BinaryConv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding}, mode={mode})"
+        )
+
+
+class BinaryLinear(Module):
+    """Binary fully-connected layer with per-row α and per-sample β scales."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        binarize_input: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.binarize_input = binarize_input
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng), name="weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        alpha = self.weight.abs().mean(axis=1, keepdims=True)  # (OUT, 1)
+        sign_w = self.weight.sign_ste()
+
+        if self.binarize_input:
+            beta = np.abs(x.data).mean(axis=1, keepdims=True)  # (N, 1)
+            x_in = x.sign_ste()
+        else:
+            beta = None
+            x_in = x
+
+        out = F.linear(x_in, sign_w, bias=None)
+        out = out * alpha.reshape(1, self.out_features)
+        if beta is not None:
+            out = out * Tensor(beta)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def binary_weights(self) -> tuple[np.ndarray, np.ndarray]:
+        """Deployment view: (±1 weight signs, per-row α)."""
+        return binarize(self.weight.data)
+
+    def __repr__(self) -> str:
+        mode = "xnor" if self.binarize_input else "bwn"
+        return f"BinaryLinear({self.in_features}, {self.out_features}, mode={mode})"
+
+
+def clamp_master_weights(module: Module, bound: float = 1.0) -> None:
+    """Clip full-precision master weights of binary layers to ``[-b, b]``.
+
+    BinaryConnect-style stabilization: without clipping, master weights
+    drift far outside the STE's pass-through window ``|x| ≤ 1`` and stop
+    receiving gradient.  Call after each optimizer step.
+    """
+    for child in module.modules():
+        if isinstance(child, (BinaryConv2d, BinaryLinear)):
+            np.clip(child.weight.data, -bound, bound, out=child.weight.data)

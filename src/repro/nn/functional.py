@@ -1,0 +1,314 @@
+"""Differentiable neural-network primitives on :class:`~repro.nn.autograd.Tensor`.
+
+Convolution and pooling are implemented with im2col/col2im so the heavy
+lifting stays inside BLAS-backed ``numpy`` matmuls — the standard trick for
+CPU-only training frameworks, and fast enough to joint-train the scaled
+LCRS networks of the paper on synthetic datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .autograd import Tensor
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im
+# ----------------------------------------------------------------------
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold NCHW ``x`` into a ``(N*OH*OW, C*K*K)`` matrix.
+
+    Returns the column matrix along with the output spatial dims.
+    """
+    n, c, h, w = x.shape
+    oh = (h + 2 * padding - kernel) // stride + 1
+    ow = (w + 2 * padding - kernel) // stride + 1
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    # Strided sliding-window view: (N, C, OH, OW, K, K)
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kernel * kernel)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+    oh: int,
+    ow: int,
+) -> np.ndarray:
+    """Fold a column matrix back to NCHW, summing overlapping windows."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    x = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols6 = cols.reshape(n, oh, ow, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
+    for ki in range(kernel):
+        i_max = ki + stride * oh
+        for kj in range(kernel):
+            j_max = kj + stride * ow
+            x[:, :, ki:i_max:stride, kj:j_max:stride] += cols6[:, :, :, :, ki, kj]
+    if padding > 0:
+        return x[:, :, padding:-padding, padding:-padding]
+    return x
+
+
+# ----------------------------------------------------------------------
+# Convolution
+# ----------------------------------------------------------------------
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution (cross-correlation) on NCHW input.
+
+    ``weight`` has shape ``(out_channels, in_channels, K, K)``.
+    """
+    n = x.shape[0]
+    oc, ic, k, _ = weight.shape
+    cols, oh, ow = im2col(x.data, k, stride, padding)
+    w_mat = weight.data.reshape(oc, -1)
+    out = cols @ w_mat.T  # (N*OH*OW, OC)
+    if bias is not None:
+        out = out + bias.data
+    out = out.reshape(n, oh, ow, oc).transpose(0, 3, 1, 2)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.transpose(0, 2, 3, 1).reshape(-1, oc)  # (N*OH*OW, OC)
+        weight._receive((g.T @ cols).reshape(weight.shape))
+        if bias is not None:
+            bias._receive(g.sum(axis=0))
+        if x.requires_grad:
+            dcols = g @ w_mat
+            x._receive(col2im(dcols, x.shape, k, stride, padding, oh, ow))
+
+    return Tensor._make(np.ascontiguousarray(out), parents, backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ W.T + b`` with ``W`` of shape ``(out, in)``."""
+    out = x.data @ weight.data.T
+    if bias is not None:
+        out = out + bias.data
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        weight._receive(grad.T @ x.data)
+        if bias is not None:
+            bias._receive(grad.sum(axis=0))
+        if x.requires_grad:
+            x._receive(grad @ weight.data)
+
+    return Tensor._make(out, parents, backward)
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols, oh, ow = im2col(x.data, kernel, stride, 0)
+    # (N*OH*OW, C, K*K)
+    cols = cols.reshape(-1, c, kernel * kernel)
+    arg = cols.argmax(axis=2)
+    out = np.take_along_axis(cols, arg[:, :, None], axis=2)[:, :, 0]
+    out = out.reshape(n, oh, ow, c).transpose(0, 3, 1, 2)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.transpose(0, 2, 3, 1).reshape(-1, c)
+        dcols = np.zeros((g.shape[0], c, kernel * kernel), dtype=g.dtype)
+        np.put_along_axis(dcols, arg[:, :, None], g[:, :, None], axis=2)
+        dcols = dcols.reshape(-1, c * kernel * kernel)
+        x._receive(col2im(dcols, x.shape, kernel, stride, 0, oh, ow))
+
+    return Tensor._make(np.ascontiguousarray(out), (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols, oh, ow = im2col(x.data, kernel, stride, 0)
+    cols = cols.reshape(-1, c, kernel * kernel)
+    out = cols.mean(axis=2).reshape(n, oh, ow, c).transpose(0, 3, 1, 2)
+    area = kernel * kernel
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.transpose(0, 2, 3, 1).reshape(-1, c)
+        dcols = np.repeat(g[:, :, None] / area, area, axis=2)
+        dcols = dcols.reshape(-1, c * area)
+        x._receive(col2im(dcols, x.shape, kernel, stride, 0, oh, ow))
+
+    return Tensor._make(np.ascontiguousarray(out), (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the full spatial extent, returning (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+# ----------------------------------------------------------------------
+# Normalization
+# ----------------------------------------------------------------------
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over channel dim of NCHW or feature dim of NC.
+
+    ``running_mean``/``running_var`` are mutated in place when training,
+    mirroring the PyTorch convention of buffers living on the module.
+    """
+    if x.ndim == 4:
+        axes = (0, 2, 3)
+        shape = (1, -1, 1, 1)
+        count = x.shape[0] * x.shape[2] * x.shape[3]
+    else:
+        axes = (0,)
+        shape = (1, -1)
+        count = x.shape[0]
+
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        running_mean *= 1 - momentum
+        running_mean += momentum * mean
+        unbiased = var * count / max(count - 1, 1)
+        running_var *= 1 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
+    out = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
+
+    def backward(grad: np.ndarray) -> None:
+        gamma._receive((grad * x_hat).sum(axis=axes))
+        beta._receive(grad.sum(axis=axes))
+        if not x.requires_grad:
+            return
+        g = grad * gamma.data.reshape(shape)
+        if training:
+            # Full batch-norm backward (mean/var depend on x).
+            dxhat = g
+            dvar = (dxhat * (x.data - mean.reshape(shape))).sum(
+                axis=axes, keepdims=True
+            ) * (-0.5) * (inv_std.reshape(shape) ** 3)
+            dmean = (-dxhat * inv_std.reshape(shape)).sum(axis=axes, keepdims=True) + dvar * (
+                -2.0 * (x.data - mean.reshape(shape))
+            ).mean(axis=axes, keepdims=True)
+            dx = (
+                dxhat * inv_std.reshape(shape)
+                + dvar * 2.0 * (x.data - mean.reshape(shape)) / count
+                + dmean / count
+            )
+            x._receive(dx)
+        else:
+            x._receive(g * inv_std.reshape(shape))
+
+    return Tensor._make(out.astype(x.data.dtype), (x, gamma, beta), backward)
+
+
+# ----------------------------------------------------------------------
+# Regularization
+# ----------------------------------------------------------------------
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: identity at eval time."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        x._receive(grad * mask)
+
+    return Tensor._make(data, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# Classification heads
+# ----------------------------------------------------------------------
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax on a plain array (paper Eq. 3)."""
+    z = logits - logits.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    m = x.data.max(axis=axis, keepdims=True)
+    shifted = x.data - m
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - lse
+    probs = np.exp(out)
+
+    def backward(grad: np.ndarray) -> None:
+        x._receive(grad - probs * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, label_smoothing: float = 0.0) -> Tensor:
+    """Softmax cross-entropy against integer class targets (paper Eq. 2).
+
+    Fused for numerical stability; the backward is the classic
+    ``softmax(z) - onehot(y)`` divided by batch size.
+    """
+    targets = np.asarray(targets)
+    n, num_classes = logits.shape
+    probs = softmax(logits.data, axis=1)
+    eps = 1e-12
+
+    if label_smoothing > 0.0:
+        smooth = label_smoothing / num_classes
+        target_dist = np.full_like(probs, smooth)
+        target_dist[np.arange(n), targets] += 1.0 - label_smoothing
+        loss = -(target_dist * np.log(probs + eps)).sum(axis=1).mean()
+    else:
+        target_dist = None
+        loss = -np.log(probs[np.arange(n), targets] + eps).mean()
+
+    def backward(grad: np.ndarray) -> None:
+        if target_dist is None:
+            one_hot = np.zeros_like(probs)
+            one_hot[np.arange(n), targets] = 1.0
+            dlogits = (probs - one_hot) / n
+        else:
+            dlogits = (probs - target_dist) / n
+        logits._receive(dlogits * grad)
+
+    return Tensor._make(np.asarray(loss, dtype=logits.data.dtype), (logits,), backward)
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy from raw logits or probabilities."""
+    return float((logits.argmax(axis=1) == np.asarray(targets)).mean())

@@ -1,0 +1,54 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit ``numpy.random.Generator`` so every
+training run in the reproduction is seedable end to end — a requirement
+for the experiment harness, which records paper-vs-measured numbers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Return (fan_in, fan_out) for linear or conv weight shapes."""
+    if len(shape) == 2:  # (out, in)
+        return shape[1], shape[0]
+    if len(shape) == 4:  # (out, in, k, k)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_normal(
+    shape: tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)
+) -> np.ndarray:
+    """He initialization — the right default for ReLU networks."""
+    fan_in, _ = _fan(shape)
+    std = gain / math.sqrt(fan_in)
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)
+) -> np.ndarray:
+    fan_in, _ = _fan(shape)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot initialization — used for the final full-precision FC layer."""
+    fan_in, fan_out = _fan(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,64 @@
+"""Loss functions used by the LCRS training procedures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .autograd import Tensor
+from .module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy against integer class labels (paper Eq. 2).
+
+    Expects raw logits; softmax is fused into the loss for stability.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        super().__init__()
+        self.label_smoothing = label_smoothing
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets, self.label_smoothing)
+
+    def __repr__(self) -> str:
+        return f"CrossEntropyLoss(label_smoothing={self.label_smoothing})"
+
+
+class JointLoss(Module):
+    """Joint optimization objective of the composite network (paper Eq. 1).
+
+    ``L = w_main · L_main + w_binary · L_binary`` — the paper uses unit
+    weights; the weights are exposed for the ablation benchmarks.
+    """
+
+    def __init__(
+        self,
+        main_weight: float = 1.0,
+        binary_weight: float = 1.0,
+        label_smoothing: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.main_weight = main_weight
+        self.binary_weight = binary_weight
+        self._ce = CrossEntropyLoss(label_smoothing)
+
+    def forward(
+        self, main_logits: Tensor, binary_logits: Tensor, targets: np.ndarray
+    ) -> Tensor:
+        loss_main = self._ce(main_logits, targets)
+        loss_binary = self._ce(binary_logits, targets)
+        return loss_main * self.main_weight + loss_binary * self.binary_weight
+
+    def components(
+        self, main_logits: Tensor, binary_logits: Tensor, targets: np.ndarray
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        """Return (total, main, binary) losses for logging."""
+        loss_main = self._ce(main_logits, targets)
+        loss_binary = self._ce(binary_logits, targets)
+        total = loss_main * self.main_weight + loss_binary * self.binary_weight
+        return total, loss_main, loss_binary
+
+    def __repr__(self) -> str:
+        return f"JointLoss(main={self.main_weight}, binary={self.binary_weight})"

@@ -1,0 +1,176 @@
+"""Module/Parameter abstractions, in the familiar torch.nn style.
+
+A :class:`Module` owns named :class:`Parameter` tensors and child modules,
+supports train/eval mode switching, and exposes a flat ``state_dict`` for
+serialization into the browser model format (:mod:`repro.wasm`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from .autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is always trainable and discoverable by optimizers."""
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all network components.
+
+    Subclasses implement :meth:`forward`; parameters and sub-modules are
+    discovered automatically through attribute assignment, as in PyTorch.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self._buffers: dict[str, np.ndarray] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Attribute plumbing
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, array: np.ndarray) -> None:
+        """Track a non-trainable array (e.g. batch-norm running stats)."""
+        self._buffers[name] = array
+        object.__setattr__(self, name, array)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield f"{prefix}{name}", buf
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    # ------------------------------------------------------------------
+    # Mode switching
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat name → array mapping of parameters and buffers."""
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        state.update({name: b.copy() for name, b in self.named_buffers()})
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load arrays by name; shapes must match exactly."""
+        params = dict(self.named_parameters())
+        buffers = dict(self.named_buffers())
+        for name, array in state.items():
+            if name in params:
+                target = params[name].data
+            elif name in buffers:
+                target = buffers[name]
+            else:
+                raise KeyError(f"unexpected key in state dict: {name!r}")
+            if target.shape != array.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"module has {target.shape}, state has {array.shape}"
+                )
+            target[...] = array
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args: object, **kwargs: object) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_lines = [
+            f"  ({name}): {module!r}".replace("\n", "\n  ")
+            for name, module in self._modules.items()
+        ]
+        header = self.__class__.__name__
+        if not child_lines:
+            return f"{header}()"
+        return f"{header}(\n" + "\n".join(child_lines) + "\n)"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: list[str] = []
+        for i, module in enumerate(modules):
+            name = str(i)
+            self._modules[name] = module
+            object.__setattr__(self, name, module)
+            self._order.append(name)
+
+    def append(self, module: Module) -> "Sequential":
+        name = str(len(self._order))
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+        self._order.append(name)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def __iter__(self) -> Iterator[Module]:
+        for name in self._order:
+            yield self._modules[name]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = self._modules[name](x)
+        return x

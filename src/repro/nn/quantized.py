@@ -1,0 +1,152 @@
+"""k-bit uniformly-quantized layers (the spectrum between fp32 and XNOR).
+
+The paper jumps straight from full precision to 1-bit XNOR.  A natural
+question its evaluation leaves open is where intermediate precisions
+land: a k-bit branch is 32/k× smaller than fp32 — does it buy back the
+accuracy the binary branch loses?  These layers answer that with the
+same training recipe as the binary ones (quantize in the forward pass,
+straight-through gradients, full-precision master weights).
+
+Quantization is symmetric uniform per output unit:
+
+    W̃ = s · round(clip(W / s, −(2^{k−1}−1), 2^{k−1}−1)),
+    s  = max|W| / (2^{k−1}−1)
+
+so ``k = 1`` degenerates to sign·scale (BWN) and large ``k`` approaches
+identity.  Deployment bytes are ``k`` bits per weight plus one fp32
+scale per output unit (see :func:`quantized_param_bytes`, which
+:mod:`repro.profiling` consults).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .autograd import Tensor
+from .module import Module, Parameter
+
+
+def quantize_weights(weights: np.ndarray, bits: int) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize to k-bit symmetric integers; returns (int_codes, scales).
+
+    Scales are per output unit (first axis), matching the binary layers'
+    per-filter α.
+    """
+    if bits < 1 or bits > 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    axes = tuple(range(1, weights.ndim))
+    qmax = max(2 ** (bits - 1) - 1, 1)
+    scale = np.abs(weights).max(axis=axes, keepdims=True) / qmax
+    scale = np.where(scale > 0, scale, 1.0)
+    codes = np.clip(np.round(weights / scale), -qmax, qmax)
+    return codes.astype(np.int32), scale.astype(np.float32)
+
+
+def dequantize(codes: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    return (codes * scale).astype(np.float32)
+
+
+def quantized_param_bytes(weight_shape: tuple[int, ...], bits: int, has_bias: bool) -> int:
+    """Deployment bytes of a k-bit layer (packed codes + fp32 scales)."""
+    out_units = weight_shape[0]
+    weights = int(np.prod(weight_shape))
+    packed = (weights * bits + 7) // 8
+    scales = out_units * 4
+    bias = out_units * 4 if has_bias else 0
+    return packed + scales + bias
+
+
+class _QuantizedMixin:
+    """Shared forward-time weight fake-quantization with STE."""
+
+    def _effective_weight(self) -> Tensor:
+        codes, scale = quantize_weights(self.weight.data, self.bits)
+        quantized = dequantize(codes, scale)
+        # Straight-through: forward uses W̃, backward flows as identity
+        # into the master weights wherever they are inside the clip range.
+        delta = Tensor(quantized - self.weight.data)
+        return self.weight + delta
+
+
+class QuantizedConv2d(Module, _QuantizedMixin):
+    """Conv2d with k-bit weights (activations stay fp32)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        bits: int = 4,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if bits < 1 or bits > 16:
+            raise ValueError(f"bits must be in [1, 16], got {bits}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.bits = bits
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape, rng), name="weight")
+        self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(
+            x, self._effective_weight(), self.bias, self.stride, self.padding
+        )
+
+    def deployment_bytes(self) -> int:
+        return quantized_param_bytes(
+            self.weight.data.shape, self.bits, self.bias is not None
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantizedConv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, bits={self.bits})"
+        )
+
+
+class QuantizedLinear(Module, _QuantizedMixin):
+    """Linear with k-bit weights."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bits: int = 4,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if bits < 1 or bits > 16:
+            raise ValueError(f"bits must be in [1, 16], got {bits}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.bits = bits
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng), name="weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self._effective_weight(), self.bias)
+
+    def deployment_bytes(self) -> int:
+        return quantized_param_bytes(
+            self.weight.data.shape, self.bits, self.bias is not None
+        )
+
+    def __repr__(self) -> str:
+        return f"QuantizedLinear({self.in_features}, {self.out_features}, bits={self.bits})"

@@ -1,0 +1,14 @@
+"""Optimizers and learning-rate schedules for the training substrate."""
+
+from .optimizers import SGD, Adam, Optimizer
+from .schedulers import ConstantLR, CosineAnnealingLR, LRScheduler, StepLR
+
+__all__ = [
+    "Adam",
+    "ConstantLR",
+    "CosineAnnealingLR",
+    "LRScheduler",
+    "Optimizer",
+    "SGD",
+    "StepLR",
+]

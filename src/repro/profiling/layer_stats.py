@@ -1,0 +1,238 @@
+"""Per-layer cost model: FLOPs, parameter bytes, activation bytes.
+
+These numbers drive every quantitative claim in the reproduction:
+
+* **model size** (Table I, Figure 7) — fp32 parameter bytes for the main
+  branch vs bit-packed bytes for the binary branch;
+* **compute latency** (Tables II, Figure 6/10) — FLOPs divided by a
+  device's effective throughput;
+* **communication cost** (Table III) — activation bytes at a partition
+  point, model bytes for on-demand loading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..nn.binary import BinaryConv2d, BinaryLinear
+from ..nn.quantized import QuantizedConv2d, QuantizedLinear
+from ..nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from ..nn.module import Module
+from .tracer import TracedLayer, trace
+
+FLOAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Cost summary for one executed layer."""
+
+    index: int
+    name: str
+    kind: str
+    input_shape: tuple[int, ...]
+    output_shape: tuple[int, ...]
+    params: int
+    param_bytes: int
+    flops: float
+    is_binary: bool
+
+    @property
+    def output_elements(self) -> int:
+        return int(np.prod(self.output_shape))
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes to transmit this layer's activation (fp32)."""
+        return self.output_elements * FLOAT_BYTES
+
+
+def _conv_flops(
+    layer: Conv2d | BinaryConv2d | QuantizedConv2d, out_shape: tuple[int, ...]
+) -> float:
+    _, oc, oh, ow = out_shape
+    macs = oc * oh * ow * layer.in_channels * layer.kernel_size**2
+    flops = 2.0 * macs
+    if layer.bias is not None:
+        flops += oc * oh * ow
+    return flops
+
+
+def _linear_flops(
+    layer: Linear | BinaryLinear | QuantizedLinear, out_shape: tuple[int, ...]
+) -> float:
+    flops = 2.0 * layer.in_features * layer.out_features
+    if layer.bias is not None:
+        flops += layer.out_features
+    return flops
+
+
+def binary_param_bytes(weight_shape: tuple[int, ...], has_bias: bool) -> int:
+    """Deployment bytes of a binarized layer.
+
+    1 bit per weight (packed), one fp32 α per output unit, fp32 bias.
+    This is the arithmetic behind the paper's 16×–30× compression claim.
+    """
+    out_units = weight_shape[0]
+    weights = int(np.prod(weight_shape))
+    packed = (weights + 7) // 8
+    alpha = out_units * FLOAT_BYTES
+    bias = out_units * FLOAT_BYTES if has_bias else 0
+    return packed + alpha + bias
+
+
+def profile_layer(record: TracedLayer) -> LayerProfile:
+    """Compute the cost profile for one traced layer."""
+    module = record.module
+    params = sum(p.size for p in module.parameters())
+    flops: float
+    is_binary = isinstance(module, (BinaryConv2d, BinaryLinear))
+
+    if isinstance(module, (Conv2d, BinaryConv2d, QuantizedConv2d)):
+        flops = _conv_flops(module, record.output_shape)
+    elif isinstance(module, (Linear, BinaryLinear, QuantizedLinear)):
+        flops = _linear_flops(module, record.output_shape)
+    elif isinstance(module, (MaxPool2d, AvgPool2d)):
+        flops = float(np.prod(record.output_shape)) * module.kernel_size**2
+    elif isinstance(module, (BatchNorm2d, BatchNorm1d)):
+        flops = 2.0 * float(np.prod(record.output_shape))
+    elif isinstance(module, (ReLU, GlobalAvgPool2d)):
+        flops = float(np.prod(record.input_shape))
+    elif isinstance(module, (Dropout, Flatten, Identity)):
+        flops = 0.0
+    else:
+        # Unknown leaf: assume elementwise cost so totals stay sane.
+        flops = float(np.prod(record.output_shape))
+
+    if is_binary:
+        weight = module.weight.data
+        has_bias = module.bias is not None
+        param_bytes = binary_param_bytes(weight.shape, has_bias)
+    elif isinstance(module, (QuantizedConv2d, QuantizedLinear)):
+        param_bytes = module.deployment_bytes()
+    else:
+        param_bytes = params * FLOAT_BYTES
+
+    return LayerProfile(
+        index=record.index,
+        name=f"{record.kind.lower()}_{record.index}",
+        kind=record.kind,
+        input_shape=record.input_shape,
+        output_shape=record.output_shape,
+        params=params,
+        param_bytes=param_bytes,
+        flops=flops,
+        is_binary=is_binary,
+    )
+
+
+class NetworkProfile:
+    """Ordered per-layer profiles of one network plus aggregate views."""
+
+    def __init__(self, layers: list[LayerProfile]) -> None:
+        self.layers = layers
+
+    @classmethod
+    def of(cls, module: Module, input_shape: tuple[int, ...]) -> "NetworkProfile":
+        return cls([profile_layer(r) for r in trace(module, input_shape)])
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_flops(self) -> float:
+        return sum(l.flops for l in self.layers)
+
+    @property
+    def total_params(self) -> int:
+        return sum(l.params for l in self.layers)
+
+    @property
+    def total_param_bytes(self) -> int:
+        return sum(l.param_bytes for l in self.layers)
+
+    @property
+    def binary_flops(self) -> float:
+        return sum(l.flops for l in self.layers if l.is_binary)
+
+    @property
+    def float_flops(self) -> float:
+        return sum(l.flops for l in self.layers if not l.is_binary)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __getitem__(self, index: int) -> LayerProfile:
+        return self.layers[index]
+
+    # ------------------------------------------------------------------
+    # Partition views (used by Neurosurgeon/Edgent)
+    # ------------------------------------------------------------------
+    def prefix_flops(self, cut: int) -> float:
+        """FLOPs of layers [0, cut) — the device-side share of a partition."""
+        return sum(l.flops for l in self.layers[:cut])
+
+    def suffix_flops(self, cut: int) -> float:
+        return sum(l.flops for l in self.layers[cut:])
+
+    def prefix_param_bytes(self, cut: int) -> int:
+        """Model bytes the browser must download to run layers [0, cut)."""
+        return sum(l.param_bytes for l in self.layers[:cut])
+
+    def cut_activation_bytes(self, cut: int) -> int:
+        """Bytes of the activation crossing a cut before layer ``cut``.
+
+        ``cut == 0`` means everything runs remotely, so the raw input
+        crosses; ``cut == len(self)`` means nothing crosses.
+        """
+        if cut <= 0:
+            return int(np.prod(self.layers[0].input_shape)) * FLOAT_BYTES
+        if cut >= len(self.layers):
+            return 0
+        return self.layers[cut - 1].output_bytes
+
+    def summary(self) -> str:
+        """Human-readable per-layer table."""
+        lines = [
+            f"{'#':>3} {'kind':<14} {'output':<18} {'params':>10} "
+            f"{'bytes':>10} {'MFLOPs':>9} {'bin':>4}"
+        ]
+        for l in self.layers:
+            lines.append(
+                f"{l.index:>3} {l.kind:<14} {str(l.output_shape):<18} "
+                f"{l.params:>10,} {l.param_bytes:>10,} {l.flops / 1e6:>9.2f} "
+                f"{'yes' if l.is_binary else '':>4}"
+            )
+        lines.append(
+            f"    total: params={self.total_params:,} "
+            f"bytes={self.total_param_bytes:,} "
+            f"GFLOPs={self.total_flops / 1e9:.3f}"
+        )
+        return "\n".join(lines)
+
+
+def model_size_bytes(module: Module, input_shape: tuple[int, ...]) -> int:
+    """Deployment size of a network in bytes (binary layers bit-packed)."""
+    return NetworkProfile.of(module, input_shape).total_param_bytes
+
+
+def model_size_mb(module: Module, input_shape: tuple[int, ...]) -> float:
+    return model_size_bytes(module, input_shape) / (1024 * 1024)

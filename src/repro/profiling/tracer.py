@@ -1,0 +1,68 @@
+"""Execution tracer: records every leaf layer a forward pass touches.
+
+Partition-offloading baselines (Neurosurgeon, Edgent) and the latency
+simulator all need a *layer-level* view of a network: execution order,
+per-layer compute, parameter bytes, and activation sizes at each cut
+point.  Rather than requiring networks to declare this by hand, the
+tracer temporarily instruments :class:`repro.nn.module.Module` and runs a
+probe forward pass, capturing each leaf module (one with no children)
+with its input/output shapes in execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..nn.autograd import Tensor, no_grad
+from ..nn.module import Module
+
+
+@dataclass(frozen=True)
+class TracedLayer:
+    """One leaf-layer invocation captured during the probe pass."""
+
+    index: int
+    module: Module
+    kind: str
+    input_shape: tuple[int, ...]
+    output_shape: tuple[int, ...]
+
+
+def trace(module: Module, input_shape: tuple[int, ...]) -> list[TracedLayer]:
+    """Run a probe forward pass and return leaf layers in execution order.
+
+    ``input_shape`` excludes the batch dimension; the probe uses batch 1.
+    The module is probed in eval mode and restored afterwards.
+    """
+    records: list[TracedLayer] = []
+    original_call = Module.__call__
+
+    def recording_call(self: Module, *args: object, **kwargs: object) -> object:
+        out = original_call(self, *args, **kwargs)
+        is_leaf = not self._modules
+        if is_leaf and args and isinstance(args[0], Tensor) and isinstance(out, Tensor):
+            records.append(
+                TracedLayer(
+                    index=len(records),
+                    module=self,
+                    kind=type(self).__name__,
+                    input_shape=tuple(args[0].shape),
+                    output_shape=tuple(out.shape),
+                )
+            )
+        return out
+
+    probe = Tensor(np.zeros((1,) + tuple(input_shape), dtype=np.float32))
+    was_training = module.training
+    module.eval()
+    Module.__call__ = recording_call  # type: ignore[method-assign]
+    try:
+        with no_grad():
+            module(probe)
+    finally:
+        Module.__call__ = original_call  # type: ignore[method-assign]
+        module.train(was_training)
+    return records

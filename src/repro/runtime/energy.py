@@ -1,0 +1,139 @@
+"""Browser-side energy model (the abstract's "energy consumption" claim).
+
+The paper motivates the binary branch partly by the phone's energy
+budget; Neurosurgeon's original objective function also has an energy
+mode.  This module prices a plan's browser-side energy as
+
+    E = E_compute + E_radio
+      = (float_flops / fp32_efficiency + binary_flops / binary_efficiency)
+        + (uploaded_bytes · J/B_tx + downloaded_bytes · J/B_rx)
+        + radio_power · transfer_time
+
+using published ballparks for 2017-class phone SoCs and LTE radios
+(compute ~1 nJ/flop effective in JS, LTE radio ~2.5 W while active,
+per-bit costs dominated by radio-on time).  Absolute joules are
+order-of-magnitude; the *comparisons* (binary vs float compute, local
+exit vs offload, LCRS vs baselines) are the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .latency import (
+    ComputeStep,
+    ExecutionPlan,
+    Location,
+    ModelLoadStep,
+    TransferStep,
+)
+from .network import NetworkLink
+from .profiles import DeviceProfile, MOBILE_BROWSER_WASM
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """Energy coefficients of the browser device.
+
+    ``fp32_joules_per_flop`` reflects JS/WASM execution overhead on a
+    phone big-core (~1 nJ/flop effective); binary XNOR ops are cheaper
+    per equivalent flop by roughly the same factor they are faster.
+    ``radio_power_watts`` is the LTE active-state draw; transfers also
+    keep the radio in a tail state which ``radio_tail_seconds`` prices.
+    """
+
+    name: str = "phone-lte"
+    fp32_joules_per_flop: float = 1.0e-9
+    binary_joules_per_flop: float = 1.0e-9 / 16.0
+    radio_power_watts: float = 2.5
+    radio_tail_seconds: float = 0.1
+    idle_power_watts: float = 0.8
+
+    def compute_joules(self, float_flops: float, binary_flops: float) -> float:
+        return (
+            float_flops * self.fp32_joules_per_flop
+            + binary_flops * self.binary_joules_per_flop
+        )
+
+    def radio_joules(self, active_seconds: float) -> float:
+        if active_seconds <= 0:
+            return 0.0
+        return self.radio_power_watts * (active_seconds + self.radio_tail_seconds)
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules spent by the browser for one sample."""
+
+    compute_j: float
+    radio_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.radio_j
+
+
+def plan_energy(
+    plan: ExecutionPlan,
+    link: NetworkLink,
+    browser: DeviceProfile = MOBILE_BROWSER_WASM,
+    energy: EnergyProfile = EnergyProfile(),
+    include_setup: bool = True,
+    miss: bool = False,
+) -> EnergyBreakdown:
+    """Browser-side energy of one sample under ``plan``.
+
+    Only browser compute and the phone's radio are charged — edge
+    compute is the provider's bill (see :mod:`repro.runtime.concurrency`).
+    ``miss=True`` adds the plan's miss steps (LCRS's collaborative path).
+    """
+    link = link.deterministic()
+    compute_j = 0.0
+    radio_seconds = 0.0
+
+    steps = list(plan.per_sample_steps)
+    if include_setup:
+        steps = list(plan.setup_steps) + steps
+    if miss:
+        steps += list(plan.miss_steps)
+
+    for step in steps:
+        if isinstance(step, ComputeStep):
+            if step.location is Location.BROWSER:
+                compute_j += energy.compute_joules(step.float_flops, step.binary_flops)
+        elif isinstance(step, TransferStep):
+            radio_seconds += step.duration_ms(link) / 1e3
+        elif isinstance(step, ModelLoadStep):
+            radio_seconds += link.download_ms(step.num_bytes) / 1e3
+            # Parsing is browser compute; approximate it as fp32 work at
+            # one flop per byte (initialization-bound, not math-bound).
+            compute_j += step.num_bytes * energy.fp32_joules_per_flop
+
+    return EnergyBreakdown(
+        compute_j=compute_j, radio_j=energy.radio_joules(radio_seconds)
+    )
+
+
+def expected_sample_energy(
+    plan: ExecutionPlan,
+    link: NetworkLink,
+    exit_rate: float,
+    browser: DeviceProfile = MOBILE_BROWSER_WASM,
+    energy: EnergyProfile = EnergyProfile(),
+    include_setup: bool = False,
+) -> float:
+    """Expected per-sample joules given the plan's exit rate.
+
+    For plans without miss steps (baselines) the exit rate is ignored.
+    """
+    if not 0.0 <= exit_rate <= 1.0:
+        raise ValueError("exit_rate must be in [0, 1]")
+    hit = plan_energy(
+        plan, link, browser, energy, include_setup=include_setup, miss=False
+    ).total_j
+    if not plan.miss_steps:
+        return hit
+    missed = plan_energy(
+        plan, link, browser, energy, include_setup=include_setup, miss=True
+    ).total_j
+    return exit_rate * hit + (1.0 - exit_rate) * missed

@@ -1,0 +1,254 @@
+"""Execution plans and the latency/communication accounting engine.
+
+Every approach compared in the paper — LCRS, Neurosurgeon, Edgent,
+mobile-only, edge-only — reduces to a *plan*: which bytes must be moved
+where, and which FLOPs run on which device, per sample and per session.
+This module defines that vocabulary and the simulator that prices a plan
+over a stream of samples, separating compute from communication so both
+Table II (end-to-end latency) and Table III (communication costs) fall
+out of one run.
+
+Session semantics (documented divergence — the paper is ambiguous about
+when model loading is paid):
+
+* **cold start** — every sample is a fresh page visit: model-load cost
+  is paid per sample.  This matches the magnitude of the paper's
+  Table II/III baselines (e.g. mobile-only AlexNet ≈ 9 s/sample, which
+  is only explicable as a per-sample model download).
+* **warm session** — the model loads once, then samples stream (the
+  Figure 6 regime: "average latency is almost stable" as samples grow).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..profiling.layer_stats import LayerProfile, NetworkProfile
+from .network import NetworkLink
+from .profiles import DeviceProfile
+
+
+class Location(enum.Enum):
+    """Where a plan step executes."""
+
+    BROWSER = "browser"
+    EDGE = "edge"
+
+
+@dataclass(frozen=True)
+class ComputeStep:
+    """Run layers on a device.  ``float_flops``/``binary_flops`` split the
+    work between fp32 and XNOR kernels; ``num_layers`` prices dispatch
+    overhead."""
+
+    location: Location
+    float_flops: float
+    binary_flops: float = 0.0
+    num_layers: int = 0
+    label: str = ""
+
+    def duration_ms(self, device: DeviceProfile) -> float:
+        return (
+            device.compute_ms(self.float_flops, binary=False)
+            + device.compute_ms(self.binary_flops, binary=True)
+            + device.layer_overhead_ms * self.num_layers
+        )
+
+
+@dataclass(frozen=True)
+class TransferStep:
+    """Move bytes across the link (direction chosen by ``upload``)."""
+
+    num_bytes: float
+    upload: bool
+    label: str = ""
+
+    def duration_ms(self, link: NetworkLink) -> float:
+        if self.upload:
+            return link.upload_ms(self.num_bytes)
+        return link.download_ms(self.num_bytes)
+
+
+@dataclass(frozen=True)
+class ModelLoadStep:
+    """Download + parse model bytes into the browser engine."""
+
+    num_bytes: float
+    label: str = ""
+
+    def duration_ms(self, link: NetworkLink, browser: DeviceProfile) -> float:
+        return link.download_ms(self.num_bytes) + browser.parse_ms(int(self.num_bytes))
+
+
+PlanStep = ComputeStep | TransferStep | ModelLoadStep
+
+
+@dataclass
+class ExecutionPlan:
+    """A priced recipe for classifying one sample under one approach.
+
+    ``setup_steps`` run once per session (warm) or once per sample
+    (cold start); ``per_sample_steps`` always run per sample.  For
+    approaches whose per-sample path depends on a stochastic decision
+    (LCRS's exit), supply ``miss_steps`` and a per-sample hit mask at
+    simulation time.
+    """
+
+    approach: str
+    network: str
+    setup_steps: list[PlanStep] = field(default_factory=list)
+    per_sample_steps: list[PlanStep] = field(default_factory=list)
+    miss_steps: list[PlanStep] = field(default_factory=list)
+
+    def model_load_bytes(self) -> float:
+        return sum(
+            s.num_bytes for s in self.setup_steps if isinstance(s, ModelLoadStep)
+        )
+
+
+@dataclass(frozen=True)
+class SampleCost:
+    """Per-sample breakdown produced by the simulator."""
+
+    total_ms: float
+    compute_ms: float
+    communication_ms: float
+    exited_locally: Optional[bool] = None
+
+
+@dataclass
+class SessionTrace:
+    """Outcome of simulating a plan over a sample stream."""
+
+    approach: str
+    network: str
+    samples: list[SampleCost]
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return float(np.mean([s.total_ms for s in self.samples]))
+
+    @property
+    def mean_compute_ms(self) -> float:
+        return float(np.mean([s.compute_ms for s in self.samples]))
+
+    @property
+    def mean_communication_ms(self) -> float:
+        return float(np.mean([s.communication_ms for s in self.samples]))
+
+    def latencies(self) -> np.ndarray:
+        return np.array([s.total_ms for s in self.samples])
+
+    def running_average(self) -> np.ndarray:
+        """Average latency after each sample — the Figure 6 series."""
+        lat = self.latencies()
+        return np.cumsum(lat) / np.arange(1, len(lat) + 1)
+
+
+def _price_steps(
+    steps: Sequence[PlanStep],
+    link: NetworkLink,
+    browser: DeviceProfile,
+    edge: DeviceProfile,
+) -> tuple[float, float]:
+    """Return (compute_ms, communication_ms) for a step sequence."""
+    compute = 0.0
+    comm = 0.0
+    for step in steps:
+        if isinstance(step, ComputeStep):
+            device = browser if step.location is Location.BROWSER else edge
+            compute += step.duration_ms(device)
+        elif isinstance(step, TransferStep):
+            comm += step.duration_ms(link)
+        elif isinstance(step, ModelLoadStep):
+            comm += link.download_ms(step.num_bytes)
+            compute += browser.parse_ms(int(step.num_bytes))
+        else:  # pragma: no cover - exhaustive by construction
+            raise TypeError(f"unknown plan step {step!r}")
+    return compute, comm
+
+
+def simulate_plan(
+    plan: ExecutionPlan,
+    num_samples: int,
+    link: NetworkLink,
+    browser: DeviceProfile,
+    edge: DeviceProfile,
+    cold_start: bool = True,
+    miss_mask: Optional[Sequence[bool]] = None,
+    include_setup: bool = True,
+) -> SessionTrace:
+    """Price a plan over ``num_samples`` samples.
+
+    ``miss_mask[i]`` marks samples whose ``miss_steps`` fire (for LCRS:
+    binary-branch misses that travel to the edge).  In warm sessions the
+    setup cost is charged to the first sample only; ``include_setup=False``
+    skips it entirely (for callers that price samples one at a time and
+    account for the session's setup themselves).
+    """
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    if miss_mask is not None and len(miss_mask) < num_samples:
+        raise ValueError("miss_mask shorter than num_samples")
+
+    samples: list[SampleCost] = []
+    for i in range(num_samples):
+        compute = 0.0
+        comm = 0.0
+        if include_setup and (cold_start or i == 0):
+            setup_compute, setup_comm = _price_steps(
+                plan.setup_steps, link, browser, edge
+            )
+            compute += setup_compute
+            comm += setup_comm
+        step_compute, step_comm = _price_steps(
+            plan.per_sample_steps, link, browser, edge
+        )
+        compute += step_compute
+        comm += step_comm
+
+        missed: Optional[bool] = None
+        if plan.miss_steps:
+            missed = bool(miss_mask[i]) if miss_mask is not None else False
+            if missed:
+                miss_compute, miss_comm = _price_steps(
+                    plan.miss_steps, link, browser, edge
+                )
+                compute += miss_compute
+                comm += miss_comm
+
+        samples.append(
+            SampleCost(
+                total_ms=compute + comm,
+                compute_ms=compute,
+                communication_ms=comm,
+                exited_locally=None if missed is None else not missed,
+            )
+        )
+    return SessionTrace(approach=plan.approach, network=plan.network, samples=samples)
+
+
+# ----------------------------------------------------------------------
+# Helpers to turn layer profiles into plan steps
+# ----------------------------------------------------------------------
+def compute_step_from_layers(
+    layers: Sequence[LayerProfile], location: Location, label: str = ""
+) -> ComputeStep:
+    """Aggregate a layer range into one compute step, splitting fp32/XNOR."""
+    return ComputeStep(
+        location=location,
+        float_flops=sum(l.flops for l in layers if not l.is_binary),
+        binary_flops=sum(l.flops for l in layers if l.is_binary),
+        num_layers=len(layers),
+        label=label,
+    )
+
+
+def profile_compute_step(
+    profile: NetworkProfile, location: Location, label: str = ""
+) -> ComputeStep:
+    return compute_step_from_layers(profile.layers, location, label)

@@ -1,0 +1,87 @@
+"""Wireless link model between the mobile web browser and the edge server.
+
+Table II/III's setting: "4G with a downlink of 10 Mb/s and an uplink of
+3 Mb/s".  The model is bandwidth + RTT with multiplicative log-normal
+jitter ("in a real environment, the network bandwidth is instability",
+§IV-D.1) — enough to reproduce the latency fluctuations of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class NetworkLink:
+    """Point-to-point link with asymmetric bandwidth and jitter.
+
+    ``jitter_sigma`` is the standard deviation of the log-normal
+    multiplier applied to each transfer's duration (0 disables jitter,
+    making the link deterministic for unit tests).
+    """
+
+    name: str
+    downlink_bps: float
+    uplink_bps: float
+    rtt_ms: float
+    jitter_sigma: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.downlink_bps <= 0 or self.uplink_bps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.rtt_ms < 0:
+            raise ValueError("rtt_ms must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def _jitter(self) -> float:
+        if self.jitter_sigma <= 0:
+            return 1.0
+        return float(self._rng.lognormal(mean=0.0, sigma=self.jitter_sigma))
+
+    def download_ms(self, num_bytes: float) -> float:
+        """Edge/cloud → browser transfer time, including half an RTT."""
+        return (num_bytes * 8 / self.downlink_bps * 1e3 + self.rtt_ms / 2) * self._jitter()
+
+    def upload_ms(self, num_bytes: float) -> float:
+        """Browser → edge/cloud transfer time, including half an RTT."""
+        return (num_bytes * 8 / self.uplink_bps * 1e3 + self.rtt_ms / 2) * self._jitter()
+
+    def round_trip_ms(self) -> float:
+        """A bare control-message round trip."""
+        return self.rtt_ms * self._jitter()
+
+    def deterministic(self) -> "NetworkLink":
+        """A jitter-free copy (expectation analysis, tests)."""
+        return replace(self, jitter_sigma=0.0)
+
+    def reseeded(self, seed: int) -> "NetworkLink":
+        return replace(self, seed=seed)
+
+
+def four_g(seed: int = 0, jitter_sigma: float = 0.15) -> NetworkLink:
+    """The paper's evaluation link: 10 Mb/s down, 3 Mb/s up."""
+    return NetworkLink(
+        name="4g", downlink_bps=10e6, uplink_bps=3e6, rtt_ms=50.0,
+        jitter_sigma=jitter_sigma, seed=seed,
+    )
+
+
+def wifi(seed: int = 0, jitter_sigma: float = 0.08) -> NetworkLink:
+    return NetworkLink(
+        name="wifi", downlink_bps=50e6, uplink_bps=20e6, rtt_ms=10.0,
+        jitter_sigma=jitter_sigma, seed=seed,
+    )
+
+
+def three_g(seed: int = 0, jitter_sigma: float = 0.25) -> NetworkLink:
+    return NetworkLink(
+        name="3g", downlink_bps=2e6, uplink_bps=1e6, rtt_ms=120.0,
+        jitter_sigma=jitter_sigma, seed=seed,
+    )
+
+
+LINK_PRESETS = {"4g": four_g, "wifi": wifi, "3g": three_g}

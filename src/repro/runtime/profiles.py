@@ -1,0 +1,113 @@
+"""Device compute profiles for the latency simulator.
+
+The paper's testbed (§V-C): a HUAWEI Mate 9 running Firefox on Android
+as the mobile web browser, and an IBM X3640M4 (Xeon E5-2640, 2.9 GHz) as
+the edge server.  Neither is available offline, so each device is modeled
+by an *effective* sustained throughput for fp32 DNN kernels plus a
+speedup factor for XNOR+popcount binary kernels, calibrated to published
+measurements:
+
+* JS/WASM conv kernels on 2017-class phone browsers sustain on the order
+  of 1–2 GFLOP/s (WebDNN/TensorFlow.js benchmarks of that era);
+* XNOR-Net reports up to ~58× theoretical speedup for binary convolution
+  on CPUs; browsers reach a more modest 10–30× — we use 16×;
+* a Xeon E5-2640 sustains tens of GFLOP/s on optimized fp32 conv.
+
+Absolute milliseconds therefore differ from the paper's, but the ratios
+(browser ≪ edge; binary ≫ float on the browser) that drive every
+comparison are preserved.  All constants live here so sensitivity
+studies can sweep them (see ``benchmarks/test_ablation_devices.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Effective execution model of one device class.
+
+    Parameters
+    ----------
+    flops_per_second:
+        Sustained fp32 throughput for DNN kernels.
+    binary_speedup:
+        Factor by which XNOR+popcount kernels outrun fp32 ones here.
+    layer_overhead_ms:
+        Fixed dispatch cost per layer (JS call, kernel launch).
+    model_parse_bytes_per_second:
+        Throughput of loading+initializing model weights into the engine
+        (JSON/typed-array parsing in the browser; far faster on the edge).
+    """
+
+    name: str
+    flops_per_second: float
+    binary_speedup: float = 1.0
+    layer_overhead_ms: float = 0.0
+    model_parse_bytes_per_second: float = 200e6
+
+    def __post_init__(self) -> None:
+        if self.flops_per_second <= 0:
+            raise ValueError("flops_per_second must be positive")
+        if self.binary_speedup < 1.0:
+            raise ValueError("binary_speedup must be >= 1")
+
+    def compute_ms(self, flops: float, binary: bool = False) -> float:
+        """Time to execute ``flops`` worth of work on this device."""
+        effective = self.flops_per_second * (self.binary_speedup if binary else 1.0)
+        return flops / effective * 1e3
+
+    def parse_ms(self, model_bytes: int) -> float:
+        """Time to initialize a downloaded model before first inference."""
+        return model_bytes / self.model_parse_bytes_per_second * 1e3
+
+    def scaled(self, factor: float) -> "DeviceProfile":
+        """A copy with throughput scaled by ``factor`` (sensitivity studies)."""
+        return replace(
+            self,
+            name=f"{self.name}x{factor:g}",
+            flops_per_second=self.flops_per_second * factor,
+        )
+
+
+#: HUAWEI Mate 9 + Firefox, WASM execution path (the LCRS library).
+MOBILE_BROWSER_WASM = DeviceProfile(
+    name="mobile-browser-wasm",
+    flops_per_second=1.5e9,
+    binary_speedup=16.0,
+    layer_overhead_ms=0.10,
+    model_parse_bytes_per_second=40e6,
+)
+
+#: Same phone, plain JavaScript engine (Keras.js/CaffeJS-class frameworks).
+MOBILE_BROWSER_JS = DeviceProfile(
+    name="mobile-browser-js",
+    flops_per_second=0.4e9,
+    binary_speedup=4.0,
+    layer_overhead_ms=0.25,
+    model_parse_bytes_per_second=15e6,
+)
+
+#: IBM X3640M4 edge server (Xeon E5-2640).
+EDGE_SERVER = DeviceProfile(
+    name="edge-server",
+    flops_per_second=40e9,
+    binary_speedup=8.0,
+    layer_overhead_ms=0.01,
+    model_parse_bytes_per_second=2e9,
+)
+
+#: Remote cloud: faster silicon, but reached through a worse link.
+CLOUD_SERVER = DeviceProfile(
+    name="cloud-server",
+    flops_per_second=120e9,
+    binary_speedup=8.0,
+    layer_overhead_ms=0.01,
+    model_parse_bytes_per_second=4e9,
+)
+
+DEVICE_PRESETS: dict[str, DeviceProfile] = {
+    profile.name: profile
+    for profile in (MOBILE_BROWSER_WASM, MOBILE_BROWSER_JS, EDGE_SERVER, CLOUD_SERVER)
+}

@@ -1,0 +1,289 @@
+"""Byte-level browser↔edge message protocol.
+
+The paper's library exchanges intermediate results over HTTP/WebSocket;
+this module pins down the wire contract so the collaboration boundary is
+byte-realistic: every message is a framed, versioned, self-describing
+blob that either side can encode/decode without sharing Python objects.
+
+Frame layout (little endian)::
+
+    magic   b"LCRP"
+    version u8
+    type    u8           (MessageType)
+    length  u32          payload bytes
+    payload type-specific (see each message's pack/unpack)
+
+Messages:
+
+* ``InferenceRequest``  — browser → edge: conv1 features (through a
+  :mod:`feature codec <repro.runtime.feature_codec>`), session/sequence
+  ids for correlation.
+* ``InferenceResponse`` — edge → browser: class id + confidence.
+* ``ModelRequest`` / ``ModelResponse`` — bundle fetch at page load.
+* ``ErrorResponse``     — structured failure (unknown codec, bad shape).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from .feature_codec import FEATURE_CODECS, get_codec
+
+MAGIC = b"LCRP"
+PROTOCOL_VERSION = 1
+_HEADER = struct.Struct("<4sBBI")
+
+
+class ProtocolError(ValueError):
+    """Raised on malformed frames."""
+
+
+class MessageType(enum.IntEnum):
+    INFERENCE_REQUEST = 1
+    INFERENCE_RESPONSE = 2
+    MODEL_REQUEST = 3
+    MODEL_RESPONSE = 4
+    ERROR = 5
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """Browser → edge: classify these conv1 features."""
+
+    session_id: int
+    sequence: int
+    codec: str
+    feature_shape: tuple[int, ...]
+    payload: bytes
+
+    type = MessageType.INFERENCE_REQUEST
+
+    def pack(self) -> bytes:
+        header = json.dumps(
+            {
+                "session_id": self.session_id,
+                "sequence": self.sequence,
+                "codec": self.codec,
+                "shape": list(self.feature_shape),
+            }
+        ).encode("utf-8")
+        return struct.pack("<I", len(header)) + header + self.payload
+
+    @classmethod
+    def unpack(cls, body: bytes) -> "InferenceRequest":
+        if len(body) < 4:
+            raise ProtocolError("truncated inference request")
+        (hlen,) = struct.unpack("<I", body[:4])
+        if len(body) < 4 + hlen:
+            raise ProtocolError("truncated inference request header")
+        try:
+            meta = json.loads(body[4 : 4 + hlen].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"bad request header: {exc}") from exc
+        return cls(
+            session_id=int(meta["session_id"]),
+            sequence=int(meta["sequence"]),
+            codec=str(meta["codec"]),
+            feature_shape=tuple(int(d) for d in meta["shape"]),
+            payload=body[4 + hlen :],
+        )
+
+    def features(self) -> np.ndarray:
+        """Decode the carried tensor through the named codec."""
+        return get_codec(self.codec).decode(self.payload, self.feature_shape)
+
+    @classmethod
+    def from_features(
+        cls, session_id: int, sequence: int, codec_name: str, features: np.ndarray
+    ) -> "InferenceRequest":
+        codec = get_codec(codec_name)
+        return cls(
+            session_id=session_id,
+            sequence=sequence,
+            codec=codec_name,
+            feature_shape=tuple(features.shape),
+            payload=codec.encode(features),
+        )
+
+
+@dataclass(frozen=True)
+class InferenceResponse:
+    """Edge → browser: the main branch's answer."""
+
+    session_id: int
+    sequence: int
+    class_id: int
+    confidence: float
+
+    type = MessageType.INFERENCE_RESPONSE
+    _BODY = struct.Struct("<QQif")
+
+    def pack(self) -> bytes:
+        return self._BODY.pack(
+            self.session_id, self.sequence, self.class_id, self.confidence
+        )
+
+    @classmethod
+    def unpack(cls, body: bytes) -> "InferenceResponse":
+        if len(body) != cls._BODY.size:
+            raise ProtocolError("bad inference response size")
+        session_id, sequence, class_id, confidence = cls._BODY.unpack(body)
+        return cls(session_id, sequence, class_id, confidence)
+
+
+@dataclass(frozen=True)
+class ModelRequest:
+    """Browser → edge: fetch a named bundle (page-load path)."""
+
+    bundle_name: str
+
+    type = MessageType.MODEL_REQUEST
+
+    def pack(self) -> bytes:
+        return self.bundle_name.encode("utf-8")
+
+    @classmethod
+    def unpack(cls, body: bytes) -> "ModelRequest":
+        try:
+            return cls(bundle_name=body.decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("bad model request name") from exc
+
+
+@dataclass(frozen=True)
+class ModelResponse:
+    """Edge → browser: the requested ``.lcrs`` payload."""
+
+    bundle_name: str
+    payload: bytes
+
+    type = MessageType.MODEL_RESPONSE
+
+    def pack(self) -> bytes:
+        name = self.bundle_name.encode("utf-8")
+        return struct.pack("<I", len(name)) + name + self.payload
+
+    @classmethod
+    def unpack(cls, body: bytes) -> "ModelResponse":
+        if len(body) < 4:
+            raise ProtocolError("truncated model response")
+        (nlen,) = struct.unpack("<I", body[:4])
+        if len(body) < 4 + nlen:
+            raise ProtocolError("truncated model response name")
+        return cls(
+            bundle_name=body[4 : 4 + nlen].decode("utf-8"),
+            payload=body[4 + nlen :],
+        )
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """Edge → browser: structured failure."""
+
+    code: int
+    message: str
+
+    type = MessageType.ERROR
+
+    def pack(self) -> bytes:
+        return struct.pack("<I", self.code) + self.message.encode("utf-8")
+
+    @classmethod
+    def unpack(cls, body: bytes) -> "ErrorResponse":
+        if len(body) < 4:
+            raise ProtocolError("truncated error response")
+        (code,) = struct.unpack("<I", body[:4])
+        return cls(code=code, message=body[4:].decode("utf-8", errors="replace"))
+
+
+Message = Union[
+    InferenceRequest, InferenceResponse, ModelRequest, ModelResponse, ErrorResponse
+]
+
+_DECODERS = {
+    MessageType.INFERENCE_REQUEST: InferenceRequest.unpack,
+    MessageType.INFERENCE_RESPONSE: InferenceResponse.unpack,
+    MessageType.MODEL_REQUEST: ModelRequest.unpack,
+    MessageType.MODEL_RESPONSE: ModelResponse.unpack,
+    MessageType.ERROR: ErrorResponse.unpack,
+}
+
+
+def encode_frame(message: Message) -> bytes:
+    """Wrap a message in the versioned wire frame."""
+    body = message.pack()
+    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, int(message.type), len(body)) + body
+
+
+def decode_frame(frame: bytes) -> Message:
+    """Parse one frame; raises :class:`ProtocolError` on any corruption."""
+    if len(frame) < _HEADER.size:
+        raise ProtocolError("frame shorter than header")
+    magic, version, mtype, length = _HEADER.unpack(frame[: _HEADER.size])
+    if magic != MAGIC:
+        raise ProtocolError("bad magic")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    body = frame[_HEADER.size :]
+    if len(body) != length:
+        raise ProtocolError(f"frame length mismatch: header says {length}, got {len(body)}")
+    try:
+        decoder = _DECODERS[MessageType(mtype)]
+    except ValueError as exc:
+        raise ProtocolError(f"unknown message type {mtype}") from exc
+    return decoder(body)
+
+
+class EdgeProtocolServer:
+    """Message-level façade over an :class:`~repro.runtime.session.EdgeEndpoint`.
+
+    ``handle`` consumes one encoded frame and returns one encoded frame —
+    the same contract an HTTP handler would satisfy, so the deployment
+    story can be tested end to end at byte granularity.
+    """
+
+    def __init__(self, endpoint, bundles: dict[str, bytes] | None = None) -> None:
+        self.endpoint = endpoint
+        self.bundles = dict(bundles or {})
+
+    def handle(self, frame: bytes) -> bytes:
+        try:
+            message = decode_frame(frame)
+        except ProtocolError as exc:
+            return encode_frame(ErrorResponse(code=400, message=str(exc)))
+
+        if isinstance(message, InferenceRequest):
+            try:
+                features = message.features()
+            except Exception as exc:  # codec/shape errors become 422s
+                return encode_frame(ErrorResponse(code=422, message=str(exc)))
+            logits = self.endpoint.infer(features)
+            probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+            probs /= probs.sum(axis=1, keepdims=True)
+            class_id = int(logits.argmax(axis=1)[0])
+            return encode_frame(
+                InferenceResponse(
+                    session_id=message.session_id,
+                    sequence=message.sequence,
+                    class_id=class_id,
+                    confidence=float(probs[0, class_id]),
+                )
+            )
+        if isinstance(message, ModelRequest):
+            payload = self.bundles.get(message.bundle_name)
+            if payload is None:
+                return encode_frame(
+                    ErrorResponse(code=404, message=f"no bundle {message.bundle_name!r}")
+                )
+            return encode_frame(
+                ModelResponse(bundle_name=message.bundle_name, payload=payload)
+            )
+        return encode_frame(
+            ErrorResponse(code=405, message=f"cannot serve {type(message).__name__}")
+        )

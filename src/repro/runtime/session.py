@@ -1,0 +1,315 @@
+"""End-to-end LCRS deployment: real inference + simulated distribution.
+
+This is the system of Figure 8 in executable form.  The *computation* is
+real — the browser side executes the serialized ``.lcrs`` bundle through
+the bit-packed interpreter, the edge side executes the main trunk through
+the training framework — while the *distribution* (link transfers, device
+speeds, page loads) is priced by the latency model, since the physical
+testbed (HUAWEI Mate 9, IBM X3640M4, 4G) is not available offline.
+
+Message flow per sample (Algorithm 2 over the wire):
+
+1. browser: ``features = stem(x)`` then ``logits_b = branch(features)``;
+2. browser: ``S(softmax(logits_b)) < τ`` → answer locally, done;
+3. otherwise: POST ``features`` (fp32 conv1 output) → edge;
+4. edge: ``logits_m = trunk(features)`` → respond with the class id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.entropy import normalized_entropy
+from ..core.system import LCRS
+from ..nn import Sequential
+from ..nn.autograd import Tensor, no_grad
+from ..nn.functional import softmax
+from ..nn.module import Module
+from ..profiling import FLOAT_BYTES, NetworkProfile
+from ..wasm import WasmModel, serialize_browser_bundle
+from .latency import (
+    ComputeStep,
+    ExecutionPlan,
+    Location,
+    ModelLoadStep,
+    SampleCost,
+    SessionTrace,
+    TransferStep,
+    profile_compute_step,
+    simulate_plan,
+)
+from .feature_codec import FP32_CODEC, FeatureCodec
+from .network import NetworkLink
+from .protocol import (
+    EdgeProtocolServer,
+    ErrorResponse,
+    InferenceRequest,
+    InferenceResponse,
+    decode_frame,
+    encode_frame,
+)
+from .profiles import DeviceProfile, EDGE_SERVER, MOBILE_BROWSER_WASM
+
+#: Bytes of the classification response message (class id + confidence).
+RESULT_BYTES = 64
+
+
+@dataclass(frozen=True)
+class RecognitionOutcome:
+    """One sample's journey through the deployed system."""
+
+    index: int
+    prediction: int
+    exited_locally: bool
+    entropy: float
+    cost: SampleCost
+
+
+@dataclass
+class SessionResult:
+    """A full session: outcomes plus the aggregate latency trace."""
+
+    outcomes: list[RecognitionOutcome]
+    trace: SessionTrace
+
+    @property
+    def predictions(self) -> np.ndarray:
+        return np.array([o.prediction for o in self.outcomes])
+
+    @property
+    def exit_rate(self) -> float:
+        return float(np.mean([o.exited_locally for o in self.outcomes]))
+
+    def accuracy(self, labels: np.ndarray) -> float:
+        return float((self.predictions == np.asarray(labels)).mean())
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.trace.mean_latency_ms
+
+
+class EdgeEndpoint:
+    """The edge server's inference service: conv1 features → class logits."""
+
+    def __init__(self, trunk: Module) -> None:
+        self._trunk = trunk
+        self.requests_served = 0
+
+    def infer(self, features: np.ndarray) -> np.ndarray:
+        self._trunk.eval()
+        with no_grad():
+            logits = self._trunk(Tensor(features)).data
+        self.requests_served += len(features)
+        return logits
+
+
+class BrowserClient:
+    """The mobile web browser: loads the ``.lcrs`` bundles, runs them.
+
+    The stem and branch ship as separate engine instances because the
+    stem output must be retained for possible upload to the edge —
+    "the mobile web browser frees them after sending them to the edge
+    server" (§IV-A).
+    """
+
+    def __init__(self, stem_payload: bytes, branch_payload: bytes, threshold: float) -> None:
+        self.stem_engine = WasmModel.load(stem_payload)
+        self.branch_engine = WasmModel.load(branch_payload)
+        self.threshold = threshold
+        self.loaded_bytes = len(stem_payload) + len(branch_payload)
+
+    def process(self, image: np.ndarray) -> tuple[np.ndarray, np.ndarray, float, bool]:
+        """Run the local pipeline on one CHW image.
+
+        Returns (features, binary_logits, entropy, exit_decision).
+        """
+        features = self.stem_engine.forward(image[None])
+        logits = self.branch_engine.forward(features)
+        probs = softmax(logits, axis=1)
+        entropy = float(normalized_entropy(probs, axis=1)[0])
+        return features, logits, entropy, entropy < self.threshold
+
+
+@dataclass
+class LCRSAssets:
+    """Deployment artifacts of a composite model, independent of training.
+
+    Everything the latency engine needs to price LCRS — serialized
+    bundle bytes, per-side profiles, the feature-transfer size — is a
+    function of the *architecture* alone, so untrained models can drive
+    the Table II/III and Figure 6/7 harnesses.
+    """
+
+    network: str
+    stem_payload: bytes
+    branch_payload: bytes
+    stem_profile: NetworkProfile
+    branch_profile: NetworkProfile
+    trunk_profile: NetworkProfile
+    feature_bytes: int
+
+    @property
+    def bundle_bytes(self) -> int:
+        """On-the-wire browser download (the Figure 7 LCRS bar)."""
+        return len(self.stem_payload) + len(self.branch_payload)
+
+    def plan(self, codec: FeatureCodec = FP32_CODEC) -> ExecutionPlan:
+        """The LCRS execution plan for the latency engine.
+
+        ``codec`` determines the miss-path feature payload size; the
+        paper's behaviour is fp32 (the default).
+        """
+        browser_compute = ComputeStep(
+            location=Location.BROWSER,
+            float_flops=self.stem_profile.float_flops + self.branch_profile.float_flops,
+            binary_flops=self.branch_profile.binary_flops,
+            num_layers=len(self.stem_profile) + len(self.branch_profile),
+            label="stem+binary-branch",
+        )
+        feature_shape = tuple(self.trunk_profile.layers[0].input_shape[1:])
+        feature_wire_bytes = codec.wire_bytes(feature_shape)
+        return ExecutionPlan(
+            approach="lcrs",
+            network=self.network,
+            setup_steps=[ModelLoadStep(self.bundle_bytes, label="load .lcrs bundle")],
+            per_sample_steps=[browser_compute],
+            miss_steps=[
+                TransferStep(
+                    feature_wire_bytes, upload=True,
+                    label=f"conv1 features ({codec.name})",
+                ),
+                profile_compute_step(self.trunk_profile, Location.EDGE, "main trunk"),
+                TransferStep(RESULT_BYTES, upload=False, label="result"),
+            ],
+        )
+
+
+def build_lcrs_assets(model) -> LCRSAssets:
+    """Extract deployment assets from a :class:`CompositeNetwork`."""
+    input_shape = (model.in_channels, model.input_size, model.input_size)
+    stem_shape = model.stem_output_shape
+    return LCRSAssets(
+        network=model.base_name,
+        stem_payload=serialize_browser_bundle(model.stem, input_shape),
+        branch_payload=serialize_browser_bundle(model.binary_branch, stem_shape),
+        stem_profile=NetworkProfile.of(model.stem, input_shape),
+        branch_profile=NetworkProfile.of(model.binary_branch, stem_shape),
+        trunk_profile=NetworkProfile.of(model.main_trunk, stem_shape),
+        feature_bytes=int(np.prod(stem_shape)) * FLOAT_BYTES,
+    )
+
+
+class LCRSDeployment:
+    """Deployed LCRS system: a browser client, an edge endpoint, a link."""
+
+    def __init__(
+        self,
+        system: LCRS,
+        link: NetworkLink,
+        browser_device: DeviceProfile = MOBILE_BROWSER_WASM,
+        edge_device: DeviceProfile = EDGE_SERVER,
+        feature_codec: FeatureCodec = FP32_CODEC,
+    ) -> None:
+        if system.calibration is None:
+            raise RuntimeError("calibrate the system before deploying it")
+        self.system = system
+        self.link = link
+        self.browser_device = browser_device
+        self.edge_device = edge_device
+        self.feature_codec = feature_codec
+
+        self.assets = build_lcrs_assets(system.model)
+        self.browser = BrowserClient(
+            self.assets.stem_payload, self.assets.branch_payload, system.threshold
+        )
+        self.edge = EdgeEndpoint(system.model.main_trunk)
+        # Misses travel as protocol frames: encode(features) → frame →
+        # server → frame → class id, so the wire contract is exercised
+        # on every collaborative sample.
+        self._edge_server = EdgeProtocolServer(
+            self.edge,
+            bundles={
+                system.model.base_name: self.assets.stem_payload
+                + self.assets.branch_payload
+            },
+        )
+        self._session_id = id(self) & 0xFFFFFFFF
+
+    def plan(self) -> ExecutionPlan:
+        """The LCRS execution plan for the latency engine."""
+        return self.assets.plan(codec=self.feature_codec)
+
+    # ------------------------------------------------------------------
+    # Real execution with priced timing
+    # ------------------------------------------------------------------
+    def run_session(
+        self, images: np.ndarray, cold_start: bool = False
+    ) -> SessionResult:
+        """Process an image stream through the deployed system.
+
+        Computation is real (every prediction comes from the bit-packed
+        engines / the trunk); per-sample costs come from the latency
+        model with the link's jitter applied per transfer.
+        """
+        plan = self.plan()
+        outcomes: list[RecognitionOutcome] = []
+        costs: list[SampleCost] = []
+
+        for i, image in enumerate(images):
+            features, logits, entropy, exit_locally = self.browser.process(image)
+
+            if exit_locally:
+                prediction = int(logits.argmax(axis=1)[0])
+            else:
+                # The features cross the wire as a protocol frame through
+                # the configured codec, so both the byte contract and any
+                # quantization loss are exercised for real.
+                request = InferenceRequest.from_features(
+                    self._session_id, i, self.feature_codec.name, features
+                )
+                reply = decode_frame(self._edge_server.handle(encode_frame(request)))
+                if isinstance(reply, ErrorResponse):
+                    raise RuntimeError(
+                        f"edge rejected inference request: {reply.message}"
+                    )
+                assert isinstance(reply, InferenceResponse)
+                prediction = reply.class_id
+
+            trace = simulate_plan(
+                plan,
+                num_samples=1,
+                link=self.link,
+                browser=self.browser_device,
+                edge=self.edge_device,
+                cold_start=True,
+                miss_mask=[not exit_locally],
+                # The bundle loads on the first visit only unless every
+                # scan is a fresh page load (cold_start).
+                include_setup=cold_start or i == 0,
+            )
+            cost = trace.samples[0]
+            costs.append(cost)
+            outcomes.append(
+                RecognitionOutcome(
+                    index=i,
+                    prediction=prediction,
+                    exited_locally=exit_locally,
+                    entropy=entropy,
+                    cost=cost,
+                )
+            )
+
+        return SessionResult(
+            outcomes=outcomes,
+            trace=SessionTrace(
+                approach="lcrs", network=self.system.model.base_name, samples=costs
+            ),
+        )
+
+    @property
+    def bundle_bytes(self) -> int:
+        """Bytes the browser downloads (the Figure 7 LCRS bar)."""
+        return self.browser.loaded_bytes

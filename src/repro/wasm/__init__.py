@@ -1,0 +1,36 @@
+"""Browser inference library analog: model format, bit-packed interpreter.
+
+Reproduces the paper's JavaScript/WASM pipeline (Figure 3): serialize the
+browser bundle, execute it standalone with XNOR+popcount kernels, and
+validate against the training framework.
+"""
+
+from .bitpack import pack_rows_with_mask, pack_signs, packed_dot, unpack_signs
+from .interpreter import WasmModel
+from .model_format import (
+    FORMAT_VERSION,
+    MAGIC,
+    ModelFormatError,
+    ParsedModel,
+    iter_leaf_modules,
+    parse_model,
+    serialize_browser_bundle,
+)
+from .validation import ValidationReport, validate_bundle
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "ModelFormatError",
+    "ParsedModel",
+    "ValidationReport",
+    "WasmModel",
+    "iter_leaf_modules",
+    "pack_rows_with_mask",
+    "pack_signs",
+    "packed_dot",
+    "parse_model",
+    "serialize_browser_bundle",
+    "unpack_signs",
+    "validate_bundle",
+]

@@ -1,0 +1,97 @@
+"""Bit-packing utilities for binary weights and activations.
+
+The browser library ships binary filters as packed bitplanes (1 bit per
+weight) and executes convolutions as XNOR + popcount.  For ±1 vectors a
+and b of length n, the dot product is::
+
+    a · b = popcount(~(va ^ vb)) - popcount(va ^ vb) = n - 2·popcount(va ^ vb)
+
+where ``va``/``vb`` are the value bitplanes (bit = 1 encodes +1).  Zero
+padding introduces a third symbol, so activations carry a *mask* bitplane
+(bit = 1 where the element is real); the dot product then only counts
+positions where the mask is set::
+
+    a · b = popcount(~(va ^ vb) & m) - popcount((va ^ vb) & m)
+
+``popcount`` maps to ``numpy.bitwise_count`` — the same single-instruction
+primitive a WASM/SIMD implementation uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pack_signs(signs: np.ndarray) -> tuple[np.ndarray, int]:
+    """Pack a ±1 (or boolean) array's rows into uint8 bitplanes.
+
+    Input shape ``(rows, n)``; output shape ``(rows, ceil(n/8))`` plus the
+    original row length.  Bit order is big-endian within each byte
+    (numpy ``packbits`` default).
+    """
+    signs = np.asarray(signs)
+    if signs.ndim != 2:
+        raise ValueError(f"expected 2-D (rows, n), got shape {signs.shape}")
+    bits = (signs > 0).astype(np.uint8)
+    return np.packbits(bits, axis=1), signs.shape[1]
+
+
+def unpack_signs(packed: np.ndarray, length: int) -> np.ndarray:
+    """Inverse of :func:`pack_signs`: returns float32 ±1 rows."""
+    bits = np.unpackbits(packed, axis=1, count=length)
+    return np.where(bits > 0, 1.0, -1.0).astype(np.float32)
+
+
+def packed_dot(
+    va: np.ndarray,
+    vb: np.ndarray,
+    mask: np.ndarray | None = None,
+    length: int | None = None,
+) -> np.ndarray:
+    """Signed dot products between two packed bitplane matrices.
+
+    ``va`` has shape ``(p, bytes)``, ``vb`` has shape ``(q, bytes)``;
+    the result is the ``(p, q)`` matrix of ±1 dot products.  ``mask``
+    (shape ``(p, bytes)``) marks valid bit positions of each ``va`` row —
+    pass it when rows contain zero padding.  Without a mask, ``length``
+    (the true bit count) must be given so byte-alignment padding bits are
+    discounted.
+    """
+    va = np.asarray(va, dtype=np.uint8)
+    vb = np.asarray(vb, dtype=np.uint8)
+    if va.shape[1] != vb.shape[1]:
+        raise ValueError("bitplane byte widths differ")
+
+    xor = np.bitwise_xor(va[:, None, :], vb[None, :, :])  # (p, q, bytes)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=np.uint8)
+        mismatches = np.bitwise_count(np.bitwise_and(xor, mask[:, None, :])).sum(
+            axis=2, dtype=np.int64
+        )
+        valid = np.bitwise_count(mask).sum(axis=1, dtype=np.int64)[:, None]  # (p, 1)
+        return (valid - 2 * mismatches).astype(np.float32)
+
+    if length is None:
+        raise ValueError("length is required when no mask is given")
+    mismatches = np.bitwise_count(xor).sum(axis=2, dtype=np.int64)
+    # Alignment padding bits are zero in both planes, so they register as
+    # matches; subtracting them from the match count needs the true length.
+    total_bits = va.shape[1] * 8
+    matches = total_bits - mismatches - (total_bits - length)
+    return (matches - mismatches).astype(np.float32)
+
+
+def pack_rows_with_mask(
+    values: np.ndarray, valid: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pack activation rows that may contain zero padding.
+
+    ``values`` holds the signed data (sign of zero is +1, matching the
+    training framework's ``sign_ste``); ``valid`` is a boolean array of
+    the same shape marking real (non-padding) positions.
+    """
+    if values.shape != valid.shape:
+        raise ValueError("values and valid must have equal shapes")
+    vbits = np.packbits((values > 0).astype(np.uint8) & valid.astype(np.uint8), axis=1)
+    mbits = np.packbits(valid.astype(np.uint8), axis=1)
+    return vbits, mbits

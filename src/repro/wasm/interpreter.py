@@ -1,0 +1,225 @@
+"""Standalone browser-side inference engine for ``.lcrs`` models.
+
+This is the reproduction of the paper's JavaScript/WASM library
+(Figure 3): an interpreter that executes the browser bundle *from the
+serialized bytes alone* — no training-framework objects — using the
+integer XNOR + popcount kernels a WASM implementation would use for the
+binary layers.  The paper validates its library against PyTorch outputs;
+:mod:`repro.wasm.validation` performs the same cross-check against the
+training framework.
+
+Zero padding makes binarized convolution inputs ternary {−1, 0, +1}, so
+activations are packed as value+mask bitplane pairs; see
+:mod:`repro.wasm.bitpack` for the masked popcount dot product.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .bitpack import pack_rows_with_mask, pack_signs, packed_dot, unpack_signs
+from .model_format import ModelFormatError, ParsedModel, parse_model
+
+
+def _im2col_with_mask(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """im2col returning both columns and a padding-validity mask."""
+    n, c, h, w = x.shape
+    oh = (h + 2 * padding - kernel) // stride + 1
+    ow = (w + 2 * padding - kernel) // stride + 1
+    if padding > 0:
+        xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        valid = np.zeros((1, 1, h + 2 * padding, w + 2 * padding), dtype=bool)
+        valid[:, :, padding : padding + h, padding : padding + w] = True
+        valid = np.broadcast_to(valid, xp.shape)
+    else:
+        xp = x
+        valid = np.ones_like(xp, dtype=bool)
+
+    def unfold(a: np.ndarray) -> np.ndarray:
+        s0, s1, s2, s3 = a.strides
+        win = np.lib.stride_tricks.as_strided(
+            a,
+            shape=(n, c, oh, ow, kernel, kernel),
+            strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+            writeable=False,
+        )
+        return win.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kernel * kernel)
+
+    return unfold(xp), unfold(np.ascontiguousarray(valid)), oh, ow
+
+
+class WasmModel:
+    """Executable ``.lcrs`` model.
+
+    The constructor compiles the parsed layer specs into a list of
+    numpy kernels; :meth:`forward` runs them in order.  Binary layers
+    pre-pack their weight bitplanes once at load time, exactly as the
+    WASM module would keep them resident in linear memory.
+    """
+
+    def __init__(self, parsed: ParsedModel) -> None:
+        self.input_shape = parsed.input_shape
+        self.metadata = parsed.metadata
+        self._ops: list[Callable[[np.ndarray], np.ndarray]] = []
+        self._build(parsed)
+
+    @classmethod
+    def load(cls, payload: bytes) -> "WasmModel":
+        return cls(parse_model(payload))
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _build(self, parsed: ParsedModel) -> None:
+        for spec in parsed.layers:
+            kind = spec["type"]
+            builder = getattr(self, f"_op_{kind}", None)
+            if builder is None:
+                raise ModelFormatError(f"interpreter has no kernel for {kind!r}")
+            self._ops.append(builder(spec, parsed))
+
+    # -- float layers ---------------------------------------------------
+    def _op_conv2d(self, spec: dict, parsed: ParsedModel) -> Callable:
+        weight = parsed.buffer(spec["weight"]).astype(np.float32)
+        bias = parsed.buffer(spec["bias"]).astype(np.float32) if "bias" in spec else None
+        k = int(spec["kernel_size"])
+        stride = int(spec["stride"])
+        padding = int(spec["padding"])
+        oc = int(spec["out_channels"])
+        w_mat = weight.reshape(oc, -1)
+
+        def op(x: np.ndarray) -> np.ndarray:
+            cols, _, oh, ow = _im2col_with_mask(x, k, stride, padding)
+            out = cols @ w_mat.T
+            if bias is not None:
+                out = out + bias
+            return out.reshape(x.shape[0], oh, ow, oc).transpose(0, 3, 1, 2)
+
+        return op
+
+    def _op_linear(self, spec: dict, parsed: ParsedModel) -> Callable:
+        weight = parsed.buffer(spec["weight"]).astype(np.float32)
+        bias = parsed.buffer(spec["bias"]).astype(np.float32) if "bias" in spec else None
+
+        def op(x: np.ndarray) -> np.ndarray:
+            out = x @ weight.T
+            return out + bias if bias is not None else out
+
+        return op
+
+    def _op_batch_norm(self, spec: dict, parsed: ParsedModel) -> Callable:
+        gamma = parsed.buffer(spec["gamma"]).astype(np.float32)
+        beta = parsed.buffer(spec["beta"]).astype(np.float32)
+        mean = parsed.buffer(spec["running_mean"]).astype(np.float32)
+        var = parsed.buffer(spec["running_var"]).astype(np.float32)
+        eps = float(spec["eps"])
+        scale = gamma / np.sqrt(var + eps)
+        shift = beta - mean * scale
+
+        def op(x: np.ndarray) -> np.ndarray:
+            if x.ndim == 4:
+                return x * scale[None, :, None, None] + shift[None, :, None, None]
+            return x * scale + shift
+
+        return op
+
+    def _op_relu(self, spec: dict, parsed: ParsedModel) -> Callable:
+        return lambda x: np.maximum(x, 0.0)
+
+    def _op_flatten(self, spec: dict, parsed: ParsedModel) -> Callable:
+        return lambda x: x.reshape(x.shape[0], -1)
+
+    def _op_max_pool2d(self, spec: dict, parsed: ParsedModel) -> Callable:
+        k = int(spec["kernel_size"])
+        stride = int(spec["stride"])
+
+        def op(x: np.ndarray) -> np.ndarray:
+            n, c, h, w = x.shape
+            cols, _, oh, ow = _im2col_with_mask(x, k, stride, 0)
+            cols = cols.reshape(-1, c, k * k)
+            return cols.max(axis=2).reshape(n, oh, ow, c).transpose(0, 3, 1, 2)
+
+        return op
+
+    def _op_global_avg_pool2d(self, spec: dict, parsed: ParsedModel) -> Callable:
+        return lambda x: x.mean(axis=(2, 3))
+
+    # -- binary layers ----------------------------------------------------
+    def _op_binary_conv2d(self, spec: dict, parsed: ParsedModel) -> Callable:
+        packed_w = parsed.buffer(spec["weight_bits"]).astype(np.uint8)
+        alpha = parsed.buffer(spec["alpha"]).astype(np.float32)
+        bias = parsed.buffer(spec["bias"]).astype(np.float32) if "bias" in spec else None
+        k = int(spec["kernel_size"])
+        stride = int(spec["stride"])
+        padding = int(spec["padding"])
+        oc = int(spec["out_channels"])
+        binarize_input = bool(spec["binarize_input"])
+
+        def op(x: np.ndarray) -> np.ndarray:
+            n = x.shape[0]
+            if binarize_input:
+                # K matrix of Eq. 4 from the float input, as in training.
+                a = np.abs(x).mean(axis=1, keepdims=True)
+                kcols, _, oh, ow = _im2col_with_mask(a, k, stride, padding)
+                kfac = kcols.mean(axis=1)
+
+                signed = np.where(x >= 0, 1.0, -1.0).astype(np.float32)
+                cols, valid, oh, ow = _im2col_with_mask(signed, k, stride, padding)
+                vbits, mbits = pack_rows_with_mask(cols, valid)
+                dots = packed_dot(vbits, packed_w, mask=mbits)  # (N*OH*OW, OC)
+                out = dots * alpha[None, :] * kfac[:, None]
+            else:
+                signs = unpack_signs(packed_w, int(spec["bit_length"]))
+                cols, _, oh, ow = _im2col_with_mask(x, k, stride, padding)
+                out = (cols @ signs.T) * alpha[None, :]
+            if bias is not None:
+                out = out + bias
+            return out.reshape(n, oh, ow, oc).transpose(0, 3, 1, 2).astype(np.float32)
+
+        return op
+
+    def _op_binary_linear(self, spec: dict, parsed: ParsedModel) -> Callable:
+        packed_w = parsed.buffer(spec["weight_bits"]).astype(np.uint8)
+        alpha = parsed.buffer(spec["alpha"]).astype(np.float32)
+        bias = parsed.buffer(spec["bias"]).astype(np.float32) if "bias" in spec else None
+        bit_length = int(spec["bit_length"])
+        binarize_input = bool(spec["binarize_input"])
+
+        def op(x: np.ndarray) -> np.ndarray:
+            if binarize_input:
+                beta = np.abs(x).mean(axis=1, keepdims=True)
+                signed = np.where(x >= 0, 1.0, -1.0).astype(np.float32)
+                vbits, _ = pack_signs(signed)
+                dots = packed_dot(vbits, packed_w, length=bit_length)
+                out = dots * alpha[None, :] * beta
+            else:
+                signs = unpack_signs(packed_w, bit_length)
+                out = (x @ signs.T) * alpha[None, :]
+            if bias is not None:
+                out = out + bias
+            return out.astype(np.float32)
+
+        return op
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the full bundle on an NCHW float32 batch."""
+        x = np.ascontiguousarray(x, dtype=np.float32)
+        expected = tuple(self.input_shape)
+        if tuple(x.shape[1:]) != expected:
+            raise ValueError(f"expected input shape (N, {expected}), got {x.shape}")
+        for op in self._ops:
+            x = op(x)
+        return x
+
+    __call__ = forward
+
+    @property
+    def num_ops(self) -> int:
+        return len(self._ops)

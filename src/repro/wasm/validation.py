@@ -1,0 +1,77 @@
+"""Cross-validation of the browser engine against the training framework.
+
+Mirrors the paper's §IV-C: "We also validate the correctness of our
+implementation by comparing the outputs to the inference of Pytorch."
+Here the reference is :mod:`repro.nn`; the device under test is the
+bit-packed interpreter executing the serialized bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..nn.autograd import Tensor, no_grad
+from ..nn.module import Module
+from .interpreter import WasmModel
+from .model_format import serialize_browser_bundle
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of one framework-vs-interpreter comparison."""
+
+    max_abs_error: float
+    mean_abs_error: float
+    argmax_agreement: float
+    num_samples: int
+    tolerance: float
+
+    @property
+    def passed(self) -> bool:
+        return self.max_abs_error <= self.tolerance
+
+
+def validate_bundle(
+    bundle: Module,
+    input_shape: tuple[int, int, int],
+    num_samples: int = 16,
+    tolerance: float = 1e-3,
+    rng: Optional[np.random.Generator] = None,
+) -> ValidationReport:
+    """Serialize ``bundle``, reload it, and compare outputs on random inputs.
+
+    The comparison runs the framework in eval mode (the interpreter has
+    no training mode by construction).  ``argmax_agreement`` is the rate
+    at which both engines pick the same class — the metric that actually
+    matters for Algorithm 2's exit decisions.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    payload = serialize_browser_bundle(bundle, input_shape)
+    engine = WasmModel.load(payload)
+
+    x = rng.standard_normal((num_samples,) + tuple(input_shape)).astype(np.float32)
+
+    was_training = bundle.training
+    bundle.eval()
+    with no_grad():
+        reference = bundle(Tensor(x)).data
+    bundle.train(was_training)
+
+    actual = engine.forward(x)
+    if reference.shape != actual.shape:
+        raise AssertionError(
+            f"shape mismatch: framework {reference.shape} vs interpreter {actual.shape}"
+        )
+
+    abs_err = np.abs(reference - actual)
+    agreement = float((reference.argmax(axis=1) == actual.argmax(axis=1)).mean())
+    return ValidationReport(
+        max_abs_error=float(abs_err.max()),
+        mean_abs_error=float(abs_err.mean()),
+        argmax_agreement=agreement,
+        num_samples=num_samples,
+        tolerance=tolerance,
+    )

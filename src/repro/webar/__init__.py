@@ -1,0 +1,26 @@
+"""Web AR application layer: scan→recognize→render pipeline and case studies."""
+
+from .cases import WebARCase, build_case, china_mobile_case, fenjiu_case
+from .pipeline import (
+    ARInteraction,
+    ARSessionReport,
+    CAMERA_FRAME_BYTES,
+    DEFAULT_RENDER_MS,
+    DEFAULT_SCAN_MS,
+    LCRSRecognizer,
+    WebARPipeline,
+)
+
+__all__ = [
+    "ARInteraction",
+    "ARSessionReport",
+    "CAMERA_FRAME_BYTES",
+    "DEFAULT_RENDER_MS",
+    "DEFAULT_SCAN_MS",
+    "LCRSRecognizer",
+    "WebARCase",
+    "WebARPipeline",
+    "build_case",
+    "china_mobile_case",
+    "fenjiu_case",
+]

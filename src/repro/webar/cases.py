@@ -1,0 +1,99 @@
+"""The two commercial case studies of §V-C: China Mobile and FenJiu.
+
+Each case builds its logo dataset (synthetic archetypes + the paper's
+augmentation recipe), joint-trains a composite network, calibrates the
+exit threshold, deploys it over a simulated 4G link, and runs AR
+sessions.  The paper's Figure 10 uses ResNet18 for the China Mobile
+case; both cases accept any registered main-branch network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.system import LCRS
+from ..core.training import JointTrainingConfig
+from ..data.dataset import ArrayDataset
+from ..data.logos import LogoDatasetConfig, make_logo_dataset
+from ..runtime.network import NetworkLink, four_g
+from ..runtime.profiles import DeviceProfile, EDGE_SERVER, MOBILE_BROWSER_WASM
+from ..runtime.session import LCRSDeployment
+from .pipeline import ARSessionReport, LCRSRecognizer, WebARPipeline
+
+
+@dataclass
+class WebARCase:
+    """A fully-provisioned AR case study, ready to run sessions."""
+
+    name: str
+    system: LCRS
+    deployment: LCRSDeployment
+    train: ArrayDataset
+    test: ArrayDataset
+
+    def run_session(
+        self, num_frames: int = 50, seed: int = 0, cold_start: bool = False
+    ) -> ARSessionReport:
+        """Simulate a user session of ``num_frames`` scans on test data."""
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, len(self.test), size=num_frames)
+        pipeline = WebARPipeline(
+            LCRSRecognizer(self.deployment, cold_start=cold_start), seed=seed
+        )
+        report = pipeline.run(self.test.images[idx], case_name=self.name)
+        return report
+
+    def session_labels(self, num_frames: int = 50, seed: int = 0) -> np.ndarray:
+        """Labels matching :meth:`run_session`'s frame draw."""
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, len(self.test), size=num_frames)
+        return self.test.labels[idx]
+
+
+def build_case(
+    case_name: str,
+    network: str = "resnet18",
+    logo_config: Optional[LogoDatasetConfig] = None,
+    training_config: Optional[JointTrainingConfig] = None,
+    link: Optional[NetworkLink] = None,
+    browser: DeviceProfile = MOBILE_BROWSER_WASM,
+    edge: DeviceProfile = EDGE_SERVER,
+    seed: int = 0,
+) -> WebARCase:
+    """Provision a named AR case end to end.
+
+    ``case_name`` selects which logo leads the dataset ("china_mobile"
+    or "fenjiu"); both logos plus a background class are always present,
+    mirroring the paper's two-brand demo.
+    """
+    logo_config = logo_config or LogoDatasetConfig(seed=seed + 11)
+    training_config = training_config or JointTrainingConfig(epochs=6, seed=seed)
+    link = link or four_g(seed=seed)
+
+    train, test = make_logo_dataset(logo_config)
+    system = LCRS.build(
+        network,
+        train,
+        training_config=training_config,
+        dataset_name=f"logos-{case_name}",
+        seed=seed,
+    )
+    system.fit(train, test)
+    system.calibrate(test)
+    deployment = LCRSDeployment(system, link, browser_device=browser, edge_device=edge)
+    return WebARCase(
+        name=case_name, system=system, deployment=deployment, train=train, test=test
+    )
+
+
+def china_mobile_case(**kwargs: object) -> WebARCase:
+    """The China Mobile logo-scanning case (Figure 9/10)."""
+    return build_case("china_mobile", **kwargs)
+
+
+def fenjiu_case(**kwargs: object) -> WebARCase:
+    """The FenJiu wine-bottle case (Figure 9)."""
+    return build_case("fenjiu", **kwargs)

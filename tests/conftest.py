@@ -1,0 +1,47 @@
+"""Shared fixtures: tiny datasets and a trained LCRS system.
+
+Expensive artifacts (the trained system) are session-scoped so the
+integration tests share one joint-training run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LCRS, JointTrainingConfig
+from repro.data import ArrayDataset, make_dataset
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_mnist() -> tuple[ArrayDataset, ArrayDataset]:
+    """Small synthetic MNIST-like split shared across tests."""
+    return make_dataset("mnist", 300, 120, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_cifar() -> tuple[ArrayDataset, ArrayDataset]:
+    return make_dataset("cifar10", 200, 80, seed=7)
+
+
+@pytest.fixture(scope="session")
+def trained_system(tiny_mnist) -> LCRS:
+    """A LeNet LCRS joint-trained on the tiny MNIST split and calibrated."""
+    train, test = tiny_mnist
+    system = LCRS.build(
+        "lenet",
+        train,
+        training_config=JointTrainingConfig(
+            epochs=5, batch_size=64, lr_main=2e-3, seed=0
+        ),
+        dataset_name="mnist",
+        seed=0,
+    )
+    system.fit(train)
+    system.calibrate(test)
+    return system

@@ -1,0 +1,106 @@
+"""Tests for the adaptive exit-threshold controller."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveThresholdController, simulate_adaptive_session
+
+
+def make_controller(**overrides):
+    defaults = dict(
+        tau_initial=0.2,
+        target_latency_ms=50.0,
+        tau_min=0.05,
+        tau_max=0.9,
+        gain=0.05,
+        window=10,
+    )
+    defaults.update(overrides)
+    return AdaptiveThresholdController(**defaults)
+
+
+class TestController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_controller(tau_initial=1.5)
+        with pytest.raises(ValueError):
+            make_controller(target_latency_ms=0)
+        with pytest.raises(ValueError):
+            make_controller(window=0)
+
+    def test_high_latency_raises_threshold(self):
+        controller = make_controller()
+        before = controller.threshold
+        for _ in range(5):
+            controller.observe(200.0)  # 4x over target
+        assert controller.threshold > before
+
+    def test_low_latency_lowers_threshold(self):
+        controller = make_controller(tau_initial=0.5)
+        for _ in range(5):
+            controller.observe(5.0)
+        assert controller.threshold < 0.5
+
+    def test_threshold_respects_bounds(self):
+        controller = make_controller(gain=1.0)
+        for _ in range(50):
+            controller.observe(1000.0)
+        assert controller.threshold <= controller.tau_max
+        controller2 = make_controller(gain=1.0, tau_initial=0.5)
+        for _ in range(50):
+            controller2.observe(0.0)
+        assert controller2.threshold >= controller2.tau_min
+
+    def test_window_limits_history_influence(self):
+        controller = make_controller(window=3)
+        for latency in (1000.0, 1000.0, 10.0, 10.0, 10.0):
+            controller.observe(latency)
+        assert controller.observed_latency_ms == pytest.approx(10.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            make_controller().observe(-1.0)
+
+    def test_reset(self):
+        controller = make_controller()
+        controller.observe(500.0)
+        controller.reset()
+        assert controller.threshold == controller.tau_initial
+        assert controller.observed_latency_ms is None
+
+
+class TestAdaptiveSession:
+    def make_stream(self, n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        entropies = rng.uniform(0, 1, n)
+        # A link that degrades sharply halfway through the session.
+        miss = np.where(np.arange(n) < n // 2, 80.0, 600.0)
+        return entropies, miss
+
+    def test_controller_adapts_to_degrading_link(self):
+        entropies, miss = self.make_stream()
+        adaptive = make_controller(tau_initial=0.3, target_latency_ms=60.0)
+        latencies, exits = simulate_adaptive_session(entropies, 5.0, miss, adaptive)
+
+        # Fixed threshold for comparison.
+        fixed_exits = entropies < 0.3
+        fixed_latencies = np.where(fixed_exits, 5.0, 5.0 + miss)
+
+        # In the degraded second half the controller must exit more and
+        # be faster on average than the fixed policy.
+        half = len(entropies) // 2
+        assert exits[half:].mean() > fixed_exits[half:].mean()
+        assert latencies[half:].mean() < fixed_latencies[half:].mean()
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            simulate_adaptive_session(
+                np.zeros(5), 1.0, np.zeros(4), make_controller()
+            )
+
+    def test_outputs_aligned(self):
+        entropies, miss = self.make_stream(50)
+        latencies, exits = simulate_adaptive_session(
+            entropies, 2.0, miss, make_controller()
+        )
+        assert len(latencies) == len(exits) == 50

@@ -1,0 +1,313 @@
+"""Unit tests for the reverse-mode autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.autograd import (
+    Tensor,
+    _unbroadcast,
+    backward,
+    concatenate,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    pad2d,
+    randn,
+    tensor,
+    zeros,
+)
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        old = x[i]
+        x[i] = old + eps
+        fp = f()
+        x[i] = old - eps
+        fm = f()
+        x[i] = old
+        grad[i] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_grad(build, x: np.ndarray, atol: float = 1e-4) -> None:
+    """Compare autograd's gradient with numerical differentiation."""
+    x = x.astype(np.float64)
+    t = Tensor(x.copy(), requires_grad=True)
+    out = build(t)
+    out.sum().backward()
+    num = numerical_grad(lambda: float(build(Tensor(x)).sum().item()), x)
+    assert t.grad is not None
+    np.testing.assert_allclose(t.grad, num, atol=atol)
+
+
+class TestTensorBasics:
+    def test_construction_casts_to_float32(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float32
+
+    def test_float64_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_shape_ndim_size(self):
+        t = zeros((2, 3, 4))
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+
+    def test_item_and_len(self):
+        assert Tensor(5.0).item() == 5.0
+        assert len(Tensor([1.0, 2.0])) == 2
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor(1.0, requires_grad=True))
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = (t * 2).detach()
+        assert not d.requires_grad
+        assert d._parents == ()
+
+    def test_zeros_ones_randn_factories(self):
+        assert zeros((2,)).data.sum() == 0
+        assert ones((2,)).data.sum() == 2
+        r = randn((100,), scale=0.5, rng=np.random.default_rng(0))
+        assert r.shape == (100,)
+
+    def test_tensor_factory(self):
+        t = tensor([1.0], requires_grad=True)
+        assert t.requires_grad
+
+
+class TestNoGrad:
+    def test_disables_recording(self):
+        with no_grad():
+            assert not is_grad_enabled()
+            t = Tensor([1.0], requires_grad=True)
+            out = t * 2
+        assert is_grad_enabled()
+        assert not t.requires_grad  # creation inside no_grad drops the flag
+        assert out._backward is None
+
+    def test_nested_restores(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert _unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_leading_axis_summed(self):
+        g = np.ones((4, 2, 3))
+        out = _unbroadcast(g, (2, 3))
+        np.testing.assert_array_equal(out, np.full((2, 3), 4.0))
+
+    def test_kept_axis_of_one(self):
+        g = np.ones((2, 3))
+        out = _unbroadcast(g, (1, 3))
+        np.testing.assert_array_equal(out, np.full((1, 3), 2.0))
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        check_grad(lambda t: t + 3.0, np.random.randn(3, 4))
+
+    def test_radd(self):
+        check_grad(lambda t: 3.0 + t, np.random.randn(3))
+
+    def test_sub_and_rsub(self):
+        check_grad(lambda t: t - 1.5, np.random.randn(4))
+        check_grad(lambda t: 1.5 - t, np.random.randn(4))
+
+    def test_mul(self):
+        check_grad(lambda t: t * t, np.random.randn(3, 3))
+
+    def test_div(self):
+        check_grad(lambda t: t / 2.0, np.random.randn(5))
+
+    def test_rdiv(self):
+        check_grad(lambda t: 1.0 / t, np.random.rand(5) + 1.0)
+
+    def test_pow(self):
+        check_grad(lambda t: t**3, np.random.rand(4) + 0.5)
+
+    def test_neg(self):
+        check_grad(lambda t: -t, np.random.randn(4))
+
+    def test_matmul(self):
+        w = np.random.randn(4, 3)
+        check_grad(lambda t: t @ Tensor(w), np.random.randn(2, 4))
+
+    def test_broadcast_add_gradient(self):
+        a = Tensor(np.random.randn(2, 3), requires_grad=True)
+        b = Tensor(np.random.randn(3), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, np.full(3, 2.0))
+
+
+class TestShapeOps:
+    def test_reshape_grad(self):
+        check_grad(lambda t: t.reshape(6) * 2, np.random.randn(2, 3))
+
+    def test_reshape_tuple_arg(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_grad(self):
+        check_grad(lambda t: t.transpose(1, 0) * 2, np.random.randn(2, 3))
+
+    def test_transpose_default_reverses(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.transpose().shape == (4, 3, 2)
+
+    def test_flatten_batch(self):
+        t = Tensor(np.zeros((5, 2, 3)))
+        assert t.flatten_batch().shape == (5, 6)
+
+    def test_getitem_grad(self):
+        t = Tensor(np.random.randn(4, 3), requires_grad=True)
+        t[1:3].sum().backward()
+        expected = np.zeros((4, 3))
+        expected[1:3] = 1.0
+        np.testing.assert_array_equal(t.grad, expected)
+
+
+class TestReductionsAndNonlinearities:
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = t.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones((2, 3)))
+
+    def test_mean_grad(self):
+        check_grad(lambda t: t.mean() * 6, np.random.randn(2, 3))
+
+    def test_mean_tuple_axis(self):
+        t = Tensor(np.ones((2, 3, 4)))
+        assert t.mean(axis=(1, 2)).shape == (2,)
+
+    def test_max_grad_splits_ties(self):
+        t = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, [[0.5, 0.5, 0.0]])
+
+    def test_relu(self):
+        check_grad(lambda t: t.relu(), np.random.randn(10) + 0.1)
+
+    def test_exp_log_sqrt_abs_tanh(self):
+        check_grad(lambda t: t.exp(), np.random.randn(4))
+        check_grad(lambda t: t.log(), np.random.rand(4) + 0.5)
+        check_grad(lambda t: t.sqrt(), np.random.rand(4) + 0.5)
+        check_grad(lambda t: t.abs(), np.random.randn(4) + 2.0)
+        check_grad(lambda t: t.tanh(), np.random.randn(4))
+
+    def test_clip_grad_masks_outside(self):
+        t = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        t.clip(-1, 1).sum().backward()
+        np.testing.assert_array_equal(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestSignSTE:
+    def test_forward_is_plus_minus_one(self):
+        t = Tensor(np.array([-0.5, 0.0, 0.7]))
+        np.testing.assert_array_equal(t.sign_ste().data, [-1.0, 1.0, 1.0])
+
+    def test_backward_passes_inside_window(self):
+        t = Tensor(np.array([-0.5, 0.5]), requires_grad=True)
+        t.sign_ste().sum().backward()
+        np.testing.assert_array_equal(t.grad, [1.0, 1.0])
+
+    def test_backward_blocks_outside_window(self):
+        t = Tensor(np.array([-5.0, 5.0]), requires_grad=True)
+        t.sign_ste().sum().backward()
+        np.testing.assert_array_equal(t.grad, [0.0, 0.0])
+
+    def test_custom_clip(self):
+        t = Tensor(np.array([1.5]), requires_grad=True)
+        t.sign_ste(clip=2.0).sum().backward()
+        np.testing.assert_array_equal(t.grad, [1.0])
+
+
+class TestGraphMechanics:
+    def test_diamond_graph_accumulates_once(self):
+        # y = a*a + a*a shares the subexpression a twice.
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        b = a * a
+        y = b + b
+        y.backward()
+        np.testing.assert_allclose(a.grad, [12.0])
+
+    def test_grad_accumulates_across_backward_calls(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (a * 1.0).backward()
+        (a * 1.0).backward()
+        np.testing.assert_allclose(a.grad, [2.0])
+
+    def test_zero_grad(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (a * 3.0).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_functional_backward_with_seed(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        out = a * 2.0
+        backward(out, grad=np.array([1.0, 0.0]))
+        np.testing.assert_allclose(a.grad, [2.0, 0.0])
+
+    def test_no_grad_for_untracked_leaves(self):
+        a = Tensor(np.array([1.0]))
+        out = a * 2.0
+        out.backward()
+        assert a.grad is None
+
+    def test_deep_chain_does_not_recurse(self):
+        # Iterative toposort must handle graphs deeper than the default
+        # Python recursion limit.
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        out = t
+        for _ in range(3000):
+            out = out + 0.0
+        out.backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+
+class TestConcatenateAndPad:
+    def test_concatenate_forward(self):
+        a, b = Tensor(np.ones((2, 2))), Tensor(np.zeros((3, 2)))
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+
+    def test_concatenate_grad_routes_to_parts(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((1, 2)), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        (out * Tensor(np.arange(6, dtype=np.float32).reshape(3, 2))).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0, 1], [2, 3]])
+        np.testing.assert_allclose(b.grad, [[4, 5]])
+
+    def test_pad2d_shapes_and_grad(self):
+        x = Tensor(np.random.randn(1, 1, 3, 3), requires_grad=True)
+        out = pad2d(x, 2)
+        assert out.shape == (1, 1, 7, 7)
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones((1, 1, 3, 3)))
+
+    def test_pad2d_zero_is_identity(self):
+        x = Tensor(np.random.randn(1, 1, 3, 3))
+        assert pad2d(x, 0) is x

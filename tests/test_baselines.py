@@ -1,0 +1,174 @@
+"""Unit tests for the comparison planners (Neurosurgeon, Edgent, trivial)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import (
+    BASELINE_PLANNERS,
+    Edgent,
+    EdgeOnly,
+    MobileOnly,
+    Neurosurgeon,
+    PlanningContext,
+    default_accuracy_curve,
+)
+from repro.models import build_model
+from repro.profiling import NetworkProfile
+from repro.runtime import (
+    EDGE_SERVER,
+    MOBILE_BROWSER_WASM,
+    ModelLoadStep,
+    four_g,
+    simulate_plan,
+)
+
+
+@pytest.fixture
+def context():
+    rng = np.random.default_rng(0)
+    model = build_model("lenet", 1, 10, 28, rng=rng)
+    profile = NetworkProfile.of(nn.Sequential(model.stem, model.trunk), (1, 28, 28))
+    return PlanningContext(
+        profile=profile,
+        network_name="lenet",
+        input_shape=(1, 28, 28),
+        link=four_g(seed=0),
+        browser=MOBILE_BROWSER_WASM,
+        edge=EDGE_SERVER,
+        task_bytes=96 * 1024,
+    )
+
+
+class TestPlanningContext:
+    def test_task_bytes_override(self, context):
+        assert context.input_bytes == 96 * 1024
+
+    def test_default_task_bytes_is_tensor_size(self, context):
+        from dataclasses import replace
+
+        bare = replace(context, task_bytes=None)
+        assert bare.input_bytes == 28 * 28 * 4
+
+
+class TestMobileOnly:
+    def test_plan_loads_full_model(self, context):
+        plan = MobileOnly().plan(context)
+        assert plan.model_load_bytes() == context.profile.total_param_bytes
+
+    def test_no_per_sample_communication_once_warm(self, context):
+        plan = MobileOnly().plan(context)
+        trace = simulate_plan(
+            plan, 2, context.link.deterministic(), context.browser, context.edge,
+            cold_start=False,
+        )
+        # Sample 0 pays the one-time model download; sample 1 is pure compute.
+        assert trace.samples[0].communication_ms > 0
+        assert trace.samples[1].communication_ms == 0.0
+
+
+class TestEdgeOnly:
+    def test_no_model_load(self, context):
+        plan = EdgeOnly().plan(context)
+        assert plan.model_load_bytes() == 0
+
+    def test_uploads_task_every_sample(self, context):
+        plan = EdgeOnly().plan(context)
+        trace = simulate_plan(
+            plan, 2, context.link.deterministic(), context.browser, context.edge,
+            cold_start=False,
+        )
+        # Both samples pay the upload (~262ms at 3 Mb/s for 96 KB).
+        assert trace.samples[1].communication_ms > 200
+
+
+class TestNeurosurgeon:
+    def test_chosen_cut_is_optimal_under_its_cost_model(self, context):
+        planner = Neurosurgeon(optimize_with_load=True)
+        best = planner.choose_partition(context)
+        for cut in range(len(context.profile) + 1):
+            assert best.total_ms <= planner.evaluate_cut(context, cut).total_ms + 1e-9
+
+    def test_cut_zero_is_edge_only_shape(self, context):
+        plan = Neurosurgeon().plan_for_cut(context, 0)
+        assert plan.model_load_bytes() == 0
+        assert not plan.setup_steps
+
+    def test_full_cut_is_mobile_only_shape(self, context):
+        full = len(context.profile)
+        plan = Neurosurgeon().plan_for_cut(context, full)
+        assert plan.model_load_bytes() == context.profile.total_param_bytes
+        # No transfers per sample.
+        from repro.runtime import TransferStep
+
+        assert not any(isinstance(s, TransferStep) for s in plan.per_sample_steps)
+
+    def test_preloaded_deployment_omits_load(self, context):
+        plan = Neurosurgeon(deploy_preloaded=True).plan_for_cut(context, 3)
+        assert not any(isinstance(s, ModelLoadStep) for s in plan.setup_steps)
+
+    def test_literature_mode_ignores_load_in_search(self, context):
+        app_era = Neurosurgeon(optimize_with_load=False)
+        decision = app_era.choose_partition(context)
+        assert decision.load_ms == 0.0
+
+    def test_decision_breakdown_sums(self, context):
+        decision = Neurosurgeon().evaluate_cut(context, 2)
+        assert decision.total_ms == pytest.approx(
+            decision.load_ms
+            + decision.browser_ms
+            + decision.transfer_ms
+            + decision.edge_ms
+        )
+
+
+class TestEdgent:
+    def test_candidate_exits_include_full_depth(self, context):
+        exits = Edgent().candidate_exits(context)
+        assert len(context.profile) in exits
+        assert all(0 < e <= len(context.profile) for e in exits)
+
+    def test_budget_forces_earlier_exit(self, context):
+        unbounded = Edgent(optimize_with_load=True).choose(context)
+        tight = Edgent(latency_budget_ms=50.0, optimize_with_load=True).choose(context)
+        assert tight.exit_layer <= unbounded.exit_layer
+
+    def test_infeasible_budget_minimizes_latency(self, context):
+        impossible = Edgent(latency_budget_ms=0.001, optimize_with_load=True)
+        decision = impossible.choose(context)
+        assert not decision.meets_budget
+
+    def test_accuracy_curve_monotone(self):
+        fractions = np.linspace(0.05, 1.0, 10)
+        values = [default_accuracy_curve(f) for f in fractions]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_plan_for_explicit_points(self, context):
+        plan = Edgent().plan_for(context, exit_layer=6, cut=2)
+        assert plan.model_load_bytes() > 0
+        trace = simulate_plan(
+            plan, 1, context.link.deterministic(), context.browser, context.edge
+        )
+        assert trace.samples[0].total_ms > 0
+
+    def test_cut_equals_exit_runs_fully_on_device(self, context):
+        plan = Edgent().plan_for(context, exit_layer=4, cut=4)
+        from repro.runtime import TransferStep
+
+        assert not any(isinstance(s, TransferStep) for s in plan.per_sample_steps)
+
+
+class TestRegistryAndExpectation:
+    def test_registry_contents(self):
+        assert set(BASELINE_PLANNERS) == {
+            "neurosurgeon",
+            "edgent",
+            "mobile-only",
+            "edge-only",
+        }
+
+    def test_expected_sample_ms_positive(self, context):
+        for cls in BASELINE_PLANNERS.values():
+            planner = cls()
+            assert planner.expected_sample_ms(context) > 0

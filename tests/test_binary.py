@@ -1,0 +1,181 @@
+"""Unit tests for the XNOR binary layers (the paper's Eq. 4-6 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.autograd import Tensor
+from repro.nn.binary import (
+    BinaryConv2d,
+    BinaryLinear,
+    binarize,
+    clamp_master_weights,
+    input_scaling_factors,
+)
+from repro.nn import functional as F
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestBinarize:
+    def test_sign_values(self, rng):
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        sign, alpha = binarize(w)
+        assert set(np.unique(sign)) <= {-1.0, 1.0}
+
+    def test_alpha_is_l1_mean_per_filter(self, rng):
+        w = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        _, alpha = binarize(w)
+        expected = np.abs(w).mean(axis=(1, 2, 3))
+        np.testing.assert_allclose(alpha, expected, rtol=1e-6)
+
+    def test_reconstruction_is_l2_optimal_scale(self, rng):
+        # alpha*sign(W) is the best rank-free binary approximation; any
+        # other scale must have larger L2 error.
+        w = rng.standard_normal((1, 8)).astype(np.float64)
+        sign, alpha = binarize(w)
+        best = np.linalg.norm(w - alpha[:, None] * sign)
+        worse1 = np.linalg.norm(w - (alpha[:, None] * 1.3) * sign)
+        worse2 = np.linalg.norm(w - (alpha[:, None] * 0.7) * sign)
+        assert best <= worse1 and best <= worse2
+
+    def test_linear_weight_shape(self, rng):
+        w = rng.standard_normal((5, 10)).astype(np.float32)
+        sign, alpha = binarize(w)
+        assert sign.shape == (5, 10)
+        assert alpha.shape == (5,)
+
+
+class TestInputScalingFactors:
+    def test_shape(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        k = input_scaling_factors(x, kernel=3, stride=1, padding=1)
+        assert k.shape == (2, 1, 8, 8)
+
+    def test_constant_input_gives_constant_k_interior(self):
+        x = np.full((1, 2, 6, 6), 2.0, dtype=np.float32)
+        k = input_scaling_factors(x, kernel=3, stride=1, padding=0)
+        np.testing.assert_allclose(k, 2.0, rtol=1e-6)
+
+    def test_k_is_mean_abs_over_window(self):
+        x = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        x[0, 0, 1, 1] = 9.0
+        k = input_scaling_factors(x, kernel=3, stride=1, padding=0)
+        np.testing.assert_allclose(k[0, 0, 0, 0], 1.0)
+
+
+class TestBinaryConv2d:
+    def test_forward_matches_eq4_composition(self, rng):
+        """The layer must compute (sign(I) ⊛ sign(W)) ⊙ K · α exactly."""
+        layer = BinaryConv2d(2, 3, 3, padding=1, bias=False, rng=rng)
+        x = Tensor(rng.standard_normal((1, 2, 5, 5)).astype(np.float32))
+        out = layer(x).data
+
+        sign_w, alpha = layer.binary_weights()
+        k = input_scaling_factors(x.data, 3, 1, 1)
+        xs = np.where(x.data >= 0, 1.0, -1.0).astype(np.float32)
+        conv = F.conv2d(Tensor(xs), Tensor(sign_w), stride=1, padding=1).data
+        expected = conv * alpha[None, :, None, None] * k
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+    def test_bwn_mode_skips_input_binarization(self, rng):
+        layer = BinaryConv2d(1, 2, 3, padding=1, binarize_input=False, bias=False, rng=rng)
+        x = Tensor(rng.standard_normal((1, 1, 4, 4)).astype(np.float32))
+        out = layer(x).data
+        sign_w, alpha = layer.binary_weights()
+        expected = (
+            F.conv2d(x, Tensor(sign_w), padding=1).data * alpha[None, :, None, None]
+        )
+        np.testing.assert_allclose(out, expected, rtol=1e-4)
+
+    def test_gradients_flow_to_master_weights(self, rng):
+        layer = BinaryConv2d(2, 2, 3, rng=rng)
+        x = Tensor(rng.standard_normal((2, 2, 5, 5)).astype(np.float32))
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+        assert np.abs(layer.weight.grad).sum() > 0
+
+    def test_gradients_flow_to_input(self, rng):
+        layer = BinaryConv2d(2, 2, 3, rng=rng)
+        x = Tensor(rng.standard_normal((1, 2, 5, 5)).astype(np.float32), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+
+    def test_bias_applied(self, rng):
+        layer = BinaryConv2d(1, 1, 3, padding=1, rng=rng)
+        layer.bias.data[:] = 10.0
+        x = Tensor(np.zeros((1, 1, 4, 4), dtype=np.float32))
+        assert (layer(x).data > 5).all()
+
+    def test_output_shape_helper(self, rng):
+        layer = BinaryConv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        assert layer.output_shape(16, 16) == (8, 8, 8)
+
+    def test_repr_mode(self, rng):
+        assert "xnor" in repr(BinaryConv2d(1, 1, 3, rng=rng))
+        assert "bwn" in repr(BinaryConv2d(1, 1, 3, binarize_input=False, rng=rng))
+
+
+class TestBinaryLinear:
+    def test_forward_matches_composition(self, rng):
+        layer = BinaryLinear(8, 4, bias=False, rng=rng)
+        x = Tensor(rng.standard_normal((3, 8)).astype(np.float32))
+        out = layer(x).data
+        sign_w, alpha = layer.binary_weights()
+        beta = np.abs(x.data).mean(axis=1, keepdims=True)
+        xs = np.where(x.data >= 0, 1.0, -1.0).astype(np.float32)
+        expected = (xs @ sign_w.T) * alpha[None, :] * beta
+        np.testing.assert_allclose(out, expected, rtol=1e-4)
+
+    def test_bwn_mode(self, rng):
+        layer = BinaryLinear(4, 2, binarize_input=False, bias=False, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4)).astype(np.float32))
+        sign_w, alpha = layer.binary_weights()
+        expected = (x.data @ sign_w.T) * alpha[None, :]
+        np.testing.assert_allclose(layer(x).data, expected, rtol=1e-4)
+
+    def test_gradients_flow(self, rng):
+        layer = BinaryLinear(6, 3, rng=rng)
+        x = Tensor(rng.standard_normal((4, 6)).astype(np.float32), requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None and x.grad is not None
+
+    def test_trains_on_separable_data(self, rng):
+        """A single binary linear layer must learn a linearly separable task."""
+        from repro.optim import Adam
+
+        x = rng.standard_normal((256, 16)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(int)
+        model = nn.Sequential(nn.BatchNorm1d(16), BinaryLinear(16, 2, rng=rng))
+        opt = Adam(model.parameters(), lr=5e-2)
+        for _ in range(150):
+            logits = model(Tensor(x))
+            loss = F.cross_entropy(logits, y)
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+            clamp_master_weights(model)
+        model.eval()
+        acc = F.accuracy(model(Tensor(x)).data, y)
+        assert acc > 0.9
+
+
+class TestClampMasterWeights:
+    def test_clamps_binary_layers_only(self, rng):
+        binary = BinaryLinear(4, 2, rng=rng)
+        dense = nn.Linear(4, 2, rng=rng)
+        binary.weight.data[:] = 5.0
+        dense.weight.data[:] = 5.0
+        model = nn.Sequential(binary, dense)
+        clamp_master_weights(model)
+        assert binary.weight.data.max() <= 1.0
+        assert dense.weight.data.max() == 5.0
+
+    def test_custom_bound(self, rng):
+        layer = BinaryConv2d(1, 1, 3, rng=rng)
+        layer.weight.data[:] = -3.0
+        clamp_master_weights(layer, bound=0.5)
+        np.testing.assert_allclose(layer.weight.data, -0.5)

@@ -1,0 +1,99 @@
+"""Unit tests for bit-packing and the XNOR/popcount dot-product kernels."""
+
+import numpy as np
+import pytest
+
+from repro.wasm.bitpack import (
+    pack_rows_with_mask,
+    pack_signs,
+    packed_dot,
+    unpack_signs,
+)
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        signs = np.where(rng.random((5, 37)) > 0.5, 1.0, -1.0).astype(np.float32)
+        packed, length = pack_signs(signs)
+        assert length == 37
+        assert packed.shape == (5, (37 + 7) // 8)
+        np.testing.assert_array_equal(unpack_signs(packed, length), signs)
+
+    def test_boolean_input_accepted(self):
+        bits = np.array([[True, False, True]])
+        packed, length = pack_signs(bits)
+        np.testing.assert_array_equal(unpack_signs(packed, length), [[1, -1, 1]])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            pack_signs(np.ones(8))
+
+    def test_exact_byte_multiple(self):
+        signs = np.ones((2, 16), dtype=np.float32)
+        packed, _ = pack_signs(signs)
+        assert packed.shape == (2, 2)
+
+
+class TestPackedDot:
+    def float_dot(self, a, b):
+        return a @ b.T
+
+    def test_matches_float_dot_no_padding(self):
+        rng = np.random.default_rng(1)
+        a = np.where(rng.random((4, 50)) > 0.5, 1.0, -1.0)
+        b = np.where(rng.random((6, 50)) > 0.5, 1.0, -1.0)
+        pa, la = pack_signs(a)
+        pb, _ = pack_signs(b)
+        out = packed_dot(pa, pb, length=la)
+        np.testing.assert_array_equal(out, self.float_dot(a, b))
+
+    def test_length_required_without_mask(self):
+        pa, _ = pack_signs(np.ones((1, 9)))
+        with pytest.raises(ValueError):
+            packed_dot(pa, pa)
+
+    def test_rejects_width_mismatch(self):
+        pa, _ = pack_signs(np.ones((1, 8)))
+        pb, _ = pack_signs(np.ones((1, 16)))
+        with pytest.raises(ValueError):
+            packed_dot(pa, pb, length=8)
+
+    def test_alignment_bits_do_not_leak(self):
+        # Length 3 packs into one byte with 5 alignment bits; the dot of
+        # all-ones vectors must be exactly 3.
+        a = np.ones((1, 3))
+        pa, la = pack_signs(a)
+        out = packed_dot(pa, pa, length=la)
+        np.testing.assert_array_equal(out, [[3.0]])
+
+    def test_masked_dot_ignores_padding_positions(self):
+        # Row with 2 real elements (+1, -1) then 3 zero-padding slots.
+        values = np.array([[1.0, -1.0, 0.0, 0.0, 0.0]])
+        valid = np.array([[True, True, False, False, False]])
+        vbits, mbits = pack_rows_with_mask(values, valid)
+        weights = np.ones((1, 5))
+        pw, _ = pack_signs(weights)
+        out = packed_dot(vbits, pw, mask=mbits)
+        np.testing.assert_array_equal(out, [[0.0]])  # 1*1 + (-1)*1 = 0
+
+    def test_masked_matches_ternary_float_dot(self):
+        rng = np.random.default_rng(2)
+        n = 64
+        values = np.where(rng.random((8, n)) > 0.5, 1.0, -1.0)
+        valid = rng.random((8, n)) > 0.3
+        ternary = values * valid  # zeros where padded
+        weights = np.where(rng.random((5, n)) > 0.5, 1.0, -1.0)
+        vbits, mbits = pack_rows_with_mask(values, valid)
+        pw, _ = pack_signs(weights)
+        out = packed_dot(vbits, pw, mask=mbits)
+        np.testing.assert_array_equal(out, ternary @ weights.T)
+
+    def test_pack_rows_with_mask_shape_check(self):
+        with pytest.raises(ValueError):
+            pack_rows_with_mask(np.ones((1, 4)), np.ones((1, 5), dtype=bool))
+
+    def test_uses_popcount_primitive(self):
+        """np.bitwise_count must be available — it is the WASM popcount
+        analog the whole scheme relies on."""
+        assert hasattr(np, "bitwise_count")

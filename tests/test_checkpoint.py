@@ -1,0 +1,75 @@
+"""Tests for system checkpointing (save/load round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CheckpointError, load_system, save_system
+from repro.core.checkpoint import CHECKPOINT_VERSION
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_predictions(self, trained_system, tiny_mnist, tmp_path):
+        _, test = tiny_mnist
+        path = save_system(trained_system, tmp_path / "lenet.npz")
+        restored = load_system(path)
+
+        original = trained_system.predictor().predict(test.images[:40])
+        loaded = restored.predictor().predict(test.images[:40])
+        np.testing.assert_array_equal(original.predictions, loaded.predictions)
+
+    def test_roundtrip_preserves_calibration(self, trained_system, tmp_path):
+        path = save_system(trained_system, tmp_path / "cal.npz")
+        restored = load_system(path)
+        assert restored.threshold == pytest.approx(trained_system.threshold)
+        assert restored.calibration.exit_rate == pytest.approx(
+            trained_system.calibration.exit_rate
+        )
+
+    def test_roundtrip_preserves_weights_exactly(self, trained_system, tmp_path):
+        path = save_system(trained_system, tmp_path / "w.npz")
+        restored = load_system(path)
+        original_state = trained_system.model.state_dict()
+        for name, array in restored.model.state_dict().items():
+            np.testing.assert_array_equal(array, original_state[name])
+
+    def test_uncalibrated_system_roundtrips(self, tiny_mnist, tmp_path):
+        from repro.core import LCRS
+
+        train, _ = tiny_mnist
+        system = LCRS.build("lenet", train, dataset_name="mnist")
+        path = save_system(system, tmp_path / "raw.npz")
+        restored = load_system(path)
+        assert restored.calibration is None
+        assert restored.dataset_name == "mnist"
+
+    def test_manifest_metadata_restored(self, trained_system, tmp_path):
+        path = save_system(trained_system, tmp_path / "meta.npz")
+        restored = load_system(path)
+        assert restored.model.base_name == "lenet"
+        assert restored.model.branch_config == trained_system.model.branch_config
+        assert restored.trainer.config == trained_system.trainer.config
+
+    def test_npz_suffix_added(self, trained_system, tmp_path):
+        path = save_system(trained_system, tmp_path / "noext")
+        assert str(path).endswith(".npz")
+        assert load_system(path).model.base_name == "lenet"
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_system(tmp_path / "nothing.npz")
+
+    def test_non_checkpoint_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, data=np.zeros(3))
+        with pytest.raises(CheckpointError):
+            load_system(path)
+
+    def test_version_check(self, trained_system, tmp_path, monkeypatch):
+        import repro.core.checkpoint as ckpt
+
+        path = save_system(trained_system, tmp_path / "v.npz")
+        monkeypatch.setattr(ckpt, "CHECKPOINT_VERSION", CHECKPOINT_VERSION + 1)
+        with pytest.raises(CheckpointError):
+            load_system(path)

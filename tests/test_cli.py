@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import save_system
+from repro.wasm import parse_model
+
+
+@pytest.fixture
+def checkpoint(trained_system, tmp_path):
+    return save_system(trained_system, tmp_path / "system.npz")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.network == "lenet"
+        assert args.dataset == "mnist"
+
+    def test_rejects_unknown_network(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--network", "squeezenet"])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("train", "evaluate", "export", "study"):
+            assert parser.parse_args([command] + (
+                ["x.npz"] if command in ("evaluate",) else
+                ["x.npz", "y.lcrs"] if command == "export" else []
+            )).command == command
+
+
+class TestTrainCommand:
+    def test_train_and_checkpoint(self, tmp_path, capsys):
+        code = main(
+            [
+                "train",
+                "--network", "lenet",
+                "--dataset", "mnist",
+                "--train-samples", "200",
+                "--test-samples", "100",
+                "--epochs", "1",
+                "--checkpoint", str(tmp_path / "out.npz"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "M_Acc=" in out and "checkpoint written" in out
+        assert (tmp_path / "out.npz").exists()
+
+
+class TestEvaluateCommand:
+    def test_evaluate_checkpoint(self, checkpoint, capsys):
+        code = main(["evaluate", str(checkpoint), "--test-samples", "80"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lenet/mnist" in out and "collab=" in out
+
+
+class TestExportCommand:
+    def test_export_writes_valid_bundle(self, checkpoint, tmp_path, capsys):
+        output = tmp_path / "bundle.lcrs"
+        code = main(["export", str(checkpoint), str(output)])
+        assert code == 0
+        parsed = parse_model(output.read_bytes())
+        assert parsed.metadata["network"] == "lenet"
+        assert parsed.metadata["tau"] is not None
+
+
+class TestStudyCommand:
+    def test_study_prints_tables(self, capsys):
+        code = main(["study", "--samples", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out and "Table III" in out and "Figure 7" in out

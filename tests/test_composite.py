@@ -1,0 +1,148 @@
+"""Unit tests for the composite network (shared conv1 + two branches)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import BinaryBranchConfig, CompositeNetwork, build_binary_branch
+from repro.models import build_model
+from repro.nn.autograd import Tensor
+from repro.nn.binary import BinaryConv2d, BinaryLinear
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def composite(rng):
+    base = build_model("lenet", 1, 10, 28, rng=rng)
+    return CompositeNetwork(base, BinaryBranchConfig(channels=8, hidden=32), rng=rng)
+
+
+class TestBinaryBranchConfig:
+    def test_rejects_negative_depths(self):
+        with pytest.raises(ValueError):
+            BinaryBranchConfig(num_conv_layers=-1)
+
+    def test_rejects_empty_branch(self):
+        with pytest.raises(ValueError):
+            BinaryBranchConfig(num_conv_layers=0, num_fc_layers=0)
+
+    def test_fc_only_branch_allowed(self):
+        config = BinaryBranchConfig(num_conv_layers=0, num_fc_layers=1)
+        assert config.num_fc_layers == 1
+
+
+class TestBuildBinaryBranch:
+    def test_default_structure(self, rng):
+        branch = build_binary_branch((6, 14, 14), 10, rng=rng)
+        kinds = [type(m).__name__ for m in branch]
+        assert kinds[0] == "BatchNorm2d"  # center before first binarization
+        assert "BinaryConv2d" in kinds
+        assert "BinaryLinear" in kinds
+        assert kinds[-1] == "Linear"  # float classifier last (§IV-D.3)
+
+    def test_output_shape(self, rng):
+        branch = build_binary_branch((6, 14, 14), 10, rng=rng)
+        branch.eval()
+        out = branch(Tensor(np.random.randn(3, 6, 14, 14).astype(np.float32)))
+        assert out.shape == (3, 10)
+
+    def test_conv_depth_respected(self, rng):
+        config = BinaryBranchConfig(num_conv_layers=3, num_fc_layers=1, channels=8)
+        branch = build_binary_branch((4, 16, 16), 5, config, rng=rng)
+        convs = [m for m in branch if isinstance(m, BinaryConv2d)]
+        assert len(convs) == 3
+
+    def test_fc_depth_respected(self, rng):
+        config = BinaryBranchConfig(num_conv_layers=1, num_fc_layers=3, hidden=16)
+        branch = build_binary_branch((4, 8, 8), 5, config, rng=rng)
+        fcs = [m for m in branch if isinstance(m, BinaryLinear)]
+        assert len(fcs) == 3
+
+    def test_pooling_stops_at_small_maps(self, rng):
+        config = BinaryBranchConfig(num_conv_layers=4, num_fc_layers=1, channels=4)
+        branch = build_binary_branch((2, 8, 8), 3, config, rng=rng)
+        branch.eval()
+        out = branch(Tensor(np.zeros((1, 2, 8, 8), dtype=np.float32)))
+        assert out.shape == (1, 3)  # no degenerate 0-size maps
+
+    def test_fc_only_branch_runs(self, rng):
+        config = BinaryBranchConfig(num_conv_layers=0, num_fc_layers=2, hidden=16)
+        branch = build_binary_branch((4, 6, 6), 5, config, rng=rng)
+        branch.eval()
+        assert branch(Tensor(np.zeros((2, 4, 6, 6), dtype=np.float32))).shape == (2, 5)
+
+    def test_no_flattened_batchnorm1d(self, rng):
+        """BN must stay per-channel before the flatten (bundle size)."""
+        from repro.nn.layers import BatchNorm1d
+
+        branch = build_binary_branch((16, 16, 16), 10, rng=rng)
+        for module in branch:
+            if isinstance(module, BatchNorm1d):
+                assert module.num_features <= 256
+
+
+class TestCompositeNetwork:
+    def test_forward_returns_both_logits(self, composite):
+        composite.eval()
+        x = Tensor(np.random.randn(4, 1, 28, 28).astype(np.float32))
+        main, binary = composite(x)
+        assert main.shape == (4, 10) and binary.shape == (4, 10)
+
+    def test_branches_share_stem_features(self, composite):
+        composite.eval()
+        x = Tensor(np.random.randn(2, 1, 28, 28).astype(np.float32))
+        features = composite.forward_features(x)
+        main = composite.main_trunk(features).data
+        binary = composite.binary_branch(features).data
+        main2, binary2 = composite(x)
+        np.testing.assert_allclose(main, main2.data, rtol=1e-5)
+        np.testing.assert_allclose(binary, binary2.data, rtol=1e-5)
+
+    def test_parameter_groups_are_disjoint_and_complete(self, composite):
+        main_ids = {id(p) for p in composite.main_parameters()}
+        binary_ids = {id(p) for p in composite.binary_parameters()}
+        all_ids = {id(p) for p in composite.parameters()}
+        assert main_ids.isdisjoint(binary_ids)
+        assert main_ids | binary_ids == all_ids
+
+    def test_stem_gradient_from_both_losses(self, composite):
+        """The shared conv1 must receive gradient from both branches."""
+        from repro.nn import functional as F
+
+        x = Tensor(np.random.randn(4, 1, 28, 28).astype(np.float32))
+        y = np.array([0, 1, 2, 3])
+        main, binary = composite(x)
+        stem_weight = next(iter(composite.stem.parameters()))
+
+        composite.zero_grad()
+        F.cross_entropy(main, y).backward()
+        grad_main = stem_weight.grad.copy()
+
+        composite.zero_grad()
+        F.cross_entropy(binary, y).backward()
+        grad_binary = stem_weight.grad.copy()
+
+        assert np.abs(grad_main).sum() > 0
+        assert np.abs(grad_binary).sum() > 0
+
+    def test_browser_modules_compose_stem_and_branch(self, composite):
+        composite.eval()
+        x = Tensor(np.random.randn(2, 1, 28, 28).astype(np.float32))
+        direct = composite.forward_binary(x).data
+        bundled = composite.browser_modules()(x).data
+        np.testing.assert_allclose(direct, bundled, rtol=1e-5)
+
+    def test_edge_modules_is_trunk(self, composite):
+        assert composite.edge_modules() is composite.main_trunk
+
+    def test_metadata(self, composite):
+        assert composite.base_name == "lenet"
+        assert composite.num_classes == 10
+        assert composite.stem_output_shape == (6, 14, 14)
+
+    def test_repr(self, composite):
+        assert "lenet" in repr(composite)

@@ -1,0 +1,88 @@
+"""Tests for the edge-load queueing model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import build_network_assets
+from repro.runtime import (
+    QueueModel,
+    edge_load_curve,
+    edge_service_time_s,
+    max_sustainable_users,
+)
+
+
+@pytest.fixture(scope="module")
+def trunk_profile():
+    return build_network_assets("alexnet").lcrs.trunk_profile
+
+
+class TestQueueModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueModel(workers=0, service_time_s=0.01)
+        with pytest.raises(ValueError):
+            QueueModel(workers=2, service_time_s=0.0)
+
+    def test_zero_arrivals(self):
+        q = QueueModel(workers=2, service_time_s=0.01)
+        assert q.erlang_c(0.0) == 0.0
+        assert q.mean_wait_s(0.0) == 0.0
+
+    def test_unstable_regime(self):
+        q = QueueModel(workers=1, service_time_s=1.0)
+        assert not q.is_stable(2.0)
+        assert q.mean_wait_s(2.0) == math.inf
+        assert q.erlang_c(2.0) == 1.0
+
+    def test_single_server_matches_mm1(self):
+        # M/M/1: W_q = rho / (mu - lambda).
+        q = QueueModel(workers=1, service_time_s=0.1)  # mu = 10
+        lam = 5.0
+        expected = (lam / 10.0) / (10.0 - lam)
+        assert q.mean_wait_s(lam) == pytest.approx(expected, rel=1e-9)
+
+    def test_erlang_c_increases_with_load(self):
+        q = QueueModel(workers=4, service_time_s=0.05)
+        values = [q.erlang_c(lam) for lam in (10.0, 40.0, 70.0)]
+        assert values == sorted(values)
+
+    def test_more_workers_reduce_waiting(self):
+        small = QueueModel(workers=2, service_time_s=0.1)
+        big = QueueModel(workers=8, service_time_s=0.1)
+        lam = 15.0
+        assert big.mean_wait_s(lam) < small.mean_wait_s(lam)
+
+
+class TestEdgeLoad:
+    def test_service_time_positive(self, trunk_profile):
+        assert edge_service_time_s(trunk_profile) > 0
+
+    def test_exit_rate_scales_capacity(self, trunk_profile):
+        edge_only = max_sustainable_users(trunk_profile, exit_rate=0.0)
+        lcrs = max_sustainable_users(trunk_profile, exit_rate=0.79)
+        assert lcrs / edge_only == pytest.approx(1 / 0.21, rel=1e-6)
+
+    def test_full_exit_rate_is_unbounded(self, trunk_profile):
+        assert max_sustainable_users(trunk_profile, exit_rate=1.0) == math.inf
+
+    def test_load_curve_shape(self, trunk_profile):
+        points = edge_load_curve(trunk_profile, 0.79, [10, 100, 1000])
+        assert [p.users for p in points] == [10, 100, 1000]
+        utils = [p.utilization for p in points]
+        assert utils == sorted(utils)
+
+    def test_lcrs_outlasts_edge_only(self, trunk_profile):
+        users = [500, 2000]
+        lcrs = edge_load_curve(trunk_profile, 0.79, users)
+        edge_only = edge_load_curve(trunk_profile, 0.0, users)
+        for l, e in zip(lcrs, edge_only):
+            assert l.utilization < e.utilization
+        # At some population edge-only saturates while LCRS is stable.
+        assert any(not e.stable and l.stable for l, e in zip(lcrs, edge_only))
+
+    def test_invalid_exit_rate(self, trunk_profile):
+        with pytest.raises(ValueError):
+            edge_load_curve(trunk_profile, 1.5, [10])

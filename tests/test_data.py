@@ -1,0 +1,272 @@
+"""Unit tests for datasets, loaders, synthetic generators, augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    Augmenter,
+    DataLoader,
+    LOGO_RENDERERS,
+    LogoDatasetConfig,
+    SPECS,
+    additive_noise,
+    affine_warp,
+    color_perturbation,
+    generate,
+    horizontal_flip,
+    make_dataset,
+    make_logo_dataset,
+    render_china_mobile_style,
+    render_fenjiu_style,
+    rotate,
+    translate,
+    vertical_flip,
+    zoom,
+)
+from repro.data.synthetic import class_prototypes
+
+
+class TestArrayDataset:
+    def test_basic_accessors(self):
+        ds = ArrayDataset(np.zeros((5, 1, 4, 4)), np.arange(5) % 3)
+        assert len(ds) == 5
+        assert ds.num_classes == 3
+        assert ds.image_shape == (1, 4, 4)
+        img, label = ds[2]
+        assert img.shape == (1, 4, 4) and label == 2
+
+    def test_rejects_non_nchw(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 4, 4)), np.zeros(5))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 1, 4, 4)), np.zeros(4))
+
+    def test_subset(self):
+        ds = ArrayDataset(np.arange(20).reshape(5, 1, 2, 2), np.arange(5))
+        sub = ds.subset([0, 4])
+        assert len(sub) == 2
+        assert sub.labels.tolist() == [0, 4]
+
+    def test_split_fractions_and_disjoint(self):
+        ds = ArrayDataset(np.random.randn(100, 1, 2, 2), np.arange(100))
+        a, b = ds.split(0.8, rng=np.random.default_rng(0))
+        assert len(a) == 80 and len(b) == 20
+        assert set(a.labels.tolist()).isdisjoint(b.labels.tolist())
+
+    def test_split_rejects_bad_fraction(self):
+        ds = ArrayDataset(np.zeros((4, 1, 2, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            ds.split(1.5)
+
+
+class TestDataLoader:
+    def make(self, n=10, batch=4, **kw):
+        ds = ArrayDataset(np.arange(n * 4).reshape(n, 1, 2, 2), np.arange(n))
+        return DataLoader(ds, batch_size=batch, **kw)
+
+    def test_batch_count(self):
+        assert len(self.make(10, 4)) == 3
+        assert len(self.make(10, 4, drop_last=True)) == 2
+
+    def test_batches_cover_dataset_unshuffled(self):
+        loader = self.make(10, 4, shuffle=False)
+        labels = np.concatenate([y for _, y in loader])
+        np.testing.assert_array_equal(labels, np.arange(10))
+
+    def test_shuffle_is_seeded(self):
+        a = [y.tolist() for _, y in self.make(10, 4, shuffle=True, seed=3)]
+        b = [y.tolist() for _, y in self.make(10, 4, shuffle=True, seed=3)]
+        assert a == b
+
+    def test_shuffle_changes_across_epochs(self):
+        loader = self.make(20, 20, shuffle=True, seed=0)
+        first = next(iter(loader))[1].tolist()
+        second = next(iter(loader))[1].tolist()
+        assert first != second
+
+    def test_rejects_bad_batch_size(self):
+        ds = ArrayDataset(np.zeros((4, 1, 2, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            DataLoader(ds, batch_size=0)
+
+    def test_drop_last_yields_full_batches_only(self):
+        loader = self.make(10, 4, drop_last=True, shuffle=False)
+        sizes = [len(y) for _, y in loader]
+        assert sizes == [4, 4]
+
+
+class TestAffineOps:
+    def test_rotate_zero_is_identity(self):
+        img = np.random.rand(3, 9, 9).astype(np.float32)
+        np.testing.assert_allclose(rotate(img, 0.0), img, atol=1e-5)
+
+    def test_rotate_360_is_identity(self):
+        img = np.random.rand(1, 9, 9).astype(np.float32)
+        np.testing.assert_allclose(rotate(img, 360.0), img, atol=1e-4)
+
+    def test_rotate_90_moves_corner_mass(self):
+        img = np.zeros((1, 7, 7), dtype=np.float32)
+        img[0, 0, 3] = 1.0  # top-center
+        out = rotate(img, 90.0)
+        # Counter-clockwise: top-center moves to the left-center column.
+        assert out[0, 3, 0] > 0.5
+
+    def test_translate_shifts_content(self):
+        img = np.zeros((1, 5, 5), dtype=np.float32)
+        img[0, 2, 2] = 1.0
+        out = translate(img, dy=1, dx=0)
+        assert out[0, 3, 2] > 0.9
+
+    def test_zoom_preserves_center(self):
+        img = np.zeros((1, 9, 9), dtype=np.float32)
+        img[0, 4, 4] = 1.0
+        out = zoom(img, 1.5)
+        assert out[0, 4, 4] > 0.5
+
+    def test_zoom_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            zoom(np.zeros((1, 4, 4), dtype=np.float32), 0.0)
+
+    def test_flips_are_involutions(self):
+        img = np.random.rand(3, 6, 6).astype(np.float32)
+        np.testing.assert_array_equal(horizontal_flip(horizontal_flip(img)), img)
+        np.testing.assert_array_equal(vertical_flip(vertical_flip(img)), img)
+
+    def test_affine_warp_fill_value(self):
+        img = np.ones((1, 5, 5), dtype=np.float32)
+        out = translate(img, dy=0, dx=3, fill=0.0)
+        assert out[0, 2, 0] == 0.0
+
+
+class TestColorAndNoise:
+    def test_color_perturbation_changes_image(self):
+        rng = np.random.default_rng(0)
+        img = np.random.rand(3, 8, 8).astype(np.float32)
+        out = color_perturbation(img, rng)
+        assert out.shape == img.shape
+        assert not np.allclose(out, img)
+
+    def test_additive_noise_scale(self):
+        rng = np.random.default_rng(0)
+        img = np.zeros((1, 50, 50), dtype=np.float32)
+        out = additive_noise(img, rng, sigma=0.5)
+        assert 0.4 < out.std() < 0.6
+
+
+class TestAugmenter:
+    def test_preserves_shape_and_dtype(self):
+        aug = Augmenter(seed=0)
+        img = np.random.rand(3, 16, 16).astype(np.float32)
+        out = aug(img)
+        assert out.shape == img.shape
+        assert out.dtype == np.float32
+
+    def test_deterministic_given_seed(self):
+        img = np.random.rand(1, 10, 10).astype(np.float32)
+        a = Augmenter(seed=5)(img.copy())
+        b = Augmenter(seed=5)(img.copy())
+        np.testing.assert_array_equal(a, b)
+
+    def test_disabled_ops_are_identity(self):
+        aug = Augmenter(
+            max_rotation=0, max_translation=0, zoom_range=(1.0, 1.0),
+            allow_hflip=False, allow_vflip=False, brightness=0, contrast=0,
+            channel_shift=0, noise_sigma=0, seed=0,
+        )
+        img = np.random.rand(1, 8, 8).astype(np.float32)
+        np.testing.assert_allclose(aug(img), img, atol=1e-6)
+
+    def test_expand_multiplies_dataset(self):
+        aug = Augmenter(seed=0)
+        images = np.random.rand(4, 1, 8, 8).astype(np.float32)
+        labels = np.arange(4)
+        out_images, out_labels = aug.expand(images, labels, copies=3)
+        assert len(out_images) == 16
+        np.testing.assert_array_equal(out_labels, np.tile(labels, 4))
+
+
+class TestSyntheticGenerators:
+    def test_all_specs_generate_correct_shapes(self):
+        for name, spec in SPECS.items():
+            ds = generate(spec, 20, seed=0)
+            assert ds.images.shape == (20,) + spec.image_shape, name
+            assert ds.labels.max() < spec.num_classes
+
+    def test_standardized_statistics(self):
+        ds = generate(SPECS["cifar10"], 200, seed=1)
+        assert abs(ds.images.mean()) < 0.05
+        assert abs(ds.images.std() - 1.0) < 0.05
+
+    def test_prototypes_deterministic(self):
+        a = class_prototypes(SPECS["mnist"], seed=3)
+        b = class_prototypes(SPECS["mnist"], seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_same_seed_same_data(self):
+        a = generate(SPECS["mnist"], 10, seed=5)
+        b = generate(SPECS["mnist"], 10, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_different_seed_different_data(self):
+        a = generate(SPECS["mnist"], 10, seed=5)
+        b = generate(SPECS["mnist"], 10, seed=6)
+        assert not np.allclose(a.images, b.images)
+
+    def test_make_dataset_train_test_disjoint_draws(self):
+        train, test = make_dataset("mnist", 30, 30, seed=0)
+        assert not np.allclose(train.images[:10], test.images[:10])
+
+    def test_make_dataset_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_dataset("imagenet", 10, 10)
+
+    def test_generate_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            generate(SPECS["mnist"], 0)
+
+    def test_classes_are_separable(self):
+        """A nearest-prototype classifier must beat chance by a wide
+        margin — the class signal is real."""
+        spec = SPECS["mnist"]
+        ds = generate(spec, 200, seed=2)
+        protos = np.stack(
+            [ds.images[ds.labels == c].mean(axis=0) for c in range(spec.num_classes)]
+        )
+        flat = ds.images.reshape(len(ds), -1)
+        pf = protos.reshape(spec.num_classes, -1)
+        preds = ((flat[:, None, :] - pf[None, :, :]) ** 2).sum(axis=2).argmin(axis=1)
+        assert (preds == ds.labels).mean() > 0.5
+
+
+class TestLogoDatasets:
+    def test_renderers_produce_valid_canvases(self):
+        for name, renderer in LOGO_RENDERERS.items():
+            canvas = renderer(32)
+            assert canvas.shape == (3, 32, 32), name
+            assert np.isfinite(canvas).all()
+
+    def test_logos_are_distinct(self):
+        cm = render_china_mobile_style(32)
+        fj = render_fenjiu_style(32)
+        assert np.abs(cm - fj).mean() > 0.05
+
+    def test_make_logo_dataset_shapes_and_classes(self):
+        config = LogoDatasetConfig(base_variants=4, augmented_copies=2, seed=1)
+        train, test = make_logo_dataset(config)
+        assert train.num_classes == 3  # two logos + background
+        assert train.image_shape == (3, 32, 32)
+        total = len(train) + len(test)
+        assert total == 3 * 4 * 3  # classes * variants * (1 + copies)
+
+    def test_unknown_logo_rejected(self):
+        with pytest.raises(KeyError):
+            make_logo_dataset(LogoDatasetConfig(classes=("pepsi",)))
+
+    def test_deterministic(self):
+        config = LogoDatasetConfig(base_variants=3, augmented_copies=1, seed=9)
+        a_train, _ = make_logo_dataset(config)
+        b_train, _ = make_logo_dataset(config)
+        np.testing.assert_array_equal(a_train.images, b_train.images)

@@ -1,0 +1,85 @@
+"""Tests for the browser-side energy model."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import build_network_assets, build_plans
+from repro.runtime import (
+    EnergyProfile,
+    expected_sample_energy,
+    four_g,
+    plan_energy,
+)
+
+
+@pytest.fixture(scope="module")
+def assets():
+    return build_network_assets("alexnet")
+
+
+@pytest.fixture(scope="module")
+def plans(assets):
+    return build_plans(assets, four_g(seed=0))
+
+
+class TestEnergyProfile:
+    def test_binary_compute_cheaper(self):
+        profile = EnergyProfile()
+        flops = 1e9
+        assert profile.compute_joules(0, flops) < profile.compute_joules(flops, 0) / 8
+
+    def test_radio_includes_tail(self):
+        profile = EnergyProfile(radio_power_watts=2.0, radio_tail_seconds=0.1)
+        assert profile.radio_joules(1.0) == pytest.approx(2.0 * 1.1)
+        assert profile.radio_joules(0.0) == 0.0
+
+
+class TestPlanEnergy:
+    def test_breakdown_components_positive(self, plans):
+        breakdown = plan_energy(plans["lcrs"], four_g(seed=0), include_setup=True)
+        assert breakdown.compute_j > 0
+        assert breakdown.radio_j > 0
+        assert breakdown.total_j == pytest.approx(
+            breakdown.compute_j + breakdown.radio_j
+        )
+
+    def test_miss_costs_more_than_hit(self, plans):
+        link = four_g(seed=0)
+        hit = plan_energy(plans["lcrs"], link, include_setup=False, miss=False)
+        miss = plan_energy(plans["lcrs"], link, include_setup=False, miss=True)
+        assert miss.total_j > hit.total_j
+
+    def test_lcrs_cheapest_per_sample_cold(self, plans):
+        """The abstract's energy claim: LCRS relieves browser energy."""
+        link = four_g(seed=0)
+        energies = {
+            name: expected_sample_energy(plan, link, exit_rate=0.79, include_setup=True)
+            for name, plan in plans.items()
+        }
+        lcrs = energies.pop("lcrs")
+        assert all(lcrs < other for other in energies.values()), energies
+
+    def test_edge_compute_not_billed_to_browser(self, plans):
+        # The edge-heavy miss path's compute contribution must reflect
+        # only browser work: compare LCRS hit vs miss compute joules.
+        link = four_g(seed=0)
+        hit = plan_energy(plans["lcrs"], link, include_setup=False, miss=False)
+        miss = plan_energy(plans["lcrs"], link, include_setup=False, miss=True)
+        assert miss.compute_j == pytest.approx(hit.compute_j)  # only radio grows
+
+    def test_exit_rate_bounds_expected_energy(self, plans):
+        link = four_g(seed=0)
+        low = expected_sample_energy(plans["lcrs"], link, exit_rate=0.0)
+        high = expected_sample_energy(plans["lcrs"], link, exit_rate=1.0)
+        mid = expected_sample_energy(plans["lcrs"], link, exit_rate=0.5)
+        assert high < mid < low
+
+    def test_exit_rate_validation(self, plans):
+        with pytest.raises(ValueError):
+            expected_sample_energy(plans["lcrs"], four_g(), exit_rate=1.5)
+
+    def test_baseline_without_miss_steps_ignores_exit_rate(self, plans):
+        link = four_g(seed=0)
+        a = expected_sample_energy(plans["mobile-only"], link, exit_rate=0.1)
+        b = expected_sample_energy(plans["mobile-only"], link, exit_rate=0.9)
+        assert a == b

@@ -1,0 +1,124 @@
+"""Unit tests for the normalized-entropy exit criterion and τ calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core import calibrate_threshold, exit_statistics, normalized_entropy
+
+
+class TestNormalizedEntropy:
+    def test_uniform_is_one(self):
+        probs = np.full(10, 0.1)
+        assert normalized_entropy(probs) == pytest.approx(1.0)
+
+    def test_one_hot_is_zero(self):
+        probs = np.zeros(10)
+        probs[3] = 1.0
+        assert normalized_entropy(probs) == pytest.approx(0.0)
+
+    def test_bounded_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((100, 7))
+        probs = np.exp(logits)
+        probs /= probs.sum(axis=1, keepdims=True)
+        ents = normalized_entropy(probs, axis=1)
+        assert (ents >= 0).all() and (ents <= 1 + 1e-9).all()
+
+    def test_batch_axis(self):
+        probs = np.array([[1.0, 0.0], [0.5, 0.5]])
+        ents = normalized_entropy(probs, axis=1)
+        np.testing.assert_allclose(ents, [0.0, 1.0], atol=1e-9)
+
+    def test_sharper_distribution_lower_entropy(self):
+        sharp = np.array([0.9, 0.05, 0.05])
+        flat = np.array([0.4, 0.3, 0.3])
+        assert normalized_entropy(sharp) < normalized_entropy(flat)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            normalized_entropy(np.array([1.0]))
+
+    def test_normalization_independent_of_class_count(self):
+        # Uniform always maps to 1.0 regardless of |C| (the point of Eq. 7).
+        for c in (2, 10, 100):
+            assert normalized_entropy(np.full(c, 1.0 / c)) == pytest.approx(1.0)
+
+
+class TestExitStatistics:
+    def test_all_exit_when_threshold_high(self):
+        ents = np.array([0.1, 0.2, 0.3])
+        b = np.array([True, False, True])
+        m = np.array([True, True, True])
+        rate, exit_acc, overall = exit_statistics(ents, b, m, threshold=0.9)
+        assert rate == 1.0
+        assert exit_acc == pytest.approx(2 / 3)
+        assert overall == pytest.approx(2 / 3)
+
+    def test_none_exit_when_threshold_zero(self):
+        ents = np.array([0.1, 0.2])
+        b = np.array([False, False])
+        m = np.array([True, True])
+        rate, exit_acc, overall = exit_statistics(ents, b, m, threshold=0.0)
+        assert rate == 0.0
+        assert exit_acc == 1.0  # vacuous
+        assert overall == 1.0
+
+    def test_mixed_routing(self):
+        ents = np.array([0.05, 0.5])
+        b = np.array([True, False])  # binary right on the exiting one
+        m = np.array([False, True])  # main right on the escalated one
+        rate, _, overall = exit_statistics(ents, b, m, threshold=0.1)
+        assert rate == 0.5
+        assert overall == 1.0
+
+
+class TestCalibrateThreshold:
+    def make_scenario(self, n=1000, seed=0):
+        """Binary branch is confident-and-right on easy samples, wrong on
+        hard ones; main branch is right nearly everywhere."""
+        rng = np.random.default_rng(seed)
+        easy = rng.random(n) < 0.8
+        entropies = np.where(easy, rng.uniform(0, 0.2, n), rng.uniform(0.5, 1.0, n))
+        binary_correct = np.where(easy, rng.random(n) < 0.98, rng.random(n) < 0.4)
+        main_correct = rng.random(n) < 0.99
+        return entropies, binary_correct, main_correct
+
+    def test_finds_high_exit_rate_on_easy_mass(self):
+        ents, b, m = self.make_scenario()
+        cal = calibrate_threshold(ents, b, m, accuracy_tolerance=0.02)
+        assert cal.exit_rate > 0.6
+        assert cal.overall_accuracy >= m.mean() - 0.02 - 1e-9
+
+    def test_threshold_separates_modes(self):
+        ents, b, m = self.make_scenario()
+        cal = calibrate_threshold(ents, b, m)
+        assert 0.1 < cal.threshold < 0.9
+
+    def test_explicit_floor_respected(self):
+        ents, b, m = self.make_scenario()
+        cal = calibrate_threshold(ents, b, m, min_overall_accuracy=0.99)
+        assert cal.overall_accuracy >= 0.99 - 1e-9 or cal.exit_rate < 0.05
+
+    def test_infeasible_floor_falls_back_to_strictest(self):
+        ents = np.array([0.5, 0.6])
+        b = np.array([False, False])
+        m = np.array([False, False])
+        cal = calibrate_threshold(ents, b, m, min_overall_accuracy=1.0)
+        assert cal.exit_rate <= 0.5  # essentially nothing exits
+
+    def test_custom_candidates(self):
+        ents, b, m = self.make_scenario()
+        cal = calibrate_threshold(ents, b, m, candidates=[0.3])
+        assert cal.threshold == pytest.approx(0.3)
+        assert cal.candidates_screened == 1
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold(np.zeros(3), np.zeros(2, bool), np.zeros(3, bool))
+
+    def test_perfect_binary_branch_exits_everything(self):
+        ents = np.linspace(0, 0.5, 100)
+        b = np.ones(100, bool)
+        m = np.ones(100, bool)
+        cal = calibrate_threshold(ents, b, m)
+        assert cal.exit_rate == 1.0

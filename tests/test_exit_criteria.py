@@ -1,0 +1,96 @@
+"""Tests for the pluggable exit criteria."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EXIT_CRITERIA,
+    calibrate_criterion,
+    compare_criteria,
+    entropy_criterion,
+    get_criterion,
+    margin_criterion,
+    max_probability_criterion,
+)
+
+
+def softmax_rows(logits: np.ndarray) -> np.ndarray:
+    e = np.exp(logits - logits.max(axis=1, keepdims=True))
+    return e / e.sum(axis=1, keepdims=True)
+
+
+@pytest.fixture
+def probs():
+    rng = np.random.default_rng(0)
+    return softmax_rows(rng.standard_normal((200, 10)) * 3)
+
+
+class TestCriteria:
+    def test_registry(self):
+        assert set(EXIT_CRITERIA) == {"entropy", "max_probability", "margin"}
+
+    def test_get_criterion_unknown(self):
+        with pytest.raises(KeyError):
+            get_criterion("magic")
+
+    @pytest.mark.parametrize("name", sorted(EXIT_CRITERIA))
+    def test_orientation_lower_is_more_confident(self, name):
+        criterion = get_criterion(name)
+        confident = np.array([[0.97, 0.01, 0.01, 0.01]])
+        uncertain = np.array([[0.25, 0.25, 0.25, 0.25]])
+        assert criterion(confident)[0] < criterion(uncertain)[0]
+
+    @pytest.mark.parametrize("name", sorted(EXIT_CRITERIA))
+    def test_scores_bounded(self, name, probs):
+        scores = get_criterion(name)(probs)
+        assert (scores >= -1e-9).all()
+        assert (scores <= 1 + 1e-9).all()
+
+    def test_entropy_matches_eq7(self, probs):
+        from repro.core import normalized_entropy
+
+        np.testing.assert_allclose(
+            entropy_criterion(probs), normalized_entropy(probs, axis=1)
+        )
+
+    def test_max_probability_values(self):
+        scores = max_probability_criterion(np.array([[0.7, 0.2, 0.1]]))
+        np.testing.assert_allclose(scores, [0.3])
+
+    def test_margin_values(self):
+        scores = margin_criterion(np.array([[0.7, 0.2, 0.1]]))
+        np.testing.assert_allclose(scores, [1.0 - 0.5])
+
+    def test_margin_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            margin_criterion(np.array([[1.0]]))
+
+
+class TestCalibration:
+    def make_data(self, n=500, seed=1):
+        rng = np.random.default_rng(seed)
+        easy = rng.random(n) < 0.7
+        logits = np.where(
+            easy[:, None],
+            rng.standard_normal((n, 6)) + np.eye(6)[rng.integers(0, 6, n)] * 8,
+            rng.standard_normal((n, 6)) * 0.3,
+        )
+        probs = softmax_rows(logits)
+        binary_correct = np.where(easy, rng.random(n) < 0.97, rng.random(n) < 0.3)
+        main_correct = rng.random(n) < 0.98
+        return probs, binary_correct, main_correct
+
+    @pytest.mark.parametrize("name", sorted(EXIT_CRITERIA))
+    def test_each_criterion_calibrates(self, name):
+        probs, b, m = self.make_data()
+        cal = calibrate_criterion(get_criterion(name), probs, b, m)
+        assert cal.exit_rate > 0.4
+        assert cal.overall_accuracy >= m.mean() - 0.02 - 1e-9
+
+    def test_compare_criteria_covers_registry(self):
+        probs, b, m = self.make_data()
+        results = compare_criteria(probs, b, m)
+        assert set(results) == set(EXIT_CRITERIA)
+        # All criteria must reach similar exit rates on this clean split.
+        rates = [cal.exit_rate for cal in results.values()]
+        assert max(rates) - min(rates) < 0.35

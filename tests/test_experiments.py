@@ -1,0 +1,214 @@
+"""Tests for the experiment harnesses (structure, not training quality).
+
+Training-quality assertions live in the benchmarks; here we verify the
+harnesses produce well-formed tables/series, honor their knobs, and that
+the fast (training-free) harnesses reproduce the paper's orderings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DEFAULT_EXIT_RATES,
+    ExperimentScale,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    QUICK,
+    build_network_assets,
+    build_plans,
+    paper_table1_row,
+    render_series,
+    render_table,
+    run_branch_count,
+    run_branch_location,
+    run_device_sensitivity,
+    run_figure6,
+    run_figure7,
+    run_latency_comparison,
+    run_table1_cell,
+    shape_check,
+)
+from repro.experiments.latency import (
+    byte_fraction_cut,
+    literature_edgent_points,
+    literature_neurosurgeon_cut,
+)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["xx", 1000.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1,000" in text
+
+    def test_render_series(self):
+        assert render_series("s", [1.234, 5.678], precision=1) == "s: [1.2, 5.7]"
+
+    def test_shape_check_markers(self):
+        assert shape_check("x", True).startswith("[ok]")
+        assert shape_check("x", False).startswith("[DIVERGES]")
+
+
+class TestScale:
+    def test_harder_datasets_get_more_samples(self):
+        scale = ExperimentScale("t", 100, 50, 2)
+        assert scale.samples_for("mnist") == (100, 50)
+        assert scale.samples_for("cifar10") == (250, 125)
+        assert scale.samples_for("cifar100") == (300, 150)
+        assert scale.samples_for("unknown") == (100, 50)
+
+    def test_deep_networks_get_more_epochs(self):
+        scale = ExperimentScale("t", 100, 50, 2)
+        assert scale.epochs_for("vgg16") > scale.epochs_for("lenet")
+
+
+class TestPaperValues:
+    def test_table1_lookup(self):
+        row = paper_table1_row("lenet", "mnist")
+        assert row.main_accuracy == pytest.approx(99.50)
+
+    def test_table1_lookup_missing(self):
+        with pytest.raises(KeyError):
+            paper_table1_row("lenet", "imagenet")
+
+    def test_table1_has_sixteen_rows(self):
+        assert len(PAPER_TABLE1) == 16
+
+    def test_paper_table2_orderings(self):
+        """Sanity on the transcription itself: LCRS is the paper's winner."""
+        for net, row in PAPER_TABLE2.items():
+            assert row["lcrs"] == min(row.values()), net
+
+
+class TestNetworkAssets:
+    def test_assets_for_all_networks(self):
+        for net in ("lenet", "alexnet", "resnet18", "vgg16"):
+            assets = build_network_assets(net)
+            assert assets.lcrs.bundle_bytes > 0
+            assert assets.main_bytes > assets.lcrs.bundle_bytes
+
+    def test_byte_fraction_cut_bounds(self):
+        assets = build_network_assets("alexnet")
+        profile = assets.main_profile
+        cut = byte_fraction_cut(profile, 0.55)
+        assert 0 < cut <= len(profile)
+        assert profile.prefix_param_bytes(cut) >= 0.55 * profile.total_param_bytes
+
+    def test_byte_fraction_cut_validation(self):
+        assets = build_network_assets("lenet")
+        with pytest.raises(ValueError):
+            byte_fraction_cut(assets.main_profile, 0.0)
+
+    def test_literature_points_consistent(self):
+        assets = build_network_assets("vgg16")
+        neuro = literature_neurosurgeon_cut(assets.main_profile)
+        exit_layer, cut = literature_edgent_points(assets.main_profile)
+        assert cut <= exit_layer
+        assert neuro >= cut  # Neurosurgeon's prefix is the heavier one
+
+    def test_plans_cover_all_approaches(self):
+        from repro.runtime import four_g
+
+        assets = build_network_assets("lenet")
+        plans = build_plans(assets, four_g())
+        assert set(plans) == {"lcrs", "neurosurgeon", "edgent", "mobile-only"}
+
+
+class TestLatencyComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_latency_comparison(num_samples=20, seed=1)
+
+    def test_all_cells_present(self, comparison):
+        assert len(comparison.traces) == 4 * 4
+
+    def test_lcrs_wins_everywhere(self, comparison):
+        for net in comparison.networks():
+            lcrs = comparison.mean_latency(net, "lcrs")
+            for approach in ("neurosurgeon", "edgent", "mobile-only"):
+                assert lcrs < comparison.mean_latency(net, approach), (net, approach)
+
+    def test_communication_below_total(self, comparison):
+        for (net, approach), trace in comparison.traces.items():
+            assert trace.mean_communication_ms <= trace.mean_latency_ms + 1e-9
+
+    def test_tables_render(self, comparison):
+        assert "Table II" in comparison.table2()
+        assert "Table III" in comparison.table3()
+
+    def test_shape_checks_pass(self, comparison):
+        assert all(line.startswith("[ok]") for line in comparison.shape_checks())
+
+    def test_speedup_band_overlaps_paper_claim(self, comparison):
+        """LCRS speedups must land inside the paper's 3x-61x envelope."""
+        for net in comparison.networks():
+            lcrs = comparison.mean_latency(net, "lcrs")
+            best_other = min(
+                comparison.mean_latency(net, a)
+                for a in ("neurosurgeon", "edgent", "mobile-only")
+            )
+            assert 1.5 < best_other / lcrs < 80
+
+
+class TestFigure6:
+    def test_series_structure(self):
+        result = run_figure6(networks=("lenet",), max_samples=30, sample_counts=(10, 30))
+        assert set(result.series) == {"lenet"}
+        assert len(result.series["lenet"]) == 30
+
+    def test_stability(self):
+        result = run_figure6(networks=("lenet", "alexnet"), max_samples=60)
+        assert all(line.startswith("[ok]") for line in result.stability_check())
+
+    def test_render(self):
+        result = run_figure6(networks=("lenet",), max_samples=20, sample_counts=(10, 20))
+        assert "Figure 6" in result.render()
+
+
+class TestFigure7:
+    def test_lcrs_is_smallest(self):
+        result = run_figure7()
+        assert all(line.startswith("[ok]") for line in result.shape_checks())
+
+    def test_mobile_only_ships_full_model(self):
+        result = run_figure7(networks=("lenet",))
+        assets = build_network_assets("lenet")
+        assert result.bytes_by_cell[("lenet", "mobile-only")] == assets.main_bytes
+
+
+class TestAblations:
+    def test_branch_location_earliest_wins_cold(self):
+        result = run_branch_location("alexnet")
+        assert all(line.startswith("[ok]") for line in result.shape_checks())
+        assert result.expected_ms == sorted(result.expected_ms) or (
+            result.expected_ms[0] == min(result.expected_ms)
+        )
+
+    def test_branch_location_warm_changes_tradeoff(self):
+        cold = run_branch_location("alexnet", cold_start=True)
+        warm = run_branch_location("alexnet", cold_start=False)
+        assert warm.expected_ms[0] <= cold.expected_ms[0]
+
+    def test_branch_count_second_branch_loses(self):
+        result = run_branch_count("alexnet")
+        assert result.two_branch_ms > result.one_branch_ms
+
+    def test_branch_count_renders(self):
+        assert "branch count" in run_branch_count("lenet").render()
+
+    def test_device_sensitivity_lcrs_robust(self):
+        result = run_device_sensitivity("resnet18", factors=(0.5, 1.0, 2.0), num_samples=10)
+        assert all(s > 1.0 for s in result.speedups)
+
+
+class TestTable1Cell:
+    def test_single_cell_smoke(self):
+        tiny = ExperimentScale("tiny", 150, 80, 1)
+        cell = run_table1_cell("lenet", "mnist", scale=tiny, seed=2)
+        r = cell.report
+        assert r.network == "lenet" and r.dataset == "mnist"
+        assert 0 <= r.exit_rate <= 1
+        assert r.compression_ratio > 5
+        assert cell.paper is not None
+        assert len(cell.history.epochs) == 1

@@ -1,0 +1,91 @@
+"""Tests for the feature-map wire codecs."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CodecError,
+    FEATURE_CODECS,
+    FP16_CODEC,
+    FP32_CODEC,
+    INT8_CODEC,
+    get_codec,
+    roundtrip_error,
+)
+
+
+@pytest.fixture
+def features():
+    rng = np.random.default_rng(0)
+    # Post-ReLU-like feature maps: non-negative, moderate dynamic range.
+    return np.abs(rng.standard_normal((2, 6, 14, 14)).astype(np.float32)) * 3
+
+
+class TestCodecs:
+    def test_registry(self):
+        assert set(FEATURE_CODECS) == {"fp32", "fp16", "int8"}
+
+    def test_get_codec_unknown(self):
+        with pytest.raises(KeyError):
+            get_codec("jpeg")
+
+    def test_fp32_lossless(self, features):
+        assert roundtrip_error(FP32_CODEC, features) == 0.0
+
+    def test_fp16_near_lossless(self, features):
+        assert roundtrip_error(FP16_CODEC, features) < 5e-3
+
+    def test_int8_bounded_error(self, features):
+        span = float(features.max() - features.min())
+        assert roundtrip_error(INT8_CODEC, features) <= span / 255.0 + 1e-6
+
+    def test_wire_bytes_ordering(self, features):
+        shape = features.shape
+        assert (
+            INT8_CODEC.wire_bytes(shape)
+            < FP16_CODEC.wire_bytes(shape)
+            < FP32_CODEC.wire_bytes(shape)
+        )
+
+    def test_wire_bytes_match_encoded_length(self, features):
+        for codec in FEATURE_CODECS.values():
+            payload = codec.encode(features)
+            assert len(payload) == codec.wire_bytes(features.shape)
+
+    def test_decode_validates_length(self, features):
+        for codec in FEATURE_CODECS.values():
+            payload = codec.encode(features)
+            with pytest.raises(CodecError):
+                codec.decode(payload[:-1], features.shape)
+
+    def test_int8_constant_tensor(self):
+        const = np.full((1, 2, 3, 3), 1.5, dtype=np.float32)
+        decoded = INT8_CODEC.decode(INT8_CODEC.encode(const), const.shape)
+        np.testing.assert_allclose(decoded, const, atol=1e-6)
+
+
+class TestCodecDeployment:
+    def test_quantized_deployment_keeps_accuracy(self, trained_system, tiny_mnist):
+        """int8 features must not change the edge's answers materially."""
+        from repro.runtime import LCRSDeployment, four_g
+
+        _, test = tiny_mnist
+        fp32 = LCRSDeployment(trained_system, four_g(seed=1), feature_codec=FP32_CODEC)
+        int8 = LCRSDeployment(trained_system, four_g(seed=1), feature_codec=INT8_CODEC)
+        a = fp32.run_session(test.images[:60])
+        b = int8.run_session(test.images[:60])
+        agreement = (a.predictions == b.predictions).mean()
+        assert agreement > 0.95
+
+    def test_quantized_plan_has_smaller_miss_payload(self, trained_system):
+        from repro.runtime import LCRSDeployment, four_g, TransferStep
+
+        fp32 = LCRSDeployment(trained_system, four_g(), feature_codec=FP32_CODEC)
+        int8 = LCRSDeployment(trained_system, four_g(), feature_codec=INT8_CODEC)
+        fp32_upload = next(
+            s for s in fp32.plan().miss_steps if isinstance(s, TransferStep) and s.upload
+        )
+        int8_upload = next(
+            s for s in int8.plan().miss_steps if isinstance(s, TransferStep) and s.upload
+        )
+        assert int8_upload.num_bytes < fp32_upload.num_bytes / 3

@@ -1,0 +1,281 @@
+"""Unit tests for the differentiable NN primitives (conv, pool, BN, losses)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        old = x[i]
+        x[i] = old + eps
+        fp = f()
+        x[i] = old - eps
+        fm = f()
+        x[i] = old
+        grad[i] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestIm2Col:
+    def test_shapes(self):
+        x = np.random.randn(2, 3, 8, 8).astype(np.float32)
+        cols, oh, ow = F.im2col(x, kernel=3, stride=1, padding=0)
+        assert (oh, ow) == (6, 6)
+        assert cols.shape == (2 * 36, 3 * 9)
+
+    def test_stride_and_padding(self):
+        x = np.random.randn(1, 1, 5, 5).astype(np.float32)
+        cols, oh, ow = F.im2col(x, kernel=3, stride=2, padding=1)
+        assert (oh, ow) == (3, 3)
+
+    def test_content_matches_manual_window(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        cols, _, _ = F.im2col(x, kernel=2, stride=2, padding=0)
+        np.testing.assert_array_equal(cols[0], [0, 1, 4, 5])
+        np.testing.assert_array_equal(cols[3], [10, 11, 14, 15])
+
+    def test_col2im_inverts_non_overlapping(self):
+        x = np.random.randn(1, 2, 4, 4).astype(np.float32)
+        cols, oh, ow = F.im2col(x, kernel=2, stride=2, padding=0)
+        back = F.col2im(cols, x.shape, 2, 2, 0, oh, ow)
+        np.testing.assert_allclose(back, x, rtol=1e-6)
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        x = Tensor(np.random.randn(2, 3, 8, 8).astype(np.float32))
+        w = nn.Parameter(np.random.randn(5, 3, 3, 3).astype(np.float32))
+        out = F.conv2d(x, w, stride=2, padding=1)
+        assert out.shape == (2, 5, 4, 4)
+
+    def test_matches_direct_convolution(self):
+        # Hand-rolled correlation on a small case.
+        x = np.random.randn(1, 1, 4, 4).astype(np.float64)
+        w = np.random.randn(1, 1, 3, 3).astype(np.float64)
+        out = F.conv2d(Tensor(x), Tensor(w)).data
+        expected = np.zeros((1, 1, 2, 2))
+        for i in range(2):
+            for j in range(2):
+                expected[0, 0, i, j] = (x[0, 0, i : i + 3, j : j + 3] * w[0, 0]).sum()
+        np.testing.assert_allclose(out, expected, rtol=1e-6)
+
+    def test_weight_gradient_numerical(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 2, 5, 5))
+        w = rng.standard_normal((3, 2, 3, 3))
+        wt = nn.Parameter(w.copy())
+        out = F.conv2d(Tensor(x), wt, padding=1)
+        (out * out).sum().backward()
+
+        def forward():
+            o = F.conv2d(Tensor(x), Tensor(w)).data if False else None
+            out2 = F.conv2d(Tensor(x), Tensor(wt_data), padding=1).data
+            return float((out2**2).sum())
+
+        wt_data = wt.data
+        num = numerical_grad(forward, wt.data)
+        np.testing.assert_allclose(wt.grad, num, atol=1e-3)
+
+    def test_input_gradient_numerical(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 2, 5, 5))
+        w = rng.standard_normal((2, 2, 3, 3))
+        xt = Tensor(x.copy(), requires_grad=True)
+        out = F.conv2d(xt, Tensor(w), stride=2, padding=1)
+        (out * out).sum().backward()
+
+        def forward():
+            o = F.conv2d(Tensor(xt.data), Tensor(w), stride=2, padding=1).data
+            return float((o**2).sum())
+
+        num = numerical_grad(forward, xt.data)
+        np.testing.assert_allclose(xt.grad, num, atol=1e-3)
+
+    def test_bias_gradient(self):
+        x = Tensor(np.random.randn(2, 1, 4, 4).astype(np.float32))
+        w = nn.Parameter(np.random.randn(3, 1, 3, 3).astype(np.float32))
+        b = nn.Parameter(np.zeros(3, dtype=np.float32))
+        F.conv2d(x, w, b).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full(3, 2 * 2 * 2))
+
+
+class TestLinear:
+    def test_forward(self):
+        x = Tensor(np.array([[1.0, 2.0]]))
+        w = nn.Parameter(np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]))
+        b = nn.Parameter(np.array([0.0, 0.0, 1.0]))
+        out = F.linear(x, w, b)
+        np.testing.assert_allclose(out.data, [[1.0, 2.0, 4.0]])
+
+    def test_gradients(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        w = nn.Parameter(rng.standard_normal((2, 3)))
+        out = F.linear(x, w)
+        out.sum().backward()
+        assert x.grad.shape == (4, 3)
+        assert w.grad.shape == (2, 3)
+        np.testing.assert_allclose(w.grad, x.data.sum(axis=0)[None, :].repeat(2, 0))
+
+
+class TestPooling:
+    def test_max_pool_forward(self):
+        x = np.array([[[[1, 2], [3, 4]]]], dtype=np.float32)
+        out = F.max_pool2d(Tensor(x), 2)
+        np.testing.assert_array_equal(out.data, [[[[4]]]])
+
+    def test_max_pool_grad_routes_to_max(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        np.testing.assert_array_equal(x.grad, [[[[0, 0], [0, 1]]]])
+
+    def test_avg_pool_forward_and_grad(self):
+        x = Tensor(np.ones((1, 1, 4, 4)), requires_grad=True)
+        out = F.avg_pool2d(x, 2)
+        np.testing.assert_array_equal(out.data, np.ones((1, 1, 2, 2)))
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_global_avg_pool(self):
+        x = Tensor(np.random.randn(2, 3, 4, 4).astype(np.float32))
+        out = F.global_avg_pool2d(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.data, x.data.mean(axis=(2, 3)), rtol=1e-5)
+
+    def test_max_pool_stride_differs_from_kernel(self):
+        x = Tensor(np.random.randn(1, 1, 5, 5).astype(np.float32))
+        out = F.max_pool2d(x, 3, stride=1)
+        assert out.shape == (1, 1, 3, 3)
+
+
+class TestBatchNorm:
+    def test_training_normalizes(self):
+        x = Tensor(np.random.randn(64, 4, 3, 3).astype(np.float32) * 5 + 2)
+        gamma = nn.Parameter(np.ones(4, dtype=np.float32))
+        beta = nn.Parameter(np.zeros(4, dtype=np.float32))
+        rm, rv = np.zeros(4, np.float32), np.ones(4, np.float32)
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=True)
+        assert abs(out.data.mean()) < 1e-4
+        assert abs(out.data.std() - 1.0) < 1e-2
+
+    def test_running_stats_updated(self):
+        x = Tensor(np.random.randn(32, 2, 4, 4).astype(np.float32) + 3.0)
+        gamma = nn.Parameter(np.ones(2, np.float32))
+        beta = nn.Parameter(np.zeros(2, np.float32))
+        rm, rv = np.zeros(2, np.float32), np.ones(2, np.float32)
+        F.batch_norm(x, gamma, beta, rm, rv, training=True, momentum=0.5)
+        assert (rm > 1.0).all()  # moved toward the batch mean of ~3
+
+    def test_eval_uses_running_stats(self):
+        x = Tensor(np.full((4, 1, 2, 2), 10.0, dtype=np.float32))
+        gamma = nn.Parameter(np.ones(1, np.float32))
+        beta = nn.Parameter(np.zeros(1, np.float32))
+        rm, rv = np.full(1, 10.0, np.float32), np.ones(1, np.float32)
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=False)
+        np.testing.assert_allclose(out.data, 0.0, atol=1e-3)
+
+    def test_input_gradient_numerical_training(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((8, 2, 3, 3))
+        gamma = nn.Parameter(rng.standard_normal(2))
+        beta = nn.Parameter(rng.standard_normal(2))
+
+        def forward():
+            rm, rv = np.zeros(2), np.ones(2)
+            out = F.batch_norm(
+                Tensor(xt.data), Tensor(gamma.data), Tensor(beta.data), rm, rv, True
+            )
+            return float((out.data**2).sum())
+
+        xt = Tensor(x.copy(), requires_grad=True)
+        rm, rv = np.zeros(2), np.ones(2)
+        out = F.batch_norm(xt, gamma, beta, rm, rv, training=True)
+        (out * out).sum().backward()
+        num = numerical_grad(forward, xt.data)
+        np.testing.assert_allclose(xt.grad, num, atol=1e-3)
+
+    def test_2d_input_supported(self):
+        x = Tensor(np.random.randn(16, 5).astype(np.float32))
+        gamma = nn.Parameter(np.ones(5, np.float32))
+        beta = nn.Parameter(np.zeros(5, np.float32))
+        rm, rv = np.zeros(5, np.float32), np.ones(5, np.float32)
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=True)
+        assert out.shape == (16, 5)
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        x = Tensor(np.random.randn(10, 10).astype(np.float32))
+        out = F.dropout(x, 0.5, training=False, rng=np.random.default_rng(0))
+        assert out is x
+
+    def test_training_zeroes_and_rescales(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((1000,), dtype=np.float32))
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        kept = out.data != 0
+        assert 0.35 < kept.mean() < 0.65
+        np.testing.assert_allclose(out.data[kept], 2.0)
+
+    def test_gradient_masked_like_forward(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(100, dtype=np.float32), requires_grad=True)
+        out = F.dropout(x, 0.3, training=True, rng=rng)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad[out.data == 0], 0.0)
+
+
+class TestSoftmaxAndLosses:
+    def test_softmax_rows_sum_to_one(self):
+        probs = F.softmax(np.random.randn(5, 7), axis=1)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), rtol=1e-6)
+
+    def test_softmax_stability_large_logits(self):
+        probs = F.softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(probs, [[0.5, 0.5]])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        z = np.random.randn(4, 6).astype(np.float32)
+        ls = F.log_softmax(Tensor(z)).data
+        np.testing.assert_allclose(ls, np.log(F.softmax(z, axis=-1)), atol=1e-5)
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]], dtype=np.float32))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-4
+
+    def test_cross_entropy_uniform_is_log_classes(self):
+        logits = Tensor(np.zeros((3, 10), dtype=np.float32))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2]))
+        np.testing.assert_allclose(loss.item(), np.log(10), rtol=1e-5)
+
+    def test_cross_entropy_gradient_numerical(self):
+        rng = np.random.default_rng(4)
+        z = rng.standard_normal((5, 4))
+        y = np.array([0, 1, 2, 3, 0])
+        zt = Tensor(z.copy(), requires_grad=True)
+        F.cross_entropy(zt, y).backward()
+        num = numerical_grad(
+            lambda: float(F.cross_entropy(Tensor(zt.data), y).item()), zt.data
+        )
+        np.testing.assert_allclose(zt.grad, num, atol=1e-5)
+
+    def test_label_smoothing_raises_floor(self):
+        logits = Tensor(np.array([[100.0, 0.0]], dtype=np.float32))
+        plain = F.cross_entropy(logits, np.array([0])).item()
+        smooth = F.cross_entropy(
+            Tensor(logits.data), np.array([0]), label_smoothing=0.1
+        ).item()
+        assert smooth > plain
+
+    def test_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert F.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)

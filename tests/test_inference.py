@@ -1,0 +1,139 @@
+"""Unit tests for collaborative inference (Algorithm 2) and the LCRS facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollaborativePredictor,
+    JointTrainingConfig,
+    LCRS,
+    branch_entropies,
+)
+from repro.data import make_dataset
+
+
+class TestCollaborativePredictor:
+    def test_mutually_exclusive_force_flags(self, trained_system):
+        with pytest.raises(ValueError):
+            CollaborativePredictor(
+                trained_system.model, 0.1, force_edge=True, force_local=True
+            )
+
+    def test_negative_threshold_rejected(self, trained_system):
+        with pytest.raises(ValueError):
+            CollaborativePredictor(trained_system.model, -0.1)
+
+    def test_exit_decisions_match_threshold(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        predictor = trained_system.predictor()
+        result = predictor.predict(test.images[:50])
+        for record in result.records:
+            assert record.exited_locally == (record.entropy < predictor.threshold)
+
+    def test_predictions_follow_routing(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        result = trained_system.predictor().predict(test.images[:50])
+        for record in result.records:
+            if record.exited_locally:
+                assert record.prediction == record.binary_prediction
+                assert record.main_prediction is None
+            else:
+                assert record.prediction == record.main_prediction
+
+    def test_force_local_uses_binary_everywhere(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        result = trained_system.predictor(force_local=True).predict(test.images[:30])
+        assert result.exit_rate == 1.0
+
+    def test_force_edge_uses_main_everywhere(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        result = trained_system.predictor(force_edge=True).predict(test.images[:30])
+        assert result.exit_rate == 0.0
+
+    def test_force_edge_matches_main_branch_accuracy(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        main_acc, _ = trained_system.trainer.evaluate(test)
+        result = trained_system.predictor(force_edge=True).predict_dataset(test)
+        assert result.accuracy(test.labels) == pytest.approx(main_acc, abs=1e-9)
+
+    def test_batching_invariance(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        a = trained_system.predictor().predict(test.images[:64], batch_size=64)
+        b = trained_system.predictor().predict(test.images[:64], batch_size=7)
+        np.testing.assert_array_equal(a.predictions, b.predictions)
+
+    def test_exit_accuracy_restricted_to_exits(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        result = trained_system.predictor().predict_dataset(test)
+        mask = np.array([r.exited_locally for r in result.records])
+        if mask.any():
+            manual = (result.predictions[mask] == test.labels[mask]).mean()
+            assert result.exit_accuracy(test.labels) == pytest.approx(manual)
+
+    def test_collaboration_at_least_binary_accuracy(self, trained_system, tiny_mnist):
+        """The paper's point: the edge supplies the binary branch's shortage."""
+        _, test = tiny_mnist
+        collab = trained_system.predictor().predict_dataset(test)
+        local_only = trained_system.predictor(force_local=True).predict_dataset(test)
+        assert collab.accuracy(test.labels) >= local_only.accuracy(test.labels) - 0.02
+
+
+class TestBranchEntropies:
+    def test_shapes_and_ranges(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        ents, bpred, mpred = branch_entropies(trained_system.model, test.images)
+        assert ents.shape == (len(test),)
+        assert (ents >= 0).all() and (ents <= 1 + 1e-9).all()
+        assert bpred.shape == mpred.shape == (len(test),)
+
+    def test_preds_in_class_range(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        _, bpred, mpred = branch_entropies(trained_system.model, test.images)
+        assert bpred.max() < test.num_classes
+        assert mpred.max() < test.num_classes
+
+
+class TestLCRSFacade:
+    def test_build_infers_dataset_shape(self, tiny_mnist):
+        train, _ = tiny_mnist
+        system = LCRS.build("lenet", train)
+        assert system.model.in_channels == 1
+        assert system.model.num_classes == train.num_classes
+
+    def test_build_rejects_non_square(self):
+        from repro.data import ArrayDataset
+
+        ds = ArrayDataset(np.zeros((4, 1, 8, 10)), np.zeros(4))
+        with pytest.raises(ValueError):
+            LCRS.build("lenet", ds)
+
+    def test_threshold_requires_calibration(self, tiny_mnist):
+        train, _ = tiny_mnist
+        system = LCRS.build("lenet", train)
+        with pytest.raises(RuntimeError):
+            _ = system.threshold
+
+    def test_report_fields(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        report = trained_system.report(test)
+        assert report.network == "lenet"
+        assert 0 <= report.exit_rate <= 1
+        assert report.main_size_bytes > report.binary_size_bytes
+        assert report.compression_ratio > 5
+        assert report.main_size_mb > report.binary_size_mb
+
+    def test_calibration_tolerance_tightens_exits(self, tiny_mnist):
+        train, test = tiny_mnist
+        system = LCRS.build(
+            "lenet", train, training_config=JointTrainingConfig(epochs=2, seed=3), seed=3
+        )
+        system.fit(train)
+        loose = system.calibrate(test, accuracy_tolerance=0.10).exit_rate
+        tight = system.calibrate(test, accuracy_tolerance=0.001).exit_rate
+        assert tight <= loose + 1e-9
+
+    def test_profiles_available_before_training(self, tiny_mnist):
+        train, _ = tiny_mnist
+        system = LCRS.build("lenet", train)
+        assert system.main_size_bytes() > 0
+        assert system.binary_size_bytes() > 0

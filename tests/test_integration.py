@@ -1,0 +1,123 @@
+"""End-to-end integration: train → calibrate → serialize → deploy → verify.
+
+This is the full LCRS lifecycle on one small system, asserting the
+cross-module contracts the paper's design depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LCRS, JointTrainingConfig
+from repro.data import make_dataset
+from repro.runtime import LCRSDeployment, four_g, wifi
+from repro.wasm import WasmModel, serialize_browser_bundle, validate_bundle
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """One full train→calibrate→deploy pass shared by this module."""
+    train, test = make_dataset("mnist", 700, 200, seed=11)
+    system = LCRS.build(
+        "lenet",
+        train,
+        training_config=JointTrainingConfig(epochs=5, lr_main=2e-3, seed=11),
+        dataset_name="mnist",
+        seed=11,
+    )
+    system.fit(train, test)
+    system.calibrate(test)
+    deployment = LCRSDeployment(system, four_g(seed=11))
+    return system, deployment, train, test
+
+
+class TestFullLifecycle:
+    def test_training_reached_useful_accuracy(self, pipeline):
+        system, _, _, test = pipeline
+        main_acc, binary_acc = system.trainer.evaluate(test)
+        assert main_acc > 0.8
+        assert binary_acc > 0.7
+
+    def test_binary_branch_is_compressed(self, pipeline):
+        system, _, _, test = pipeline
+        report = system.report(test)
+        assert 10 <= report.compression_ratio <= 40
+
+    def test_collaboration_closes_accuracy_gap(self, pipeline):
+        """Algorithm 2's whole point: collaborative ≥ binary-only."""
+        system, _, _, test = pipeline
+        collab = system.predictor().predict_dataset(test)
+        binary_only = system.predictor(force_local=True).predict_dataset(test)
+        edge_only = system.predictor(force_edge=True).predict_dataset(test)
+        assert (
+            collab.accuracy(test.labels) >= binary_only.accuracy(test.labels) - 1e-9
+        )
+        assert collab.accuracy(test.labels) >= edge_only.accuracy(test.labels) - 0.03
+
+    def test_browser_engine_validates_against_framework(self, pipeline):
+        system, _, _, _ = pipeline
+        report = validate_bundle(
+            system.model.browser_modules(), (1, 28, 28), num_samples=16
+        )
+        assert report.passed and report.argmax_agreement == 1.0
+
+    def test_deployed_session_matches_functional_results(self, pipeline):
+        system, deployment, _, test = pipeline
+        session = deployment.run_session(test.images[:60])
+        functional = system.predictor().predict(test.images[:60])
+        np.testing.assert_array_equal(session.predictions, functional.predictions)
+
+    def test_exit_rate_consistent_with_calibration(self, pipeline):
+        system, deployment, _, test = pipeline
+        session = deployment.run_session(test.images)
+        # The deployed exit rate should track the calibration estimate.
+        assert abs(session.exit_rate - system.calibration.exit_rate) < 0.15
+
+    def test_bundle_survives_byte_roundtrip(self, pipeline):
+        system, _, _, test = pipeline
+        payload = serialize_browser_bundle(
+            system.model.browser_modules(),
+            (1, 28, 28),
+            metadata={"tau": system.threshold},
+        )
+        engine = WasmModel.load(bytes(payload))  # force a fresh bytes object
+        out = engine.forward(test.images[:4])
+        assert out.shape == (4, test.num_classes)
+        assert engine.metadata["tau"] == pytest.approx(system.threshold)
+
+    def test_better_link_lowers_latency(self, pipeline):
+        system, _, _, test = pipeline
+        slow = LCRSDeployment(system, four_g(seed=2).deterministic())
+        fast = LCRSDeployment(system, wifi(seed=2).deterministic())
+        slow_ms = slow.run_session(test.images[:20], cold_start=True).mean_latency_ms
+        fast_ms = fast.run_session(test.images[:20], cold_start=True).mean_latency_ms
+        assert fast_ms < slow_ms
+
+    def test_report_is_reproducible(self, pipeline):
+        system, _, _, test = pipeline
+        a = system.report(test)
+        b = system.report(test)
+        assert a.main_accuracy == b.main_accuracy
+        assert a.exit_rate == b.exit_rate
+
+
+class TestCrossNetworkSmoke:
+    @pytest.mark.parametrize("network", ["alexnet", "resnet18", "vgg16"])
+    def test_one_joint_step_and_deploy(self, network):
+        """Every paper network must survive a full (tiny) lifecycle."""
+        train, test = make_dataset("cifar10", 60, 30, seed=3)
+        system = LCRS.build(
+            network,
+            train,
+            training_config=JointTrainingConfig(epochs=1, batch_size=32, seed=3),
+            dataset_name="cifar10",
+            seed=3,
+        )
+        system.fit(train)
+        system.calibrate(test)
+        deployment = LCRSDeployment(system, four_g(seed=3))
+        session = deployment.run_session(test.images[:5])
+        assert len(session.outcomes) == 5
+        report = validate_bundle(
+            system.model.browser_modules(), (3, 32, 32), num_samples=4
+        )
+        assert report.argmax_agreement == 1.0

@@ -1,0 +1,176 @@
+"""Unit tests for the Module system and standard layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.autograd import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestModuleSystem:
+    def test_parameter_discovery(self, rng):
+        layer = nn.Conv2d(3, 4, 3, rng=rng)
+        names = [n for n, _ in layer.named_parameters()]
+        assert names == ["weight", "bias"]
+
+    def test_nested_parameter_names(self, rng):
+        model = nn.Sequential(nn.Conv2d(1, 2, 3, rng=rng), nn.Linear(4, 5, rng=rng))
+        names = {n for n, _ in model.named_parameters()}
+        assert "0.weight" in names and "1.bias" in names
+
+    def test_num_parameters(self, rng):
+        layer = nn.Linear(10, 5, rng=rng)
+        assert layer.num_parameters() == 10 * 5 + 5
+
+    def test_train_eval_propagates(self, rng):
+        model = nn.Sequential(nn.Dropout(0.5), nn.Sequential(nn.Dropout(0.5)))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        layer(Tensor(np.ones((1, 3), dtype=np.float32))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self, rng):
+        a = nn.Sequential(nn.Conv2d(1, 2, 3, rng=rng), nn.BatchNorm2d(2))
+        b = nn.Sequential(nn.Conv2d(1, 2, 3, rng=np.random.default_rng(99)), nn.BatchNorm2d(2))
+        state = a.state_dict()
+        b.load_state_dict(state)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_includes_buffers(self, rng):
+        bn = nn.BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_load_state_dict_rejects_unknown_key(self, rng):
+        layer = nn.Linear(2, 2, rng=rng)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"nope": np.zeros(1)})
+
+    def test_load_state_dict_rejects_shape_mismatch(self, rng):
+        layer = nn.Linear(2, 2, rng=rng)
+        with pytest.raises(ValueError):
+            layer.load_state_dict({"weight": np.zeros((3, 3), dtype=np.float32)})
+
+    def test_repr_contains_children(self, rng):
+        model = nn.Sequential(nn.ReLU())
+        assert "ReLU" in repr(model)
+
+
+class TestSequential:
+    def test_order_and_len(self, rng):
+        model = nn.Sequential(nn.ReLU(), nn.Flatten())
+        assert len(model) == 2
+        assert isinstance(model[0], nn.ReLU)
+
+    def test_append(self, rng):
+        model = nn.Sequential(nn.ReLU())
+        model.append(nn.Flatten())
+        assert len(model) == 2
+        assert isinstance(model[1], nn.Flatten)
+
+    def test_iteration(self):
+        mods = [nn.ReLU(), nn.Flatten()]
+        model = nn.Sequential(*mods)
+        assert list(model) == mods
+
+    def test_forward_chains(self, rng):
+        model = nn.Sequential(nn.Linear(3, 4, rng=rng), nn.ReLU())
+        out = model(Tensor(np.random.randn(2, 3).astype(np.float32)))
+        assert out.shape == (2, 4)
+        assert (out.data >= 0).all()
+
+
+class TestConv2dLayer:
+    def test_output_shape_helper_matches_forward(self, rng):
+        layer = nn.Conv2d(3, 8, 5, stride=2, padding=2, rng=rng)
+        x = Tensor(np.zeros((1, 3, 17, 17), dtype=np.float32))
+        out = layer(x)
+        assert out.shape[1:] == layer.output_shape(17, 17)
+
+    def test_no_bias(self, rng):
+        layer = nn.Conv2d(1, 2, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_repr(self, rng):
+        assert "Conv2d(3, 8" in repr(nn.Conv2d(3, 8, 3, rng=rng))
+
+
+class TestOtherLayers:
+    def test_linear_shapes(self, rng):
+        layer = nn.Linear(7, 3, rng=rng)
+        assert layer(Tensor(np.zeros((5, 7), dtype=np.float32))).shape == (5, 3)
+
+    def test_maxpool_default_stride(self):
+        pool = nn.MaxPool2d(2)
+        assert pool.stride == 2
+
+    def test_batchnorm2d_buffers_move_in_training(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(np.random.randn(16, 2, 3, 3).astype(np.float32) + 5)
+        bn.train()
+        bn(x)
+        assert (bn.running_mean != 0).any()
+
+    def test_batchnorm1d_on_features(self, rng):
+        bn = nn.BatchNorm1d(4)
+        out = bn(Tensor(np.random.randn(8, 4).astype(np.float32)))
+        assert out.shape == (8, 4)
+
+    def test_dropout_respects_mode(self):
+        drop = nn.Dropout(0.9)
+        x = Tensor(np.ones((100,), dtype=np.float32))
+        drop.eval()
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_flatten(self):
+        out = nn.Flatten()(Tensor(np.zeros((2, 3, 4), dtype=np.float32)))
+        assert out.shape == (2, 12)
+
+    def test_identity(self):
+        x = Tensor(np.ones(3, dtype=np.float32))
+        assert nn.Identity()(x) is x
+
+    def test_global_avg_pool_layer(self):
+        out = nn.GlobalAvgPool2d()(Tensor(np.ones((2, 3, 4, 4), dtype=np.float32)))
+        np.testing.assert_array_equal(out.data, np.ones((2, 3)))
+
+    def test_avgpool_layer(self):
+        out = nn.AvgPool2d(2)(Tensor(np.ones((1, 1, 4, 4), dtype=np.float32)))
+        assert out.shape == (1, 1, 2, 2)
+
+
+class TestLosses:
+    def test_cross_entropy_loss_module(self):
+        loss_fn = nn.CrossEntropyLoss()
+        logits = Tensor(np.zeros((2, 4), dtype=np.float32), requires_grad=True)
+        loss = loss_fn(logits, np.array([1, 2]))
+        np.testing.assert_allclose(loss.item(), np.log(4), rtol=1e-5)
+
+    def test_joint_loss_is_weighted_sum(self):
+        joint = nn.JointLoss(main_weight=2.0, binary_weight=0.5)
+        main = Tensor(np.zeros((2, 3), dtype=np.float32))
+        binary = Tensor(np.zeros((2, 3), dtype=np.float32))
+        y = np.array([0, 1])
+        total = joint(main, binary, y).item()
+        np.testing.assert_allclose(total, 2.5 * np.log(3), rtol=1e-5)
+
+    def test_joint_loss_components(self):
+        joint = nn.JointLoss()
+        main = Tensor(np.zeros((1, 2), dtype=np.float32))
+        binary = Tensor(np.zeros((1, 2), dtype=np.float32))
+        total, lm, lb = joint.components(main, binary, np.array([0]))
+        np.testing.assert_allclose(total.item(), lm.item() + lb.item(), rtol=1e-6)

@@ -1,0 +1,131 @@
+"""Tests for the classification metrics module."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    classification_report,
+    confusion_matrix,
+    expected_calibration_error,
+    exit_risk_coverage,
+    top_k_accuracy,
+)
+
+
+class TestConfusionMatrix:
+    def test_perfect_predictions_are_diagonal(self):
+        labels = np.array([0, 1, 2, 1, 0])
+        matrix = confusion_matrix(labels, labels, 3)
+        assert matrix.sum() == 5
+        np.testing.assert_array_equal(matrix, np.diag([2, 2, 1]))
+
+    def test_off_diagonal_counts(self):
+        preds = np.array([1, 1])
+        labels = np.array([0, 0])
+        matrix = confusion_matrix(preds, labels, 2)
+        assert matrix[0, 1] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([0, 1]), 2)
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([3]), np.array([0]), 2)
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([0]), 0)
+
+
+class TestClassificationReport:
+    def test_perfect_scores(self):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        report = classification_report(labels, labels, 3)
+        np.testing.assert_allclose(report.precision, 1.0)
+        np.testing.assert_allclose(report.recall, 1.0)
+        np.testing.assert_allclose(report.f1, 1.0)
+        assert report.accuracy == 1.0
+
+    def test_known_values(self):
+        # Class 0: 2 true, 1 predicted correctly; one 0 predicted as 1.
+        preds = np.array([0, 1, 1])
+        labels = np.array([0, 0, 1])
+        report = classification_report(preds, labels, 2)
+        assert report.recall[0] == pytest.approx(0.5)
+        assert report.precision[0] == pytest.approx(1.0)
+        assert report.precision[1] == pytest.approx(0.5)
+        assert report.support.tolist() == [2, 1]
+
+    def test_absent_class_zero_not_nan(self):
+        preds = np.array([0, 0])
+        labels = np.array([0, 0])
+        report = classification_report(preds, labels, 3)
+        assert np.isfinite(report.f1).all()
+        assert report.f1[2] == 0.0
+
+    def test_render_contains_macro(self):
+        report = classification_report(np.array([0, 1]), np.array([0, 1]), 2)
+        text = report.render(["cat", "dog"])
+        assert "macro" in text and "cat" in text
+
+
+class TestTopK:
+    def test_top1_equals_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        labels = np.array([0, 1, 1])
+        assert top_k_accuracy(logits, labels, k=1) == pytest.approx(2 / 3)
+
+    def test_topk_saturates(self):
+        logits = np.random.randn(10, 4)
+        labels = np.random.randint(0, 4, 10)
+        assert top_k_accuracy(logits, labels, k=4) == 1.0
+
+    def test_k_larger_than_classes_clamped(self):
+        logits = np.random.randn(5, 3)
+        labels = np.random.randint(0, 3, 5)
+        assert top_k_accuracy(logits, labels, k=10) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 2)), np.zeros(2, int), k=0)
+
+
+class TestECE:
+    def test_perfectly_calibrated_low_ece(self):
+        rng = np.random.default_rng(0)
+        n = 5000
+        confidence = rng.uniform(0.5, 1.0, n)
+        correct = rng.random(n) < confidence
+        probs = np.stack([confidence, 1 - confidence], axis=1)
+        labels = np.where(correct, 0, 1)
+        assert expected_calibration_error(probs, labels) < 0.05
+
+    def test_overconfident_model_high_ece(self):
+        n = 1000
+        probs = np.tile([0.99, 0.01], (n, 1))
+        labels = np.array([0] * (n // 2) + [1] * (n // 2))  # 50% correct
+        assert expected_calibration_error(probs, labels) > 0.4
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.ones((2, 2)), np.zeros(2, int), bins=0)
+
+
+class TestRiskCoverage:
+    def test_good_score_orders_risk(self):
+        rng = np.random.default_rng(1)
+        n = 2000
+        scores = rng.uniform(0, 1, n)
+        correct = rng.random(n) > scores * 0.8  # low score → likely correct
+        coverage, risk = exit_risk_coverage(scores, correct)
+        assert len(coverage) == len(risk) == 20
+        # Risk grows with coverage for an informative score.
+        assert risk[0] < risk[-1]
+
+    def test_full_coverage_risk_is_error_rate(self):
+        scores = np.linspace(0, 1, 100)
+        correct = np.ones(100, dtype=bool)
+        correct[::4] = False
+        _, risk = exit_risk_coverage(scores, correct)
+        assert risk[-1] == pytest.approx(1 - correct.mean())
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            exit_risk_coverage(np.zeros(3), np.zeros(4, bool))

@@ -1,0 +1,65 @@
+"""Metrics applied to a real trained system (cross-module integration)."""
+
+import numpy as np
+import pytest
+
+from repro.core import branch_entropies
+from repro.metrics import (
+    classification_report,
+    confusion_matrix,
+    exit_risk_coverage,
+    expected_calibration_error,
+    top_k_accuracy,
+)
+from repro.nn import functional as F
+
+
+class TestSystemMetrics:
+    def test_confusion_matrix_totals(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        result = trained_system.predictor().predict_dataset(test)
+        matrix = confusion_matrix(result.predictions, test.labels, test.num_classes)
+        assert matrix.sum() == len(test)
+        # Diagonal mass equals accuracy.
+        assert np.trace(matrix) / len(test) == pytest.approx(
+            result.accuracy(test.labels)
+        )
+
+    def test_classification_report_consistency(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        result = trained_system.predictor().predict_dataset(test)
+        report = classification_report(
+            result.predictions, test.labels, test.num_classes
+        )
+        assert report.accuracy == pytest.approx(result.accuracy(test.labels))
+        assert report.support.sum() == len(test)
+        assert report.macro_f1 > 0.5  # the trained system is competent
+
+    def test_topk_dominates_top1(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        main_logits, binary_logits = trained_system.trainer.predict_logits(test)
+        top1 = top_k_accuracy(binary_logits, test.labels, k=1)
+        top3 = top_k_accuracy(binary_logits, test.labels, k=3)
+        assert top3 >= top1
+        assert top1 == pytest.approx(F.accuracy(binary_logits, test.labels))
+
+    def test_binary_branch_reasonably_calibrated(self, trained_system, tiny_mnist):
+        """Entropy gating is safe only if confidence tracks correctness."""
+        _, test = tiny_mnist
+        _, binary_logits = trained_system.trainer.predict_logits(test)
+        probs = F.softmax(binary_logits, axis=1)
+        ece = expected_calibration_error(probs, test.labels)
+        assert ece < 0.25
+
+    def test_entropy_risk_coverage_is_informative(self, trained_system, tiny_mnist):
+        """Low-entropy samples must be more often correct — the property
+        Algorithm 2's exit rule relies on."""
+        _, test = tiny_mnist
+        entropies, binary_preds, _ = branch_entropies(
+            trained_system.model, test.images
+        )
+        correct = binary_preds == test.labels
+        coverage, risk = exit_risk_coverage(entropies, correct)
+        # Risk at 25% coverage must not exceed risk at full coverage.
+        quarter = risk[len(risk) // 4]
+        assert quarter <= risk[-1] + 1e-9

@@ -1,0 +1,147 @@
+"""Unit tests for optimizers and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, ConstantLR, CosineAnnealingLR, StepLR
+
+
+def make_param(value=1.0, shape=(3,)):
+    p = Parameter(np.full(shape, value, dtype=np.float32))
+    p.grad = np.ones(shape, dtype=np.float32)
+    return p
+
+
+class TestOptimizerBase:
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.0)
+
+    def test_zero_grad_clears(self):
+        p = make_param()
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_step_skips_gradless_params(self):
+        p = make_param()
+        p.grad = None
+        opt = SGD([p], lr=0.1)
+        opt.step()
+        np.testing.assert_array_equal(p.data, np.ones(3))
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = make_param(1.0)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, 0.9, rtol=1e-6)
+
+    def test_momentum_accelerates(self):
+        p1, p2 = make_param(), make_param()
+        plain = SGD([p1], lr=0.1)
+        momentum = SGD([p2], lr=0.1, momentum=0.9)
+        for _ in range(3):
+            p1.grad = np.ones(3, dtype=np.float32)
+            p2.grad = np.ones(3, dtype=np.float32)
+            plain.step()
+            momentum.step()
+        assert p2.data.mean() < p1.data.mean()
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = make_param(10.0)
+        p.grad = np.zeros(3, dtype=np.float32)
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        assert (p.data < 10.0).all()
+
+    def test_nesterov_differs_from_plain_momentum(self):
+        p1, p2 = make_param(), make_param()
+        m = SGD([p1], lr=0.1, momentum=0.9)
+        n = SGD([p2], lr=0.1, momentum=0.9, nesterov=True)
+        for _ in range(2):
+            p1.grad = np.ones(3, dtype=np.float32)
+            p2.grad = np.ones(3, dtype=np.float32)
+            m.step()
+            n.step()
+        assert not np.allclose(p1.data, p2.data)
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction, step 1 moves by ~lr regardless of grad scale.
+        p = make_param(0.0)
+        p.grad = np.full(3, 123.0, dtype=np.float32)
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(np.abs(p.data), 0.01, rtol=1e-3)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0], dtype=np.float32))
+        opt = Adam([p], lr=0.5)
+        for _ in range(200):
+            p.grad = 2 * p.data  # d/dx x^2
+            opt.step()
+        assert abs(p.data[0]) < 0.05
+
+    def test_weight_decay(self):
+        p = make_param(10.0)
+        p.grad = np.zeros(3, dtype=np.float32)
+        Adam([p], lr=0.1, weight_decay=1.0).step()
+        assert (p.data < 10.0).all()
+
+    def test_state_grows_with_steps(self):
+        p = make_param()
+        opt = Adam([p], lr=0.1)
+        opt.step()
+        assert opt._t == 1
+        p.grad = np.ones(3, dtype=np.float32)
+        opt.step()
+        assert opt._t == 2
+
+
+class TestSchedulers:
+    def test_constant(self):
+        opt = SGD([make_param()], lr=0.1)
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            assert sched.step() == pytest.approx(0.1)
+
+    def test_step_lr_decays(self):
+        # step() is called at epoch end (the PyTorch convention), so the
+        # first decay lands when two epochs have completed.
+        opt = SGD([make_param()], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_step_lr_rejects_bad_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(SGD([make_param()], lr=1.0), step_size=0)
+
+    def test_cosine_endpoints(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < 1.0
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-8)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_clamps_beyond_t_max(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=2)
+        for _ in range(5):
+            lr = sched.step()
+        assert lr == pytest.approx(0.0, abs=1e-8)
+
+    def test_scheduler_mutates_optimizer(self):
+        opt = SGD([make_param()], lr=1.0)
+        StepLR(opt, step_size=1, gamma=0.5).step()
+        assert opt.lr == pytest.approx(0.5)

@@ -1,0 +1,171 @@
+"""Unit tests for the tracer and per-layer cost model."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import build_model
+from repro.nn.binary import BinaryConv2d, BinaryLinear
+from repro.profiling import (
+    FLOAT_BYTES,
+    NetworkProfile,
+    binary_param_bytes,
+    model_size_bytes,
+    model_size_mb,
+    trace,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestTracer:
+    def test_records_leaves_in_execution_order(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(1, 2, 3, padding=1, rng=rng), nn.ReLU(), nn.MaxPool2d(2)
+        )
+        records = trace(model, (1, 8, 8))
+        assert [r.kind for r in records] == ["Conv2d", "ReLU", "MaxPool2d"]
+
+    def test_records_shapes(self, rng):
+        model = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1, rng=rng))
+        (rec,) = trace(model, (3, 8, 8))
+        assert rec.input_shape == (1, 3, 8, 8)
+        assert rec.output_shape == (1, 4, 8, 8)
+
+    def test_traces_through_composite_modules(self, rng):
+        model = build_model("resnet18", 3, 10, 32, rng=rng)
+        records = trace(model, (3, 32, 32))
+        # ResNet18: 20 convs (incl. shortcuts) + BNs + final linear.
+        assert sum(r.kind == "Conv2d" for r in records) == 20
+        assert records[-1].kind == "Linear"
+
+    def test_restores_call_and_mode(self, rng):
+        model = nn.Sequential(nn.Dropout(0.5))
+        model.train()
+        trace(model, (4,) if False else (1, 4, 4))
+        assert model.training
+        # Module.__call__ must be restored: a fresh forward records nothing.
+        before = len(trace(model, (1, 4, 4)))
+        assert before == 1
+
+
+class TestLayerCosts:
+    def test_conv_flops_formula(self, rng):
+        conv = nn.Conv2d(3, 8, 3, padding=1, rng=rng)
+        profile = NetworkProfile.of(nn.Sequential(conv), (3, 16, 16))
+        expected = 2 * 8 * 16 * 16 * 3 * 9 + 8 * 16 * 16  # MACs*2 + bias
+        assert profile[0].flops == expected
+
+    def test_linear_flops_formula(self, rng):
+        lin = nn.Linear(100, 10, rng=rng)
+        profile = NetworkProfile.of(nn.Sequential(nn.Flatten(), lin), (1, 10, 10))
+        expected = 2 * 100 * 10 + 10
+        assert profile[1].flops == expected
+
+    def test_param_bytes_fp32(self, rng):
+        conv = nn.Conv2d(2, 4, 3, rng=rng)
+        profile = NetworkProfile.of(nn.Sequential(conv), (2, 8, 8))
+        assert profile[0].param_bytes == (2 * 4 * 9 + 4) * FLOAT_BYTES
+
+    def test_binary_layer_bytes_are_bit_packed(self, rng):
+        conv = BinaryConv2d(8, 16, 3, rng=rng)
+        profile = NetworkProfile.of(nn.Sequential(conv), (8, 8, 8))
+        weights = 16 * 8 * 9
+        expected = (weights + 7) // 8 + 16 * FLOAT_BYTES + 16 * FLOAT_BYTES
+        assert profile[0].param_bytes == expected
+        assert profile[0].is_binary
+
+    def test_binary_param_bytes_helper(self):
+        assert binary_param_bytes((4, 2, 3, 3), has_bias=False) == (72 + 7) // 8 + 16
+
+    def test_flops_of_elementwise_layers(self, rng):
+        profile = NetworkProfile.of(
+            nn.Sequential(nn.ReLU(), nn.Flatten(), nn.Dropout(0.1)), (2, 4, 4)
+        )
+        assert profile[0].flops == 32  # relu touches each element
+        assert profile[1].flops == 0
+        assert profile[2].flops == 0
+
+    def test_output_bytes(self, rng):
+        conv = nn.Conv2d(1, 2, 3, padding=1, rng=rng)
+        profile = NetworkProfile.of(nn.Sequential(conv), (1, 4, 4))
+        assert profile[0].output_bytes == 2 * 4 * 4 * FLOAT_BYTES
+
+
+class TestNetworkProfileAggregates:
+    def make_profile(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Flatten(),
+            BinaryLinear(4 * 4 * 4, 8, rng=rng),
+            nn.Linear(8, 2, rng=rng),
+        )
+        return NetworkProfile.of(model, (1, 8, 8))
+
+    def test_totals_are_sums(self, rng):
+        profile = self.make_profile(rng)
+        assert profile.total_flops == sum(l.flops for l in profile)
+        assert profile.total_param_bytes == sum(l.param_bytes for l in profile)
+
+    def test_binary_float_flop_split(self, rng):
+        profile = self.make_profile(rng)
+        assert profile.binary_flops > 0
+        assert profile.float_flops > 0
+        assert profile.binary_flops + profile.float_flops == profile.total_flops
+
+    def test_prefix_suffix_partition(self, rng):
+        profile = self.make_profile(rng)
+        for cut in range(len(profile) + 1):
+            total = profile.prefix_flops(cut) + profile.suffix_flops(cut)
+            assert total == pytest.approx(profile.total_flops)
+
+    def test_cut_activation_bytes_edges(self, rng):
+        profile = self.make_profile(rng)
+        # cut 0: the raw input crosses.
+        assert profile.cut_activation_bytes(0) == 1 * 8 * 8 * FLOAT_BYTES
+        # cut at the end: nothing crosses.
+        assert profile.cut_activation_bytes(len(profile)) == 0
+        # interior cut: previous layer's output.
+        assert profile.cut_activation_bytes(1) == profile[0].output_bytes
+
+    def test_prefix_param_bytes_monotone(self, rng):
+        profile = self.make_profile(rng)
+        values = [profile.prefix_param_bytes(c) for c in range(len(profile) + 1)]
+        assert values == sorted(values)
+        assert values[-1] == profile.total_param_bytes
+
+    def test_summary_renders(self, rng):
+        text = self.make_profile(rng).summary()
+        assert "total:" in text
+        assert "Conv2d" in text
+
+
+class TestModelSizeHelpers:
+    def test_model_size_bytes_matches_profile(self, rng):
+        model = build_model("lenet", 1, 10, 28, rng=rng)
+        direct = model_size_bytes(model, (1, 28, 28))
+        assert direct == NetworkProfile.of(model, (1, 28, 28)).total_param_bytes
+
+    def test_model_size_mb(self, rng):
+        model = build_model("lenet", 1, 10, 28, rng=rng)
+        mb = model_size_mb(model, (1, 28, 28))
+        assert 0.1 < mb < 1.0  # ~0.24 MB for the canonical LeNet
+
+    def test_binary_branch_much_smaller_than_main(self, rng):
+        """The packing arithmetic behind Table I's 16-30x claim."""
+        from repro.core import CompositeNetwork, DEFAULT_BRANCH_CONFIGS
+
+        base = build_model("lenet", 1, 10, 28, rng=rng)
+        comp = CompositeNetwork(base, DEFAULT_BRANCH_CONFIGS["lenet"], rng=rng)
+        main = NetworkProfile.of(
+            nn.Sequential(comp.stem, comp.main_trunk), (1, 28, 28)
+        ).total_param_bytes
+        browser = NetworkProfile.of(
+            comp.browser_modules(), (1, 28, 28)
+        ).total_param_bytes
+        assert 10 < main / browser < 40

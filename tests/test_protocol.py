@@ -1,0 +1,150 @@
+"""Tests for the byte-level browser-edge protocol."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.protocol import (
+    EdgeProtocolServer,
+    ErrorResponse,
+    InferenceRequest,
+    InferenceResponse,
+    MessageType,
+    ModelRequest,
+    ModelResponse,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+
+class TestFraming:
+    def test_roundtrip_all_message_types(self):
+        rng = np.random.default_rng(0)
+        features = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        messages = [
+            InferenceRequest.from_features(7, 3, "fp32", features),
+            InferenceResponse(7, 3, class_id=2, confidence=0.93),
+            ModelRequest("lenet"),
+            ModelResponse("lenet", b"\x01\x02\x03"),
+            ErrorResponse(404, "missing"),
+        ]
+        for message in messages:
+            decoded = decode_frame(encode_frame(message))
+            assert type(decoded) is type(message)
+            assert decoded.type == message.type
+
+    def test_inference_request_carries_features(self):
+        rng = np.random.default_rng(1)
+        features = rng.standard_normal((1, 3, 5, 5)).astype(np.float32)
+        request = InferenceRequest.from_features(1, 0, "fp16", features)
+        decoded = decode_frame(encode_frame(request))
+        np.testing.assert_allclose(decoded.features(), features, atol=5e-3)
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_frame(ModelRequest("x")))
+        frame[0] = ord("X")
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_bad_version_rejected(self):
+        frame = bytearray(encode_frame(ModelRequest("x")))
+        frame[4] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_length_mismatch_rejected(self):
+        frame = encode_frame(ModelRequest("x"))
+        with pytest.raises(ProtocolError):
+            decode_frame(frame + b"extra")
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"LC")
+
+    def test_unknown_type_rejected(self):
+        frame = bytearray(encode_frame(ModelRequest("x")))
+        frame[5] = 99
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_inference_response_exact_size(self):
+        response = InferenceResponse(1, 2, 3, 0.5)
+        body = response.pack()
+        with pytest.raises(ProtocolError):
+            InferenceResponse.unpack(body + b"\x00")
+
+
+class TestEdgeProtocolServer:
+    @pytest.fixture
+    def server(self, trained_system):
+        from repro.runtime import EdgeEndpoint
+
+        endpoint = EdgeEndpoint(trained_system.model.main_trunk)
+        return EdgeProtocolServer(endpoint, bundles={"lenet": b"BUNDLE"})
+
+    def test_inference_over_the_wire(self, server, trained_system, tiny_mnist):
+        from repro.nn.autograd import Tensor, no_grad
+
+        _, test = tiny_mnist
+        model = trained_system.model
+        model.eval()
+        with no_grad():
+            features = model.forward_features(Tensor(test.images[:1])).data
+
+        request = InferenceRequest.from_features(11, 0, "fp32", features)
+        response = decode_frame(server.handle(encode_frame(request)))
+        assert isinstance(response, InferenceResponse)
+        assert response.session_id == 11
+
+        with no_grad():
+            expected = model.main_trunk(Tensor(features)).data.argmax(axis=1)[0]
+        assert response.class_id == int(expected)
+        assert 0.0 <= response.confidence <= 1.0
+
+    def test_quantized_request_agrees(self, server, trained_system, tiny_mnist):
+        from repro.nn.autograd import Tensor, no_grad
+
+        _, test = tiny_mnist
+        model = trained_system.model
+        model.eval()
+        with no_grad():
+            features = model.forward_features(Tensor(test.images[:1])).data
+        fp32 = decode_frame(
+            server.handle(encode_frame(InferenceRequest.from_features(1, 0, "fp32", features)))
+        )
+        int8 = decode_frame(
+            server.handle(encode_frame(InferenceRequest.from_features(1, 1, "int8", features)))
+        )
+        assert fp32.class_id == int8.class_id
+
+    def test_model_fetch(self, server):
+        response = decode_frame(server.handle(encode_frame(ModelRequest("lenet"))))
+        assert isinstance(response, ModelResponse)
+        assert response.payload == b"BUNDLE"
+
+    def test_missing_bundle_404(self, server):
+        response = decode_frame(server.handle(encode_frame(ModelRequest("vgg"))))
+        assert isinstance(response, ErrorResponse)
+        assert response.code == 404
+
+    def test_corrupt_frame_400(self, server):
+        response = decode_frame(server.handle(b"garbage frame"))
+        assert isinstance(response, ErrorResponse)
+        assert response.code == 400
+
+    def test_unknown_codec_422(self, server):
+        request = InferenceRequest(
+            session_id=1, sequence=0, codec="jpeg",
+            feature_shape=(1, 6, 14, 14), payload=b"\x00" * 10,
+        )
+        response = decode_frame(server.handle(encode_frame(request)))
+        assert isinstance(response, ErrorResponse)
+        assert response.code == 422
+
+    def test_unservable_message_405(self, server):
+        response = decode_frame(
+            server.handle(encode_frame(InferenceResponse(1, 2, 3, 0.4)))
+        )
+        assert isinstance(response, ErrorResponse)
+        assert response.code == 405

@@ -1,0 +1,150 @@
+"""Tests for k-bit quantized layers and the precision-spectrum branch."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.autograd import Tensor
+from repro.nn.quantized import (
+    QuantizedConv2d,
+    QuantizedLinear,
+    dequantize,
+    quantize_weights,
+    quantized_param_bytes,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestQuantizeWeights:
+    def test_codes_within_range(self, rng):
+        w = rng.standard_normal((4, 16)).astype(np.float32)
+        for bits in (1, 2, 4, 8):
+            codes, scale = quantize_weights(w, bits)
+            qmax = max(2 ** (bits - 1) - 1, 1)
+            assert np.abs(codes).max() <= qmax, bits
+
+    def test_reconstruction_error_shrinks_with_bits(self, rng):
+        w = rng.standard_normal((4, 64)).astype(np.float32)
+        errors = []
+        for bits in (2, 4, 8):
+            codes, scale = quantize_weights(w, bits)
+            errors.append(np.abs(dequantize(codes, scale) - w).max())
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_high_bits_near_lossless(self, rng):
+        w = rng.standard_normal((2, 32)).astype(np.float32)
+        codes, scale = quantize_weights(w, 16)
+        assert np.abs(dequantize(codes, scale) - w).max() < 1e-3
+
+    def test_one_bit_is_sign_times_scale(self, rng):
+        w = rng.standard_normal((3, 8)).astype(np.float32)
+        codes, _ = quantize_weights(w, 1)
+        assert set(np.unique(codes)) <= {-1, 0, 1}
+
+    def test_zero_weights_handled(self):
+        codes, scale = quantize_weights(np.zeros((2, 4), dtype=np.float32), 4)
+        np.testing.assert_array_equal(codes, 0)
+        assert np.isfinite(scale).all()
+
+    def test_invalid_bits_rejected(self, rng):
+        w = rng.standard_normal((2, 4)).astype(np.float32)
+        with pytest.raises(ValueError):
+            quantize_weights(w, 0)
+        with pytest.raises(ValueError):
+            quantize_weights(w, 17)
+
+
+class TestQuantizedParamBytes:
+    def test_scaling_with_bits(self):
+        shape = (8, 16)
+        b4 = quantized_param_bytes(shape, 4, has_bias=False)
+        b8 = quantized_param_bytes(shape, 8, has_bias=False)
+        assert b8 - b4 == 128 * 4 // 8  # extra 4 bits per weight
+
+    def test_bias_adds_fp32(self):
+        shape = (8, 16)
+        diff = quantized_param_bytes(shape, 4, True) - quantized_param_bytes(shape, 4, False)
+        assert diff == 8 * 4
+
+
+class TestQuantizedLayers:
+    def test_conv_forward_shape(self, rng):
+        layer = QuantizedConv2d(3, 5, 3, bits=4, padding=1, rng=rng)
+        out = layer(Tensor(np.random.randn(2, 3, 8, 8).astype(np.float32)))
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_linear_forward_matches_quantized_weights(self, rng):
+        layer = QuantizedLinear(8, 3, bits=4, bias=False, rng=rng)
+        x = np.random.randn(4, 8).astype(np.float32)
+        out = layer(Tensor(x)).data
+        codes, scale = quantize_weights(layer.weight.data, 4)
+        expected = x @ dequantize(codes, scale).T
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_gradients_flow_to_master_weights(self, rng):
+        layer = QuantizedConv2d(2, 2, 3, bits=4, rng=rng)
+        x = Tensor(np.random.randn(2, 2, 6, 6).astype(np.float32))
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+        assert np.abs(layer.weight.grad).sum() > 0
+
+    def test_invalid_bits_rejected(self, rng):
+        with pytest.raises(ValueError):
+            QuantizedConv2d(1, 1, 3, bits=0, rng=rng)
+        with pytest.raises(ValueError):
+            QuantizedLinear(4, 2, bits=32, rng=rng)
+
+    def test_deployment_bytes_below_fp32(self, rng):
+        layer = QuantizedLinear(128, 64, bits=4, rng=rng)
+        fp32 = (128 * 64 + 64) * 4
+        assert layer.deployment_bytes() < fp32 / 4
+
+    def test_trains_on_separable_task(self, rng):
+        from repro.nn import functional as F
+        from repro.optim import Adam
+
+        x = rng.standard_normal((256, 12)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(int)
+        model = nn.Sequential(QuantizedLinear(12, 2, bits=2, rng=rng))
+        opt = Adam(model.parameters(), lr=5e-2)
+        for _ in range(120):
+            loss = F.cross_entropy(model(Tensor(x)), y)
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+        assert F.accuracy(model(Tensor(x)).data, y) > 0.9
+
+
+class TestQuantizedBranch:
+    def test_builds_and_runs(self, rng):
+        from repro.core import build_quantized_branch
+
+        branch = build_quantized_branch((6, 14, 14), 10, bits=4, rng=rng)
+        branch.eval()
+        out = branch(Tensor(np.random.randn(2, 6, 14, 14).astype(np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_bytes_interpolate_between_binary_and_float(self, rng):
+        from repro.core import (
+            BinaryBranchConfig,
+            build_binary_branch,
+            build_quantized_branch,
+        )
+        from repro.profiling import NetworkProfile
+
+        shape = (6, 14, 14)
+        config = BinaryBranchConfig(channels=16, hidden=64)
+        binary = NetworkProfile.of(
+            build_binary_branch(shape, 10, config, rng=rng), shape
+        ).total_param_bytes
+        q4 = NetworkProfile.of(
+            build_quantized_branch(shape, 10, 4, config, rng=rng), shape
+        ).total_param_bytes
+        q8 = NetworkProfile.of(
+            build_quantized_branch(shape, 10, 8, config, rng=rng), shape
+        ).total_param_bytes
+        assert binary < q4 < q8

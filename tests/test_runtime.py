@@ -1,0 +1,206 @@
+"""Unit tests for device profiles, the link model, and the latency engine."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ComputeStep,
+    EDGE_SERVER,
+    ExecutionPlan,
+    Location,
+    MOBILE_BROWSER_WASM,
+    ModelLoadStep,
+    NetworkLink,
+    TransferStep,
+    DeviceProfile,
+    compute_step_from_layers,
+    four_g,
+    simulate_plan,
+    three_g,
+    wifi,
+)
+
+
+class TestDeviceProfile:
+    def test_compute_ms_formula(self):
+        device = DeviceProfile(name="d", flops_per_second=1e9)
+        assert device.compute_ms(1e9) == pytest.approx(1000.0)
+
+    def test_binary_speedup_applied(self):
+        device = DeviceProfile(name="d", flops_per_second=1e9, binary_speedup=10.0)
+        assert device.compute_ms(1e9, binary=True) == pytest.approx(100.0)
+
+    def test_parse_ms(self):
+        device = DeviceProfile(
+            name="d", flops_per_second=1e9, model_parse_bytes_per_second=1e6
+        )
+        assert device.parse_ms(1_000_000) == pytest.approx(1000.0)
+
+    def test_scaled_copy(self):
+        scaled = MOBILE_BROWSER_WASM.scaled(2.0)
+        assert scaled.flops_per_second == MOBILE_BROWSER_WASM.flops_per_second * 2
+        assert scaled is not MOBILE_BROWSER_WASM
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(name="bad", flops_per_second=0)
+        with pytest.raises(ValueError):
+            DeviceProfile(name="bad", flops_per_second=1e9, binary_speedup=0.5)
+
+    def test_presets_ordering(self):
+        """The edge must be much faster than the browser — the asymmetry
+        the whole collaborative design exploits."""
+        assert EDGE_SERVER.flops_per_second > 10 * MOBILE_BROWSER_WASM.flops_per_second
+
+
+class TestNetworkLink:
+    def test_paper_link_parameters(self):
+        link = four_g()
+        assert link.downlink_bps == 10e6
+        assert link.uplink_bps == 3e6
+
+    def test_deterministic_transfer_times(self):
+        link = four_g().deterministic()
+        # 1 MB down at 10 Mb/s = 800 ms + half RTT.
+        assert link.download_ms(1_000_000) == pytest.approx(800 + 25)
+        assert link.upload_ms(375_000) == pytest.approx(1000 + 25)
+
+    def test_jitter_varies_but_is_seeded(self):
+        a = four_g(seed=1, jitter_sigma=0.3)
+        b = four_g(seed=1, jitter_sigma=0.3)
+        assert a.download_ms(1e6) == b.download_ms(1e6)
+        assert a.download_ms(1e6) != a.download_ms(1e6)  # next draw differs
+
+    def test_round_trip(self):
+        assert four_g().deterministic().round_trip_ms() == 50.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkLink(name="x", downlink_bps=0, uplink_bps=1, rtt_ms=1)
+        with pytest.raises(ValueError):
+            NetworkLink(name="x", downlink_bps=1, uplink_bps=1, rtt_ms=-1)
+
+    def test_presets_relative_quality(self):
+        assert wifi().downlink_bps > four_g().downlink_bps > three_g().downlink_bps
+
+    def test_reseeded_changes_draws(self):
+        a = four_g(seed=1, jitter_sigma=0.3)
+        b = a.reseeded(2)
+        assert a.download_ms(1e6) != b.download_ms(1e6)
+
+
+class TestPlanSteps:
+    def test_compute_step_duration(self):
+        step = ComputeStep(Location.BROWSER, float_flops=1.5e9, binary_flops=1.5e9)
+        device = DeviceProfile(name="d", flops_per_second=1.5e9, binary_speedup=10)
+        assert step.duration_ms(device) == pytest.approx(1000 + 100)
+
+    def test_layer_overhead_counted(self):
+        step = ComputeStep(Location.BROWSER, float_flops=0, num_layers=10)
+        device = DeviceProfile(name="d", flops_per_second=1e9, layer_overhead_ms=0.5)
+        assert step.duration_ms(device) == pytest.approx(5.0)
+
+    def test_transfer_direction(self):
+        link = four_g().deterministic()
+        up = TransferStep(375_000, upload=True)
+        down = TransferStep(375_000, upload=False)
+        assert up.duration_ms(link) > down.duration_ms(link)
+
+    def test_model_load_includes_parse(self):
+        link = four_g().deterministic()
+        step = ModelLoadStep(1_000_000)
+        browser = DeviceProfile(
+            name="b", flops_per_second=1e9, model_parse_bytes_per_second=10e6
+        )
+        assert step.duration_ms(link, browser) == pytest.approx(800 + 25 + 100)
+
+    def test_compute_step_from_layers_splits_binary(self):
+        from repro import nn
+        from repro.nn.binary import BinaryConv2d
+        from repro.profiling import NetworkProfile
+
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(
+            nn.Conv2d(1, 2, 3, rng=rng), BinaryConv2d(2, 2, 3, rng=rng)
+        )
+        profile = NetworkProfile.of(model, (1, 8, 8))
+        step = compute_step_from_layers(profile.layers, Location.EDGE)
+        assert step.float_flops > 0 and step.binary_flops > 0
+
+
+class TestSimulatePlan:
+    def make_plan(self):
+        return ExecutionPlan(
+            approach="test",
+            network="net",
+            setup_steps=[ModelLoadStep(1_000_000)],
+            per_sample_steps=[ComputeStep(Location.BROWSER, float_flops=1.5e9)],
+            miss_steps=[TransferStep(375_000, upload=True)],
+        )
+
+    def context(self):
+        link = four_g().deterministic()
+        browser = DeviceProfile(
+            name="b",
+            flops_per_second=1.5e9,
+            model_parse_bytes_per_second=float("inf"),
+        )
+        return link, browser, EDGE_SERVER
+
+    def test_cold_start_charges_setup_every_sample(self):
+        link, browser, edge = self.context()
+        trace = simulate_plan(self.make_plan(), 3, link, browser, edge, cold_start=True)
+        for sample in trace.samples:
+            assert sample.total_ms == pytest.approx(825 + 1000)
+
+    def test_warm_start_charges_setup_once(self):
+        link, browser, edge = self.context()
+        trace = simulate_plan(
+            self.make_plan(), 3, link, browser, edge, cold_start=False
+        )
+        assert trace.samples[0].total_ms == pytest.approx(825 + 1000)
+        assert trace.samples[1].total_ms == pytest.approx(1000)
+
+    def test_miss_mask_triggers_miss_steps(self):
+        link, browser, edge = self.context()
+        trace = simulate_plan(
+            self.make_plan(),
+            2,
+            link,
+            browser,
+            edge,
+            cold_start=False,
+            miss_mask=[False, True],
+        )
+        assert trace.samples[0].exited_locally is True
+        assert trace.samples[1].exited_locally is False
+        assert trace.samples[1].total_ms > trace.samples[0].total_ms
+
+    def test_compute_comm_split(self):
+        link, browser, edge = self.context()
+        trace = simulate_plan(self.make_plan(), 1, link, browser, edge, cold_start=True)
+        s = trace.samples[0]
+        assert s.communication_ms == pytest.approx(825)
+        assert s.compute_ms == pytest.approx(1000)
+        assert s.total_ms == s.communication_ms + s.compute_ms
+
+    def test_running_average_monotone_for_constant_samples(self):
+        link, browser, edge = self.context()
+        trace = simulate_plan(
+            self.make_plan(), 5, link, browser, edge, cold_start=False
+        )
+        avg = trace.running_average()
+        assert len(avg) == 5
+        assert avg[0] > avg[-1]  # amortized setup pulls the average down
+
+    def test_validation_errors(self):
+        link, browser, edge = self.context()
+        with pytest.raises(ValueError):
+            simulate_plan(self.make_plan(), 0, link, browser, edge)
+        with pytest.raises(ValueError):
+            simulate_plan(
+                self.make_plan(), 3, link, browser, edge, miss_mask=[True]
+            )
+
+    def test_plan_model_load_bytes(self):
+        assert self.make_plan().model_load_bytes() == 1_000_000

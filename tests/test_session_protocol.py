@@ -1,0 +1,84 @@
+"""Deployment ↔ protocol integration: the miss path over real frames."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    INT8_CODEC,
+    LCRSDeployment,
+    four_g,
+)
+
+
+@pytest.fixture
+def strict_deployment(trained_system, tiny_mnist):
+    """A deployment whose τ forces ~80 % of samples onto the edge path."""
+    from repro.core import branch_entropies
+
+    _, test = tiny_mnist
+    entropies, _, _ = branch_entropies(trained_system.model, test.images)
+    original = trained_system.calibration
+    trained_system.calibration = replace(
+        original, threshold=float(np.quantile(entropies, 0.2))
+    )
+    deployment = LCRSDeployment(trained_system, four_g(seed=9))
+    yield deployment, test
+    trained_system.calibration = original
+
+
+class TestProtocolMissPath:
+    def test_misses_flow_through_protocol_server(self, strict_deployment):
+        deployment, test = strict_deployment
+        session = deployment.run_session(test.images[:50])
+        misses = sum(not o.exited_locally for o in session.outcomes)
+        assert misses >= 25  # the strict threshold really forces traffic
+        assert deployment.edge.requests_served == misses
+
+    def test_protocol_answers_match_direct_trunk(self, strict_deployment, trained_system):
+        from repro.nn.autograd import Tensor, no_grad
+
+        deployment, test = strict_deployment
+        session = deployment.run_session(test.images[:50])
+        model = trained_system.model
+        model.eval()
+        for outcome in session.outcomes:
+            if outcome.exited_locally:
+                continue
+            with no_grad():
+                features = deployment.browser.stem_engine.forward(
+                    test.images[outcome.index][None]
+                )
+                expected = model.main_trunk(Tensor(features)).data.argmax(axis=1)[0]
+            assert outcome.prediction == int(expected)
+
+    def test_int8_codec_over_protocol(self, trained_system, tiny_mnist):
+        from repro.core import branch_entropies
+
+        _, test = tiny_mnist
+        entropies, _, _ = branch_entropies(trained_system.model, test.images)
+        original = trained_system.calibration
+        try:
+            trained_system.calibration = replace(
+                original, threshold=float(np.quantile(entropies, 0.2))
+            )
+            deployment = LCRSDeployment(
+                trained_system, four_g(seed=9), feature_codec=INT8_CODEC
+            )
+            session = deployment.run_session(test.images[:60])
+            assert session.exit_rate < 0.5
+            assert session.accuracy(test.labels[:60]) > 0.6
+        finally:
+            trained_system.calibration = original
+
+    def test_bundle_served_by_protocol(self, strict_deployment):
+        from repro.runtime import ModelRequest, ModelResponse, decode_frame, encode_frame
+
+        deployment, _ = strict_deployment
+        name = deployment.system.model.base_name
+        reply = decode_frame(
+            deployment._edge_server.handle(encode_frame(ModelRequest(name)))
+        )
+        assert isinstance(reply, ModelResponse)
+        assert len(reply.payload) == deployment.bundle_bytes

@@ -1,0 +1,143 @@
+"""Unit tests for the joint trainer (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BinaryBranchConfig,
+    CompositeNetwork,
+    JointTrainer,
+    JointTrainingConfig,
+    LCRS,
+)
+from repro.data import make_dataset
+from repro.models import build_model
+from repro.nn.binary import BinaryConv2d, BinaryLinear
+
+
+@pytest.fixture
+def small_system(tiny_mnist):
+    train, _ = tiny_mnist
+    rng = np.random.default_rng(0)
+    base = build_model("lenet", 1, train.num_classes, 28, rng=rng)
+    model = CompositeNetwork(base, BinaryBranchConfig(channels=8, hidden=32), rng=rng)
+    return model
+
+
+class TestTrainStep:
+    def test_returns_loss_triple(self, small_system, tiny_mnist):
+        train, _ = tiny_mnist
+        trainer = JointTrainer(small_system, JointTrainingConfig(epochs=1))
+        total, main, binary = trainer.train_step(train.images[:32], train.labels[:32])
+        assert total == pytest.approx(main + binary, rel=1e-5)
+
+    def test_loss_decreases_over_steps(self, small_system, tiny_mnist):
+        train, _ = tiny_mnist
+        trainer = JointTrainer(small_system, JointTrainingConfig(epochs=1))
+        x, y = train.images[:64], train.labels[:64]
+        first = trainer.train_step(x, y)[0]
+        for _ in range(15):
+            last = trainer.train_step(x, y)[0]
+        assert last < first
+
+    def test_binary_master_weights_stay_clamped(self, small_system, tiny_mnist):
+        train, _ = tiny_mnist
+        trainer = JointTrainer(small_system, JointTrainingConfig(epochs=1))
+        for _ in range(5):
+            trainer.train_step(train.images[:32], train.labels[:32])
+        for module in small_system.binary_branch.modules():
+            if isinstance(module, (BinaryConv2d, BinaryLinear)):
+                assert np.abs(module.weight.data).max() <= 1.0 + 1e-6
+
+    def test_clamping_can_be_disabled(self, small_system, tiny_mnist):
+        train, _ = tiny_mnist
+        config = JointTrainingConfig(epochs=1, clamp_binary_weights=False, lr_binary=1.0)
+        trainer = JointTrainer(small_system, config)
+        for _ in range(10):
+            trainer.train_step(train.images[:32], train.labels[:32])
+        maxima = [
+            np.abs(m.weight.data).max()
+            for m in small_system.binary_branch.modules()
+            if isinstance(m, (BinaryConv2d, BinaryLinear))
+        ]
+        assert max(maxima) > 1.0  # huge LR, no clamp → weights escape
+
+    def test_both_optimizers_update_their_groups(self, small_system, tiny_mnist):
+        train, _ = tiny_mnist
+        trainer = JointTrainer(small_system, JointTrainingConfig(epochs=1))
+        main_before = [p.data.copy() for p in small_system.main_parameters()]
+        binary_before = [p.data.copy() for p in small_system.binary_parameters()]
+        trainer.train_step(train.images[:32], train.labels[:32])
+        assert any(
+            not np.allclose(a, p.data)
+            for a, p in zip(main_before, small_system.main_parameters())
+        )
+        assert any(
+            not np.allclose(a, p.data)
+            for a, p in zip(binary_before, small_system.binary_parameters())
+        )
+
+
+class TestFit:
+    def test_history_has_one_entry_per_epoch(self, small_system, tiny_mnist):
+        train, test = tiny_mnist
+        trainer = JointTrainer(small_system, JointTrainingConfig(epochs=3))
+        history = trainer.fit(train, test)
+        assert len(history.epochs) == 3
+        assert history.final.epoch == 2
+
+    def test_test_metrics_recorded_when_given(self, small_system, tiny_mnist):
+        train, test = tiny_mnist
+        trainer = JointTrainer(small_system, JointTrainingConfig(epochs=1))
+        history = trainer.fit(train, test)
+        assert history.final.test_accuracy_main is not None
+
+    def test_series_extraction(self, small_system, tiny_mnist):
+        train, _ = tiny_mnist
+        trainer = JointTrainer(small_system, JointTrainingConfig(epochs=2))
+        history = trainer.fit(train)
+        assert len(history.series("loss_binary")) == 2
+
+    def test_empty_history_final_raises(self):
+        from repro.core.training import TrainingHistory
+
+        with pytest.raises(ValueError):
+            TrainingHistory().final
+
+    def test_training_improves_both_branches(self, tiny_mnist):
+        train, test = tiny_mnist
+        system = LCRS.build(
+            "lenet",
+            train,
+            training_config=JointTrainingConfig(epochs=6, lr_main=2e-3, seed=1),
+            seed=1,
+        )
+        m0, b0 = system.trainer.evaluate(test)
+        system.fit(train)
+        m1, b1 = system.trainer.evaluate(test)
+        assert m1 > m0 + 0.2
+        assert b1 > b0 + 0.2
+
+
+class TestEvaluate:
+    def test_accuracy_range(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        main, binary = trained_system.trainer.evaluate(test)
+        assert 0.0 <= binary <= 1.0
+        assert main >= 0.5  # trained system must clearly beat chance
+
+    def test_predict_logits_shapes(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        main, binary = trained_system.trainer.predict_logits(test, batch_size=32)
+        assert main.shape == (len(test), test.num_classes)
+        assert binary.shape == main.shape
+
+    def test_eval_does_not_touch_parameters(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        before = {
+            name: p.data.copy()
+            for name, p in trained_system.model.named_parameters()
+        }
+        trained_system.trainer.evaluate(test)
+        for name, p in trained_system.model.named_parameters():
+            np.testing.assert_array_equal(before[name], p.data)

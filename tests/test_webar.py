@@ -1,0 +1,96 @@
+"""Tests for the Web AR pipeline and case studies."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import JointTrainingConfig
+from repro.data.logos import LogoDatasetConfig
+from repro.webar import (
+    ARSessionReport,
+    LCRSRecognizer,
+    WebARPipeline,
+    build_case,
+)
+
+
+@pytest.fixture(scope="module")
+def small_case():
+    """A fully-provisioned (but tiny) china_mobile case."""
+    return build_case(
+        "china_mobile",
+        network="lenet",
+        logo_config=LogoDatasetConfig(base_variants=6, augmented_copies=3, seed=3),
+        training_config=JointTrainingConfig(epochs=4, batch_size=32, seed=3),
+        seed=3,
+    )
+
+
+class TestBuildCase:
+    def test_case_is_trained_and_calibrated(self, small_case):
+        assert small_case.system.calibration is not None
+        main_acc, _ = small_case.system.trainer.evaluate(small_case.test)
+        assert main_acc > 0.5
+
+    def test_dataset_has_logo_and_background_classes(self, small_case):
+        assert small_case.train.num_classes == 3
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(KeyError):
+            build_case("china_mobile", network="mobilenet")
+
+
+class TestARSession:
+    def test_report_structure(self, small_case):
+        report = small_case.run_session(num_frames=20, seed=1)
+        assert len(report.interactions) == 20
+        assert report.case_name == "china_mobile"
+        for i in report.interactions:
+            assert i.total_ms == pytest.approx(
+                i.scan_ms + i.recognition_ms + i.render_ms
+            )
+
+    def test_session_labels_align(self, small_case):
+        report = small_case.run_session(num_frames=25, seed=2)
+        labels = small_case.session_labels(num_frames=25, seed=2)
+        assert len(labels) == 25
+        assert report.accuracy(labels) > 0.4
+
+    def test_split_by_exit_partitions(self, small_case):
+        report = small_case.run_session(num_frames=30, seed=0)
+        local, remote = report.split_by_exit()
+        assert len(local) + len(remote) == 30
+
+    def test_under_one_second_rate(self, small_case):
+        report = small_case.run_session(num_frames=20, seed=0)
+        assert 0.0 <= report.under_one_second_rate <= 1.0
+        # A LeNet logo case on 4G should comfortably meet the budget.
+        assert report.mean_total_ms < 1000
+
+
+class TestWebARPipeline:
+    def test_stage_budgets_applied(self, small_case):
+        pipeline = WebARPipeline(
+            LCRSRecognizer(small_case.deployment),
+            scan_ms=100.0,
+            render_ms=50.0,
+            jitter_sigma=0.0,
+            seed=0,
+        )
+        report = pipeline.run(small_case.test.images[:5], case_name="x")
+        for i in report.interactions:
+            assert i.scan_ms == pytest.approx(100.0)
+            assert i.render_ms == pytest.approx(50.0)
+
+    def test_jitter_varies_stages(self, small_case):
+        pipeline = WebARPipeline(
+            LCRSRecognizer(small_case.deployment), jitter_sigma=0.3, seed=0
+        )
+        report = pipeline.run(small_case.test.images[:6], case_name="x")
+        scans = [i.scan_ms for i in report.interactions]
+        assert len(set(scans)) > 1
+
+    def test_mean_recognition_tracks_outcomes(self, small_case):
+        pipeline = WebARPipeline(LCRSRecognizer(small_case.deployment), seed=0)
+        report = pipeline.run(small_case.test.images[:8], case_name="x")
+        manual = np.mean([i.recognition_ms for i in report.interactions])
+        assert report.mean_recognition_ms == pytest.approx(manual)
