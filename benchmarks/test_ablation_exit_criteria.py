@@ -17,6 +17,8 @@ from repro.experiments.reporting import render_table
 from repro.nn import functional as F
 from repro.nn.autograd import Tensor, no_grad
 
+pytestmark = pytest.mark.slow  # trains systems from scratch
+
 
 def _train_and_compare():
     train, test = make_dataset("cifar10", 1200, 400, seed=3)

@@ -21,6 +21,8 @@ from repro.runtime import (
     four_g,
 )
 
+pytestmark = pytest.mark.slow  # trains systems from scratch
+
 
 def _run_codec_study():
     train, test = make_dataset("mnist", 700, 250, seed=5)

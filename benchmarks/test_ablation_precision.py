@@ -24,6 +24,8 @@ from repro.experiments.reporting import render_table
 from repro.models import build_model
 from repro.profiling import NetworkProfile
 
+pytestmark = pytest.mark.slow  # trains systems from scratch
+
 
 def _train_precision_spectrum():
     train, test = make_dataset("mnist", 800, 250, seed=6)

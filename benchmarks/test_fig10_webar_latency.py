@@ -11,6 +11,8 @@ import pytest
 
 from repro.experiments import ExperimentScale, run_figure10
 
+pytestmark = pytest.mark.slow  # trains systems from scratch
+
 FIG10_SCALE = ExperimentScale(
     name="fig10-bench", train_samples=0, test_samples=0, epochs=3
 )

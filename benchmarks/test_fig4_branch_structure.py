@@ -11,6 +11,8 @@ import pytest
 
 from repro.experiments import ExperimentScale, run_figure4
 
+pytestmark = pytest.mark.slow  # trains systems from scratch
+
 FIG4_SCALE = ExperimentScale(name="fig4-bench", train_samples=200, test_samples=100, epochs=1)
 
 

@@ -12,6 +12,8 @@ import pytest
 
 from repro.experiments import ExperimentScale, run_figure5
 
+pytestmark = pytest.mark.slow  # trains systems from scratch
+
 FIG5_SCALE = ExperimentScale(name="fig5-bench", train_samples=300, test_samples=100, epochs=4)
 
 

@@ -18,6 +18,8 @@ from repro.data import make_dataset
 from repro.experiments import Table1Result, run_table1_cell
 from .conftest import BENCH_SCALE
 
+pytestmark = pytest.mark.slow  # trains systems from scratch
+
 GRID = [
     ("lenet", "mnist"),
     ("lenet", "fashion_mnist"),

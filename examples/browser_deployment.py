@@ -70,16 +70,36 @@ def main() -> None:
 
     print("\n== collaborative sessions across link presets ==")
     print("(cold start: the first scan of each session downloads the bundle)")
+    print("(batched serving: 16 frames per engine pass, misses share a frame)")
     for link_factory in (three_g, four_g, wifi):
         link = link_factory(seed=4)
         deployment = LCRSDeployment(system, link)
-        session = deployment.run_session(test.images[:80], cold_start=False)
+        session = deployment.run_session(test.images[:80], batch_size=16)
         print(
             f"{link.name:>4}: first_scan={session.outcomes[0].cost.total_ms:7.1f}ms  "
             f"steady={session.trace.latencies()[1:].mean():6.2f}ms  "
             f"exit={session.exit_rate:.2f}  "
             f"acc={session.accuracy(test.labels[:80]):.3f}"
         )
+
+    print("\n== batched vs per-sample serving throughput ==")
+    import time
+
+    deployment = LCRSDeployment(system, four_g(seed=4).deterministic())
+    frames = test.images[:128]
+    deployment.run_session(frames[:16], batch_size=16)  # warm the engines
+    t0 = time.perf_counter()
+    scalar = deployment.run_session(frames)
+    scalar_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batched = deployment.run_session(frames, batch_size=64)
+    batched_s = time.perf_counter() - t0
+    assert (scalar.predictions == batched.predictions).all()
+    print(
+        f"per-sample: {len(frames) / scalar_s:7.1f} frames/s   "
+        f"batched(64): {len(frames) / batched_s:7.1f} frames/s   "
+        f"speedup: {scalar_s / batched_s:.2f}x  (identical predictions)"
+    )
 
     print("\n== the same links if every sample had to use the edge ==")
     from repro.runtime import simulate_plan, MOBILE_BROWSER_WASM, EDGE_SERVER

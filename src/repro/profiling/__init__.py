@@ -9,12 +9,15 @@ from .layer_stats import (
     model_size_mb,
     profile_layer,
 )
+from .op_counters import ModelCounters, OpCounter
 from .tracer import TracedLayer, trace
 
 __all__ = [
     "FLOAT_BYTES",
     "LayerProfile",
+    "ModelCounters",
     "NetworkProfile",
+    "OpCounter",
     "TracedLayer",
     "binary_param_bytes",
     "model_size_bytes",

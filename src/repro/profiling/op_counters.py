@@ -1,0 +1,78 @@
+"""Lightweight per-op runtime counters for the browser inference engine.
+
+The latency *model* (:mod:`repro.runtime.latency`) prices plans
+analytically; these counters measure what the engine actually did —
+calls, samples, wall time, and bytes run through the popcount unit — so
+kernel work can be attributed per layer and benchmark trajectories
+(``BENCH_*.json``) have a stable schema to draw from.  Recording is a
+handful of float adds per op call, cheap enough to stay always-on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpCounter:
+    """Accumulated runtime statistics for one compiled op."""
+
+    index: int
+    kind: str
+    calls: int = 0
+    samples: int = 0
+    wall_ms: float = 0.0
+    bytes_popcounted: int = 0
+
+    def record(self, samples: int, wall_ms: float, bytes_popcounted: int = 0) -> None:
+        self.calls += 1
+        self.samples += samples
+        self.wall_ms += wall_ms
+        self.bytes_popcounted += bytes_popcounted
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.samples = 0
+        self.wall_ms = 0.0
+        self.bytes_popcounted = 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "calls": self.calls,
+            "samples": self.samples,
+            "wall_ms": self.wall_ms,
+            "bytes_popcounted": self.bytes_popcounted,
+        }
+
+
+@dataclass
+class ModelCounters:
+    """Per-op counters for one engine instance, in execution order."""
+
+    ops: list[OpCounter] = field(default_factory=list)
+
+    @classmethod
+    def for_kinds(cls, kinds: list[str]) -> "ModelCounters":
+        return cls(ops=[OpCounter(index=i, kind=k) for i, k in enumerate(kinds)])
+
+    def reset(self) -> None:
+        for op in self.ops:
+            op.reset()
+
+    @property
+    def total_calls(self) -> int:
+        return sum(op.calls for op in self.ops)
+
+    @property
+    def total_wall_ms(self) -> float:
+        return sum(op.wall_ms for op in self.ops)
+
+    @property
+    def total_bytes_popcounted(self) -> int:
+        return sum(op.bytes_popcounted for op in self.ops)
+
+    def summary(self) -> list[dict[str, object]]:
+        """JSON-ready per-op rows (the ``BENCH_*.json`` schema)."""
+        return [op.as_dict() for op in self.ops]

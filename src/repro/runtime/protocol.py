@@ -19,6 +19,10 @@ Messages:
   :mod:`feature codec <repro.runtime.feature_codec>`), session/sequence
   ids for correlation.
 * ``InferenceResponse`` — edge → browser: class id + confidence.
+* ``BatchInferenceRequest`` / ``BatchInferenceResponse`` — the batched
+  miss path: all uncertain samples of a processing batch travel in one
+  frame (one header, one payload, one round trip) and come back as one
+  vector of answers, keyed by per-sample sequence ids.
 * ``ModelRequest`` / ``ModelResponse`` — bundle fetch at page load.
 * ``ErrorResponse``     — structured failure (unknown codec, bad shape).
 """
@@ -50,6 +54,8 @@ class MessageType(enum.IntEnum):
     MODEL_REQUEST = 3
     MODEL_RESPONSE = 4
     ERROR = 5
+    BATCH_INFERENCE_REQUEST = 6
+    BATCH_INFERENCE_RESPONSE = 7
 
 
 @dataclass(frozen=True)
@@ -138,6 +144,133 @@ class InferenceResponse:
 
 
 @dataclass(frozen=True)
+class BatchInferenceRequest:
+    """Browser → edge: classify this stack of conv1 feature maps.
+
+    The payload carries one codec-encoded ``(M, C, H, W)`` tensor — the
+    miss-path samples of a processing batch — so M collaborative samples
+    cost one frame and one round trip instead of M.
+    """
+
+    session_id: int
+    sequences: tuple[int, ...]
+    codec: str
+    feature_shape: tuple[int, ...]
+    payload: bytes
+
+    type = MessageType.BATCH_INFERENCE_REQUEST
+
+    def pack(self) -> bytes:
+        header = json.dumps(
+            {
+                "session_id": self.session_id,
+                "sequences": list(self.sequences),
+                "codec": self.codec,
+                "shape": list(self.feature_shape),
+            }
+        ).encode("utf-8")
+        return struct.pack("<I", len(header)) + header + self.payload
+
+    @classmethod
+    def unpack(cls, body: bytes) -> "BatchInferenceRequest":
+        if len(body) < 4:
+            raise ProtocolError("truncated batch inference request")
+        (hlen,) = struct.unpack("<I", body[:4])
+        if len(body) < 4 + hlen:
+            raise ProtocolError("truncated batch inference request header")
+        try:
+            meta = json.loads(body[4 : 4 + hlen].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"bad batch request header: {exc}") from exc
+        return cls(
+            session_id=int(meta["session_id"]),
+            sequences=tuple(int(s) for s in meta["sequences"]),
+            codec=str(meta["codec"]),
+            feature_shape=tuple(int(d) for d in meta["shape"]),
+            payload=body[4 + hlen :],
+        )
+
+    def features(self) -> np.ndarray:
+        """Decode the carried feature stack through the named codec."""
+        features = get_codec(self.codec).decode(self.payload, self.feature_shape)
+        if len(self.feature_shape) < 1 or self.feature_shape[0] != len(self.sequences):
+            raise ProtocolError(
+                f"batch of {len(self.sequences)} sequences carries feature "
+                f"stack of shape {self.feature_shape}"
+            )
+        return features
+
+    @classmethod
+    def from_features(
+        cls,
+        session_id: int,
+        sequences: "tuple[int, ...] | list[int]",
+        codec_name: str,
+        features: np.ndarray,
+    ) -> "BatchInferenceRequest":
+        if features.ndim < 1 or features.shape[0] != len(sequences):
+            raise ValueError(
+                f"{len(sequences)} sequences but feature stack of shape "
+                f"{features.shape}"
+            )
+        codec = get_codec(codec_name)
+        return cls(
+            session_id=session_id,
+            sequences=tuple(int(s) for s in sequences),
+            codec=codec_name,
+            feature_shape=tuple(features.shape),
+            payload=codec.encode(features),
+        )
+
+
+@dataclass(frozen=True)
+class BatchInferenceResponse:
+    """Edge → browser: per-sample answers for one batched request."""
+
+    session_id: int
+    sequences: tuple[int, ...]
+    class_ids: tuple[int, ...]
+    confidences: tuple[float, ...]
+
+    type = MessageType.BATCH_INFERENCE_RESPONSE
+    _HEAD = struct.Struct("<QI")
+
+    def pack(self) -> bytes:
+        count = len(self.sequences)
+        if len(self.class_ids) != count or len(self.confidences) != count:
+            raise ProtocolError("batch response field lengths differ")
+        return (
+            self._HEAD.pack(self.session_id, count)
+            + np.asarray(self.sequences, dtype="<u8").tobytes()
+            + np.asarray(self.class_ids, dtype="<i4").tobytes()
+            + np.asarray(self.confidences, dtype="<f4").tobytes()
+        )
+
+    @classmethod
+    def unpack(cls, body: bytes) -> "BatchInferenceResponse":
+        if len(body) < cls._HEAD.size:
+            raise ProtocolError("truncated batch inference response")
+        session_id, count = cls._HEAD.unpack(body[: cls._HEAD.size])
+        expected = cls._HEAD.size + count * (8 + 4 + 4)
+        if len(body) != expected:
+            raise ProtocolError(
+                f"bad batch response size: expected {expected}B, got {len(body)}B"
+            )
+        offset = cls._HEAD.size
+        sequences = np.frombuffer(body, dtype="<u8", count=count, offset=offset)
+        offset += count * 8
+        class_ids = np.frombuffer(body, dtype="<i4", count=count, offset=offset)
+        offset += count * 4
+        confidences = np.frombuffer(body, dtype="<f4", count=count, offset=offset)
+        return cls(
+            session_id=session_id,
+            sequences=tuple(int(s) for s in sequences),
+            class_ids=tuple(int(c) for c in class_ids),
+            confidences=tuple(float(c) for c in confidences),
+        )
+
+
+@dataclass(frozen=True)
 class ModelRequest:
     """Browser → edge: fetch a named bundle (page-load path)."""
 
@@ -203,12 +336,20 @@ class ErrorResponse:
 
 
 Message = Union[
-    InferenceRequest, InferenceResponse, ModelRequest, ModelResponse, ErrorResponse
+    InferenceRequest,
+    InferenceResponse,
+    BatchInferenceRequest,
+    BatchInferenceResponse,
+    ModelRequest,
+    ModelResponse,
+    ErrorResponse,
 ]
 
 _DECODERS = {
     MessageType.INFERENCE_REQUEST: InferenceRequest.unpack,
     MessageType.INFERENCE_RESPONSE: InferenceResponse.unpack,
+    MessageType.BATCH_INFERENCE_REQUEST: BatchInferenceRequest.unpack,
+    MessageType.BATCH_INFERENCE_RESPONSE: BatchInferenceResponse.unpack,
     MessageType.MODEL_REQUEST: ModelRequest.unpack,
     MessageType.MODEL_RESPONSE: ModelResponse.unpack,
     MessageType.ERROR: ErrorResponse.unpack,
@@ -273,6 +414,25 @@ class EdgeProtocolServer:
                     sequence=message.sequence,
                     class_id=class_id,
                     confidence=float(probs[0, class_id]),
+                )
+            )
+        if isinstance(message, BatchInferenceRequest):
+            try:
+                features = message.features()
+            except Exception as exc:  # codec/shape errors become 422s
+                return encode_frame(ErrorResponse(code=422, message=str(exc)))
+            logits = self.endpoint.infer(features)
+            probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+            probs /= probs.sum(axis=1, keepdims=True)
+            class_ids = logits.argmax(axis=1)
+            return encode_frame(
+                BatchInferenceResponse(
+                    session_id=message.session_id,
+                    sequences=message.sequences,
+                    class_ids=tuple(int(c) for c in class_ids),
+                    confidences=tuple(
+                        float(probs[i, c]) for i, c in enumerate(class_ids)
+                    ),
                 )
             )
         if isinstance(message, ModelRequest):

@@ -44,6 +44,8 @@ from .latency import (
 from .feature_codec import FP32_CODEC, FeatureCodec
 from .network import NetworkLink
 from .protocol import (
+    BatchInferenceRequest,
+    BatchInferenceResponse,
     EdgeProtocolServer,
     ErrorResponse,
     InferenceRequest,
@@ -126,11 +128,26 @@ class BrowserClient:
 
         Returns (features, binary_logits, entropy, exit_decision).
         """
-        features = self.stem_engine.forward(image[None])
+        features, logits, entropies, exits = self.process_batch(image[None])
+        return features, logits, float(entropies[0]), bool(exits[0])
+
+    def process_batch(
+        self, images: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Run the local pipeline on a whole NCHW batch at once.
+
+        One stem pass, one branch pass, and a vectorized entropy gate
+        for N frames — the engines' kernels amortize their per-call
+        dispatch over the batch, which is where the batched serving
+        path's throughput comes from.  Returns ``(features, logits,
+        entropies, exit_mask)`` with one row per sample; the math is
+        bit-identical to processing samples one at a time.
+        """
+        features = self.stem_engine.forward(images)
         logits = self.branch_engine.forward(features)
         probs = softmax(logits, axis=1)
-        entropy = float(normalized_entropy(probs, axis=1)[0])
-        return features, logits, entropy, entropy < self.threshold
+        entropies = normalized_entropy(probs, axis=1)
+        return features, logits, entropies, entropies < self.threshold
 
 
 @dataclass
@@ -246,14 +263,32 @@ class LCRSDeployment:
     # Real execution with priced timing
     # ------------------------------------------------------------------
     def run_session(
-        self, images: np.ndarray, cold_start: bool = False
+        self,
+        images: np.ndarray,
+        cold_start: bool = False,
+        batch_size: Optional[int] = None,
     ) -> SessionResult:
         """Process an image stream through the deployed system.
 
         Computation is real (every prediction comes from the bit-packed
         engines / the trunk); per-sample costs come from the latency
         model with the link's jitter applied per transfer.
+
+        ``batch_size`` selects the batched fast path: frames are pushed
+        through the stem/branch engines ``batch_size`` at a time, the
+        entropy gate is vectorized, and each chunk's misses travel to
+        the edge in a single :class:`BatchInferenceRequest` frame.
+        Predictions, exit decisions, and entropies are bit-identical to
+        the per-sample path (``batch_size=None``); per-sample costs are
+        still priced individually by the latency model, so
+        :class:`RecognitionOutcome`/:class:`SampleCost` semantics are
+        unchanged.
         """
+        if batch_size is not None:
+            if batch_size <= 0:
+                raise ValueError("batch_size must be positive")
+            return self._run_session_batched(images, cold_start, batch_size)
+
         plan = self.plan()
         outcomes: list[RecognitionOutcome] = []
         costs: list[SampleCost] = []
@@ -301,6 +336,73 @@ class LCRSDeployment:
                     cost=cost,
                 )
             )
+
+        return SessionResult(
+            outcomes=outcomes,
+            trace=SessionTrace(
+                approach="lcrs", network=self.system.model.base_name, samples=costs
+            ),
+        )
+
+    def _run_session_batched(
+        self, images: np.ndarray, cold_start: bool, batch_size: int
+    ) -> SessionResult:
+        """The batched serving path behind :meth:`run_session`."""
+        plan = self.plan()
+        outcomes: list[RecognitionOutcome] = []
+        costs: list[SampleCost] = []
+        num_images = len(images)
+
+        for start in range(0, num_images, batch_size):
+            chunk = np.asarray(images[start : start + batch_size])
+            features, logits, entropies, exits = self.browser.process_batch(chunk)
+            predictions = logits.argmax(axis=1).astype(np.int64)
+
+            miss_idx = np.flatnonzero(~exits)
+            if miss_idx.size:
+                # All of this chunk's misses ship as one protocol frame —
+                # one codec pass, one round trip — and the reply fans the
+                # class ids back out by sequence id.
+                request = BatchInferenceRequest.from_features(
+                    self._session_id,
+                    [start + int(j) for j in miss_idx],
+                    self.feature_codec.name,
+                    features[miss_idx],
+                )
+                reply = decode_frame(self._edge_server.handle(encode_frame(request)))
+                if isinstance(reply, ErrorResponse):
+                    raise RuntimeError(
+                        f"edge rejected batch inference request: {reply.message}"
+                    )
+                assert isinstance(reply, BatchInferenceResponse)
+                for j, class_id in zip(miss_idx, reply.class_ids):
+                    predictions[j] = class_id
+
+            # Costs stay per sample: the latency model prices each frame
+            # exactly as the per-sample path does.
+            for j in range(len(chunk)):
+                i = start + j
+                trace = simulate_plan(
+                    plan,
+                    num_samples=1,
+                    link=self.link,
+                    browser=self.browser_device,
+                    edge=self.edge_device,
+                    cold_start=True,
+                    miss_mask=[not bool(exits[j])],
+                    include_setup=cold_start or i == 0,
+                )
+                cost = trace.samples[0]
+                costs.append(cost)
+                outcomes.append(
+                    RecognitionOutcome(
+                        index=i,
+                        prediction=int(predictions[j]),
+                        exited_locally=bool(exits[j]),
+                        entropy=float(entropies[j]),
+                        cost=cost,
+                    )
+                )
 
         return SessionResult(
             outcomes=outcomes,

@@ -5,8 +5,17 @@ browser bundle, execute it standalone with XNOR+popcount kernels, and
 validate against the training framework.
 """
 
-from .bitpack import pack_rows_with_mask, pack_signs, packed_dot, unpack_signs
-from .interpreter import WasmModel
+from .bitpack import (
+    DEFAULT_BLOCK_BYTES,
+    PackedDotStats,
+    last_dot_stats,
+    pack_rows_with_mask,
+    pack_signs,
+    packed_dot,
+    total_bytes_popcounted,
+    unpack_signs,
+)
+from .interpreter import ConvGeometry, WasmModel, conv_geometry
 from .model_format import (
     FORMAT_VERSION,
     MAGIC,
@@ -19,18 +28,24 @@ from .model_format import (
 from .validation import ValidationReport, validate_bundle
 
 __all__ = [
+    "DEFAULT_BLOCK_BYTES",
     "FORMAT_VERSION",
     "MAGIC",
+    "ConvGeometry",
     "ModelFormatError",
+    "PackedDotStats",
     "ParsedModel",
     "ValidationReport",
     "WasmModel",
+    "conv_geometry",
     "iter_leaf_modules",
+    "last_dot_stats",
     "pack_rows_with_mask",
     "pack_signs",
     "packed_dot",
     "parse_model",
     "serialize_browser_bundle",
+    "total_bytes_popcounted",
     "unpack_signs",
     "validate_bundle",
 ]

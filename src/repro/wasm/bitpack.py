@@ -15,11 +15,56 @@ positions where the mask is set::
 
 ``popcount`` maps to ``numpy.bitwise_count`` — the same single-instruction
 primitive a WASM/SIMD implementation uses.
+
+The dot-product kernel is *blocked*: the ``(p, q)`` output is computed
+tile by tile through a pair of reused scratch buffers, so peak temporary
+memory is bounded by a configurable block size (default 4 MB) instead of
+the ``p·q·bytes`` an outer-product broadcast would allocate.  This is the
+layout a WASM SIMD kernel uses to stay inside linear memory and keep the
+working set in cache — XNOR-Net's reported conv speedups assume exactly
+this kind of bit-blocked inner loop.  Per-call allocation accounting is
+exposed through :func:`last_dot_stats` so tests can assert the bound and
+profiling hooks can attribute popcount traffic to layers.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional
+
 import numpy as np
+
+#: Default ceiling for a single ``packed_dot`` call's scratch buffers.
+DEFAULT_BLOCK_BYTES = 4 * 1024 * 1024
+
+
+@dataclass
+class PackedDotStats:
+    """Allocation/work accounting for one :func:`packed_dot` call."""
+
+    peak_temp_bytes: int = 0
+    tile_count: int = 0
+    bytes_popcounted: int = 0
+    block_bytes: int = DEFAULT_BLOCK_BYTES
+    output_shape: tuple[int, int] = (0, 0)
+
+
+_LAST_DOT_STATS = PackedDotStats()
+_TOTAL_BYTES_POPCOUNTED = 0
+
+
+def last_dot_stats() -> PackedDotStats:
+    """Stats of the most recent :func:`packed_dot` call."""
+    return _LAST_DOT_STATS
+
+
+def total_bytes_popcounted() -> int:
+    """Cumulative bytes run through the popcount unit since import.
+
+    A monotone counter; profiling hooks snapshot it around an op to
+    attribute popcount traffic per layer.
+    """
+    return _TOTAL_BYTES_POPCOUNTED
 
 
 def pack_signs(signs: np.ndarray) -> tuple[np.ndarray, int]:
@@ -42,43 +87,179 @@ def unpack_signs(packed: np.ndarray, length: int) -> np.ndarray:
     return np.where(bits > 0, 1.0, -1.0).astype(np.float32)
 
 
+def _tile_sizes(
+    p: int, q: int, nwords: int, widened: bool, masked: bool, budget: int
+) -> tuple[int, int]:
+    """Choose (p_tile, q_tile) so one tile's scratch fits ``budget`` bytes.
+
+    Scratch per output cell: the XOR words (``8·nwords``), their popcounts
+    (``nwords`` uint8), and the int64 mismatch sums (8 B).  Scratch per
+    tile row: the widened ``va`` words (when rows are not word-aligned),
+    plus the mask words and valid-bit sums when masked.
+    """
+    per_cell = 9 * nwords + 8
+    per_row = (8 * nwords if widened else 0) + (9 * nwords + 16 if masked else 0)
+    qt = max(1, min(q, max(0, budget - per_row) // per_cell))
+    pt = max(1, min(p, budget // (qt * per_cell + per_row)))
+    return pt, qt
+
+
+def _as_words(packed: np.ndarray, nwords: int) -> np.ndarray:
+    """View/copy packed uint8 rows as little-endian uint64 words.
+
+    Rows are zero-padded up to a word multiple; the pad bits are zero in
+    value and mask planes alike, so they count as matches discounted by
+    ``length`` (unmasked) or masked off (masked) — exactly like the
+    byte-alignment bits ``packbits`` introduces.
+    """
+    rows, nbytes = packed.shape
+    if nbytes == nwords * 8:
+        return packed.view("<u8")
+    widened = np.zeros((rows, nwords * 8), dtype=np.uint8)
+    widened[:, :nbytes] = packed
+    return widened.view("<u8")
+
+
 def packed_dot(
     va: np.ndarray,
     vb: np.ndarray,
     mask: np.ndarray | None = None,
     length: int | None = None,
+    block_bytes: int | None = None,
 ) -> np.ndarray:
     """Signed dot products between two packed bitplane matrices.
 
     ``va`` has shape ``(p, bytes)``, ``vb`` has shape ``(q, bytes)``;
     the result is the ``(p, q)`` matrix of ±1 dot products.  ``mask``
-    (shape ``(p, bytes)``) marks valid bit positions of each ``va`` row —
-    pass it when rows contain zero padding.  Without a mask, ``length``
-    (the true bit count) must be given so byte-alignment padding bits are
-    discounted.
+    marks valid bit positions of each ``va`` row — pass it when rows
+    contain zero padding.  Its byte width must equal ``va``'s; its row
+    count must either equal ``p`` or evenly divide it, in which case the
+    mask is applied cyclically (row ``i`` uses ``mask[i % m]`` — the
+    batched-im2col case, where every sample shares one geometry mask).
+    Without a mask, ``length`` (the true bit count) must be given so
+    byte-alignment padding bits are discounted.
+
+    The output is computed in tiles whose scratch buffers are bounded by
+    ``block_bytes`` (default :data:`DEFAULT_BLOCK_BYTES`); buffers are
+    reused across tiles, so peak temporary memory is one tile regardless
+    of ``p·q``.  :func:`last_dot_stats` reports the realised peak.
     """
-    va = np.asarray(va, dtype=np.uint8)
-    vb = np.asarray(vb, dtype=np.uint8)
+    global _LAST_DOT_STATS, _TOTAL_BYTES_POPCOUNTED
+
+    va = np.ascontiguousarray(va, dtype=np.uint8)
+    vb = np.ascontiguousarray(vb, dtype=np.uint8)
+    if va.ndim != 2 or vb.ndim != 2:
+        raise ValueError("va and vb must be 2-D packed bitplanes")
     if va.shape[1] != vb.shape[1]:
         raise ValueError("bitplane byte widths differ")
 
-    xor = np.bitwise_xor(va[:, None, :], vb[None, :, :])  # (p, q, bytes)
-    if mask is not None:
-        mask = np.asarray(mask, dtype=np.uint8)
-        mismatches = np.bitwise_count(np.bitwise_and(xor, mask[:, None, :])).sum(
-            axis=2, dtype=np.int64
-        )
-        valid = np.bitwise_count(mask).sum(axis=1, dtype=np.int64)[:, None]  # (p, 1)
-        return (valid - 2 * mismatches).astype(np.float32)
+    p, nbytes = va.shape
+    q = vb.shape[0]
 
-    if length is None:
+    if mask is not None:
+        mask = np.ascontiguousarray(mask, dtype=np.uint8)
+        if mask.ndim != 2:
+            raise ValueError(f"mask must be 2-D, got shape {mask.shape}")
+        if mask.shape[1] != nbytes:
+            raise ValueError(
+                f"mask byte width {mask.shape[1]} does not match bitplane "
+                f"byte width {nbytes}"
+            )
+        if mask.shape[0] != p and (mask.shape[0] == 0 or p % mask.shape[0] != 0):
+            raise ValueError(
+                f"mask has {mask.shape[0]} rows; expected {p} or a divisor "
+                f"of {p} for cyclic application"
+            )
+    elif length is None:
         raise ValueError("length is required when no mask is given")
-    mismatches = np.bitwise_count(xor).sum(axis=2, dtype=np.int64)
-    # Alignment padding bits are zero in both planes, so they register as
-    # matches; subtracting them from the match count needs the true length.
-    total_bits = va.shape[1] * 8
-    matches = total_bits - mismatches - (total_bits - length)
-    return (matches - mismatches).astype(np.float32)
+
+    block = int(block_bytes) if block_bytes is not None else DEFAULT_BLOCK_BYTES
+    if block <= 0:
+        raise ValueError("block_bytes must be positive")
+    nwords = (nbytes + 7) // 8
+    widened = nbytes != nwords * 8
+    m = mask.shape[0] if mask is not None else 0
+
+    # Input-scale preprocessing (word-widened copies of vb and the mask,
+    # mask valid-bit totals) is reserved out of the block budget up front
+    # so the realised peak stays within ``block`` whenever the inputs
+    # themselves fit; the reused per-tile scratch gets the remainder.
+    overhead = q * nwords * 8 * (2 if widened else 1)  # vb words + transpose
+    if mask is not None and widened:
+        overhead += m * nwords * 8  # word-widened mask copy
+    budget = max(block - overhead, 64)
+    pt, qt = _tile_sizes(p, q, nwords, widened, mask is not None, budget)
+
+    # The kernel works on little-endian uint64 words with the q axis
+    # innermost — long contiguous inner loops for the XOR/popcount ufuncs
+    # regardless of how few bytes one bitplane row occupies (a branch
+    # conv's row is often < 8 bytes, where a bytes-innermost layout
+    # drowns in per-row ufunc setup).
+    vb_words_t = np.ascontiguousarray(_as_words(vb, nwords).T)  # (nwords, q)
+    peak = overhead
+
+    out = np.empty((p, q), dtype=np.float32)
+    # Reused per-tile scratch, allocated once at the chosen tile size.
+    xor_buf = np.empty((pt, nwords, qt), dtype=np.uint64)
+    count_buf = np.empty((pt, nwords, qt), dtype=np.uint8)
+    va_widened = None if not widened else np.zeros((pt, nwords * 8), dtype=np.uint8)
+    peak += xor_buf.nbytes + count_buf.nbytes + pt * qt * 8  # + int64 sums
+    if va_widened is not None:
+        peak += va_widened.nbytes
+
+    mask_words: Optional[np.ndarray] = None
+    if mask is not None:
+        mask_words = _as_words(mask, nwords)  # view unless widened
+        # Per-tile mask rows (cyclic gather), popcounts, valid-bit totals.
+        peak += pt * nwords * 8 + pt * nwords + pt * 16
+
+    tiles = 0
+    popcounted = 0
+
+    for i0 in range(0, p, pt):
+        i1 = min(i0 + pt, p)
+        rows = i1 - i0
+        if va_widened is None:
+            va_words = va[i0:i1].view("<u8")
+        else:
+            va_widened[:rows, :nbytes] = va[i0:i1]
+            va_words = va_widened[:rows].view("<u8")
+        if mask is not None:
+            if m == p:
+                mrows = mask_words[i0:i1]
+            else:
+                mrows = mask_words[np.arange(i0, i1) % m]
+            valid = np.bitwise_count(mrows).sum(axis=1, dtype=np.int64)[:, None]
+            popcounted += mrows.nbytes
+        for j0 in range(0, q, qt):
+            j1 = min(j0 + qt, q)
+            cols = j1 - j0
+            buf = xor_buf[:rows, :, :cols]
+            np.bitwise_xor(va_words[:, :, None], vb_words_t[None, :, j0:j1], out=buf)
+            if mask is not None:
+                np.bitwise_and(buf, mrows[:, :, None], out=buf)
+            counts = count_buf[:rows, :, :cols]
+            np.bitwise_count(buf, out=counts)
+            mismatches = counts.sum(axis=1, dtype=np.int64)
+            popcounted += buf.nbytes
+            tiles += 1
+            if mask is not None:
+                out[i0:i1, j0:j1] = valid - 2 * mismatches
+            else:
+                # Alignment/word padding bits are zero in both planes, so
+                # they register as matches; the true length discounts
+                # them: matches - mismatches = length - 2·mismatches.
+                out[i0:i1, j0:j1] = length - 2 * mismatches
+
+    _LAST_DOT_STATS = PackedDotStats(
+        peak_temp_bytes=peak,
+        tile_count=tiles,
+        bytes_popcounted=popcounted,
+        block_bytes=block,
+        output_shape=(p, q),
+    )
+    _TOTAL_BYTES_POPCOUNTED += popcounted
+    return out
 
 
 def pack_rows_with_mask(

@@ -11,54 +11,161 @@ training framework.
 Zero padding makes binarized convolution inputs ternary {−1, 0, +1}, so
 activations are packed as value+mask bitplane pairs; see
 :mod:`repro.wasm.bitpack` for the masked popcount dot product.
+
+Compilation is *geometry-complete*: the bundle's input shape fixes every
+layer's spatial geometry, so all data-independent artifacts — output
+sizes, padding-validity mask columns and their packed bitplanes,
+reshaped/unpacked weight matrices — are computed once at load time and
+cached (shared across engine instances via :func:`conv_geometry`).
+``forward`` does only data-dependent work per call, the same split a
+WASM module makes between instantiation and invocation.  Each compiled
+op carries an always-on :class:`~repro.profiling.op_counters.OpCounter`
+(calls, samples, wall time, popcount traffic).
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
 
-from .bitpack import pack_rows_with_mask, pack_signs, packed_dot, unpack_signs
+from ..profiling.op_counters import ModelCounters
+from . import bitpack
+from .bitpack import pack_signs, packed_dot, unpack_signs
 from .model_format import ModelFormatError, ParsedModel, parse_model
+
+
+@dataclass(frozen=True)
+class ConvGeometry:
+    """Data-independent im2col artifacts for one (shape, kernel) tuple.
+
+    ``valid_cols``/``mbits`` describe which positions of each im2col row
+    are real input (vs zero padding) for *one* sample; they are shared by
+    every sample in a batch and every engine with the same layer shape.
+    """
+
+    in_channels: int
+    height: int
+    width: int
+    kernel: int
+    stride: int
+    padding: int
+    out_height: int
+    out_width: int
+    #: im2col row count per sample (``out_height · out_width``).
+    rows: int
+    #: im2col row length (``in_channels · kernel²``).
+    row_len: int
+    #: Boolean validity of each im2col position, ``(rows, row_len)``;
+    #: ``None`` when there is no padding (every position valid).
+    valid_cols: Optional[np.ndarray]
+    #: Packed validity bitplanes, ``(rows, ceil(row_len/8))``; ``None``
+    #: when there is no padding.
+    mbits: Optional[np.ndarray]
+
+
+_GEOMETRY_CACHE: dict[tuple[int, int, int, int, int, int], ConvGeometry] = {}
+
+
+def conv_geometry(
+    c: int, h: int, w: int, kernel: int, stride: int, padding: int
+) -> ConvGeometry:
+    """Cached geometry artifacts for an im2col with the given parameters."""
+    key = (c, h, w, kernel, stride, padding)
+    cached = _GEOMETRY_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    oh = (h + 2 * padding - kernel) // stride + 1
+    ow = (w + 2 * padding - kernel) // stride + 1
+    rows = oh * ow
+    row_len = c * kernel * kernel
+
+    valid_cols: Optional[np.ndarray] = None
+    mbits: Optional[np.ndarray] = None
+    if padding > 0:
+        valid = np.zeros((1, c, h + 2 * padding, w + 2 * padding), dtype=bool)
+        valid[:, :, padding : padding + h, padding : padding + w] = True
+        valid_cols = _unfold(np.ascontiguousarray(valid), kernel, stride, oh, ow)
+        valid_cols.setflags(write=False)
+        mbits = np.packbits(valid_cols.astype(np.uint8), axis=1)
+        mbits.setflags(write=False)
+
+    geometry = ConvGeometry(
+        in_channels=c,
+        height=h,
+        width=w,
+        kernel=kernel,
+        stride=stride,
+        padding=padding,
+        out_height=oh,
+        out_width=ow,
+        rows=rows,
+        row_len=row_len,
+        valid_cols=valid_cols,
+        mbits=mbits,
+    )
+    _GEOMETRY_CACHE[key] = geometry
+    return geometry
+
+
+def _unfold(a: np.ndarray, kernel: int, stride: int, oh: int, ow: int) -> np.ndarray:
+    """Extract sliding windows of an NCHW array into im2col rows."""
+    n, c = a.shape[:2]
+    s0, s1, s2, s3 = a.strides
+    win = np.lib.stride_tricks.as_strided(
+        a,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    return win.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kernel * kernel)
+
+
+def _im2col(x: np.ndarray, geom: ConvGeometry) -> np.ndarray:
+    """im2col an NCHW batch using precomputed geometry.
+
+    Padded positions come out as 0.0; ``geom.valid_cols`` tells which
+    positions those are without any per-call mask computation.
+    """
+    if geom.padding > 0:
+        pad = geom.padding
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    return _unfold(x, geom.kernel, geom.stride, geom.out_height, geom.out_width)
 
 
 def _im2col_with_mask(
     x: np.ndarray, kernel: int, stride: int, padding: int
 ) -> tuple[np.ndarray, np.ndarray, int, int]:
-    """im2col returning both columns and a padding-validity mask."""
+    """im2col returning both columns and a padding-validity mask.
+
+    Compatibility wrapper over the cached-geometry path; the compiled
+    ops use :func:`conv_geometry` + :func:`_im2col` directly.
+    """
     n, c, h, w = x.shape
-    oh = (h + 2 * padding - kernel) // stride + 1
-    ow = (w + 2 * padding - kernel) // stride + 1
-    if padding > 0:
-        xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-        valid = np.zeros((1, 1, h + 2 * padding, w + 2 * padding), dtype=bool)
-        valid[:, :, padding : padding + h, padding : padding + w] = True
-        valid = np.broadcast_to(valid, xp.shape)
+    geom = conv_geometry(c, h, w, kernel, stride, padding)
+    cols = _im2col(x, geom)
+    if geom.valid_cols is None:
+        valid = np.ones((n * geom.rows, geom.row_len), dtype=bool)
     else:
-        xp = x
-        valid = np.ones_like(xp, dtype=bool)
-
-    def unfold(a: np.ndarray) -> np.ndarray:
-        s0, s1, s2, s3 = a.strides
-        win = np.lib.stride_tricks.as_strided(
-            a,
-            shape=(n, c, oh, ow, kernel, kernel),
-            strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
-            writeable=False,
-        )
-        return win.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kernel * kernel)
-
-    return unfold(xp), unfold(np.ascontiguousarray(valid)), oh, ow
+        valid = np.broadcast_to(
+            geom.valid_cols[None], (n, geom.rows, geom.row_len)
+        ).reshape(n * geom.rows, geom.row_len)
+    return cols, valid, geom.out_height, geom.out_width
 
 
 class WasmModel:
     """Executable ``.lcrs`` model.
 
     The constructor compiles the parsed layer specs into a list of
-    numpy kernels; :meth:`forward` runs them in order.  Binary layers
-    pre-pack their weight bitplanes once at load time, exactly as the
-    WASM module would keep them resident in linear memory.
+    numpy kernels, threading the (batch-free) activation shape through
+    the builders so every geometry-dependent artifact — output sizes,
+    validity-mask bitplanes, reshaped weight matrices — exists before
+    the first :meth:`forward` call.  Binary layers keep their packed
+    weight bitplanes resident, exactly as the WASM module would keep
+    them in linear memory.
     """
 
     def __init__(self, parsed: ParsedModel) -> None:
@@ -66,6 +173,9 @@ class WasmModel:
         self.metadata = parsed.metadata
         self._ops: list[Callable[[np.ndarray], np.ndarray]] = []
         self._build(parsed)
+        self.counters = ModelCounters.for_kinds(
+            [spec["type"] for spec in parsed.layers]
+        )
 
     @classmethod
     def load(cls, payload: bytes) -> "WasmModel":
@@ -75,43 +185,63 @@ class WasmModel:
     # Compilation
     # ------------------------------------------------------------------
     def _build(self, parsed: ParsedModel) -> None:
+        shape = tuple(int(d) for d in parsed.input_shape)
         for spec in parsed.layers:
             kind = spec["type"]
             builder = getattr(self, f"_op_{kind}", None)
             if builder is None:
                 raise ModelFormatError(f"interpreter has no kernel for {kind!r}")
-            self._ops.append(builder(spec, parsed))
+            op, shape = builder(spec, parsed, shape)
+            self._ops.append(op)
+
+    @staticmethod
+    def _conv_geom(spec: dict, in_shape: tuple[int, ...]) -> ConvGeometry:
+        if len(in_shape) != 3:
+            raise ModelFormatError(
+                f"{spec['type']} expects a CHW input, got shape {in_shape}"
+            )
+        c, h, w = in_shape
+        return conv_geometry(
+            c, h, w, int(spec["kernel_size"]), int(spec["stride"]), int(spec["padding"])
+        )
 
     # -- float layers ---------------------------------------------------
-    def _op_conv2d(self, spec: dict, parsed: ParsedModel) -> Callable:
+    def _op_conv2d(
+        self, spec: dict, parsed: ParsedModel, in_shape: tuple[int, ...]
+    ) -> tuple[Callable, tuple[int, ...]]:
         weight = parsed.buffer(spec["weight"]).astype(np.float32)
         bias = parsed.buffer(spec["bias"]).astype(np.float32) if "bias" in spec else None
-        k = int(spec["kernel_size"])
-        stride = int(spec["stride"])
-        padding = int(spec["padding"])
         oc = int(spec["out_channels"])
-        w_mat = weight.reshape(oc, -1)
+        geom = self._conv_geom(spec, in_shape)
+        w_mat_t = np.ascontiguousarray(weight.reshape(oc, -1).T)
 
         def op(x: np.ndarray) -> np.ndarray:
-            cols, _, oh, ow = _im2col_with_mask(x, k, stride, padding)
-            out = cols @ w_mat.T
+            n = x.shape[0]
+            out = _im2col(x, geom) @ w_mat_t
             if bias is not None:
-                out = out + bias
-            return out.reshape(x.shape[0], oh, ow, oc).transpose(0, 3, 1, 2)
+                out += bias
+            return out.reshape(n, geom.out_height, geom.out_width, oc).transpose(
+                0, 3, 1, 2
+            )
 
-        return op
+        return op, (oc, geom.out_height, geom.out_width)
 
-    def _op_linear(self, spec: dict, parsed: ParsedModel) -> Callable:
+    def _op_linear(
+        self, spec: dict, parsed: ParsedModel, in_shape: tuple[int, ...]
+    ) -> tuple[Callable, tuple[int, ...]]:
         weight = parsed.buffer(spec["weight"]).astype(np.float32)
         bias = parsed.buffer(spec["bias"]).astype(np.float32) if "bias" in spec else None
+        w_t = np.ascontiguousarray(weight.T)
 
         def op(x: np.ndarray) -> np.ndarray:
-            out = x @ weight.T
+            out = x @ w_t
             return out + bias if bias is not None else out
 
-        return op
+        return op, (int(spec["out_features"]),)
 
-    def _op_batch_norm(self, spec: dict, parsed: ParsedModel) -> Callable:
+    def _op_batch_norm(
+        self, spec: dict, parsed: ParsedModel, in_shape: tuple[int, ...]
+    ) -> tuple[Callable, tuple[int, ...]]:
         gamma = parsed.buffer(spec["gamma"]).astype(np.float32)
         beta = parsed.buffer(spec["beta"]).astype(np.float32)
         mean = parsed.buffer(spec["running_mean"]).astype(np.float32)
@@ -119,91 +249,155 @@ class WasmModel:
         eps = float(spec["eps"])
         scale = gamma / np.sqrt(var + eps)
         shift = beta - mean * scale
+        scale_nchw = scale[None, :, None, None]
+        shift_nchw = shift[None, :, None, None]
 
         def op(x: np.ndarray) -> np.ndarray:
             if x.ndim == 4:
-                return x * scale[None, :, None, None] + shift[None, :, None, None]
+                return x * scale_nchw + shift_nchw
             return x * scale + shift
 
-        return op
+        return op, in_shape
 
-    def _op_relu(self, spec: dict, parsed: ParsedModel) -> Callable:
-        return lambda x: np.maximum(x, 0.0)
+    def _op_relu(
+        self, spec: dict, parsed: ParsedModel, in_shape: tuple[int, ...]
+    ) -> tuple[Callable, tuple[int, ...]]:
+        return (lambda x: np.maximum(x, 0.0)), in_shape
 
-    def _op_flatten(self, spec: dict, parsed: ParsedModel) -> Callable:
-        return lambda x: x.reshape(x.shape[0], -1)
+    def _op_flatten(
+        self, spec: dict, parsed: ParsedModel, in_shape: tuple[int, ...]
+    ) -> tuple[Callable, tuple[int, ...]]:
+        flat = int(np.prod(in_shape))
+        return (lambda x: x.reshape(x.shape[0], -1)), (flat,)
 
-    def _op_max_pool2d(self, spec: dict, parsed: ParsedModel) -> Callable:
+    def _op_max_pool2d(
+        self, spec: dict, parsed: ParsedModel, in_shape: tuple[int, ...]
+    ) -> tuple[Callable, tuple[int, ...]]:
         k = int(spec["kernel_size"])
         stride = int(spec["stride"])
+        c, h, w = in_shape
+        geom = conv_geometry(c, h, w, k, stride, 0)
+        oh, ow = geom.out_height, geom.out_width
 
-        def op(x: np.ndarray) -> np.ndarray:
-            n, c, h, w = x.shape
-            cols, _, oh, ow = _im2col_with_mask(x, k, stride, 0)
-            cols = cols.reshape(-1, c, k * k)
-            return cols.max(axis=2).reshape(n, oh, ow, c).transpose(0, 3, 1, 2)
+        if stride == k and h % k == 0 and w % k == 0:
+            # Non-overlapping windows tile the input exactly: pool as an
+            # elementwise maximum over the k² window offsets — strided
+            # views, no im2col materialisation, one pass per offset.
+            offsets = [(di, dj) for di in range(k) for dj in range(k)]
 
-        return op
+            def op(x: np.ndarray) -> np.ndarray:
+                out = np.ascontiguousarray(x[:, :, 0::k, 0::k])
+                for di, dj in offsets[1:]:
+                    np.maximum(out, x[:, :, di::k, dj::k], out=out)
+                return out
 
-    def _op_global_avg_pool2d(self, spec: dict, parsed: ParsedModel) -> Callable:
-        return lambda x: x.mean(axis=(2, 3))
+        else:
+
+            def op(x: np.ndarray) -> np.ndarray:
+                n = x.shape[0]
+                cols = _im2col(x, geom).reshape(-1, c, k * k)
+                return cols.max(axis=2).reshape(n, oh, ow, c).transpose(0, 3, 1, 2)
+
+        return op, (c, oh, ow)
+
+    def _op_global_avg_pool2d(
+        self, spec: dict, parsed: ParsedModel, in_shape: tuple[int, ...]
+    ) -> tuple[Callable, tuple[int, ...]]:
+        return (lambda x: x.mean(axis=(2, 3))), (in_shape[0],)
 
     # -- binary layers ----------------------------------------------------
-    def _op_binary_conv2d(self, spec: dict, parsed: ParsedModel) -> Callable:
+    def _op_binary_conv2d(
+        self, spec: dict, parsed: ParsedModel, in_shape: tuple[int, ...]
+    ) -> tuple[Callable, tuple[int, ...]]:
         packed_w = parsed.buffer(spec["weight_bits"]).astype(np.uint8)
         alpha = parsed.buffer(spec["alpha"]).astype(np.float32)
         bias = parsed.buffer(spec["bias"]).astype(np.float32) if "bias" in spec else None
-        k = int(spec["kernel_size"])
-        stride = int(spec["stride"])
-        padding = int(spec["padding"])
         oc = int(spec["out_channels"])
         binarize_input = bool(spec["binarize_input"])
+        geom = self._conv_geom(spec, in_shape)
+        out_shape = (oc, geom.out_height, geom.out_width)
+        alpha_row = alpha[None, :]
 
-        def op(x: np.ndarray) -> np.ndarray:
-            n = x.shape[0]
-            if binarize_input:
-                # K matrix of Eq. 4 from the float input, as in training.
-                a = np.abs(x).mean(axis=1, keepdims=True)
-                kcols, _, oh, ow = _im2col_with_mask(a, k, stride, padding)
-                kfac = kcols.mean(axis=1)
+        if binarize_input:
+            bit_length = geom.row_len
 
-                signed = np.where(x >= 0, 1.0, -1.0).astype(np.float32)
-                cols, valid, oh, ow = _im2col_with_mask(signed, k, stride, padding)
-                vbits, mbits = pack_rows_with_mask(cols, valid)
-                dots = packed_dot(vbits, packed_w, mask=mbits)  # (N*OH*OW, OC)
-                out = dots * alpha[None, :] * kfac[:, None]
-            else:
-                signs = unpack_signs(packed_w, int(spec["bit_length"]))
-                cols, _, oh, ow = _im2col_with_mask(x, k, stride, padding)
-                out = (cols @ signs.T) * alpha[None, :]
-            if bias is not None:
-                out = out + bias
-            return out.reshape(n, oh, ow, oc).transpose(0, 3, 1, 2).astype(np.float32)
+            def op(x: np.ndarray) -> np.ndarray:
+                n = x.shape[0]
+                # One unfold serves both Eq. 4 factors: the K sub-tensor
+                # factor is the window mean of mean_c|x|, which (uniform
+                # weights) equals the row mean of |columns| — padded
+                # positions contribute their true zeros.
+                cols = _im2col(x, geom)
+                kfac = np.abs(cols).mean(axis=1)
+                bits = cols >= 0  # sign(0) = +1, as in training sign_ste
+                if geom.valid_cols is not None:
+                    bits = bits.reshape(n, geom.rows, geom.row_len)
+                    bits &= geom.valid_cols[None]
+                    bits = bits.reshape(n * geom.rows, geom.row_len)
+                    vbits = np.packbits(bits, axis=1)
+                    # The geometry mask applies cyclically across samples.
+                    dots = packed_dot(vbits, packed_w, mask=geom.mbits)
+                else:
+                    vbits = np.packbits(bits, axis=1)
+                    dots = packed_dot(vbits, packed_w, length=bit_length)
+                out = dots * alpha_row * kfac[:, None]
+                if bias is not None:
+                    out += bias
+                return (
+                    out.reshape(n, geom.out_height, geom.out_width, oc)
+                    .transpose(0, 3, 1, 2)
+                    .astype(np.float32)
+                )
 
-        return op
+        else:
+            signs_t = np.ascontiguousarray(
+                unpack_signs(packed_w, int(spec["bit_length"])).T
+            )
 
-    def _op_binary_linear(self, spec: dict, parsed: ParsedModel) -> Callable:
+            def op(x: np.ndarray) -> np.ndarray:
+                n = x.shape[0]
+                out = (_im2col(x, geom) @ signs_t) * alpha_row
+                if bias is not None:
+                    out += bias
+                return (
+                    out.reshape(n, geom.out_height, geom.out_width, oc)
+                    .transpose(0, 3, 1, 2)
+                    .astype(np.float32)
+                )
+
+        return op, out_shape
+
+    def _op_binary_linear(
+        self, spec: dict, parsed: ParsedModel, in_shape: tuple[int, ...]
+    ) -> tuple[Callable, tuple[int, ...]]:
         packed_w = parsed.buffer(spec["weight_bits"]).astype(np.uint8)
         alpha = parsed.buffer(spec["alpha"]).astype(np.float32)
         bias = parsed.buffer(spec["bias"]).astype(np.float32) if "bias" in spec else None
         bit_length = int(spec["bit_length"])
         binarize_input = bool(spec["binarize_input"])
+        alpha_row = alpha[None, :]
 
-        def op(x: np.ndarray) -> np.ndarray:
-            if binarize_input:
+        if binarize_input:
+
+            def op(x: np.ndarray) -> np.ndarray:
                 beta = np.abs(x).mean(axis=1, keepdims=True)
-                signed = np.where(x >= 0, 1.0, -1.0).astype(np.float32)
-                vbits, _ = pack_signs(signed)
+                vbits = np.packbits((x >= 0), axis=1)
                 dots = packed_dot(vbits, packed_w, length=bit_length)
-                out = dots * alpha[None, :] * beta
-            else:
-                signs = unpack_signs(packed_w, bit_length)
-                out = (x @ signs.T) * alpha[None, :]
-            if bias is not None:
-                out = out + bias
-            return out.astype(np.float32)
+                out = dots * alpha_row * beta
+                if bias is not None:
+                    out += bias
+                return out.astype(np.float32)
 
-        return op
+        else:
+            signs_t = np.ascontiguousarray(unpack_signs(packed_w, bit_length).T)
+
+            def op(x: np.ndarray) -> np.ndarray:
+                out = (x @ signs_t) * alpha_row
+                if bias is not None:
+                    out += bias
+                return out.astype(np.float32)
+
+        return op, (int(spec["out_features"]),)
 
     # ------------------------------------------------------------------
     # Execution
@@ -214,11 +408,22 @@ class WasmModel:
         expected = tuple(self.input_shape)
         if tuple(x.shape[1:]) != expected:
             raise ValueError(f"expected input shape (N, {expected}), got {x.shape}")
-        for op in self._ops:
+        batch = x.shape[0]
+        for op, counter in zip(self._ops, self.counters.ops):
+            pop_before = bitpack.total_bytes_popcounted()
+            t0 = time.perf_counter()
             x = op(x)
+            counter.record(
+                samples=batch,
+                wall_ms=(time.perf_counter() - t0) * 1e3,
+                bytes_popcounted=bitpack.total_bytes_popcounted() - pop_before,
+            )
         return x
 
     __call__ = forward
+
+    def reset_counters(self) -> None:
+        self.counters.reset()
 
     @property
     def num_ops(self) -> int:

@@ -1,0 +1,100 @@
+"""Equivalence tests for the batched serving path.
+
+The contract: ``run_session(images, batch_size=k)`` must make exactly
+the same recognition decisions as the per-sample loop — same
+predictions, same exit decisions — while shipping each chunk's misses
+in one protocol frame.  (Float convs go through BLAS, whose reduction
+order can differ with batch size, so entropies agree to float32
+round-off; the decisions themselves must match exactly.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import LCRSDeployment, four_g
+
+
+@pytest.fixture
+def deployment(trained_system):
+    # Deterministic link: identical latency draws for both paths.
+    return LCRSDeployment(trained_system, four_g(seed=2).deterministic())
+
+
+def fresh_deployment(trained_system):
+    return LCRSDeployment(trained_system, four_g(seed=2).deterministic())
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    def test_same_decisions_as_per_sample_path(
+        self, trained_system, tiny_mnist, batch_size
+    ):
+        _, test = tiny_mnist
+        images = test.images[:40]
+        scalar = fresh_deployment(trained_system).run_session(images)
+        batched = fresh_deployment(trained_system).run_session(
+            images, batch_size=batch_size
+        )
+
+        np.testing.assert_array_equal(batched.predictions, scalar.predictions)
+        assert [o.exited_locally for o in batched.outcomes] == [
+            o.exited_locally for o in scalar.outcomes
+        ]
+        np.testing.assert_allclose(
+            [o.entropy for o in batched.outcomes],
+            [o.entropy for o in scalar.outcomes],
+            atol=1e-5,
+        )
+        assert [o.index for o in batched.outcomes] == list(range(len(images)))
+
+    def test_same_costs_as_per_sample_path(self, trained_system, tiny_mnist):
+        """Latency semantics are per sample in both paths: with a
+        deterministic link the cost traces must be identical."""
+        _, test = tiny_mnist
+        images = test.images[:24]
+        scalar = fresh_deployment(trained_system).run_session(images)
+        batched = fresh_deployment(trained_system).run_session(images, batch_size=8)
+        for a, b in zip(scalar.outcomes, batched.outcomes):
+            assert b.cost.total_ms == pytest.approx(a.cost.total_ms)
+            assert b.cost.compute_ms == pytest.approx(a.cost.compute_ms)
+            assert b.cost.communication_ms == pytest.approx(a.cost.communication_ms)
+
+    def test_matches_functional_predictor(self, deployment, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        images = test.images[:40]
+        session = deployment.run_session(images, batch_size=16)
+        functional = trained_system.predictor().predict(images)
+        np.testing.assert_array_equal(session.predictions, functional.predictions)
+        assert session.exit_rate == pytest.approx(functional.exit_rate)
+
+
+class TestBatchedProtocolPath:
+    def test_edge_serves_only_misses(self, deployment, tiny_mnist):
+        _, test = tiny_mnist
+        session = deployment.run_session(test.images[:40], batch_size=10)
+        misses = sum(not o.exited_locally for o in session.outcomes)
+        assert deployment.edge.requests_served == misses
+
+    def test_partial_final_chunk(self, deployment, tiny_mnist):
+        """A stream that does not divide evenly must still cover every
+        sample exactly once."""
+        _, test = tiny_mnist
+        session = deployment.run_session(test.images[:23], batch_size=10)
+        assert len(session.outcomes) == 23
+        assert [o.index for o in session.outcomes] == list(range(23))
+
+    def test_cold_start_dearer_than_warm(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        cold = fresh_deployment(trained_system).run_session(
+            test.images[:10], cold_start=True, batch_size=10
+        )
+        warm = fresh_deployment(trained_system).run_session(
+            test.images[:10], batch_size=10
+        )
+        assert cold.mean_latency_ms > warm.mean_latency_ms
+
+    @pytest.mark.parametrize("batch_size", [0, -4])
+    def test_nonpositive_batch_size_rejected(self, deployment, tiny_mnist, batch_size):
+        _, test = tiny_mnist
+        with pytest.raises(ValueError):
+            deployment.run_session(test.images[:4], batch_size=batch_size)

@@ -4,9 +4,12 @@ import numpy as np
 import pytest
 
 from repro.wasm.bitpack import (
+    DEFAULT_BLOCK_BYTES,
+    last_dot_stats,
     pack_rows_with_mask,
     pack_signs,
     packed_dot,
+    total_bytes_popcounted,
     unpack_signs,
 )
 
@@ -97,3 +100,120 @@ class TestPackedDot:
         """np.bitwise_count must be available — it is the WASM popcount
         analog the whole scheme relies on."""
         assert hasattr(np, "bitwise_count")
+
+
+class TestBlockedKernel:
+    """The blocked kernel: exact equivalence at any tile size, and peak
+    scratch memory bounded by the configured block size."""
+
+    def _random_signs(self, rng, rows, n):
+        return np.where(rng.random((rows, n)) > 0.5, 1.0, -1.0).astype(np.float32)
+
+    @pytest.mark.parametrize(
+        "block_bytes", [DEFAULT_BLOCK_BYTES, 64 * 1024, 8 * 1024, 2 * 1024]
+    )
+    def test_matches_dense_float_dot_at_any_block_size(self, block_bytes):
+        rng = np.random.default_rng(3)
+        a = self._random_signs(rng, 300, 123)  # non-word-aligned width
+        b = self._random_signs(rng, 37, 123)
+        pa, la = pack_signs(a)
+        pb, _ = pack_signs(b)
+        out = packed_dot(pa, pb, length=la, block_bytes=block_bytes)
+        np.testing.assert_array_equal(out, a @ b.T)
+
+    @pytest.mark.parametrize("block_bytes", [DEFAULT_BLOCK_BYTES, 8 * 1024])
+    def test_masked_matches_dense_float_dot_at_any_block_size(self, block_bytes):
+        rng = np.random.default_rng(4)
+        n = 200
+        values = self._random_signs(rng, 250, n)
+        valid = rng.random((250, n)) > 0.25
+        weights = self._random_signs(rng, 19, n)
+        vbits, mbits = pack_rows_with_mask(values, valid)
+        pw, _ = pack_signs(weights)
+        out = packed_dot(vbits, pw, mask=mbits, block_bytes=block_bytes)
+        np.testing.assert_array_equal(out, (values * valid) @ weights.T)
+
+    def test_cyclic_mask_equals_tiled_mask(self):
+        """A mask with m rows (m | p) applies as mask[i % m] — the
+        batched-im2col case, one geometry mask shared by all samples."""
+        rng = np.random.default_rng(5)
+        n, m, reps = 96, 13, 9
+        values = self._random_signs(rng, m * reps, n)
+        valid = rng.random((m, n)) > 0.3
+        weights = self._random_signs(rng, 8, n)
+        vbits, _ = pack_rows_with_mask(values, np.ones_like(values, dtype=bool))
+        _, mbits = pack_rows_with_mask(np.ones((m, n), dtype=np.float32), valid)
+        pw, _ = pack_signs(weights)
+        cyclic = packed_dot(vbits, pw, mask=mbits, block_bytes=4 * 1024)
+        full = packed_dot(vbits, pw, mask=np.tile(mbits, (reps, 1)))
+        np.testing.assert_array_equal(cyclic, full)
+        ternary = values * np.tile(valid, (reps, 1))
+        np.testing.assert_array_equal(cyclic, ternary @ weights.T)
+
+    def test_peak_temp_bounded_by_block_size(self):
+        """The acceptance bound: scratch stays within block_bytes (by
+        allocation accounting) while a broadcast kernel would need
+        p·q·bytes — orders of magnitude more here."""
+        rng = np.random.default_rng(6)
+        p, q, bits = 4096, 64, 1152
+        va = rng.integers(0, 256, size=(p, bits // 8), dtype=np.uint8)
+        vb = rng.integers(0, 256, size=(q, bits // 8), dtype=np.uint8)
+        block = 256 * 1024
+        naive_temp = p * q * (bits // 8)  # the (p, q, bytes) XOR broadcast
+        assert naive_temp > 100 * block
+
+        packed_dot(va, vb, length=bits, block_bytes=block)
+        stats = last_dot_stats()
+        assert stats.peak_temp_bytes <= block
+        assert stats.tile_count > 1  # the bound forced actual tiling
+        assert stats.block_bytes == block
+        assert stats.output_shape == (p, q)
+
+        mask = rng.integers(0, 256, size=(p, bits // 8), dtype=np.uint8)
+        packed_dot(va, vb, mask=mask, block_bytes=block)
+        assert last_dot_stats().peak_temp_bytes <= block
+
+    def test_stats_track_popcount_traffic(self):
+        rng = np.random.default_rng(7)
+        pa, la = pack_signs(self._random_signs(rng, 16, 64))
+        before = total_bytes_popcounted()
+        packed_dot(pa, pa, length=la)
+        stats = last_dot_stats()
+        assert stats.bytes_popcounted > 0
+        assert total_bytes_popcounted() - before == stats.bytes_popcounted
+
+    def test_rejects_nonpositive_block_bytes(self):
+        pa, la = pack_signs(np.ones((2, 8)))
+        with pytest.raises(ValueError):
+            packed_dot(pa, pa, length=la, block_bytes=0)
+
+
+class TestMaskValidation:
+    """Regression tests: malformed masks fail loudly, not with wrong
+    numbers (a cyclic mask that silently misaligned would corrupt every
+    batched conv)."""
+
+    def setup_method(self):
+        rng = np.random.default_rng(8)
+        signs = np.where(rng.random((12, 40)) > 0.5, 1.0, -1.0)
+        self.pa, _ = pack_signs(signs)
+        self.pw, _ = pack_signs(signs[:3])
+
+    def test_mask_must_be_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            packed_dot(self.pa, self.pw, mask=np.ones(5, dtype=np.uint8))
+
+    def test_mask_byte_width_must_match(self):
+        bad = np.ones((12, self.pa.shape[1] + 1), dtype=np.uint8)
+        with pytest.raises(ValueError, match="byte width"):
+            packed_dot(self.pa, self.pw, mask=bad)
+
+    def test_mask_rows_must_divide_p(self):
+        bad = np.ones((5, self.pa.shape[1]), dtype=np.uint8)  # 5 ∤ 12
+        with pytest.raises(ValueError, match="divisor"):
+            packed_dot(self.pa, self.pw, mask=bad)
+
+    def test_empty_mask_rejected(self):
+        bad = np.ones((0, self.pa.shape[1]), dtype=np.uint8)
+        with pytest.raises(ValueError, match="divisor"):
+            packed_dot(self.pa, self.pw, mask=bad)

@@ -147,6 +147,81 @@ class TestFullBundles:
         assert out.shape == (1, 2, 4, 4)
 
 
+class TestBatchedEngine:
+    """The batched engine contract: N-sample forward is bit-identical to
+    N single-sample forwards, and per-op counters attribute the work."""
+
+    def test_binary_conv_batch_bit_identical_to_single(self, rng):
+        """The XNOR/popcount path is integer-exact, so batching cannot
+        change a single bit of a binary conv's output."""
+        bundle = nn.Sequential(BinaryConv2d(3, 4, 3, padding=1, stride=2, rng=rng))
+        engine = WasmModel.load(serialize_browser_bundle(bundle, (3, 8, 8)))
+        batch = np.random.default_rng(9).standard_normal((12, 3, 8, 8)).astype(
+            np.float32
+        )
+        batched = engine.forward(batch)
+        singles = np.concatenate([engine.forward(img[None]) for img in batch])
+        np.testing.assert_array_equal(batched, singles)
+
+    def test_full_bundle_batch_matches_single(self, trained_system, tiny_mnist):
+        """Float convs/linears go through BLAS, whose reduction order may
+        differ with batch size — outputs agree to float32 round-off and
+        argmax decisions are identical."""
+        _, test = tiny_mnist
+        bundle = trained_system.model.browser_modules()
+        engine = WasmModel.load(serialize_browser_bundle(bundle, (1, 28, 28)))
+        batch = test.images[:16]
+        batched = engine.forward(batch)
+        singles = np.concatenate([engine.forward(img[None]) for img in batch])
+        np.testing.assert_allclose(batched, singles, atol=1e-5)
+        np.testing.assert_array_equal(batched.argmax(1), singles.argmax(1))
+
+    def test_overlapping_pool_matches_framework(self, rng):
+        """Overlapping/non-divisible pools take the im2col fallback; it
+        must agree with the framework exactly like the fast path."""
+        bundle = nn.Sequential(nn.MaxPool2d(3, stride=2))
+        e, a = roundtrip(bundle, (2, 7, 7))
+        np.testing.assert_allclose(a, e, atol=1e-6)
+
+    def test_op_counters_attribute_work(self, rng):
+        bundle = nn.Sequential(
+            BinaryConv2d(2, 3, 3, padding=1, rng=rng), nn.ReLU()
+        )
+        payload = serialize_browser_bundle(bundle, (2, 6, 6))
+        engine = WasmModel.load(payload)
+        engine.forward(np.random.default_rng(2).standard_normal((5, 2, 6, 6)).astype(np.float32))
+
+        assert [op.kind for op in engine.counters.ops] == ["binary_conv2d", "relu"]
+        assert engine.counters.total_calls == 2
+        for op in engine.counters.ops:
+            assert op.calls == 1
+            assert op.samples == 5
+            assert op.wall_ms >= 0.0
+        conv, relu = engine.counters.ops
+        assert conv.bytes_popcounted > 0  # XNOR path ran through popcount
+        assert relu.bytes_popcounted == 0
+
+    def test_reset_counters(self, rng):
+        payload = serialize_browser_bundle(nn.Sequential(nn.ReLU()), (1, 4, 4))
+        engine = WasmModel.load(payload)
+        engine.forward(np.zeros((2, 1, 4, 4), dtype=np.float32))
+        assert engine.counters.total_calls == 1
+        engine.reset_counters()
+        assert engine.counters.total_calls == 0
+        assert engine.counters.total_wall_ms == 0.0
+
+    def test_geometry_cache_shared_across_engines(self):
+        from repro.wasm import conv_geometry
+
+        first = conv_geometry(3, 9, 9, kernel=3, stride=2, padding=1)
+        second = conv_geometry(3, 9, 9, kernel=3, stride=2, padding=1)
+        assert first is second  # one geometry object per (shape, conv) key
+        assert first.out_height == first.out_width == 5
+        assert first.valid_cols is not None  # padding ⇒ mask columns exist
+        unpadded = conv_geometry(3, 9, 9, kernel=3, stride=2, padding=0)
+        assert unpadded.valid_cols is None
+
+
 class TestEngineErrors:
     def test_wrong_input_shape_rejected(self, rng):
         payload = serialize_browser_bundle(

@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.runtime.protocol import (
+    BatchInferenceRequest,
+    BatchInferenceResponse,
     EdgeProtocolServer,
     ErrorResponse,
     InferenceRequest,
@@ -22,9 +24,12 @@ class TestFraming:
     def test_roundtrip_all_message_types(self):
         rng = np.random.default_rng(0)
         features = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        batch = rng.standard_normal((3, 2, 4, 4)).astype(np.float32)
         messages = [
             InferenceRequest.from_features(7, 3, "fp32", features),
             InferenceResponse(7, 3, class_id=2, confidence=0.93),
+            BatchInferenceRequest.from_features(7, [0, 2, 5], "fp32", batch),
+            BatchInferenceResponse(7, (0, 2, 5), (1, 4, 1), (0.9, 0.8, 0.7)),
             ModelRequest("lenet"),
             ModelResponse("lenet", b"\x01\x02\x03"),
             ErrorResponse(404, "missing"),
@@ -73,6 +78,50 @@ class TestFraming:
         body = response.pack()
         with pytest.raises(ProtocolError):
             InferenceResponse.unpack(body + b"\x00")
+
+
+class TestBatchMessages:
+    def test_batch_request_carries_feature_stack(self):
+        rng = np.random.default_rng(2)
+        stack = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        request = BatchInferenceRequest.from_features(9, [1, 3, 4, 8], "fp32", stack)
+        decoded = decode_frame(encode_frame(request))
+        assert decoded.sequences == (1, 3, 4, 8)
+        np.testing.assert_array_equal(decoded.features(), stack)
+
+    def test_batch_request_sequence_count_must_match_stack(self):
+        stack = np.zeros((3, 2, 3, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            BatchInferenceRequest.from_features(9, [1, 2], "fp32", stack)
+
+    def test_tampered_shape_rejected_on_decode(self):
+        stack = np.zeros((2, 1, 2, 2), dtype=np.float32)
+        request = BatchInferenceRequest.from_features(9, [0, 1], "fp32", stack)
+        tampered = BatchInferenceRequest(
+            session_id=request.session_id,
+            sequences=(0, 1, 2),  # claims three samples, carries two
+            codec=request.codec,
+            feature_shape=request.feature_shape,
+            payload=request.payload,
+        )
+        with pytest.raises(ProtocolError):
+            decode_frame(encode_frame(tampered)).features()
+
+    def test_batch_response_roundtrip(self):
+        response = BatchInferenceResponse(5, (2, 9), (7, 0), (0.25, 0.5))
+        decoded = decode_frame(encode_frame(response))
+        assert decoded.sequences == (2, 9)
+        assert decoded.class_ids == (7, 0)
+        assert decoded.confidences == pytest.approx((0.25, 0.5))
+
+    def test_batch_response_exact_size(self):
+        body = BatchInferenceResponse(1, (0,), (3,), (0.5,)).pack()
+        with pytest.raises(ProtocolError):
+            BatchInferenceResponse.unpack(body + b"\x00")
+
+    def test_batch_response_field_lengths_must_agree(self):
+        with pytest.raises(ProtocolError):
+            BatchInferenceResponse(1, (0, 1), (3,), (0.5,)).pack()
 
 
 class TestEdgeProtocolServer:
@@ -148,3 +197,47 @@ class TestEdgeProtocolServer:
         )
         assert isinstance(response, ErrorResponse)
         assert response.code == 405
+
+    def test_batch_inference_over_the_wire(self, server, trained_system, tiny_mnist):
+        """A batched request returns one answer per sequence id, each
+        equal to the trunk's argmax for that sample."""
+        from repro.nn.autograd import Tensor, no_grad
+
+        _, test = tiny_mnist
+        model = trained_system.model
+        model.eval()
+        with no_grad():
+            features = model.forward_features(Tensor(test.images[:5])).data
+
+        request = BatchInferenceRequest.from_features(
+            13, [10, 11, 12, 13, 14], "fp32", features
+        )
+        response = decode_frame(server.handle(encode_frame(request)))
+        assert isinstance(response, BatchInferenceResponse)
+        assert response.session_id == 13
+        assert response.sequences == (10, 11, 12, 13, 14)
+
+        with no_grad():
+            expected = model.main_trunk(Tensor(features)).data.argmax(axis=1)
+        assert response.class_ids == tuple(int(c) for c in expected)
+        assert all(0.0 <= c <= 1.0 for c in response.confidences)
+
+    def test_batch_unknown_codec_422(self, server):
+        request = BatchInferenceRequest(
+            session_id=1, sequences=(0, 1), codec="jpeg",
+            feature_shape=(2, 6, 14, 14), payload=b"\x00" * 10,
+        )
+        response = decode_frame(server.handle(encode_frame(request)))
+        assert isinstance(response, ErrorResponse)
+        assert response.code == 422
+
+    def test_batch_shape_mismatch_422(self, server):
+        stack = np.zeros((2, 6, 14, 14), dtype=np.float32)
+        good = BatchInferenceRequest.from_features(1, [0, 1], "fp32", stack)
+        bad = BatchInferenceRequest(
+            session_id=1, sequences=(0, 1, 2), codec="fp32",
+            feature_shape=good.feature_shape, payload=good.payload,
+        )
+        response = decode_frame(server.handle(encode_frame(bad)))
+        assert isinstance(response, ErrorResponse)
+        assert response.code == 422
