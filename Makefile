@@ -1,0 +1,21 @@
+# Developer entry points.  `make verify` is what CI should run: the
+# tier-1 suite as-is, then again with the fault-injection smoke profile
+# enabled so the degraded (retry/fallback) path is exercised end to end
+# on every run.  REPRO_FAULT_PROFILE selects the profile consumed by
+# tests/test_faults.py (none | smoke | harsh | partition).
+
+PY ?= python
+PYTEST = PYTHONPATH=src $(PY) -m pytest -x -q
+
+.PHONY: test fault-smoke verify bench
+
+test:
+	$(PYTEST)
+
+fault-smoke:
+	REPRO_FAULT_PROFILE=smoke $(PYTEST) tests/test_faults.py tests/test_session.py tests/test_batched_session.py tests/test_session_protocol.py tests/test_protocol.py
+
+verify: test fault-smoke
+
+bench:
+	PYTHONPATH=src $(PY) benchmarks/bench_kernels.py

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core import LCRS, JointTrainingConfig
 from repro.data import make_dataset
-from repro.runtime import LCRSDeployment, four_g, three_g, wifi
+from repro.runtime import LCRSDeployment, RetryPolicy, faulty, four_g, three_g, wifi
 from repro.wasm import WasmModel, parse_model, serialize_browser_bundle
 
 
@@ -81,6 +81,38 @@ def main() -> None:
             f"exit={session.exit_rate:.2f}  "
             f"acc={session.accuracy(test.labels[:80]):.3f}"
         )
+
+    print("\n== graceful degradation on a failing 4G link ==")
+    print("(misses retry with backoff, then fall back to the binary branch)")
+    # Tighten τ so most frames take the miss path — the point here is to
+    # exercise the edge exchange under failure, not the calibrated gate.
+    from dataclasses import replace
+
+    from repro.core import branch_entropies
+
+    entropies, _, _ = branch_entropies(system.model, test.images[:80])
+    calibrated = system.calibration
+    system.calibration = replace(
+        calibrated, threshold=float(np.quantile(entropies, 0.25))
+    )
+    policy = RetryPolicy(max_attempts=2, per_attempt_timeout_ms=250.0)
+    try:
+        for profile in ("smoke", "harsh", "partition"):
+            link = faulty(four_g(seed=4), profile, seed=7)
+            deployment = LCRSDeployment(system, link, retry_policy=policy)
+            session = deployment.run_session(test.images[:80], batch_size=16)
+            counters = deployment.fault_counters
+            print(
+                f"{profile:>9}: acc={session.accuracy(test.labels[:80]):.3f}  "
+                f"exit={session.exit_rate:.2f}  "
+                f"fallback={session.fallback_rate:.2f}  "
+                f"attempts={session.mean_attempts:.2f}  "
+                f"drops={counters.frames_dropped}  "
+                f"timeouts={counters.frames_timed_out}  "
+                f"retries={counters.retries}"
+            )
+    finally:
+        system.calibration = calibrated
 
     print("\n== batched vs per-sample serving throughput ==")
     import time

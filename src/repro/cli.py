@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's lifecycle without writing Python:
+Five commands cover the library's lifecycle without writing Python:
 
 * ``train``   — joint-train an LCRS on a synthetic dataset, calibrate,
   report, and optionally checkpoint.
@@ -9,6 +9,9 @@ Four commands cover the library's lifecycle without writing Python:
 * ``export``  — write the browser bundle (``.lcrs``) from a checkpoint.
 * ``study``   — run the training-free latency/communication study
   (Tables II/III, Figures 6/7).
+* ``session`` — drive a deployed collaborative session from a
+  checkpoint, optionally over a fault-injected link, and report exit /
+  fallback / retry behaviour.
 """
 
 from __future__ import annotations
@@ -55,6 +58,28 @@ def build_parser() -> argparse.ArgumentParser:
     study = sub.add_parser("study", help="latency/communication study (no training)")
     study.add_argument("--samples", type=int, default=100)
     study.add_argument("--seed", type=int, default=0)
+
+    from .runtime.network import FAULT_PROFILES, LINK_PRESETS
+
+    session = sub.add_parser(
+        "session", help="run a deployed session, optionally over a faulty link"
+    )
+    session.add_argument("checkpoint", type=Path)
+    session.add_argument("--samples", type=int, default=100)
+    session.add_argument("--seed", type=int, default=0)
+    session.add_argument("--link", choices=sorted(LINK_PRESETS), default="4g")
+    session.add_argument("--batch-size", type=int, default=None)
+    session.add_argument(
+        "--fault-profile", choices=sorted(FAULT_PROFILES), default="none",
+        help="named fault-injection profile applied to the link",
+    )
+    session.add_argument("--drop", type=float, default=None, help="frame drop probability")
+    session.add_argument("--timeout-prob", type=float, default=None, help="reply timeout probability")
+    session.add_argument("--corrupt", type=float, default=None, help="frame corruption probability")
+    session.add_argument("--duplicate", type=float, default=None, help="frame duplication probability")
+    session.add_argument("--max-attempts", type=int, default=3)
+    session.add_argument("--attempt-timeout-ms", type=float, default=1000.0)
+    session.add_argument("--backoff-ms", type=float, default=50.0)
     return parser
 
 
@@ -148,11 +173,72 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_session(args: argparse.Namespace) -> int:
+    from .runtime import LCRSDeployment, RetryPolicy
+    from .runtime.network import LINK_PRESETS, faulty
+
+    system = load_system(args.checkpoint)
+    if not system.dataset_name:
+        print("checkpoint has no dataset name; cannot regenerate data", file=sys.stderr)
+        return 2
+    _, test = make_dataset(system.dataset_name, 10, args.samples, seed=args.seed)
+    if system.calibration is None:
+        system.calibrate(test)
+
+    link = LINK_PRESETS[args.link](seed=args.seed)
+    overrides = {
+        key: value
+        for key, value in (
+            ("drop_prob", args.drop),
+            ("timeout_prob", args.timeout_prob),
+            ("corrupt_prob", args.corrupt),
+            ("duplicate_prob", args.duplicate),
+        )
+        if value is not None
+    }
+    if args.fault_profile != "none" or overrides:
+        link = faulty(link, args.fault_profile, seed=args.seed, **overrides)
+
+    deployment = LCRSDeployment(
+        system,
+        link,
+        retry_policy=RetryPolicy(
+            max_attempts=args.max_attempts,
+            per_attempt_timeout_ms=args.attempt_timeout_ms,
+            backoff_base_ms=args.backoff_ms,
+        ),
+    )
+    result = deployment.run_session(test.images, batch_size=args.batch_size)
+    served = result.served_by_counts
+    print(
+        f"{system.model.base_name}/{system.dataset_name} over {link.name} "
+        f"({args.samples} samples, seed={args.seed}):"
+    )
+    print(
+        f"  accuracy={100 * result.accuracy(test.labels):.2f}% "
+        f"exit={100 * result.exit_rate:.0f}% "
+        f"fallback={100 * result.fallback_rate:.1f}% "
+        f"mean_latency={result.mean_latency_ms:.1f}ms "
+        f"mean_attempts={result.mean_attempts:.2f}"
+    )
+    print(
+        "  served_by: "
+        + " ".join(f"{name}={count}" for name, count in sorted(served.items()))
+    )
+    counters = deployment.fault_counters.as_dict()
+    print(
+        "  link: "
+        + " ".join(f"{name}={value}" for name, value in counters.items())
+    )
+    return 0
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "export": _cmd_export,
     "study": _cmd_study,
+    "session": _cmd_session,
 }
 
 

@@ -10,6 +10,7 @@
 | Figure 7       | :func:`repro.experiments.latency.run_figure7` |
 | Figure 10      | :func:`repro.experiments.webar_exp.run_figure10` |
 | §IV-D ablations| :mod:`repro.experiments.ablations` |
+| §IV-D.1 instability | :func:`repro.experiments.faults_exp.run_degradation` |
 """
 
 from .ablations import (
@@ -21,6 +22,12 @@ from .ablations import (
     run_device_sensitivity,
 )
 from .curves import Figure5Result, run_figure5
+from .faults_exp import (
+    SWEEP_RETRY_POLICY,
+    DegradationPoint,
+    DegradationResult,
+    run_degradation,
+)
 from .latency import (
     DEFAULT_EXIT_RATES,
     Figure6Result,
@@ -50,6 +57,8 @@ __all__ = [
     "BranchCountResult",
     "BranchLocationResult",
     "DEFAULT_EXIT_RATES",
+    "DegradationPoint",
+    "DegradationResult",
     "DeviceSensitivityResult",
     "ExperimentScale",
     "FULL",
@@ -66,6 +75,7 @@ __all__ = [
     "QUICK",
     "SCALES",
     "STANDARD",
+    "SWEEP_RETRY_POLICY",
     "StructurePoint",
     "Table1Cell",
     "Table1Result",
@@ -77,6 +87,7 @@ __all__ = [
     "render_table",
     "run_branch_count",
     "run_branch_location",
+    "run_degradation",
     "run_device_sensitivity",
     "run_figure10",
     "run_figure4",

@@ -9,11 +9,12 @@ from .layer_stats import (
     model_size_mb,
     profile_layer,
 )
-from .op_counters import ModelCounters, OpCounter
+from .op_counters import FaultCounters, ModelCounters, OpCounter
 from .tracer import TracedLayer, trace
 
 __all__ = [
     "FLOAT_BYTES",
+    "FaultCounters",
     "LayerProfile",
     "ModelCounters",
     "NetworkProfile",

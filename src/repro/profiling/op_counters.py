@@ -76,3 +76,59 @@ class ModelCounters:
     def summary(self) -> list[dict[str, object]]:
         """JSON-ready per-op rows (the ``BENCH_*.json`` schema)."""
         return [op.as_dict() for op in self.ops]
+
+
+@dataclass
+class FaultCounters:
+    """Miss-path transport failure/recovery statistics for one deployment.
+
+    The session layer bumps these as collaborative frames travel the
+    (possibly faulty) link: every attempt is a ``frames_sent``; failures
+    split by cause; ``retries`` counts re-sends after a failure; and
+    ``fallbacks`` counts samples/chunks that exhausted the retry policy
+    and were answered by the local binary branch instead.
+    """
+
+    frames_sent: int = 0
+    frames_dropped: int = 0
+    frames_timed_out: int = 0
+    frames_corrupted: int = 0
+    frames_duplicated: int = 0
+    edge_errors: int = 0
+    replies_rejected: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+
+    @property
+    def failures(self) -> int:
+        """Attempts that did not yield a valid reply."""
+        return (
+            self.frames_dropped
+            + self.frames_timed_out
+            + self.edge_errors
+            + self.replies_rejected
+        )
+
+    def reset(self) -> None:
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.frames_timed_out = 0
+        self.frames_corrupted = 0
+        self.frames_duplicated = 0
+        self.edge_errors = 0
+        self.replies_rejected = 0
+        self.retries = 0
+        self.fallbacks = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_dropped": self.frames_dropped,
+            "frames_timed_out": self.frames_timed_out,
+            "frames_corrupted": self.frames_corrupted,
+            "frames_duplicated": self.frames_duplicated,
+            "edge_errors": self.edge_errors,
+            "replies_rejected": self.replies_rejected,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+        }

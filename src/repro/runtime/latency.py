@@ -112,12 +112,19 @@ class ExecutionPlan:
 
 @dataclass(frozen=True)
 class SampleCost:
-    """Per-sample breakdown produced by the simulator."""
+    """Per-sample breakdown produced by the simulator.
+
+    ``retry_ms`` is the slice of ``communication_ms`` spent on failed
+    miss-path attempts — timeout windows, wasted round trips, and
+    backoff sleeps — so retransmission cost is visible in Figure-6-style
+    traces without changing the compute/communication split.
+    """
 
     total_ms: float
     compute_ms: float
     communication_ms: float
     exited_locally: Optional[bool] = None
+    retry_ms: float = 0.0
 
 
 @dataclass
@@ -181,6 +188,7 @@ def simulate_plan(
     cold_start: bool = True,
     miss_mask: Optional[Sequence[bool]] = None,
     include_setup: bool = True,
+    retry_ms: Optional[Sequence[float]] = None,
 ) -> SessionTrace:
     """Price a plan over ``num_samples`` samples.
 
@@ -189,11 +197,19 @@ def simulate_plan(
     setup cost is charged to the first sample only; ``include_setup=False``
     skips it entirely (for callers that price samples one at a time and
     account for the session's setup themselves).
+
+    ``retry_ms[i]`` charges extra communication time to sample ``i`` for
+    failed miss-path attempts (retransmissions, timeout waits, backoff)
+    — it applies whether or not the sample's ``miss_steps`` fired, since
+    a sample that exhausted its retries and fell back locally still paid
+    for the attempts.
     """
     if num_samples <= 0:
         raise ValueError("num_samples must be positive")
     if miss_mask is not None and len(miss_mask) < num_samples:
         raise ValueError("miss_mask shorter than num_samples")
+    if retry_ms is not None and len(retry_ms) < num_samples:
+        raise ValueError("retry_ms shorter than num_samples")
 
     samples: list[SampleCost] = []
     for i in range(num_samples):
@@ -221,12 +237,16 @@ def simulate_plan(
                 compute += miss_compute
                 comm += miss_comm
 
+        retries = float(retry_ms[i]) if retry_ms is not None else 0.0
+        comm += retries
+
         samples.append(
             SampleCost(
                 total_ms=compute + comm,
                 compute_ms=compute,
                 communication_ms=comm,
                 exited_locally=None if missed is None else not missed,
+                retry_ms=retries,
             )
         )
     return SessionTrace(approach=plan.approach, network=plan.network, samples=samples)

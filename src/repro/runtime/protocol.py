@@ -191,14 +191,17 @@ class BatchInferenceRequest:
         )
 
     def features(self) -> np.ndarray:
-        """Decode the carried feature stack through the named codec."""
-        features = get_codec(self.codec).decode(self.payload, self.feature_shape)
+        """Decode the carried feature stack through the named codec.
+
+        The sequences/shape invariant is checked *before* decoding so a
+        malformed header fails with this message, not a codec exception.
+        """
         if len(self.feature_shape) < 1 or self.feature_shape[0] != len(self.sequences):
             raise ProtocolError(
                 f"batch of {len(self.sequences)} sequences carries feature "
                 f"stack of shape {self.feature_shape}"
             )
-        return features
+        return get_codec(self.codec).decode(self.payload, self.feature_shape)
 
     @classmethod
     def from_features(
@@ -404,29 +407,33 @@ class EdgeProtocolServer:
                 features = message.features()
             except Exception as exc:  # codec/shape errors become 422s
                 return encode_frame(ErrorResponse(code=422, message=str(exc)))
-            logits = self.endpoint.infer(features)
-            probs = np.exp(logits - logits.max(axis=1, keepdims=True))
-            probs /= probs.sum(axis=1, keepdims=True)
-            class_id = int(logits.argmax(axis=1)[0])
-            return encode_frame(
-                InferenceResponse(
+            try:
+                logits = self.endpoint.infer(features)
+                probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+                probs /= probs.sum(axis=1, keepdims=True)
+                class_id = int(logits.argmax(axis=1)[0])
+                response = InferenceResponse(
                     session_id=message.session_id,
                     sequence=message.sequence,
                     class_id=class_id,
                     confidence=float(probs[0, class_id]),
                 )
-            )
+            except Exception as exc:  # endpoint failures stay on the wire
+                return encode_frame(
+                    ErrorResponse(code=500, message=f"inference failed: {exc}")
+                )
+            return encode_frame(response)
         if isinstance(message, BatchInferenceRequest):
             try:
                 features = message.features()
             except Exception as exc:  # codec/shape errors become 422s
                 return encode_frame(ErrorResponse(code=422, message=str(exc)))
-            logits = self.endpoint.infer(features)
-            probs = np.exp(logits - logits.max(axis=1, keepdims=True))
-            probs /= probs.sum(axis=1, keepdims=True)
-            class_ids = logits.argmax(axis=1)
-            return encode_frame(
-                BatchInferenceResponse(
+            try:
+                logits = self.endpoint.infer(features)
+                probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+                probs /= probs.sum(axis=1, keepdims=True)
+                class_ids = logits.argmax(axis=1)
+                response = BatchInferenceResponse(
                     session_id=message.session_id,
                     sequences=message.sequences,
                     class_ids=tuple(int(c) for c in class_ids),
@@ -434,7 +441,11 @@ class EdgeProtocolServer:
                         float(probs[i, c]) for i, c in enumerate(class_ids)
                     ),
                 )
-            )
+            except Exception as exc:  # endpoint failures stay on the wire
+                return encode_frame(
+                    ErrorResponse(code=500, message=f"batch inference failed: {exc}")
+                )
+            return encode_frame(response)
         if isinstance(message, ModelRequest):
             payload = self.bundles.get(message.bundle_name)
             if payload is None:

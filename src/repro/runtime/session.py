@@ -13,12 +13,21 @@ Message flow per sample (Algorithm 2 over the wire):
 2. browser: ``S(softmax(logits_b)) < τ`` → answer locally, done;
 3. otherwise: POST ``features`` (fp32 conv1 output) → edge;
 4. edge: ``logits_m = trunk(features)`` → respond with the class id.
+
+Failure model (§IV-D.1, "the network bandwidth is instability"): step 3
+runs through a :class:`~repro.runtime.network.RetryPolicy` — dropped,
+timed-out, corrupted, or rejected exchanges are retried with backoff,
+and when the policy is exhausted the sample is answered by the *binary
+branch* computed in step 1.  Degraded connectivity costs accuracy, never
+availability; each outcome records who served it and how many attempts
+it took.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -28,7 +37,7 @@ from ..nn import Sequential
 from ..nn.autograd import Tensor, no_grad
 from ..nn.functional import softmax
 from ..nn.module import Module
-from ..profiling import FLOAT_BYTES, NetworkProfile
+from ..profiling import FLOAT_BYTES, FaultCounters, NetworkProfile
 from ..wasm import WasmModel, serialize_browser_bundle
 from .latency import (
     ComputeStep,
@@ -42,7 +51,13 @@ from .latency import (
     simulate_plan,
 )
 from .feature_codec import FP32_CODEC, FeatureCodec
-from .network import NetworkLink
+from .network import (
+    DEFAULT_RETRY_POLICY,
+    FrameDropped,
+    FrameTimeout,
+    NetworkLink,
+    RetryPolicy,
+)
 from .protocol import (
     BatchInferenceRequest,
     BatchInferenceResponse,
@@ -50,6 +65,7 @@ from .protocol import (
     ErrorResponse,
     InferenceRequest,
     InferenceResponse,
+    ProtocolError,
     decode_frame,
     encode_frame,
 )
@@ -58,16 +74,35 @@ from .profiles import DeviceProfile, EDGE_SERVER, MOBILE_BROWSER_WASM
 #: Bytes of the classification response message (class id + confidence).
 RESULT_BYTES = 64
 
+#: Process-wide monotonic session ids: deterministic for a given call
+#: sequence and collision-free across live deployments (``id(self)`` was
+#: neither — it varies run to run and recycles addresses).
+_SESSION_IDS = itertools.count(1)
+
+#: ``served_by`` values on :class:`RecognitionOutcome`.
+SERVED_BY_BRANCH = "binary-branch"
+SERVED_BY_EDGE = "edge"
+SERVED_BY_FALLBACK = "binary-fallback"
+
 
 @dataclass(frozen=True)
 class RecognitionOutcome:
-    """One sample's journey through the deployed system."""
+    """One sample's journey through the deployed system.
+
+    ``served_by`` names who produced the prediction — ``"binary-branch"``
+    (confident local exit), ``"edge"`` (collaborative answer from the
+    trunk), or ``"binary-fallback"`` (the edge was unreachable and the
+    branch answer was used as a degraded exit).  ``attempts`` counts
+    miss-path frame exchanges (0 for local exits).
+    """
 
     index: int
     prediction: int
     exited_locally: bool
     entropy: float
     cost: SampleCost
+    served_by: str = SERVED_BY_BRANCH
+    attempts: int = 0
 
 
 @dataclass
@@ -91,6 +126,31 @@ class SessionResult:
     @property
     def mean_latency_ms(self) -> float:
         return self.trace.mean_latency_ms
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of samples answered locally because the edge failed."""
+        return float(
+            np.mean([o.served_by == SERVED_BY_FALLBACK for o in self.outcomes])
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """True if any sample had to fall back to the binary branch."""
+        return any(o.served_by == SERVED_BY_FALLBACK for o in self.outcomes)
+
+    @property
+    def served_by_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for o in self.outcomes:
+            counts[o.served_by] = counts.get(o.served_by, 0) + 1
+        return counts
+
+    @property
+    def mean_attempts(self) -> float:
+        """Mean frame exchanges per collaborative (miss-path) sample."""
+        attempts = [o.attempts for o in self.outcomes if o.attempts > 0]
+        return float(np.mean(attempts)) if attempts else 0.0
 
 
 class EdgeEndpoint:
@@ -229,6 +289,7 @@ class LCRSDeployment:
         browser_device: DeviceProfile = MOBILE_BROWSER_WASM,
         edge_device: DeviceProfile = EDGE_SERVER,
         feature_codec: FeatureCodec = FP32_CODEC,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if system.calibration is None:
             raise RuntimeError("calibrate the system before deploying it")
@@ -237,6 +298,8 @@ class LCRSDeployment:
         self.browser_device = browser_device
         self.edge_device = edge_device
         self.feature_codec = feature_codec
+        self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        self.fault_counters = FaultCounters()
 
         self.assets = build_lcrs_assets(system.model)
         self.browser = BrowserClient(
@@ -253,11 +316,106 @@ class LCRSDeployment:
                 + self.assets.branch_payload
             },
         )
-        self._session_id = id(self) & 0xFFFFFFFF
+        self._session_id = next(_SESSION_IDS)
+        # Backoff jitter draws are independent of the link's latency
+        # jitter, so fault-free sessions consume identical RNG streams
+        # to the pre-retry implementation.
+        self._retry_rng = np.random.default_rng(
+            [getattr(link, "seed", 0), self._session_id]
+        )
 
     def plan(self) -> ExecutionPlan:
         """The LCRS execution plan for the latency engine."""
         return self.assets.plan(codec=self.feature_codec)
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant miss-path transport
+    # ------------------------------------------------------------------
+    def _reply_valid(
+        self,
+        reply,
+        request: Union[InferenceRequest, BatchInferenceRequest],
+        expected_type: type,
+    ) -> bool:
+        """Reject replies that do not answer *this* request.
+
+        The server is not trusted to preserve order or even echo the
+        right correlation ids — a reply must carry the request's session
+        id and exactly its sequence (set), else it is treated as a
+        failed attempt.
+        """
+        if not isinstance(reply, expected_type):
+            return False
+        if reply.session_id != request.session_id:
+            return False
+        if isinstance(request, InferenceRequest):
+            return reply.sequence == request.sequence
+        return (
+            len(reply.sequences) == len(request.sequences)
+            and set(reply.sequences) == set(request.sequences)
+            and len(reply.class_ids) == len(reply.sequences)
+        )
+
+    def _exchange_with_retry(
+        self,
+        request: Union[InferenceRequest, BatchInferenceRequest],
+        expected_type: type,
+    ):
+        """Send one miss-path request through the retry policy.
+
+        Returns ``(reply, attempts, retry_ms)``.  ``reply is None`` means
+        the policy was exhausted and the caller must fall back to the
+        binary branch.  ``retry_ms`` prices the failed attempts for the
+        latency model: drops and timeouts cost a full per-attempt
+        timeout window, rejected/corrupted exchanges cost the wasted
+        round trip, and every retry adds its backoff sleep.
+        """
+        policy = self.retry_policy
+        counters = self.fault_counters
+        frame = encode_frame(request)
+        retry_ms = 0.0
+        attempts = 0
+        while attempts < policy.max_attempts and retry_ms < policy.deadline_ms:
+            attempts += 1
+            counters.frames_sent += 1
+            failure_ms: float
+            try:
+                raw = self.link.exchange(frame, self._edge_server.handle)
+            except FrameDropped:
+                counters.frames_dropped += 1
+                failure_ms = policy.per_attempt_timeout_ms
+            except FrameTimeout:
+                counters.frames_timed_out += 1
+                failure_ms = policy.per_attempt_timeout_ms
+            else:
+                faults = getattr(self.link, "last_faults", ())
+                if "corrupt" in faults:
+                    counters.frames_corrupted += 1
+                if "duplicate" in faults:
+                    counters.frames_duplicated += 1
+                try:
+                    reply = decode_frame(raw)
+                except ProtocolError:
+                    reply = None
+                if reply is not None and self._reply_valid(
+                    reply, request, expected_type
+                ):
+                    return reply, attempts, retry_ms
+                if isinstance(reply, ErrorResponse):
+                    counters.edge_errors += 1
+                else:
+                    counters.replies_rejected += 1
+                # A rejection came back quickly: price the wasted round
+                # trip, not a full timeout window.
+                failure_ms = self.link.upload_ms(len(frame)) + self.link.download_ms(
+                    RESULT_BYTES
+                )
+            retry_ms += failure_ms
+            if attempts < policy.max_attempts and retry_ms < policy.deadline_ms:
+                counters.retries += 1
+                retry_ms += policy.backoff_ms(attempts, self._retry_rng)
+        counters.fallbacks += 1
+        return None, attempts, retry_ms
 
     # ------------------------------------------------------------------
     # Real execution with priced timing
@@ -296,6 +454,9 @@ class LCRSDeployment:
         for i, image in enumerate(images):
             features, logits, entropy, exit_locally = self.browser.process(image)
 
+            served_by = SERVED_BY_BRANCH
+            attempts = 0
+            retry_ms = 0.0
             if exit_locally:
                 prediction = int(logits.argmax(axis=1)[0])
             else:
@@ -305,13 +466,17 @@ class LCRSDeployment:
                 request = InferenceRequest.from_features(
                     self._session_id, i, self.feature_codec.name, features
                 )
-                reply = decode_frame(self._edge_server.handle(encode_frame(request)))
-                if isinstance(reply, ErrorResponse):
-                    raise RuntimeError(
-                        f"edge rejected inference request: {reply.message}"
-                    )
-                assert isinstance(reply, InferenceResponse)
-                prediction = reply.class_id
+                reply, attempts, retry_ms = self._exchange_with_retry(
+                    request, InferenceResponse
+                )
+                if reply is None:
+                    # Graceful degradation: the binary branch's answer,
+                    # already computed, serves the sample.
+                    prediction = int(logits.argmax(axis=1)[0])
+                    served_by = SERVED_BY_FALLBACK
+                else:
+                    prediction = reply.class_id
+                    served_by = SERVED_BY_EDGE
 
             trace = simulate_plan(
                 plan,
@@ -320,7 +485,10 @@ class LCRSDeployment:
                 browser=self.browser_device,
                 edge=self.edge_device,
                 cold_start=True,
-                miss_mask=[not exit_locally],
+                # Miss steps are priced only when the exchange succeeded;
+                # a fallback sample pays its failed attempts via retry_ms.
+                miss_mask=[served_by == SERVED_BY_EDGE],
+                retry_ms=[retry_ms],
                 # The bundle loads on the first visit only unless every
                 # scan is a fresh page load (cold_start).
                 include_setup=cold_start or i == 0,
@@ -334,6 +502,8 @@ class LCRSDeployment:
                     exited_locally=exit_locally,
                     entropy=entropy,
                     cost=cost,
+                    served_by=served_by,
+                    attempts=attempts,
                 )
             )
 
@@ -359,29 +529,47 @@ class LCRSDeployment:
             predictions = logits.argmax(axis=1).astype(np.int64)
 
             miss_idx = np.flatnonzero(~exits)
+            miss_served = SERVED_BY_BRANCH
+            attempts = 0
+            retry_ms = 0.0
             if miss_idx.size:
                 # All of this chunk's misses ship as one protocol frame —
                 # one codec pass, one round trip — and the reply fans the
-                # class ids back out by sequence id.
+                # class ids back out *keyed by sequence id*, so a server
+                # that reorders its answers still lands each class id on
+                # the right sample.
                 request = BatchInferenceRequest.from_features(
                     self._session_id,
                     [start + int(j) for j in miss_idx],
                     self.feature_codec.name,
                     features[miss_idx],
                 )
-                reply = decode_frame(self._edge_server.handle(encode_frame(request)))
-                if isinstance(reply, ErrorResponse):
-                    raise RuntimeError(
-                        f"edge rejected batch inference request: {reply.message}"
-                    )
-                assert isinstance(reply, BatchInferenceResponse)
-                for j, class_id in zip(miss_idx, reply.class_ids):
-                    predictions[j] = class_id
+                reply, attempts, retry_ms = self._exchange_with_retry(
+                    request, BatchInferenceResponse
+                )
+                if reply is None:
+                    # The whole chunk degrades together: every miss keeps
+                    # its binary-branch argmax, already in `predictions`.
+                    miss_served = SERVED_BY_FALLBACK
+                    # The exchange helper counted one fallback for the
+                    # chunk; the counter tracks samples in both paths.
+                    self.fault_counters.fallbacks += int(miss_idx.size) - 1
+                else:
+                    by_sequence = {
+                        int(s): int(c)
+                        for s, c in zip(reply.sequences, reply.class_ids)
+                    }
+                    for j in miss_idx:
+                        predictions[j] = by_sequence[start + int(j)]
+                    miss_served = SERVED_BY_EDGE
 
             # Costs stay per sample: the latency model prices each frame
-            # exactly as the per-sample path does.
+            # exactly as the per-sample path does.  Every miss in the
+            # chunk waited out the same failed attempts, so each carries
+            # the chunk's full retry cost.
             for j in range(len(chunk)):
                 i = start + j
+                is_miss = not bool(exits[j])
                 trace = simulate_plan(
                     plan,
                     num_samples=1,
@@ -389,7 +577,8 @@ class LCRSDeployment:
                     browser=self.browser_device,
                     edge=self.edge_device,
                     cold_start=True,
-                    miss_mask=[not bool(exits[j])],
+                    miss_mask=[is_miss and miss_served == SERVED_BY_EDGE],
+                    retry_ms=[retry_ms if is_miss else 0.0],
                     include_setup=cold_start or i == 0,
                 )
                 cost = trace.samples[0]
@@ -401,6 +590,8 @@ class LCRSDeployment:
                         exited_locally=bool(exits[j]),
                         entropy=float(entropies[j]),
                         cost=cost,
+                        served_by=miss_served if is_miss else SERVED_BY_BRANCH,
+                        attempts=attempts if is_miss else 0,
                     )
                 )
 

@@ -32,7 +32,13 @@ CAMERA_FRAME_BYTES = 96 * 1024
 
 @dataclass(frozen=True)
 class ARInteraction:
-    """One complete scan→recognize→render user interaction."""
+    """One complete scan→recognize→render user interaction.
+
+    ``served_by`` mirrors the recognition outcome: binary-branch exit,
+    edge collaboration, or binary-fallback when the link failed and the
+    retry policy was exhausted; ``attempts`` counts miss-path frame
+    exchanges.
+    """
 
     index: int
     prediction: int
@@ -40,6 +46,8 @@ class ARInteraction:
     scan_ms: float
     recognition_ms: float
     render_ms: float
+    served_by: Optional[str] = None
+    attempts: int = 0
 
     @property
     def total_ms(self) -> float:
@@ -65,6 +73,13 @@ class ARSessionReport:
     def under_one_second_rate(self) -> float:
         """Fraction of interactions completing within the paper's 1 s goal."""
         return float(np.mean([i.total_ms <= 1000.0 for i in self.interactions]))
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of interactions served by the degraded local fallback."""
+        return float(
+            np.mean([i.served_by == "binary-fallback" for i in self.interactions])
+        )
 
     def predictions(self) -> np.ndarray:
         return np.array([i.prediction for i in self.interactions])
@@ -130,6 +145,8 @@ class WebARPipeline:
                 scan_ms=self.scan_ms * self._jitter(),
                 recognition_ms=o.cost.total_ms,
                 render_ms=self.render_ms * self._jitter(),
+                served_by=o.served_by,
+                attempts=o.attempts,
             )
             for o in session.outcomes
         ]

@@ -29,11 +29,15 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("train", "evaluate", "export", "study"):
+        for command in ("train", "evaluate", "export", "study", "session"):
             assert parser.parse_args([command] + (
-                ["x.npz"] if command in ("evaluate",) else
+                ["x.npz"] if command in ("evaluate", "session") else
                 ["x.npz", "y.lcrs"] if command == "export" else []
             )).command == command
+
+    def test_session_rejects_unknown_fault_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["session", "x.npz", "--fault-profile", "chaos"])
 
 
 class TestTrainCommand:
@@ -71,6 +75,45 @@ class TestExportCommand:
         parsed = parse_model(output.read_bytes())
         assert parsed.metadata["network"] == "lenet"
         assert parsed.metadata["tau"] is not None
+
+
+class TestSessionCommand:
+    def test_clean_session_reports_no_fallback(self, checkpoint, capsys):
+        code = main(["session", str(checkpoint), "--samples", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fallback=0.0%" in out
+        assert "served_by:" in out and "link:" in out
+
+    def test_partitioned_session_falls_back(self, checkpoint, capsys):
+        code = main(
+            [
+                "session", str(checkpoint),
+                "--samples", "40",
+                "--fault-profile", "partition",
+                "--max-attempts", "2",
+                "--attempt-timeout-ms", "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "binary-fallback=" in out
+        assert "frames_dropped=" in out
+
+    def test_drop_override_on_batched_path(self, checkpoint, capsys):
+        code = main(
+            [
+                "session", str(checkpoint),
+                "--samples", "40",
+                "--drop", "1.0",
+                "--batch-size", "16",
+                "--max-attempts", "2",
+                "--attempt-timeout-ms", "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "binary-fallback=" in out
 
 
 class TestStudyCommand:

@@ -241,3 +241,31 @@ class TestEdgeProtocolServer:
         response = decode_frame(server.handle(encode_frame(bad)))
         assert isinstance(response, ErrorResponse)
         assert response.code == 422
+
+    def test_endpoint_failure_500(self, server):
+        """A decodable frame whose features blow up inside the endpoint
+        must come back as a structured 500, not an unhandled exception
+        (the old server let ``endpoint.infer`` errors propagate and tear
+        down the exchange)."""
+        wrong_shape = np.zeros((1, 3, 5, 5), dtype=np.float32)
+        response = decode_frame(
+            server.handle(
+                encode_frame(InferenceRequest.from_features(1, 0, "fp32", wrong_shape))
+            )
+        )
+        assert isinstance(response, ErrorResponse)
+        assert response.code == 500
+        assert "inference failed" in response.message
+
+    def test_batch_endpoint_failure_500(self, server):
+        wrong_shape = np.zeros((2, 3, 5, 5), dtype=np.float32)
+        response = decode_frame(
+            server.handle(
+                encode_frame(
+                    BatchInferenceRequest.from_features(1, [0, 1], "fp32", wrong_shape)
+                )
+            )
+        )
+        assert isinstance(response, ErrorResponse)
+        assert response.code == 500
+        assert "batch inference failed" in response.message
