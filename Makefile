@@ -7,7 +7,7 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest -x -q
 
-.PHONY: test fault-smoke verify bench
+.PHONY: test fault-smoke verify bench bench-sched
 
 test:
 	$(PYTEST)
@@ -19,3 +19,6 @@ verify: test fault-smoke
 
 bench:
 	PYTHONPATH=src $(PY) benchmarks/bench_kernels.py
+
+bench-sched:
+	PYTHONPATH=src $(PY) benchmarks/bench_scheduler.py

@@ -126,7 +126,7 @@ def _build_system():
 
 def bench_session() -> dict:
     """Batched vs per-sample run_session throughput (samples/s)."""
-    from repro.runtime import LCRSDeployment, four_g
+    from repro.runtime import LCRSDeployment, SessionConfig, four_g
 
     system, test = _build_system()
     deployment = LCRSDeployment(system, four_g(seed=0).deterministic())
@@ -135,22 +135,22 @@ def bench_session() -> dict:
     # Warm both paths (first call pays page-load setup bookkeeping and
     # any lazy numpy initialisation).
     deployment.run_session(images[:8])
-    deployment.run_session(images[:8], batch_size=8)
+    deployment.run_session(images[:8], config=SessionConfig(batch_size=8))
 
     scalar_s = _best_seconds(lambda: deployment.run_session(images), SESSION_REPEATS)
     batched_s = _best_seconds(
-        lambda: deployment.run_session(images, batch_size=SESSION_BATCH),
+        lambda: deployment.run_session(images, config=SessionConfig(batch_size=SESSION_BATCH)),
         SESSION_REPEATS,
     )
 
     scalar = deployment.run_session(images)
-    batched = deployment.run_session(images, batch_size=SESSION_BATCH)
+    batched = deployment.run_session(images, config=SessionConfig(batch_size=SESSION_BATCH))
     assert (scalar.predictions == batched.predictions).all(), "paths disagree"
 
     # Per-op engine counters of the batched run: where the time goes.
     deployment.browser.stem_engine.reset_counters()
     deployment.browser.branch_engine.reset_counters()
-    deployment.run_session(images, batch_size=SESSION_BATCH)
+    deployment.run_session(images, config=SessionConfig(batch_size=SESSION_BATCH))
 
     return {
         "network": "lenet",

@@ -17,7 +17,15 @@ import numpy as np
 
 from repro.core import LCRS, JointTrainingConfig
 from repro.data import make_dataset
-from repro.runtime import LCRSDeployment, RetryPolicy, faulty, four_g, three_g, wifi
+from repro.runtime import (
+    LCRSDeployment,
+    RetryPolicy,
+    SessionConfig,
+    faulty,
+    four_g,
+    three_g,
+    wifi,
+)
 from repro.wasm import WasmModel, parse_model, serialize_browser_bundle
 
 
@@ -74,7 +82,9 @@ def main() -> None:
     for link_factory in (three_g, four_g, wifi):
         link = link_factory(seed=4)
         deployment = LCRSDeployment(system, link)
-        session = deployment.run_session(test.images[:80], batch_size=16)
+        session = deployment.run_session(
+            test.images[:80], config=SessionConfig(batch_size=16)
+        )
         print(
             f"{link.name:>4}: first_scan={session.outcomes[0].cost.total_ms:7.1f}ms  "
             f"steady={session.trace.latencies()[1:].mean():6.2f}ms  "
@@ -100,7 +110,9 @@ def main() -> None:
         for profile in ("smoke", "harsh", "partition"):
             link = faulty(four_g(seed=4), profile, seed=7)
             deployment = LCRSDeployment(system, link, retry_policy=policy)
-            session = deployment.run_session(test.images[:80], batch_size=16)
+            session = deployment.run_session(
+            test.images[:80], config=SessionConfig(batch_size=16)
+        )
             counters = deployment.fault_counters
             print(
                 f"{profile:>9}: acc={session.accuracy(test.labels[:80]):.3f}  "
@@ -119,12 +131,12 @@ def main() -> None:
 
     deployment = LCRSDeployment(system, four_g(seed=4).deterministic())
     frames = test.images[:128]
-    deployment.run_session(frames[:16], batch_size=16)  # warm the engines
+    deployment.run_session(frames[:16], config=SessionConfig(batch_size=16))  # warm
     t0 = time.perf_counter()
     scalar = deployment.run_session(frames)
     scalar_s = time.perf_counter() - t0
     t0 = time.perf_counter()
-    batched = deployment.run_session(frames, batch_size=64)
+    batched = deployment.run_session(frames, config=SessionConfig(batch_size=64))
     batched_s = time.perf_counter() - t0
     assert (scalar.predictions == batched.predictions).all()
     print(

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the library's lifecycle without writing Python:
+Six commands cover the library's lifecycle without writing Python:
 
 * ``train``   — joint-train an LCRS on a synthetic dataset, calibrate,
   report, and optionally checkpoint.
@@ -12,6 +12,8 @@ Five commands cover the library's lifecycle without writing Python:
 * ``session`` — drive a deployed collaborative session from a
   checkpoint, optionally over a fault-injected link, and report exit /
   fallback / retry behaviour.
+* ``scale``   — sweep concurrent sessions × batching windows through
+  the shared edge scheduler and report throughput/queueing/shedding.
 """
 
 from __future__ import annotations
@@ -80,6 +82,39 @@ def build_parser() -> argparse.ArgumentParser:
     session.add_argument("--max-attempts", type=int, default=3)
     session.add_argument("--attempt-timeout-ms", type=float, default=1000.0)
     session.add_argument("--backoff-ms", type=float, default=50.0)
+
+    scale = sub.add_parser(
+        "scale", help="concurrent-session sweep through the edge scheduler"
+    )
+    scale.add_argument("checkpoint", type=Path)
+    scale.add_argument(
+        "--users", type=int, nargs="+", default=[1, 4, 16],
+        help="concurrent session counts to sweep",
+    )
+    scale.add_argument(
+        "--window-ms", type=float, nargs="+", default=[0.0, 4.0],
+        help="dynamic batching windows (simulated ms) to sweep",
+    )
+    scale.add_argument("--max-batch", type=int, default=32)
+    scale.add_argument("--queue-capacity", type=int, default=256)
+    scale.add_argument(
+        "--session-batch", type=int, default=4,
+        help="frames per browser-side chunk (one miss frame each)",
+    )
+    scale.add_argument("--samples", type=int, default=32, help="frames per user")
+    scale.add_argument(
+        "--threshold", type=float, default=None,
+        help="override the calibrated exit threshold tau (a well-calibrated "
+        "system may exit ~everything locally and starve the scheduler; "
+        "tighten tau to exercise the miss path)",
+    )
+    scale.add_argument("--seed", type=int, default=0)
+    scale.add_argument(
+        "--calibrate", action="store_true",
+        help="fit the service model from measured trunk timings "
+        "instead of the FLOPs-only profile",
+    )
+    scale.add_argument("--json", type=Path, default=None, help="also write JSON here")
     return parser
 
 
@@ -199,6 +234,8 @@ def _cmd_session(args: argparse.Namespace) -> int:
     if args.fault_profile != "none" or overrides:
         link = faulty(link, args.fault_profile, seed=args.seed, **overrides)
 
+    from .runtime import SessionConfig
+
     deployment = LCRSDeployment(
         system,
         link,
@@ -208,7 +245,10 @@ def _cmd_session(args: argparse.Namespace) -> int:
             backoff_base_ms=args.backoff_ms,
         ),
     )
-    result = deployment.run_session(test.images, batch_size=args.batch_size)
+    config = SessionConfig(
+        batch_size=args.batch_size if args.batch_size is not None else 1
+    )
+    result = deployment.run_session(test.images, config=config)
     served = result.served_by_counts
     print(
         f"{system.model.base_name}/{system.dataset_name} over {link.name} "
@@ -233,12 +273,79 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments import run_concurrency
+    from .runtime import SessionConfig, measure_service_model
+
+    system = load_system(args.checkpoint)
+    if not system.dataset_name:
+        print("checkpoint has no dataset name; cannot regenerate data", file=sys.stderr)
+        return 2
+    _, test = make_dataset(system.dataset_name, 10, args.samples, seed=args.seed)
+    if system.calibration is None:
+        system.calibrate(test)
+
+    service_model = None
+    if args.calibrate:
+        service_model = measure_service_model(
+            system.model.main_trunk, system.model.stem_output_shape, seed=args.seed
+        )
+        print(
+            f"calibrated service model: base={service_model.base_ms:.3f}ms "
+            f"per_sample={service_model.per_sample_ms:.4f}ms"
+        )
+
+    result = run_concurrency(
+        system,
+        test.images[: args.samples],
+        users=args.users,
+        windows_ms=args.window_ms,
+        max_batch_size=args.max_batch,
+        queue_capacity=args.queue_capacity,
+        session_config=SessionConfig(
+            batch_size=args.session_batch, threshold=args.threshold
+        ),
+        service_model=service_model,
+        seed=args.seed,
+    )
+    print(
+        f"{result.network}: {args.samples} frames/user, "
+        f"session batch {result.session_batch_size}"
+    )
+    print(
+        f"{'users':>5} {'window':>7} {'maxb':>5} {'tput(r/s)':>10} "
+        f"{'batch':>6} {'qwait':>7} {'shed':>6} {'fallback':>8}"
+    )
+    for p in result.points:
+        print(
+            f"{p.users:>5} {p.window_ms:>7.1f} {p.max_batch_size:>5} "
+            f"{p.throughput_rps:>10.0f} {p.mean_batch_size:>6.2f} "
+            f"{p.mean_queue_wait_ms:>7.2f} {p.shed_rate:>6.3f} "
+            f"{p.fallback_rate:>8.3f}"
+        )
+    for users in args.users:
+        for window in args.window_ms:
+            speedup = result.speedup(users, window, args.max_batch)
+            print(
+                f"speedup vs per-request @ users={users} window={window}: "
+                f"{speedup:.2f}x"
+            )
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(result.as_dict(), indent=2))
+        print(f"wrote {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "export": _cmd_export,
     "study": _cmd_study,
     "session": _cmd_session,
+    "scale": _cmd_scale,
 }
 
 

@@ -11,6 +11,7 @@
 | Figure 10      | :func:`repro.experiments.webar_exp.run_figure10` |
 | §IV-D ablations| :mod:`repro.experiments.ablations` |
 | §IV-D.1 instability | :func:`repro.experiments.faults_exp.run_degradation` |
+| §I concurrency | :func:`repro.experiments.scale.run_concurrency` |
 """
 
 from .ablations import (
@@ -48,7 +49,16 @@ from .paper_values import (
     paper_table1_row,
 )
 from .reporting import render_series, render_table, shape_check
-from .scale import FULL, QUICK, SCALES, STANDARD, ExperimentScale
+from .scale import (
+    FULL,
+    QUICK,
+    SCALES,
+    STANDARD,
+    ConcurrencyPoint,
+    ConcurrencyResult,
+    ExperimentScale,
+    run_concurrency,
+)
 from .structure import Figure4Result, StructurePoint, run_figure4
 from .table1 import Table1Cell, Table1Result, run_table1, run_table1_cell
 from .webar_exp import Figure10Result, run_figure10
@@ -56,6 +66,8 @@ from .webar_exp import Figure10Result, run_figure10
 __all__ = [
     "BranchCountResult",
     "BranchLocationResult",
+    "ConcurrencyPoint",
+    "ConcurrencyResult",
     "DEFAULT_EXIT_RATES",
     "DegradationPoint",
     "DegradationResult",
@@ -87,6 +99,7 @@ __all__ = [
     "render_table",
     "run_branch_count",
     "run_branch_location",
+    "run_concurrency",
     "run_degradation",
     "run_device_sensitivity",
     "run_figure10",

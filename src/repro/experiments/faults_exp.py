@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..runtime.network import NetworkLink, RetryPolicy, faulty, four_g
-from ..runtime.session import LCRSDeployment
+from ..runtime.session import LCRSDeployment, SessionConfig
 from .reporting import render_table, shape_check
 
 #: A fast policy for sweeps: two attempts, short windows, tight backoff.
@@ -131,7 +131,10 @@ def run_degradation(
             branch_only = float(
                 (logits.argmax(axis=1) == np.asarray(labels)).mean()
             )
-        session = deployment.run_session(np.asarray(images), batch_size=batch_size)
+        session = deployment.run_session(
+            np.asarray(images),
+            config=SessionConfig(batch_size=batch_size if batch_size else 1),
+        )
         points.append(
             DegradationPoint(
                 drop_prob=float(drop),

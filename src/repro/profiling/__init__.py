@@ -9,7 +9,7 @@ from .layer_stats import (
     model_size_mb,
     profile_layer,
 )
-from .op_counters import FaultCounters, ModelCounters, OpCounter
+from .op_counters import FaultCounters, ModelCounters, OpCounter, SchedulerCounters
 from .tracer import TracedLayer, trace
 
 __all__ = [
@@ -19,6 +19,7 @@ __all__ = [
     "ModelCounters",
     "NetworkProfile",
     "OpCounter",
+    "SchedulerCounters",
     "TracedLayer",
     "binary_param_bytes",
     "model_size_bytes",

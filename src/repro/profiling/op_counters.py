@@ -95,6 +95,7 @@ class FaultCounters:
     frames_corrupted: int = 0
     frames_duplicated: int = 0
     edge_errors: int = 0
+    overloads: int = 0
     replies_rejected: int = 0
     retries: int = 0
     fallbacks: int = 0
@@ -116,6 +117,7 @@ class FaultCounters:
         self.frames_corrupted = 0
         self.frames_duplicated = 0
         self.edge_errors = 0
+        self.overloads = 0
         self.replies_rejected = 0
         self.retries = 0
         self.fallbacks = 0
@@ -128,7 +130,111 @@ class FaultCounters:
             "frames_corrupted": self.frames_corrupted,
             "frames_duplicated": self.frames_duplicated,
             "edge_errors": self.edge_errors,
+            "overloads": self.overloads,
             "replies_rejected": self.replies_rejected,
             "retries": self.retries,
             "fallbacks": self.fallbacks,
+        }
+
+
+@dataclass
+class SchedulerCounters:
+    """Aggregate telemetry of one :class:`~repro.runtime.scheduler.EdgeScheduler`.
+
+    Request/sample counters split admission outcomes (accepted vs shed
+    vs malformed); batch counters describe what the trunk actually
+    executed (one entry per trunk pass, so ``batch_size_hist`` is the
+    dynamic-batching histogram); ``queue_wait_ms`` accumulates simulated
+    per-sample waiting (window + head-of-line + edge busy).  Per-tenant
+    rows keep the fairness policy observable.
+    """
+
+    submitted_requests: int = 0
+    accepted_requests: int = 0
+    shed_requests: int = 0
+    malformed_requests: int = 0
+    submitted_samples: int = 0
+    accepted_samples: int = 0
+    shed_samples: int = 0
+    samples_served: int = 0
+    batches: int = 0
+    busy_ms: float = 0.0
+    queue_wait_ms: float = 0.0
+    max_queue_depth: int = 0
+    batch_size_hist: dict[int, int] = field(default_factory=dict)
+    per_tenant: dict[int, dict[str, int]] = field(default_factory=dict)
+
+    def tenant(self, tenant_id: int) -> dict[str, int]:
+        """The (created-on-demand) counter row for one session/tenant."""
+        return self.per_tenant.setdefault(
+            int(tenant_id), {"submitted": 0, "accepted": 0, "shed": 0, "served": 0}
+        )
+
+    def record_batch(self, batch_size: int, exec_ms: float, waits_ms: float) -> None:
+        self.batches += 1
+        self.samples_served += batch_size
+        self.busy_ms += exec_ms
+        self.queue_wait_ms += waits_ms
+        self.batch_size_hist[batch_size] = self.batch_size_hist.get(batch_size, 0) + 1
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of submitted samples refused with a 503."""
+        if self.submitted_samples == 0:
+            return 0.0
+        return self.shed_samples / self.submitted_samples
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.samples_served / self.batches if self.batches else 0.0
+
+    @property
+    def mean_queue_wait_ms(self) -> float:
+        if self.samples_served == 0:
+            return 0.0
+        return self.queue_wait_ms / self.samples_served
+
+    @property
+    def throughput_rps(self) -> float:
+        """Samples per second of edge busy time (serving efficiency)."""
+        if self.busy_ms <= 0:
+            return 0.0
+        return self.samples_served / self.busy_ms * 1e3
+
+    def reset(self) -> None:
+        self.submitted_requests = 0
+        self.accepted_requests = 0
+        self.shed_requests = 0
+        self.malformed_requests = 0
+        self.submitted_samples = 0
+        self.accepted_samples = 0
+        self.shed_samples = 0
+        self.samples_served = 0
+        self.batches = 0
+        self.busy_ms = 0.0
+        self.queue_wait_ms = 0.0
+        self.max_queue_depth = 0
+        self.batch_size_hist = {}
+        self.per_tenant = {}
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "submitted_requests": self.submitted_requests,
+            "accepted_requests": self.accepted_requests,
+            "shed_requests": self.shed_requests,
+            "malformed_requests": self.malformed_requests,
+            "submitted_samples": self.submitted_samples,
+            "accepted_samples": self.accepted_samples,
+            "shed_samples": self.shed_samples,
+            "samples_served": self.samples_served,
+            "batches": self.batches,
+            "busy_ms": self.busy_ms,
+            "queue_wait_ms": self.queue_wait_ms,
+            "max_queue_depth": self.max_queue_depth,
+            "shed_rate": self.shed_rate,
+            "mean_batch_size": self.mean_batch_size,
+            "mean_queue_wait_ms": self.mean_queue_wait_ms,
+            "throughput_rps": self.throughput_rps,
+            "batch_size_hist": {str(k): v for k, v in sorted(self.batch_size_hist.items())},
+            "per_tenant": {str(k): dict(v) for k, v in sorted(self.per_tenant.items())},
         }

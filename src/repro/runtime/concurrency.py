@@ -20,10 +20,131 @@ edge but is latency-hopeless on the browser, see Table II).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..profiling.layer_stats import NetworkProfile
+from ..profiling.op_counters import ModelCounters
 from .profiles import DeviceProfile, EDGE_SERVER
+
+
+@dataclass(frozen=True)
+class ServiceTimeModel:
+    """Affine model of the batched trunk: a batch of ``n`` samples costs
+    ``base_ms + n · per_sample_ms``.
+
+    ``base_ms`` is the per-*call* cost — request handling, kernel
+    dispatch, memory setup — which dynamic batching amortizes across the
+    batch; ``per_sample_ms`` is the marginal compute of one sample.
+    Build it analytically from a layer profile (:meth:`from_profile`) or
+    calibrate it from measured trunk timings (:meth:`from_measurements`,
+    :func:`measure_service_model`).
+    """
+
+    base_ms: float
+    per_sample_ms: float
+
+    def __post_init__(self) -> None:
+        if self.base_ms < 0:
+            raise ValueError("base_ms must be non-negative")
+        if self.per_sample_ms <= 0:
+            raise ValueError("per_sample_ms must be positive")
+
+    def batch_ms(self, batch_size: int) -> float:
+        """Execution time of one trunk pass over ``batch_size`` samples."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        return self.base_ms + self.per_sample_ms * batch_size
+
+    def service_time_s(self, batch_size: int = 1) -> float:
+        """Effective per-sample service time when serving in batches."""
+        return self.batch_ms(batch_size) / batch_size / 1e3
+
+    @classmethod
+    def from_profile(
+        cls,
+        trunk_profile: NetworkProfile,
+        edge: DeviceProfile = EDGE_SERVER,
+        request_overhead_ms: float = 0.5,
+    ) -> "ServiceTimeModel":
+        """FLOPs-only analytic model: per-sample compute from the device's
+        sustained throughput, per-call cost from kernel dispatch plus a
+        fixed request-handling overhead (framing, codec decode, RPC)."""
+        return cls(
+            base_ms=request_overhead_ms + edge.layer_overhead_ms * len(trunk_profile),
+            per_sample_ms=edge.compute_ms(trunk_profile.total_flops),
+        )
+
+    @classmethod
+    def from_measurements(
+        cls, batch_sizes: Sequence[int], wall_ms: Sequence[float]
+    ) -> "ServiceTimeModel":
+        """Least-squares affine fit of measured (batch size, wall ms) points."""
+        sizes = np.asarray(batch_sizes, dtype=np.float64)
+        times = np.asarray(wall_ms, dtype=np.float64)
+        if sizes.shape != times.shape or sizes.size < 2:
+            raise ValueError("need at least two (batch_size, wall_ms) points")
+        if np.unique(sizes).size < 2:
+            raise ValueError("batch sizes must span at least two distinct values")
+        per, base = np.polyfit(sizes, times, 1)
+        return cls(
+            base_ms=max(float(base), 0.0),
+            per_sample_ms=max(float(per), 1e-9),
+        )
+
+
+def measure_service_model(
+    trunk,
+    input_shape: tuple[int, ...],
+    batch_sizes: Sequence[int] = (1, 4, 16),
+    repeats: int = 3,
+    seed: int = 0,
+) -> ServiceTimeModel:
+    """Calibrate a :class:`ServiceTimeModel` by timing real trunk passes.
+
+    Runs the trunk (a framework :class:`~repro.nn.module.Module`) over
+    random feature stacks at each batch size, takes the best-of-N wall
+    time per size, and fits the affine model — the measured counterpart
+    of :meth:`ServiceTimeModel.from_profile`.
+    """
+    from ..nn.autograd import Tensor, no_grad
+
+    rng = np.random.default_rng(seed)
+    trunk.eval()
+    sizes: list[int] = []
+    walls: list[float] = []
+    for batch in batch_sizes:
+        x = Tensor(rng.standard_normal((batch, *input_shape)).astype(np.float32))
+        with no_grad():
+            trunk(x)  # warm caches before timing
+        best = math.inf
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            with no_grad():
+                trunk(x)
+            best = min(best, time.perf_counter() - t0)
+        sizes.append(int(batch))
+        walls.append(best * 1e3)
+    return ServiceTimeModel.from_measurements(sizes, walls)
+
+
+def measured_service_time_s(counters: ModelCounters) -> float:
+    """Per-sample service time from an engine's measured op counters.
+
+    ``op_counters`` record wall time per op and samples per forward, so
+    the engine's own history yields a measured ``service_time_s`` for
+    :class:`QueueModel` — the observed alternative to the FLOPs-only
+    :func:`edge_service_time_s` estimate.
+    """
+    samples = max((op.samples for op in counters.ops), default=0)
+    if samples <= 0:
+        raise ValueError("counters carry no recorded samples")
+    if counters.total_wall_ms <= 0:
+        raise ValueError("counters carry no recorded wall time")
+    return counters.total_wall_ms / samples / 1e3
 
 
 @dataclass(frozen=True)
@@ -38,6 +159,18 @@ class QueueModel:
             raise ValueError("workers must be positive")
         if self.service_time_s <= 0:
             raise ValueError("service_time_s must be positive")
+
+    @classmethod
+    def from_counters(cls, counters: ModelCounters, workers: int = 1) -> "QueueModel":
+        """A queue whose service time is measured, not estimated."""
+        return cls(workers=workers, service_time_s=measured_service_time_s(counters))
+
+    @classmethod
+    def from_service_model(
+        cls, model: ServiceTimeModel, workers: int = 1, batch_size: int = 1
+    ) -> "QueueModel":
+        """A queue serving at the model's effective batched rate."""
+        return cls(workers=workers, service_time_s=model.service_time_s(batch_size))
 
     @property
     def service_rate(self) -> float:

@@ -118,6 +118,10 @@ class SampleCost:
     miss-path attempts — timeout windows, wasted round trips, and
     backoff sleeps — so retransmission cost is visible in Figure-6-style
     traces without changing the compute/communication split.
+
+    ``queue_ms`` is the slice of ``communication_ms`` spent waiting in a
+    shared edge scheduler's queue (dynamic-batching window + head-of-line
+    wait); it is zero for sessions served by a private endpoint.
     """
 
     total_ms: float
@@ -125,6 +129,7 @@ class SampleCost:
     communication_ms: float
     exited_locally: Optional[bool] = None
     retry_ms: float = 0.0
+    queue_ms: float = 0.0
 
 
 @dataclass
@@ -189,6 +194,7 @@ def simulate_plan(
     miss_mask: Optional[Sequence[bool]] = None,
     include_setup: bool = True,
     retry_ms: Optional[Sequence[float]] = None,
+    queue_ms: Optional[Sequence[float]] = None,
 ) -> SessionTrace:
     """Price a plan over ``num_samples`` samples.
 
@@ -203,6 +209,9 @@ def simulate_plan(
     — it applies whether or not the sample's ``miss_steps`` fired, since
     a sample that exhausted its retries and fell back locally still paid
     for the attempts.
+
+    ``queue_ms[i]`` charges scheduler queueing delay (shared-edge dynamic
+    batching) to sample ``i``, also as communication time.
     """
     if num_samples <= 0:
         raise ValueError("num_samples must be positive")
@@ -210,6 +219,8 @@ def simulate_plan(
         raise ValueError("miss_mask shorter than num_samples")
     if retry_ms is not None and len(retry_ms) < num_samples:
         raise ValueError("retry_ms shorter than num_samples")
+    if queue_ms is not None and len(queue_ms) < num_samples:
+        raise ValueError("queue_ms shorter than num_samples")
 
     samples: list[SampleCost] = []
     for i in range(num_samples):
@@ -238,7 +249,8 @@ def simulate_plan(
                 comm += miss_comm
 
         retries = float(retry_ms[i]) if retry_ms is not None else 0.0
-        comm += retries
+        queued = float(queue_ms[i]) if queue_ms is not None else 0.0
+        comm += retries + queued
 
         samples.append(
             SampleCost(
@@ -247,6 +259,7 @@ def simulate_plan(
                 communication_ms=comm,
                 exited_locally=None if missed is None else not missed,
                 retry_ms=retries,
+                queue_ms=queued,
             )
         )
     return SessionTrace(approach=plan.approach, network=plan.network, samples=samples)

@@ -24,7 +24,11 @@ Messages:
   frame (one header, one payload, one round trip) and come back as one
   vector of answers, keyed by per-sample sequence ids.
 * ``ModelRequest`` / ``ModelResponse`` — bundle fetch at page load.
-* ``ErrorResponse``     — structured failure (unknown codec, bad shape).
+* ``ErrorResponse``     — structured failure (unknown codec, bad shape);
+  the shared edge scheduler also uses it for overload shedding (503).
+* ``SchedulerAck``      — edge → browser: a batched miss request was
+  admitted to the shared scheduler queue; the correlated
+  ``BatchInferenceResponse`` follows once its dynamic batch executes.
 """
 
 from __future__ import annotations
@@ -56,6 +60,7 @@ class MessageType(enum.IntEnum):
     ERROR = 5
     BATCH_INFERENCE_REQUEST = 6
     BATCH_INFERENCE_RESPONSE = 7
+    SCHEDULER_ACK = 8
 
 
 @dataclass(frozen=True)
@@ -274,6 +279,37 @@ class BatchInferenceResponse:
 
 
 @dataclass(frozen=True)
+class SchedulerAck:
+    """Edge → browser: batched miss request admitted to the scheduler.
+
+    The answer is *deferred*: the scheduler aggregates admitted requests
+    from many sessions into one dynamic batch, so the ack only promises
+    that a correlated :class:`BatchInferenceResponse` (same session id
+    and sequences) will follow.  ``ticket`` identifies the queue entry —
+    resubmitting the same request (at-least-once delivery) returns the
+    same ticket.  ``queued_samples`` reports the queue depth at
+    admission, for client-side observability.
+    """
+
+    session_id: int
+    ticket: int
+    queued_samples: int
+
+    type = MessageType.SCHEDULER_ACK
+    _BODY = struct.Struct("<QQI")
+
+    def pack(self) -> bytes:
+        return self._BODY.pack(self.session_id, self.ticket, self.queued_samples)
+
+    @classmethod
+    def unpack(cls, body: bytes) -> "SchedulerAck":
+        if len(body) != cls._BODY.size:
+            raise ProtocolError("bad scheduler ack size")
+        session_id, ticket, queued = cls._BODY.unpack(body)
+        return cls(session_id=session_id, ticket=ticket, queued_samples=queued)
+
+
+@dataclass(frozen=True)
 class ModelRequest:
     """Browser → edge: fetch a named bundle (page-load path)."""
 
@@ -346,6 +382,7 @@ Message = Union[
     ModelRequest,
     ModelResponse,
     ErrorResponse,
+    SchedulerAck,
 ]
 
 _DECODERS = {
@@ -356,6 +393,7 @@ _DECODERS = {
     MessageType.MODEL_REQUEST: ModelRequest.unpack,
     MessageType.MODEL_RESPONSE: ModelResponse.unpack,
     MessageType.ERROR: ErrorResponse.unpack,
+    MessageType.SCHEDULER_ACK: SchedulerAck.unpack,
 }
 
 

@@ -1,0 +1,511 @@
+"""Shared-edge dynamic batching: many browser sessions, one trunk.
+
+The paper's §I cost argument — "the computing cost of high concurrent
+requests is unacceptable" — is about the *edge provider*: every AR user
+whose binary branch misses ships conv1 features to the same box.  A
+per-request trunk pass pays the full call overhead (request handling,
+kernel dispatch, memory setup) for every sample; an edge that aggregates
+concurrent misses into one batched trunk pass amortizes that overhead
+across tenants, which is where multi-session serving throughput comes
+from.
+
+This module is that edge.  :class:`EdgeScheduler` owns a bounded queue
+of admitted :class:`~repro.runtime.protocol.BatchInferenceRequest`
+frames from N concurrent sessions and a *simulated* clock:
+
+* **submit** — synchronous admission.  A well-formed batch request is
+  either queued (answered with a deferred :class:`SchedulerAck`) or shed
+  with a structured 503 when the queue is full or the tenant is over its
+  fair share.  Shed requests run the client's normal retry policy and,
+  on exhaustion, the binary-branch fallback — overload degrades
+  accuracy, never availability.
+* **flush** — dynamic batch formation.  Requests arriving within
+  ``window_ms`` of the queue head coalesce, round-robin across tenants,
+  up to ``max_batch_size`` samples; each batch executes through the
+  trunk *once* (real computation) and is priced by an affine
+  :class:`~repro.runtime.concurrency.ServiceTimeModel` on the simulated
+  clock (modelled time).
+* **collect** — correlated reply routing.  Each admitted ticket yields
+  one :class:`~repro.runtime.protocol.BatchInferenceResponse` carrying
+  the submitting session's id and sequence set, plus the queueing delay
+  the scheduler charged it.
+
+Timing is fully deterministic: arrivals are simulated-clock timestamps
+supplied by the caller, service times come from the model, and ties
+break on monotonic tickets — the same submissions always form the same
+batches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..profiling import SchedulerCounters
+from ..profiling.layer_stats import NetworkProfile
+from .concurrency import ServiceTimeModel
+from .latency import ComputeStep
+from .profiles import DeviceProfile, EDGE_SERVER
+from .protocol import (
+    BatchInferenceRequest,
+    BatchInferenceResponse,
+    ErrorResponse,
+    ProtocolError,
+    SchedulerAck,
+    decode_frame,
+    encode_frame,
+)
+from .session import (
+    EdgeEndpoint,
+    LCRSDeployment,
+    RecognitionOutcome,
+    SampleCost,
+    SessionConfig,
+    SessionResult,
+    SessionTrace,
+)
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Dynamic-batching and admission-control knobs.
+
+    ``window_ms`` is how long (simulated) the queue head waits for
+    company before its batch dispatches; ``0`` batches only requests
+    arriving at the same instant.  ``max_batch_size`` caps samples per
+    trunk pass.  ``queue_capacity`` bounds total queued samples — the
+    backpressure that turns overload into 503s instead of unbounded
+    latency.  ``max_per_tenant`` caps one session's queued samples; the
+    default is an equal share of capacity across registered tenants.
+    """
+
+    window_ms: float = 4.0
+    max_batch_size: int = 32
+    queue_capacity: int = 256
+    max_per_tenant: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.window_ms < 0:
+            raise ValueError("window_ms must be non-negative")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        if self.max_per_tenant is not None and self.max_per_tenant < 1:
+            raise ValueError("max_per_tenant must be at least 1")
+
+
+@dataclass
+class _Queued:
+    """One admitted request waiting for its batch."""
+
+    ticket: int
+    tenant: int
+    request: BatchInferenceRequest
+    arrival_ms: float
+
+    @property
+    def samples(self) -> int:
+        return len(self.request.sequences)
+
+
+class EdgeScheduler:
+    """The shared edge: bounded admission, dynamic batching, one trunk.
+
+    Tenants are session ids; each deployment registers (implicitly on
+    first submit, or eagerly via :meth:`register` so fair shares are
+    sized before traffic starts).  The scheduler is single-threaded and
+    driven in rounds — submit any number of frames, :meth:`flush`, then
+    :meth:`collect` each ticket — which keeps batch formation
+    reproducible under a fixed seed.
+    """
+
+    def __init__(
+        self,
+        endpoint: EdgeEndpoint,
+        service_model: ServiceTimeModel,
+        config: Optional[SchedulerConfig] = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.service_model = service_model
+        self.config = config if config is not None else SchedulerConfig()
+        self.counters = SchedulerCounters()
+        #: Simulated time at which the trunk next becomes free.
+        self.clock_ms = 0.0
+        self._queue: list[_Queued] = []
+        self._results: dict[int, tuple[bytes, float]] = {}
+        self._tickets = itertools.count(1)
+        self._tenants: set[int] = set()
+        # At-least-once delivery: a resubmission of the same (tenant,
+        # sequences) pair must land on the same queue entry.
+        self._dedupe: dict[tuple[int, tuple[int, ...]], int] = {}
+
+    @classmethod
+    def for_system(
+        cls,
+        system,
+        service_model: Optional[ServiceTimeModel] = None,
+        config: Optional[SchedulerConfig] = None,
+        edge: DeviceProfile = EDGE_SERVER,
+    ) -> "EdgeScheduler":
+        """A scheduler serving one calibrated LCRS system's trunk."""
+        endpoint = EdgeEndpoint(system.model.main_trunk)
+        if service_model is None:
+            trunk_profile = NetworkProfile.of(
+                system.model.main_trunk, system.model.stem_output_shape
+            )
+            service_model = ServiceTimeModel.from_profile(trunk_profile, edge=edge)
+        return cls(endpoint, service_model, config)
+
+    # -- observability -------------------------------------------------
+    def register(self, tenant_id: int) -> None:
+        self._tenants.add(int(tenant_id))
+
+    @property
+    def tenant_fair_share(self) -> int:
+        """Max queued samples one tenant may hold (admission fairness)."""
+        if self.config.max_per_tenant is not None:
+            return self.config.max_per_tenant
+        return max(1, self.config.queue_capacity // max(1, len(self._tenants)))
+
+    def queued_samples(self, tenant: Optional[int] = None) -> int:
+        return sum(
+            q.samples for q in self._queue if tenant is None or q.tenant == tenant
+        )
+
+    # -- admission -----------------------------------------------------
+    def submit(self, frame: bytes, arrival_ms: float) -> bytes:
+        """Admit (or refuse) one encoded miss-path frame.
+
+        Returns an encoded :class:`SchedulerAck` on admission, or an
+        :class:`ErrorResponse` — 400 for undecodable frames, 405 for
+        non-batch messages, 503 when admission control sheds the
+        request.  The 503 carries no ticket: the class ids will never
+        come, and the client's retry policy (then binary-branch
+        fallback) takes over.
+        """
+        counters = self.counters
+        counters.submitted_requests += 1
+        try:
+            message = decode_frame(frame)
+        except ProtocolError as exc:
+            counters.malformed_requests += 1
+            return encode_frame(ErrorResponse(code=400, message=str(exc)))
+        if not isinstance(message, BatchInferenceRequest):
+            counters.malformed_requests += 1
+            return encode_frame(
+                ErrorResponse(
+                    code=405,
+                    message=(
+                        "scheduler serves batched inference only, got "
+                        f"{type(message).__name__}"
+                    ),
+                )
+            )
+        tenant = int(message.session_id)
+        self.register(tenant)
+        n = len(message.sequences)
+        counters.submitted_samples += n
+        row = counters.tenant(tenant)
+        row["submitted"] += n
+
+        key = (tenant, message.sequences)
+        if key in self._dedupe:
+            # Duplicate delivery of an already-queued request: same
+            # ticket, no new queue entry — submission is idempotent.
+            return encode_frame(
+                SchedulerAck(
+                    session_id=tenant,
+                    ticket=self._dedupe[key],
+                    queued_samples=self.queued_samples(),
+                )
+            )
+        if self.queued_samples() + n > self.config.queue_capacity:
+            counters.shed_requests += 1
+            counters.shed_samples += n
+            row["shed"] += n
+            return encode_frame(
+                ErrorResponse(
+                    code=503,
+                    message=(
+                        f"queue full: {self.queued_samples()}+{n} over "
+                        f"{self.config.queue_capacity} samples"
+                    ),
+                )
+            )
+        held = self.queued_samples(tenant)
+        # Fairness sheds a tenant's *additional* requests; a tenant with
+        # nothing queued is never starved by the share arithmetic.
+        if held > 0 and held + n > self.tenant_fair_share:
+            counters.shed_requests += 1
+            counters.shed_samples += n
+            row["shed"] += n
+            return encode_frame(
+                ErrorResponse(
+                    code=503,
+                    message=(
+                        f"tenant {tenant} over fair share: {held}+{n} over "
+                        f"{self.tenant_fair_share} samples"
+                    ),
+                )
+            )
+        ticket = next(self._tickets)
+        self._queue.append(
+            _Queued(
+                ticket=ticket,
+                tenant=tenant,
+                request=message,
+                arrival_ms=float(arrival_ms),
+            )
+        )
+        self._dedupe[key] = ticket
+        counters.accepted_requests += 1
+        counters.accepted_samples += n
+        row["accepted"] += n
+        depth = self.queued_samples()
+        counters.max_queue_depth = max(counters.max_queue_depth, depth)
+        return encode_frame(
+            SchedulerAck(session_id=tenant, ticket=ticket, queued_samples=depth)
+        )
+
+    # -- batch formation and execution ---------------------------------
+    def _choose(self, eligible: list[_Queued]) -> tuple[list[_Queued], bool]:
+        """Pick one batch from the window-eligible requests.
+
+        The queue head (oldest arrival) is always taken — even if it
+        alone exceeds ``max_batch_size``, so oversized requests cannot
+        starve.  Remaining budget is filled round-robin across tenants
+        in id order, one request per tenant per sweep, so no tenant's
+        burst monopolizes a batch.  Returns ``(chosen, full)`` where
+        ``full`` means the batch need not wait out the window (budget
+        exhausted or eligible work left behind).
+        """
+        by_tenant: dict[int, list[_Queued]] = {}
+        for q in eligible:
+            by_tenant.setdefault(q.tenant, []).append(q)
+        head = eligible[0]
+        by_tenant[head.tenant].remove(head)
+        chosen = [head]
+        budget = self.config.max_batch_size - head.samples
+        order = sorted(by_tenant)
+        progressed = True
+        while budget > 0 and progressed:
+            progressed = False
+            for tenant in order:
+                rest = by_tenant[tenant]
+                if rest and rest[0].samples <= budget:
+                    q = rest.pop(0)
+                    chosen.append(q)
+                    budget -= q.samples
+                    progressed = True
+        full = budget <= 0 or len(chosen) < len(eligible)
+        return chosen, full
+
+    def flush(self) -> list[int]:
+        """Form and execute batches until the queue drains.
+
+        Each batch is one real trunk pass over the concatenated feature
+        stacks (predictions are bit-identical to per-request serving —
+        the trunk's math is per-sample) priced once by the service
+        model.  A batch starts when its window closes — ``head arrival +
+        window_ms`` — or as soon as its last member arrived if it filled
+        up early, and never before the trunk is free.  Returns the
+        served tickets in completion order.
+        """
+        served: list[int] = []
+        cfg = self.config
+        while self._queue:
+            self._queue.sort(key=lambda q: (q.arrival_ms, q.ticket))
+            head = self._queue[0]
+            close = head.arrival_ms + cfg.window_ms
+            eligible = [q for q in self._queue if q.arrival_ms <= close]
+            chosen, full = self._choose(eligible)
+            total = sum(q.samples for q in chosen)
+            gate = max(q.arrival_ms for q in chosen) if full else close
+            start = max(self.clock_ms, gate)
+            exec_ms = self.service_model.batch_ms(total)
+
+            features = np.concatenate(
+                [q.request.features() for q in chosen], axis=0
+            )
+            logits = self.endpoint.infer(features)
+            # Same softmax/argmax math as EdgeProtocolServer's per-request
+            # path, so scheduled answers match unscheduled ones bit-for-bit.
+            probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+            probs /= probs.sum(axis=1, keepdims=True)
+            class_ids = logits.argmax(axis=1)
+
+            waits = 0.0
+            offset = 0
+            for q in chosen:
+                ids = class_ids[offset : offset + q.samples]
+                response = BatchInferenceResponse(
+                    session_id=q.request.session_id,
+                    sequences=q.request.sequences,
+                    class_ids=tuple(int(c) for c in ids),
+                    confidences=tuple(
+                        float(probs[offset + i, c]) for i, c in enumerate(ids)
+                    ),
+                )
+                wait = start - q.arrival_ms
+                self._results[q.ticket] = (encode_frame(response), wait)
+                self.counters.tenant(q.tenant)["served"] += q.samples
+                waits += wait * q.samples
+                offset += q.samples
+                served.append(q.ticket)
+                self._queue.remove(q)
+                self._dedupe.pop((q.tenant, q.request.sequences), None)
+            self.clock_ms = start + exec_ms
+            self.counters.record_batch(total, exec_ms, waits)
+        return served
+
+    # -- reply routing -------------------------------------------------
+    def collect(self, ticket: int) -> tuple[bytes, float]:
+        """Take one ticket's reply: ``(encoded frame, queue delay ms)``."""
+        if ticket not in self._results:
+            raise KeyError(f"no result for ticket {ticket}; flush() first")
+        return self._results.pop(ticket)
+
+
+def _browser_chunk_ms(ctx, browser_device: DeviceProfile, count: int) -> float:
+    """Deterministic estimate of a chunk's local compute time.
+
+    Arrival timestamps must not consume link RNG (that would perturb the
+    latency pricing stream), so the submit time is the plan's browser
+    compute steps alone — when the stem/branch work is done and the miss
+    frame is ready to leave the device.
+    """
+    per_sample = sum(
+        step.duration_ms(browser_device)
+        for step in ctx.plan.per_sample_steps
+        if isinstance(step, ComputeStep)
+    )
+    return per_sample * count
+
+
+@dataclass
+class _SessionState:
+    """One concurrent session's progress through its image stream."""
+
+    deployment: LCRSDeployment
+    ctx: object
+    images: np.ndarray
+    clock_ms: float = 0.0
+    cursor: int = 0
+
+    def __post_init__(self) -> None:
+        self.outcomes: list[RecognitionOutcome] = []
+        self.costs: list[SampleCost] = []
+
+    @property
+    def done(self) -> bool:
+        return self.cursor >= len(self.images)
+
+
+def run_concurrent_sessions(
+    deployments: Sequence[LCRSDeployment],
+    streams: Sequence[np.ndarray],
+    scheduler: EdgeScheduler,
+    config: Optional[SessionConfig] = None,
+) -> list[SessionResult]:
+    """Drive N sessions against one shared scheduler, in lockstep rounds.
+
+    Each round, every unfinished session runs its next chunk's browser
+    phase and submits its misses (with the full retry-then-fallback
+    transport semantics of a private session); the scheduler then closes
+    its windows and executes the round's dynamic batches; finally each
+    session collects its correlated reply and prices the chunk — the
+    scheduler's queueing delay lands on the missed samples' ``queue_ms``.
+    Session clocks advance by their own chunks' total cost, so faster
+    sessions drift ahead and arrivals stagger realistically while the
+    whole run stays deterministic under fixed seeds.
+
+    Predictions, entropies, and exit decisions are bit-identical to
+    running each session alone against a private endpoint; only the
+    timing (queue delays, amortized trunk passes) differs.
+    """
+    if len(deployments) != len(streams):
+        raise ValueError("need exactly one image stream per deployment")
+    cfg = config if config is not None else SessionConfig()
+    sessions: list[_SessionState] = []
+    for deployment, images in zip(deployments, streams):
+        scheduler.register(deployment._session_id)
+        sessions.append(
+            _SessionState(
+                deployment=deployment,
+                ctx=deployment._session_context(cfg),
+                images=np.asarray(images),
+            )
+        )
+
+    while not all(s.done for s in sessions):
+        in_flight = []
+        for s in sessions:
+            if s.done:
+                continue
+            deployment = s.deployment
+            pending = deployment._begin_chunk(s.images, s.cursor, s.ctx)
+            ticket = None
+            if pending.request is not None:
+                arrival = s.clock_ms + _browser_chunk_ms(
+                    s.ctx, deployment.browser_device, pending.count
+                )
+                ticket, attempts, retry_ms = deployment._submit_with_retry(
+                    scheduler,
+                    pending.request,
+                    arrival,
+                    link=s.ctx.link,
+                    policy=s.ctx.policy,
+                )
+                pending.attempts = attempts
+                pending.retry_ms = retry_ms
+                if ticket is None:
+                    # Admission refused to exhaustion (or the link ate
+                    # every attempt): the chunk degrades to the branch.
+                    deployment._apply_reply(pending, None, attempts, retry_ms)
+            in_flight.append((s, pending, ticket))
+
+        scheduler.flush()
+
+        for s, pending, ticket in in_flight:
+            deployment = s.deployment
+            if ticket is not None:
+                raw, wait_ms = scheduler.collect(ticket)
+                try:
+                    reply = decode_frame(raw)
+                except ProtocolError:
+                    reply = None
+                if reply is not None and deployment._reply_valid(
+                    reply, pending.request, BatchInferenceResponse
+                ):
+                    pending.queue_ms = wait_ms
+                    deployment._apply_reply(
+                        reply=reply,
+                        pending=pending,
+                        attempts=pending.attempts,
+                        retry_ms=pending.retry_ms,
+                    )
+                else:
+                    deployment.fault_counters.replies_rejected += 1
+                    deployment._apply_reply(
+                        pending, None, pending.attempts, pending.retry_ms
+                    )
+                    deployment.fault_counters.fallbacks += 1
+            deployment._finish_chunk(pending, s.ctx, s.outcomes, s.costs)
+            s.clock_ms += sum(c.total_ms for c in s.costs[-pending.count :])
+            s.cursor += pending.count
+
+    return [
+        SessionResult(
+            outcomes=s.outcomes,
+            trace=SessionTrace(
+                approach="lcrs-scheduled",
+                network=s.deployment.system.model.base_name,
+                samples=s.costs,
+            ),
+        )
+        for s in sessions
+    ]

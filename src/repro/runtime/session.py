@@ -26,8 +26,9 @@ it took.
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Mapping, Optional, Union
 
 import numpy as np
 
@@ -50,13 +51,15 @@ from .latency import (
     profile_compute_step,
     simulate_plan,
 )
-from .feature_codec import FP32_CODEC, FeatureCodec
+from .feature_codec import FP32_CODEC, FeatureCodec, get_codec
 from .network import (
     DEFAULT_RETRY_POLICY,
+    FAULT_PROFILES,
     FrameDropped,
     FrameTimeout,
     NetworkLink,
     RetryPolicy,
+    faulty,
 )
 from .protocol import (
     BatchInferenceRequest,
@@ -66,6 +69,7 @@ from .protocol import (
     InferenceRequest,
     InferenceResponse,
     ProtocolError,
+    SchedulerAck,
     decode_frame,
     encode_frame,
 )
@@ -83,6 +87,141 @@ _SESSION_IDS = itertools.count(1)
 SERVED_BY_BRANCH = "binary-branch"
 SERVED_BY_EDGE = "edge"
 SERVED_BY_FALLBACK = "binary-fallback"
+
+#: :class:`FaultyLink` knobs that :class:`SessionConfig.fault_overrides`
+#: may set.
+_FAULT_KNOBS = ("corrupt_prob", "drop_prob", "duplicate_prob", "timeout_prob")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything one :meth:`LCRSDeployment.run_session` call can vary.
+
+    The deployment object owns the *system* (model, devices, default
+    link, default codec); a :class:`SessionConfig` owns the *session* —
+    how a particular image stream is pushed through it.  It is frozen and
+    hashable so configurations can be logged, compared, and reused across
+    sweeps, and every field is validated at construction time rather than
+    deep inside a session loop.
+
+    ``batch_size=1`` is the degenerate per-sample path — there is one
+    serving code path, and larger batches only change how many frames
+    share a stem/branch pass and a miss-path frame.
+
+    ``threshold``/``codec`` override the deployment's entropy gate and
+    feature codec for this session only.  ``fault_profile`` (a
+    :data:`~repro.runtime.network.FAULT_PROFILES` name) and
+    ``fault_overrides`` (per-knob probabilities) wrap the deployment link
+    with seeded fault injection for this session only; ``fault_seed``
+    seeds those draws.  ``fault_overrides`` accepts a mapping and is
+    normalized to a sorted tuple of pairs so the config stays hashable.
+    """
+
+    batch_size: int = 1
+    cold_start: bool = False
+    codec: Optional[str] = None
+    retry_policy: Optional[RetryPolicy] = None
+    threshold: Optional[float] = None
+    fault_profile: Optional[str] = None
+    fault_overrides: tuple = ()
+    fault_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.threshold is not None and not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        if self.codec is not None:
+            get_codec(self.codec)  # raises CodecError on unknown names
+        if self.fault_profile is not None and self.fault_profile not in FAULT_PROFILES:
+            raise ValueError(
+                f"unknown fault profile {self.fault_profile!r}; "
+                f"choose from {sorted(FAULT_PROFILES)}"
+            )
+        overrides = self.fault_overrides
+        if isinstance(overrides, Mapping):
+            overrides = tuple(overrides.items())
+        normalized = []
+        for name, prob in tuple(overrides):
+            if name not in _FAULT_KNOBS:
+                raise ValueError(
+                    f"unknown fault override {name!r}; choose from {list(_FAULT_KNOBS)}"
+                )
+            prob = float(prob)
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(f"fault override {name} must be in [0, 1], got {prob}")
+            normalized.append((name, prob))
+        object.__setattr__(self, "fault_overrides", tuple(sorted(normalized)))
+
+    @property
+    def injects_faults(self) -> bool:
+        return self.fault_profile is not None or bool(self.fault_overrides)
+
+
+def _resolve_session_config(
+    config: Optional[SessionConfig],
+    cold_start: Optional[bool],
+    batch_size: Optional[int],
+) -> SessionConfig:
+    """Fold legacy ``run_session`` kwargs into a :class:`SessionConfig`."""
+    legacy = cold_start is not None or batch_size is not None
+    if config is not None:
+        if legacy:
+            raise TypeError(
+                "pass either config= or the legacy cold_start/batch_size "
+                "kwargs, not both"
+            )
+        return config
+    if not legacy:
+        return SessionConfig()
+    warnings.warn(
+        "run_session(cold_start=..., batch_size=...) is deprecated; "
+        "pass run_session(images, config=SessionConfig(...)) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return SessionConfig(
+        batch_size=1 if batch_size is None else batch_size,
+        cold_start=bool(cold_start),
+    )
+
+
+@dataclass
+class _SessionContext:
+    """One session's resolved knobs (config defaults filled in)."""
+
+    config: SessionConfig
+    plan: "ExecutionPlan"
+    codec: FeatureCodec
+    policy: RetryPolicy
+    threshold: float
+    link: NetworkLink
+
+
+@dataclass
+class _PendingChunk:
+    """A chunk mid-flight: local work done, miss-path answer outstanding.
+
+    The serving loop is split into phases — :meth:`LCRSDeployment._begin_chunk`
+    (browser compute + request build), reply application, and
+    :meth:`LCRSDeployment._finish_chunk` (latency pricing + outcome
+    emission) — so the same session code runs both against a private
+    edge endpoint (reply is immediate) and against a shared
+    :class:`~repro.runtime.scheduler.EdgeScheduler` (reply arrives after
+    the batching window closes, with a queue delay attached).
+    """
+
+    start: int
+    count: int
+    predictions: np.ndarray
+    entropies: np.ndarray
+    exits: np.ndarray
+    miss_idx: np.ndarray
+    request: Optional[BatchInferenceRequest] = None
+    served_by: str = SERVED_BY_BRANCH
+    attempts: int = 0
+    retry_ms: float = 0.0
+    queue_ms: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -192,7 +331,7 @@ class BrowserClient:
         return features, logits, float(entropies[0]), bool(exits[0])
 
     def process_batch(
-        self, images: np.ndarray
+        self, images: np.ndarray, threshold: Optional[float] = None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Run the local pipeline on a whole NCHW batch at once.
 
@@ -202,12 +341,16 @@ class BrowserClient:
         path's throughput comes from.  Returns ``(features, logits,
         entropies, exit_mask)`` with one row per sample; the math is
         bit-identical to processing samples one at a time.
+
+        ``threshold`` overrides the calibrated entropy gate for this
+        call (session-level τ sweeps); the default is the loaded one.
         """
         features = self.stem_engine.forward(images)
         logits = self.branch_engine.forward(features)
         probs = softmax(logits, axis=1)
         entropies = normalized_entropy(probs, axis=1)
-        return features, logits, entropies, entropies < self.threshold
+        gate = self.threshold if threshold is None else threshold
+        return features, logits, entropies, entropies < gate
 
 
 @dataclass
@@ -360,6 +503,9 @@ class LCRSDeployment:
         self,
         request: Union[InferenceRequest, BatchInferenceRequest],
         expected_type: type,
+        link: Optional[NetworkLink] = None,
+        policy: Optional[RetryPolicy] = None,
+        handler=None,
     ):
         """Send one miss-path request through the retry policy.
 
@@ -369,8 +515,15 @@ class LCRSDeployment:
         latency model: drops and timeouts cost a full per-attempt
         timeout window, rejected/corrupted exchanges cost the wasted
         round trip, and every retry adds its backoff sleep.
+
+        ``link``/``policy``/``handler`` default to the deployment's own;
+        sessions with per-session fault injection or retry overrides pass
+        theirs.  The handler is resolved at call time so tests (and
+        alternative servers) can swap ``self._edge_server.handle``.
         """
-        policy = self.retry_policy
+        link = link if link is not None else self.link
+        policy = policy if policy is not None else self.retry_policy
+        handler = handler if handler is not None else self._edge_server.handle
         counters = self.fault_counters
         frame = encode_frame(request)
         retry_ms = 0.0
@@ -380,7 +533,7 @@ class LCRSDeployment:
             counters.frames_sent += 1
             failure_ms: float
             try:
-                raw = self.link.exchange(frame, self._edge_server.handle)
+                raw = link.exchange(frame, handler)
             except FrameDropped:
                 counters.frames_dropped += 1
                 failure_ms = policy.per_attempt_timeout_ms
@@ -388,7 +541,7 @@ class LCRSDeployment:
                 counters.frames_timed_out += 1
                 failure_ms = policy.per_attempt_timeout_ms
             else:
-                faults = getattr(self.link, "last_faults", ())
+                faults = getattr(link, "last_faults", ())
                 if "corrupt" in faults:
                     counters.frames_corrupted += 1
                 if "duplicate" in faults:
@@ -407,7 +560,84 @@ class LCRSDeployment:
                     counters.replies_rejected += 1
                 # A rejection came back quickly: price the wasted round
                 # trip, not a full timeout window.
-                failure_ms = self.link.upload_ms(len(frame)) + self.link.download_ms(
+                failure_ms = link.upload_ms(len(frame)) + link.download_ms(
+                    RESULT_BYTES
+                )
+            retry_ms += failure_ms
+            if attempts < policy.max_attempts and retry_ms < policy.deadline_ms:
+                counters.retries += 1
+                retry_ms += policy.backoff_ms(attempts, self._retry_rng)
+        counters.fallbacks += 1
+        return None, attempts, retry_ms
+
+    def _submit_with_retry(
+        self,
+        scheduler,
+        request: BatchInferenceRequest,
+        arrival_ms: float,
+        link: Optional[NetworkLink] = None,
+        policy: Optional[RetryPolicy] = None,
+    ):
+        """Submit one miss-path request to a shared edge scheduler.
+
+        The deferred-answer twin of :meth:`_exchange_with_retry`: success
+        is a :class:`SchedulerAck` (the class ids arrive later, after the
+        batching window closes), so the return value is ``(ticket,
+        attempts, retry_ms)`` with ``ticket is None`` meaning admission
+        was refused until the retry policy ran out and the chunk must
+        fall back to the binary branch.  A 503 (queue full / tenant over
+        fair share) counts as both an ``edge_error`` and an ``overload``;
+        retrying a shed request is exactly the client behaviour the
+        scheduler's admission control is designed against, and duplicate
+        deliveries are absorbed by the scheduler's idempotent ticketing.
+        """
+        link = link if link is not None else self.link
+        policy = policy if policy is not None else self.retry_policy
+        counters = self.fault_counters
+        frame = encode_frame(request)
+        retry_ms = 0.0
+        attempts = 0
+        while attempts < policy.max_attempts and retry_ms < policy.deadline_ms:
+            attempts += 1
+            counters.frames_sent += 1
+            failure_ms: float
+            try:
+                # Retries arrive later on the simulated clock: the time
+                # already burned failing shifts this attempt's arrival.
+                raw = link.exchange(
+                    frame,
+                    lambda f, _wasted=retry_ms: scheduler.submit(
+                        f, arrival_ms + _wasted
+                    ),
+                )
+            except FrameDropped:
+                counters.frames_dropped += 1
+                failure_ms = policy.per_attempt_timeout_ms
+            except FrameTimeout:
+                counters.frames_timed_out += 1
+                failure_ms = policy.per_attempt_timeout_ms
+            else:
+                faults = getattr(link, "last_faults", ())
+                if "corrupt" in faults:
+                    counters.frames_corrupted += 1
+                if "duplicate" in faults:
+                    counters.frames_duplicated += 1
+                try:
+                    reply = decode_frame(raw)
+                except ProtocolError:
+                    reply = None
+                if (
+                    isinstance(reply, SchedulerAck)
+                    and reply.session_id == request.session_id
+                ):
+                    return reply.ticket, attempts, retry_ms
+                if isinstance(reply, ErrorResponse):
+                    counters.edge_errors += 1
+                    if reply.code == 503:
+                        counters.overloads += 1
+                else:
+                    counters.replies_rejected += 1
+                failure_ms = link.upload_ms(len(frame)) + link.download_ms(
                     RESULT_BYTES
                 )
             retry_ms += failure_ms
@@ -420,11 +650,145 @@ class LCRSDeployment:
     # ------------------------------------------------------------------
     # Real execution with priced timing
     # ------------------------------------------------------------------
+    def _session_context(self, config: SessionConfig) -> _SessionContext:
+        """Resolve a config against the deployment's defaults."""
+        codec = get_codec(config.codec) if config.codec is not None else self.feature_codec
+        link = self.link
+        if config.injects_faults:
+            link = faulty(
+                self.link,
+                profile=config.fault_profile or "none",
+                seed=config.fault_seed,
+                **dict(config.fault_overrides),
+            )
+        return _SessionContext(
+            config=config,
+            plan=self.assets.plan(codec=codec),
+            codec=codec,
+            policy=config.retry_policy or self.retry_policy,
+            threshold=(
+                config.threshold
+                if config.threshold is not None
+                else self.browser.threshold
+            ),
+            link=link,
+        )
+
+    def _begin_chunk(
+        self, images: np.ndarray, start: int, ctx: _SessionContext
+    ) -> _PendingChunk:
+        """Browser phase: stem + branch + entropy gate, miss frame built.
+
+        All of a chunk's misses ship as one protocol frame — one codec
+        pass, one round trip — and the reply fans the class ids back out
+        *keyed by sequence id*, so a server that reorders its answers
+        still lands each class id on the right sample.
+        """
+        chunk = np.asarray(images[start : start + ctx.config.batch_size])
+        features, logits, entropies, exits = self.browser.process_batch(
+            chunk, threshold=ctx.threshold
+        )
+        predictions = logits.argmax(axis=1).astype(np.int64)
+        miss_idx = np.flatnonzero(~exits)
+        request = None
+        if miss_idx.size:
+            request = BatchInferenceRequest.from_features(
+                self._session_id,
+                [start + int(j) for j in miss_idx],
+                ctx.codec.name,
+                features[miss_idx],
+            )
+        return _PendingChunk(
+            start=start,
+            count=len(chunk),
+            predictions=predictions,
+            entropies=entropies,
+            exits=exits,
+            miss_idx=miss_idx,
+            request=request,
+        )
+
+    def _apply_reply(
+        self,
+        pending: _PendingChunk,
+        reply: Optional[BatchInferenceResponse],
+        attempts: int,
+        retry_ms: float,
+    ) -> None:
+        """Land the edge's answer (or the lack of one) on a chunk."""
+        pending.attempts = attempts
+        pending.retry_ms = retry_ms
+        if reply is None:
+            # The whole chunk degrades together: every miss keeps its
+            # binary-branch argmax, already in `predictions`.  The
+            # transport helper counted one fallback for the chunk; the
+            # counter tracks samples.
+            pending.served_by = SERVED_BY_FALLBACK
+            self.fault_counters.fallbacks += int(pending.miss_idx.size) - 1
+        else:
+            by_sequence = {
+                int(s): int(c) for s, c in zip(reply.sequences, reply.class_ids)
+            }
+            for j in pending.miss_idx:
+                pending.predictions[j] = by_sequence[pending.start + int(j)]
+            pending.served_by = SERVED_BY_EDGE
+
+    def _finish_chunk(
+        self,
+        pending: _PendingChunk,
+        ctx: _SessionContext,
+        outcomes: list[RecognitionOutcome],
+        costs: list[SampleCost],
+    ) -> None:
+        """Pricing phase: per-sample latency model + outcome emission.
+
+        Costs stay per sample regardless of chunking: the latency model
+        prices each frame exactly as a per-sample session does.  Every
+        miss in the chunk waited out the same failed attempts (and the
+        same scheduler queue delay, when one is attached), so each
+        carries the chunk's full retry/queue cost.
+        """
+        config = ctx.config
+        for j in range(pending.count):
+            i = pending.start + j
+            is_miss = not bool(pending.exits[j])
+            trace = simulate_plan(
+                ctx.plan,
+                num_samples=1,
+                link=ctx.link,
+                browser=self.browser_device,
+                edge=self.edge_device,
+                cold_start=True,
+                # Miss steps are priced only when the exchange succeeded;
+                # a fallback sample pays its failed attempts via retry_ms.
+                miss_mask=[is_miss and pending.served_by == SERVED_BY_EDGE],
+                retry_ms=[pending.retry_ms if is_miss else 0.0],
+                queue_ms=[pending.queue_ms if is_miss else 0.0],
+                # The bundle loads on the first visit only unless every
+                # scan is a fresh page load (cold_start).
+                include_setup=config.cold_start or i == 0,
+            )
+            cost = trace.samples[0]
+            costs.append(cost)
+            outcomes.append(
+                RecognitionOutcome(
+                    index=i,
+                    prediction=int(pending.predictions[j]),
+                    exited_locally=bool(pending.exits[j]),
+                    entropy=float(pending.entropies[j]),
+                    cost=cost,
+                    served_by=pending.served_by if is_miss else SERVED_BY_BRANCH,
+                    attempts=pending.attempts if is_miss else 0,
+                )
+            )
+
     def run_session(
         self,
         images: np.ndarray,
-        cold_start: bool = False,
+        cold_start: Optional[bool] = None,
         batch_size: Optional[int] = None,
+        *,
+        config: Optional[SessionConfig] = None,
     ) -> SessionResult:
         """Process an image stream through the deployed system.
 
@@ -432,168 +796,36 @@ class LCRSDeployment:
         engines / the trunk); per-sample costs come from the latency
         model with the link's jitter applied per transfer.
 
-        ``batch_size`` selects the batched fast path: frames are pushed
-        through the stem/branch engines ``batch_size`` at a time, the
-        entropy gate is vectorized, and each chunk's misses travel to
-        the edge in a single :class:`BatchInferenceRequest` frame.
-        Predictions, exit decisions, and entropies are bit-identical to
-        the per-sample path (``batch_size=None``); per-sample costs are
-        still priced individually by the latency model, so
-        :class:`RecognitionOutcome`/:class:`SampleCost` semantics are
-        unchanged.
+        ``config`` is the canonical way to shape a session (see
+        :class:`SessionConfig`); the bare ``cold_start``/``batch_size``
+        kwargs are deprecated shims kept for one release.  There is a
+        single serving code path: frames are pushed through the
+        stem/branch engines ``config.batch_size`` at a time, the entropy
+        gate is vectorized, and each chunk's misses travel to the edge
+        in a single :class:`BatchInferenceRequest` frame —
+        ``batch_size=1`` is simply the degenerate per-sample case.
+        Predictions, exit decisions, and entropies are bit-identical
+        across batch sizes; per-sample costs are always priced
+        individually by the latency model, so
+        :class:`RecognitionOutcome`/:class:`SampleCost` semantics do not
+        depend on chunking.
         """
-        if batch_size is not None:
-            if batch_size <= 0:
-                raise ValueError("batch_size must be positive")
-            return self._run_session_batched(images, cold_start, batch_size)
-
-        plan = self.plan()
+        config = _resolve_session_config(config, cold_start, batch_size)
+        ctx = self._session_context(config)
         outcomes: list[RecognitionOutcome] = []
         costs: list[SampleCost] = []
 
-        for i, image in enumerate(images):
-            features, logits, entropy, exit_locally = self.browser.process(image)
-
-            served_by = SERVED_BY_BRANCH
-            attempts = 0
-            retry_ms = 0.0
-            if exit_locally:
-                prediction = int(logits.argmax(axis=1)[0])
-            else:
-                # The features cross the wire as a protocol frame through
-                # the configured codec, so both the byte contract and any
-                # quantization loss are exercised for real.
-                request = InferenceRequest.from_features(
-                    self._session_id, i, self.feature_codec.name, features
-                )
+        for start in range(0, len(images), config.batch_size):
+            pending = self._begin_chunk(images, start, ctx)
+            if pending.request is not None:
                 reply, attempts, retry_ms = self._exchange_with_retry(
-                    request, InferenceResponse
+                    pending.request,
+                    BatchInferenceResponse,
+                    link=ctx.link,
+                    policy=ctx.policy,
                 )
-                if reply is None:
-                    # Graceful degradation: the binary branch's answer,
-                    # already computed, serves the sample.
-                    prediction = int(logits.argmax(axis=1)[0])
-                    served_by = SERVED_BY_FALLBACK
-                else:
-                    prediction = reply.class_id
-                    served_by = SERVED_BY_EDGE
-
-            trace = simulate_plan(
-                plan,
-                num_samples=1,
-                link=self.link,
-                browser=self.browser_device,
-                edge=self.edge_device,
-                cold_start=True,
-                # Miss steps are priced only when the exchange succeeded;
-                # a fallback sample pays its failed attempts via retry_ms.
-                miss_mask=[served_by == SERVED_BY_EDGE],
-                retry_ms=[retry_ms],
-                # The bundle loads on the first visit only unless every
-                # scan is a fresh page load (cold_start).
-                include_setup=cold_start or i == 0,
-            )
-            cost = trace.samples[0]
-            costs.append(cost)
-            outcomes.append(
-                RecognitionOutcome(
-                    index=i,
-                    prediction=prediction,
-                    exited_locally=exit_locally,
-                    entropy=entropy,
-                    cost=cost,
-                    served_by=served_by,
-                    attempts=attempts,
-                )
-            )
-
-        return SessionResult(
-            outcomes=outcomes,
-            trace=SessionTrace(
-                approach="lcrs", network=self.system.model.base_name, samples=costs
-            ),
-        )
-
-    def _run_session_batched(
-        self, images: np.ndarray, cold_start: bool, batch_size: int
-    ) -> SessionResult:
-        """The batched serving path behind :meth:`run_session`."""
-        plan = self.plan()
-        outcomes: list[RecognitionOutcome] = []
-        costs: list[SampleCost] = []
-        num_images = len(images)
-
-        for start in range(0, num_images, batch_size):
-            chunk = np.asarray(images[start : start + batch_size])
-            features, logits, entropies, exits = self.browser.process_batch(chunk)
-            predictions = logits.argmax(axis=1).astype(np.int64)
-
-            miss_idx = np.flatnonzero(~exits)
-            miss_served = SERVED_BY_BRANCH
-            attempts = 0
-            retry_ms = 0.0
-            if miss_idx.size:
-                # All of this chunk's misses ship as one protocol frame —
-                # one codec pass, one round trip — and the reply fans the
-                # class ids back out *keyed by sequence id*, so a server
-                # that reorders its answers still lands each class id on
-                # the right sample.
-                request = BatchInferenceRequest.from_features(
-                    self._session_id,
-                    [start + int(j) for j in miss_idx],
-                    self.feature_codec.name,
-                    features[miss_idx],
-                )
-                reply, attempts, retry_ms = self._exchange_with_retry(
-                    request, BatchInferenceResponse
-                )
-                if reply is None:
-                    # The whole chunk degrades together: every miss keeps
-                    # its binary-branch argmax, already in `predictions`.
-                    miss_served = SERVED_BY_FALLBACK
-                    # The exchange helper counted one fallback for the
-                    # chunk; the counter tracks samples in both paths.
-                    self.fault_counters.fallbacks += int(miss_idx.size) - 1
-                else:
-                    by_sequence = {
-                        int(s): int(c)
-                        for s, c in zip(reply.sequences, reply.class_ids)
-                    }
-                    for j in miss_idx:
-                        predictions[j] = by_sequence[start + int(j)]
-                    miss_served = SERVED_BY_EDGE
-
-            # Costs stay per sample: the latency model prices each frame
-            # exactly as the per-sample path does.  Every miss in the
-            # chunk waited out the same failed attempts, so each carries
-            # the chunk's full retry cost.
-            for j in range(len(chunk)):
-                i = start + j
-                is_miss = not bool(exits[j])
-                trace = simulate_plan(
-                    plan,
-                    num_samples=1,
-                    link=self.link,
-                    browser=self.browser_device,
-                    edge=self.edge_device,
-                    cold_start=True,
-                    miss_mask=[is_miss and miss_served == SERVED_BY_EDGE],
-                    retry_ms=[retry_ms if is_miss else 0.0],
-                    include_setup=cold_start or i == 0,
-                )
-                cost = trace.samples[0]
-                costs.append(cost)
-                outcomes.append(
-                    RecognitionOutcome(
-                        index=i,
-                        prediction=int(predictions[j]),
-                        exited_locally=bool(exits[j]),
-                        entropy=float(entropies[j]),
-                        cost=cost,
-                        served_by=miss_served if is_miss else SERVED_BY_BRANCH,
-                        attempts=attempts if is_miss else 0,
-                    )
-                )
+                self._apply_reply(pending, reply, attempts, retry_ms)
+            self._finish_chunk(pending, ctx, outcomes, costs)
 
         return SessionResult(
             outcomes=outcomes,

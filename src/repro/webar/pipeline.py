@@ -20,7 +20,7 @@ from typing import Optional, Protocol
 import numpy as np
 
 from ..runtime.latency import SampleCost
-from ..runtime.session import LCRSDeployment, SessionResult
+from ..runtime.session import LCRSDeployment, SessionConfig, SessionResult
 
 #: Camera capture + canvas preprocessing on a 2017-class phone browser.
 DEFAULT_SCAN_MS = 40.0
@@ -109,7 +109,9 @@ class LCRSRecognizer:
         self.cold_start = cold_start
 
     def recognize_stream(self, images: np.ndarray) -> SessionResult:
-        return self.deployment.run_session(images, cold_start=self.cold_start)
+        return self.deployment.run_session(
+            images, config=SessionConfig(cold_start=self.cold_start)
+        )
 
 
 class WebARPipeline:

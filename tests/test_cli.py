@@ -29,9 +29,9 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("train", "evaluate", "export", "study", "session"):
+        for command in ("train", "evaluate", "export", "study", "session", "scale"):
             assert parser.parse_args([command] + (
-                ["x.npz"] if command in ("evaluate", "session") else
+                ["x.npz"] if command in ("evaluate", "session", "scale") else
                 ["x.npz", "y.lcrs"] if command == "export" else []
             )).command == command
 
@@ -114,6 +114,31 @@ class TestSessionCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "binary-fallback=" in out
+
+
+class TestScaleCommand:
+    def test_scale_sweep_writes_json(self, checkpoint, tmp_path, capsys):
+        output = tmp_path / "scale.json"
+        code = main(
+            [
+                "scale", str(checkpoint),
+                "--users", "1", "2",
+                "--window-ms", "0.0", "4.0",
+                "--samples", "8",
+                "--session-batch", "4",
+                "--threshold", "0.05",
+                "--json", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "users" in out and "speedup" in out
+        assert output.exists()
+        import json
+
+        record = json.loads(output.read_text())
+        # One per-request comparator plus two windowed cells per user count.
+        assert len(record["points"]) == 6
 
 
 class TestStudyCommand:

@@ -6,11 +6,15 @@ import numpy as np
 import pytest
 
 from repro.experiments import build_network_assets
+from repro.profiling import ModelCounters
 from repro.runtime import (
     QueueModel,
+    ServiceTimeModel,
     edge_load_curve,
     edge_service_time_s,
     max_sustainable_users,
+    measure_service_model,
+    measured_service_time_s,
 )
 
 
@@ -86,3 +90,141 @@ class TestEdgeLoad:
     def test_invalid_exit_rate(self, trunk_profile):
         with pytest.raises(ValueError):
             edge_load_curve(trunk_profile, 1.5, [10])
+
+
+class TestServiceTimeModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceTimeModel(base_ms=-1.0, per_sample_ms=0.5)
+        with pytest.raises(ValueError):
+            ServiceTimeModel(base_ms=1.0, per_sample_ms=0.0)
+        with pytest.raises(ValueError):
+            ServiceTimeModel(base_ms=1.0, per_sample_ms=0.5).batch_ms(0)
+
+    def test_batch_ms_is_affine(self):
+        model = ServiceTimeModel(base_ms=2.0, per_sample_ms=0.25)
+        assert model.batch_ms(1) == pytest.approx(2.25)
+        assert model.batch_ms(8) == pytest.approx(4.0)
+        # Marginal cost of one more sample is exactly per_sample_ms.
+        assert model.batch_ms(9) - model.batch_ms(8) == pytest.approx(0.25)
+
+    def test_batching_amortizes_call_overhead(self):
+        model = ServiceTimeModel(base_ms=2.0, per_sample_ms=0.25)
+        per_sample = [model.service_time_s(n) for n in (1, 4, 16, 64)]
+        assert per_sample == sorted(per_sample, reverse=True)
+        # In the limit, only the marginal cost remains.
+        assert model.service_time_s(10_000) == pytest.approx(
+            0.25 / 1e3, rel=1e-2
+        )
+
+    def test_from_profile_matches_edge_service_time(self, trunk_profile):
+        model = ServiceTimeModel.from_profile(trunk_profile, request_overhead_ms=0.0)
+        assert model.service_time_s(1) == pytest.approx(
+            edge_service_time_s(trunk_profile), rel=1e-9
+        )
+        assert ServiceTimeModel.from_profile(trunk_profile).base_ms > model.base_ms
+
+    def test_from_measurements_recovers_affine_fit(self):
+        truth = ServiceTimeModel(base_ms=3.0, per_sample_ms=0.7)
+        sizes = [1, 2, 4, 8, 16]
+        fitted = ServiceTimeModel.from_measurements(
+            sizes, [truth.batch_ms(n) for n in sizes]
+        )
+        assert fitted.base_ms == pytest.approx(3.0, abs=1e-6)
+        assert fitted.per_sample_ms == pytest.approx(0.7, abs=1e-6)
+
+    def test_from_measurements_clamps_to_valid_model(self):
+        # Noisy timings can fit a negative intercept; the model clamps.
+        fitted = ServiceTimeModel.from_measurements([1, 2], [0.5, 1.5])
+        assert fitted.base_ms == 0.0
+        assert fitted.per_sample_ms == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "sizes,times",
+        [([4], [1.0]), ([4, 4], [1.0, 1.1]), ([1, 2], [1.0])],
+    )
+    def test_from_measurements_validation(self, sizes, times):
+        with pytest.raises(ValueError):
+            ServiceTimeModel.from_measurements(sizes, times)
+
+    def test_measure_service_model_times_real_trunk(self, trained_system):
+        model = measure_service_model(
+            trained_system.model.main_trunk,
+            trained_system.model.stem_output_shape,
+            batch_sizes=(1, 8),
+            repeats=1,
+        )
+        assert model.per_sample_ms > 0.0
+        assert model.base_ms >= 0.0
+
+
+class TestMeasuredQueueCalibration:
+    def _counters(self, samples, wall_ms):
+        counters = ModelCounters.for_kinds(["conv", "dense"])
+        counters.ops[0].record(samples=samples, wall_ms=wall_ms * 0.75)
+        counters.ops[1].record(samples=samples, wall_ms=wall_ms * 0.25)
+        return counters
+
+    def test_measured_service_time(self):
+        counters = self._counters(samples=40, wall_ms=80.0)
+        # 80 ms over 40 samples → 2 ms each.
+        assert measured_service_time_s(counters) == pytest.approx(2e-3)
+
+    def test_empty_counters_rejected(self):
+        with pytest.raises(ValueError, match="no recorded samples"):
+            measured_service_time_s(ModelCounters.for_kinds(["conv"]))
+
+    def test_zero_wall_time_rejected(self):
+        counters = ModelCounters.for_kinds(["conv"])
+        counters.ops[0].record(samples=10, wall_ms=0.0)
+        with pytest.raises(ValueError, match="wall time"):
+            measured_service_time_s(counters)
+
+    def test_queue_from_counters(self):
+        queue = QueueModel.from_counters(self._counters(40, 80.0), workers=2)
+        assert queue.workers == 2
+        assert queue.service_rate == pytest.approx(500.0)
+
+    def test_queue_from_service_model_batching_raises_capacity(self):
+        model = ServiceTimeModel(base_ms=4.0, per_sample_ms=1.0)
+        solo = QueueModel.from_service_model(model, batch_size=1)
+        batched = QueueModel.from_service_model(model, batch_size=16)
+        assert batched.service_rate > solo.service_rate
+        # An arrival rate the per-request server cannot sustain is
+        # comfortably stable under batch-16 serving.
+        lam = 1.0 / model.service_time_s(1) * 1.5
+        assert not solo.is_stable(lam)
+        assert batched.is_stable(lam)
+
+
+class TestStabilityBoundary:
+    """Regression for the ρ → 1 boundary: waits must diverge smoothly
+    to the boundary and be infinite at and beyond it — no negative or
+    wrapped values from the closed form."""
+
+    def test_wait_diverges_monotonically_toward_saturation(self):
+        q = QueueModel(workers=1, service_time_s=0.1)  # mu = 10/s
+        rhos = [0.5, 0.9, 0.99, 0.999, 0.9999]
+        waits = [q.mean_wait_s(rho * 10.0) for rho in rhos]
+        assert all(math.isfinite(w) and w > 0 for w in waits)
+        assert waits == sorted(waits)
+        # M/M/1 closed form at rho = 0.9999: W_q = rho/(mu - lam).
+        assert waits[-1] == pytest.approx(0.9999 / (10.0 - 9.999), rel=1e-9)
+        assert waits[-1] > 100 * waits[0]
+
+    @pytest.mark.parametrize("rho", [1.0, 1.0000001, 2.0])
+    def test_at_and_beyond_saturation(self, rho):
+        q = QueueModel(workers=1, service_time_s=0.1)
+        lam = rho * 10.0
+        assert not q.is_stable(lam)
+        assert q.erlang_c(lam) == 1.0
+        assert q.mean_wait_s(lam) == math.inf
+        assert q.mean_response_s(lam) == math.inf
+
+    def test_erlang_c_approaches_one_from_below(self):
+        q = QueueModel(workers=4, service_time_s=0.05)
+        saturation = 4 / 0.05  # lam at rho = 1
+        probs = [q.erlang_c(f * saturation) for f in (0.5, 0.9, 0.99, 0.999)]
+        assert probs == sorted(probs)
+        assert probs[-1] < 1.0
+        assert probs[-1] > 0.99

@@ -1,0 +1,203 @@
+"""Tests for the ``SessionConfig`` API and its legacy-kwarg shims.
+
+The redesign's contract: ``run_session(images, config=SessionConfig(...))``
+is the canonical signature; the old ``cold_start``/``batch_size`` kwargs
+still work but emit ``DeprecationWarning`` and must produce *bit-identical*
+``SessionResult``s to the config path, so downstream callers can migrate
+mechanically.
+"""
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    FP32_CODEC,
+    INT8_CODEC,
+    LCRSDeployment,
+    SessionConfig,
+    four_g,
+)
+
+def fresh_deployment(trained_system, codec=FP32_CODEC):
+    return LCRSDeployment(
+        trained_system, four_g(seed=2).deterministic(), feature_codec=codec
+    )
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        cfg = SessionConfig()
+        assert cfg.batch_size == 1
+        assert not cfg.cold_start
+        assert not cfg.injects_faults
+
+    @pytest.mark.parametrize("batch_size", [0, -4])
+    def test_nonpositive_batch_size(self, batch_size):
+        with pytest.raises(ValueError, match="batch_size"):
+            SessionConfig(batch_size=batch_size)
+
+    @pytest.mark.parametrize("threshold", [-0.1, 1.5])
+    def test_threshold_out_of_range(self, threshold):
+        with pytest.raises(ValueError, match="threshold"):
+            SessionConfig(threshold=threshold)
+
+    def test_unknown_codec(self):
+        with pytest.raises(KeyError, match="unknown codec"):
+            SessionConfig(codec="bf16")
+
+    def test_unknown_fault_profile(self):
+        with pytest.raises(ValueError, match="fault profile"):
+            SessionConfig(fault_profile="catastrophic")
+
+    def test_unknown_fault_override_knob(self):
+        with pytest.raises(ValueError, match="fault override"):
+            SessionConfig(fault_overrides={"jitter_prob": 0.5})
+
+    def test_fault_override_out_of_range(self):
+        with pytest.raises(ValueError, match="must be in"):
+            SessionConfig(fault_overrides={"drop_prob": 1.5})
+
+    def test_fault_overrides_normalized_and_hashable(self):
+        a = SessionConfig(fault_overrides={"timeout_prob": 0.1, "drop_prob": 0.2})
+        b = SessionConfig(fault_overrides=(("drop_prob", 0.2), ("timeout_prob", 0.1)))
+        assert a == b
+        assert a.fault_overrides == (("drop_prob", 0.2), ("timeout_prob", 0.1))
+        assert hash(a) == hash(b)
+        assert a.injects_faults
+
+    def test_frozen(self):
+        cfg = SessionConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.batch_size = 4
+
+
+class TestLegacyShims:
+    def test_legacy_kwargs_warn(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        deployment = fresh_deployment(trained_system)
+        with pytest.warns(DeprecationWarning, match="run_session"):
+            deployment.run_session(test.images[:4], batch_size=4)
+
+    def test_config_path_does_not_warn(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        deployment = fresh_deployment(trained_system)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            deployment.run_session(test.images[:4], config=SessionConfig(batch_size=4))
+            deployment.run_session(test.images[:4])
+
+    def test_config_plus_legacy_rejected(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        deployment = fresh_deployment(trained_system)
+        with pytest.raises(TypeError, match="not both"):
+            deployment.run_session(
+                test.images[:4], batch_size=2, config=SessionConfig()
+            )
+
+    @pytest.mark.parametrize(
+        "legacy_kwargs,config",
+        [
+            ({"batch_size": 8}, SessionConfig(batch_size=8)),
+            ({"cold_start": True}, SessionConfig(cold_start=True)),
+            (
+                {"cold_start": True, "batch_size": 5},
+                SessionConfig(cold_start=True, batch_size=5),
+            ),
+        ],
+    )
+    def test_legacy_and_config_bit_identical(
+        self, trained_system, tiny_mnist, legacy_kwargs, config
+    ):
+        """The shim maps onto the dataclass exactly: same predictions,
+        same costs to the bit, same transport counters."""
+        _, test = tiny_mnist
+        images = test.images[:24]
+        with pytest.warns(DeprecationWarning):
+            legacy = fresh_deployment(trained_system).run_session(
+                images, **legacy_kwargs
+            )
+        canonical = fresh_deployment(trained_system).run_session(
+            images, config=config
+        )
+        np.testing.assert_array_equal(legacy.predictions, canonical.predictions)
+        for a, b in zip(legacy.outcomes, canonical.outcomes):
+            assert a.exited_locally == b.exited_locally
+            assert a.served_by == b.served_by
+            assert a.attempts == b.attempts
+            assert a.entropy == b.entropy
+            assert a.cost == b.cost  # exact, not approx: bit-identical
+
+
+class TestConfigKnobs:
+    def test_threshold_override_gates_everything_local(
+        self, trained_system, tiny_mnist
+    ):
+        _, test = tiny_mnist
+        deployment = fresh_deployment(trained_system)
+        session = deployment.run_session(
+            test.images[:20], config=SessionConfig(threshold=1.0)
+        )
+        assert session.exit_rate == 1.0
+        assert deployment.edge.requests_served == 0
+
+    def test_threshold_override_forces_misses(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        deployment = fresh_deployment(trained_system)
+        session = deployment.run_session(
+            test.images[:20], config=SessionConfig(threshold=0.0)
+        )
+        assert session.exit_rate == 0.0
+        assert deployment.edge.requests_served == 20
+        # The deployment's calibrated gate is untouched.
+        assert deployment.browser.threshold == trained_system.threshold
+
+    def test_codec_override_matches_deployment_codec(
+        self, trained_system, tiny_mnist
+    ):
+        _, test = tiny_mnist
+        images = test.images[:20]
+        via_config = fresh_deployment(trained_system).run_session(
+            images, config=SessionConfig(codec="int8")
+        )
+        via_deployment = fresh_deployment(trained_system, codec=INT8_CODEC).run_session(
+            images
+        )
+        np.testing.assert_array_equal(
+            via_config.predictions, via_deployment.predictions
+        )
+
+    def test_fault_profile_config_degrades_gracefully(
+        self, trained_system, tiny_mnist
+    ):
+        """A partitioned session answers every frame from the branch and
+        leaves the deployment's own link un-wrapped."""
+        _, test = tiny_mnist
+        images = test.images[:20]
+        deployment = fresh_deployment(trained_system)
+        session = deployment.run_session(
+            images,
+            config=SessionConfig(
+                batch_size=5, fault_profile="partition", fault_seed=3
+            ),
+        )
+        assert len(session.outcomes) == len(images)
+        misses = sum(not o.exited_locally for o in session.outcomes)
+        assert session.fallback_rate == pytest.approx(misses / len(images))
+        assert deployment.fault_counters.frames_dropped > 0
+        # The config wraps a copy for the session; the deployment link
+        # stays fault-free for the next caller.
+        follow_up = deployment.run_session(images)
+        assert follow_up.fallback_rate == 0.0
+
+    def test_cold_start_config_dearer_than_warm(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        cold = fresh_deployment(trained_system).run_session(
+            test.images[:10], config=SessionConfig(cold_start=True, batch_size=10)
+        )
+        warm = fresh_deployment(trained_system).run_session(
+            test.images[:10], config=SessionConfig(batch_size=10)
+        )
+        assert cold.mean_latency_ms > warm.mean_latency_ms
