@@ -7,7 +7,7 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest -x -q
 
-.PHONY: test fault-smoke verify bench bench-sched
+.PHONY: test fault-smoke trace-smoke verify bench bench-sched
 
 test:
 	$(PYTEST)
@@ -15,7 +15,10 @@ test:
 fault-smoke:
 	REPRO_FAULT_PROFILE=smoke $(PYTEST) tests/test_faults.py tests/test_session.py tests/test_batched_session.py tests/test_session_protocol.py tests/test_protocol.py
 
-verify: test fault-smoke
+trace-smoke:
+	PYTHONPATH=src $(PY) benchmarks/trace_smoke.py
+
+verify: test fault-smoke trace-smoke
 
 bench:
 	PYTHONPATH=src $(PY) benchmarks/bench_kernels.py

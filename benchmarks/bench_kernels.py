@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import json
 import platform
-import time
 from pathlib import Path
 
 import numpy as np
@@ -40,11 +39,13 @@ KERNEL_REPEATS = 5
 
 def _best_seconds(fn, repeats: int) -> float:
     """Best-of-N wall time; best is the standard micro-bench estimator."""
+    from repro.observability.clock import now_s
+
     best = float("inf")
     for _ in range(repeats):
-        t0 = time.perf_counter()
+        t0 = now_s()
         fn()
-        best = min(best, time.perf_counter() - t0)
+        best = min(best, now_s() - t0)
     return best
 
 

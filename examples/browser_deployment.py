@@ -127,17 +127,17 @@ def main() -> None:
         system.calibration = calibrated
 
     print("\n== batched vs per-sample serving throughput ==")
-    import time
+    from repro.observability.clock import now_s
 
     deployment = LCRSDeployment(system, four_g(seed=4).deterministic())
     frames = test.images[:128]
     deployment.run_session(frames[:16], config=SessionConfig(batch_size=16))  # warm
-    t0 = time.perf_counter()
+    t0 = now_s()
     scalar = deployment.run_session(frames)
-    scalar_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
+    scalar_s = now_s() - t0
+    t0 = now_s()
     batched = deployment.run_session(frames, config=SessionConfig(batch_size=64))
-    batched_s = time.perf_counter() - t0
+    batched_s = now_s() - t0
     assert (scalar.predictions == batched.predictions).all()
     print(
         f"per-sample: {len(frames) / scalar_s:7.1f} frames/s   "

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the library's lifecycle without writing Python:
+Seven commands cover the library's lifecycle without writing Python:
 
 * ``train``   — joint-train an LCRS on a synthetic dataset, calibrate,
   report, and optionally checkpoint.
@@ -14,6 +14,9 @@ Six commands cover the library's lifecycle without writing Python:
   fallback / retry behaviour.
 * ``scale``   — sweep concurrent sessions × batching windows through
   the shared edge scheduler and report throughput/queueing/shedding.
+* ``trace``   — run a traced multi-session scheduler round and export
+  the timeline as Chrome ``trace_event`` JSON (Perfetto-loadable) or a
+  JSONL span log.
 """
 
 from __future__ import annotations
@@ -82,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
     session.add_argument("--max-attempts", type=int, default=3)
     session.add_argument("--attempt-timeout-ms", type=float, default=1000.0)
     session.add_argument("--backoff-ms", type=float, default=50.0)
+    session.add_argument(
+        "--json", type=Path, default=None,
+        help="write the session report (aggregate + per-sample costs "
+        "incl. retry_ms/queue_ms) as JSON here",
+    )
 
     scale = sub.add_parser(
         "scale", help="concurrent-session sweep through the edge scheduler"
@@ -115,6 +123,34 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of the FLOPs-only profile",
     )
     scale.add_argument("--json", type=Path, default=None, help="also write JSON here")
+
+    trace = sub.add_parser(
+        "trace", help="trace a multi-session scheduler run and export the timeline"
+    )
+    trace.add_argument("checkpoint", type=Path)
+    trace.add_argument("--users", type=int, default=2, help="concurrent sessions")
+    trace.add_argument("--samples", type=int, default=16, help="frames per user")
+    trace.add_argument(
+        "--session-batch", type=int, default=4,
+        help="frames per browser-side chunk (one trace per chunk)",
+    )
+    trace.add_argument(
+        "--threshold", type=float, default=None,
+        help="override the calibrated exit threshold tau (tighten it to "
+        "force misses onto the traced edge path)",
+    )
+    trace.add_argument("--window-ms", type=float, default=4.0)
+    trace.add_argument("--max-batch", type=int, default=32)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--format", choices=("chrome", "jsonl"), default="chrome",
+        help="chrome: trace_event JSON for Perfetto/chrome://tracing; "
+        "jsonl: one span object per line",
+    )
+    trace.add_argument(
+        "--out", type=Path, default=Path("trace.json"),
+        help="output path for the exported timeline",
+    )
     return parser
 
 
@@ -270,6 +306,39 @@ def _cmd_session(args: argparse.Namespace) -> int:
         "  link: "
         + " ".join(f"{name}={value}" for name, value in counters.items())
     )
+    if args.json is not None:
+        import json
+
+        record = {
+            "network": system.model.base_name,
+            "dataset": system.dataset_name,
+            "link": link.name,
+            "samples": args.samples,
+            "seed": args.seed,
+            "accuracy": result.accuracy(test.labels),
+            "exit_rate": result.exit_rate,
+            "fallback_rate": result.fallback_rate,
+            "mean_latency_ms": result.mean_latency_ms,
+            "mean_attempts": result.mean_attempts,
+            "mean_retry_ms": result.trace.mean_retry_ms,
+            "mean_queue_ms": result.trace.mean_queue_ms,
+            "served_by": served,
+            "fault_counters": counters,
+            "per_sample": [
+                {
+                    "index": o.index,
+                    "served_by": o.served_by,
+                    "attempts": o.attempts,
+                    "total_ms": o.cost.total_ms,
+                    "retry_ms": o.cost.retry_ms,
+                    "queue_ms": o.cost.queue_ms,
+                }
+                for o in result.outcomes
+            ],
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(record, indent=2))
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -339,6 +408,67 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .observability import Tracer, write_chrome_trace, write_jsonl
+    from .runtime import LCRSDeployment, SessionConfig
+    from .runtime.network import four_g
+    from .runtime.scheduler import (
+        EdgeScheduler,
+        SchedulerConfig,
+        run_concurrent_sessions,
+    )
+
+    system = load_system(args.checkpoint)
+    if not system.dataset_name:
+        print("checkpoint has no dataset name; cannot regenerate data", file=sys.stderr)
+        return 2
+    _, test = make_dataset(system.dataset_name, 10, args.samples, seed=args.seed)
+    if system.calibration is None:
+        system.calibrate(test)
+
+    deployments = [
+        LCRSDeployment(system, four_g(seed=args.seed * 10_000 + i))
+        for i in range(args.users)
+    ]
+    scheduler = EdgeScheduler.for_system(
+        system,
+        config=SchedulerConfig(window_ms=args.window_ms, max_batch_size=args.max_batch),
+    )
+    tracer = Tracer()
+    results = run_concurrent_sessions(
+        deployments,
+        [test.images[: args.samples]] * args.users,
+        scheduler,
+        config=SessionConfig(batch_size=args.session_batch, threshold=args.threshold),
+        recorder=tracer,
+    )
+
+    summary = tracer.summary()
+    print(
+        f"{system.model.base_name}/{system.dataset_name}: {args.users} users x "
+        f"{args.samples} frames, session batch {args.session_batch}"
+    )
+    print(
+        f"  traces={summary.traces} spans={summary.spans} "
+        f"exit={sum(r.exit_rate for r in results) / len(results):.2f} "
+        f"batches={scheduler.counters.batches}"
+    )
+    for name in sorted(summary.by_name):
+        stat = summary.by_name[name]
+        sim = stat.get("sim_ms")
+        sim_part = f" sim={sim:8.2f}ms" if sim is not None else ""
+        print(f"  {name:<16} x{stat['count']:<4}{sim_part}")
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    if args.format == "chrome":
+        write_chrome_trace(tracer, args.out)
+        print(f"wrote {args.out} (load in Perfetto or chrome://tracing)")
+    else:
+        write_jsonl(tracer, args.out)
+        print(f"wrote {args.out} (one span per line)")
+    return 0
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
@@ -346,6 +476,7 @@ _COMMANDS = {
     "study": _cmd_study,
     "session": _cmd_session,
     "scale": _cmd_scale,
+    "trace": _cmd_trace,
 }
 
 

@@ -91,6 +91,8 @@ class ConcurrencyPoint:
     fallback_rate: float
     exit_rate: float
     mean_latency_ms: float
+    mean_retry_ms: float = 0.0
+    mean_queue_ms: float = 0.0
 
     @property
     def per_request(self) -> bool:
@@ -112,6 +114,8 @@ class ConcurrencyPoint:
             "fallback_rate": self.fallback_rate,
             "exit_rate": self.exit_rate,
             "mean_latency_ms": self.mean_latency_ms,
+            "mean_retry_ms": self.mean_retry_ms,
+            "mean_queue_ms": self.mean_queue_ms,
         }
 
 
@@ -204,6 +208,8 @@ def _concurrency_cell(
         fallback_rate=float(np.mean([r.fallback_rate for r in results])),
         exit_rate=float(np.mean([r.exit_rate for r in results])),
         mean_latency_ms=float(np.mean([r.mean_latency_ms for r in results])),
+        mean_retry_ms=float(np.mean([r.trace.mean_retry_ms for r in results])),
+        mean_queue_ms=float(np.mean([r.trace.mean_queue_ms for r in results])),
     )
 
 

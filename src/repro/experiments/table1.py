@@ -8,13 +8,13 @@ training curves collected along the way are the Figure 5 series.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
 from ..core.system import LCRS, SystemReport
+from ..observability.clock import now_s
 from ..core.training import JointTrainingConfig, TrainingHistory
 from ..data.synthetic import DATASET_NAMES, SPECS
 from ..data import make_dataset
@@ -162,9 +162,9 @@ def run_table1_cell(
     )
     system = LCRS.build(network, train, training_config=config, dataset_name=dataset, seed=seed)
 
-    start = time.perf_counter()
+    start = now_s()
     history = system.fit(train, test)
-    elapsed = time.perf_counter() - start
+    elapsed = now_s() - start
 
     system.calibrate(test, accuracy_tolerance=accuracy_tolerance)
     report = system.report(test)

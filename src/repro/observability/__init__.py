@@ -1,0 +1,50 @@
+"""Observability: one clock, one metrics registry, one request tracer.
+
+The measurement substrate beneath every ``BENCH_*.json`` number and
+latency claim in this repository:
+
+* :mod:`~repro.observability.clock` — the only sanctioned wall-clock
+  (simulated-ms and wall-ms must never be conflated; a lint test rejects
+  direct ``time.perf_counter()`` use elsewhere);
+* :mod:`~repro.observability.metrics` — named counters / gauges /
+  fixed-bucket histograms with p50/p95/p99 summaries, the registry the
+  legacy counter dataclasses now facade over;
+* :mod:`~repro.observability.tracing` — span-based request tracing with
+  a trace id per serving chunk and an allocation-free
+  :data:`NULL_RECORDER` default;
+* :mod:`~repro.observability.export` — JSONL and Chrome ``trace_event``
+  exporters (``repro trace`` CLI, Perfetto-loadable timelines).
+"""
+
+from .clock import Stopwatch, now_ms, now_s
+from .export import chrome_trace, spans_to_jsonl, write_chrome_trace, write_jsonl
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS_MS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from .tracing import NULL_RECORDER, NullRecorder, Span, TelemetrySummary, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Span",
+    "Stopwatch",
+    "TelemetrySummary",
+    "Tracer",
+    "chrome_trace",
+    "global_registry",
+    "now_ms",
+    "now_s",
+    "spans_to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,54 @@
+"""The one wall-clock in the repository.
+
+Two kinds of time flow through this codebase and they must never be
+conflated: *simulated* milliseconds (the latency engine's priced time —
+deterministic, seedable, the thing the paper's figures are drawn in) and
+*wall* milliseconds (what the host CPU actually spent — noisy, machine
+dependent, the thing kernel benchmarks measure).  Every exported record
+labels which is which (``sim_*`` vs ``wall_*``), and every wall-clock
+read in the repository goes through this module so the two can be told
+apart at the call site: a lint test rejects direct ``time.time()`` /
+``time.perf_counter()`` usage outside ``repro/observability``.
+
+The clock is monotonic (``time.perf_counter``) — differences are
+meaningful, absolute values are process-relative and carry no epoch.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch", "now_ms", "now_s"]
+
+
+def now_s() -> float:
+    """Monotonic wall-clock seconds (process-relative origin)."""
+    return time.perf_counter()
+
+
+def now_ms() -> float:
+    """Monotonic wall-clock milliseconds (process-relative origin)."""
+    return time.perf_counter() * 1e3
+
+
+class Stopwatch:
+    """Context manager measuring one wall-clock interval.
+
+    >>> with Stopwatch() as sw:
+    ...     pass
+    >>> sw.elapsed_ms >= 0.0
+    True
+    """
+
+    __slots__ = ("start_ms", "elapsed_ms")
+
+    def __init__(self) -> None:
+        self.start_ms = 0.0
+        self.elapsed_ms = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.start_ms = now_ms()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed_ms = now_ms() - self.start_ms

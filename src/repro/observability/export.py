@@ -1,0 +1,135 @@
+"""Trace exporters: JSONL event logs and Chrome ``trace_event`` JSON.
+
+Two formats, two audiences:
+
+* **JSONL** — one span per line, schema = :meth:`Span.as_dict`.  Greppable,
+  streamable, diffable; the format regression gates consume.
+* **Chrome trace_event** — the ``{"traceEvents": [...]}`` JSON that
+  ``chrome://tracing`` and Perfetto load directly.  Tracks map to
+  threads: every session tenant gets one row, every edge worker gets
+  one row, so a multi-tenant serving run renders as the classic
+  swim-lane timeline (device compute on the tenant lanes, queue wait
+  and batched trunk passes on the edge lane, correlated by the
+  ``trace_id`` arg on every event).
+
+The timeline axis is **simulated** milliseconds wherever the span was
+priced (``sim_start_ms``/``sim_ms``); spans that only have wall time
+(e.g. codec encode) are laid out on the wall clock re-based to the
+trace origin.  Wall durations always travel in ``args.wall_ms`` so
+nothing is lost, and the two clocks are never summed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence, Union
+
+from .tracing import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "spans_to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+_Spans = Union[Tracer, Sequence[Span]]
+
+
+def _as_spans(spans: _Spans) -> list[Span]:
+    if isinstance(spans, Tracer):
+        return spans.spans()
+    return list(spans)
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def spans_to_jsonl(spans: _Spans) -> str:
+    """One JSON object per line, one line per span, in span-id order."""
+    return "\n".join(json.dumps(s.as_dict(), sort_keys=True) for s in _as_spans(spans))
+
+
+def write_jsonl(spans: _Spans, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = spans_to_jsonl(spans)
+    path.write_text(text + ("\n" if text else ""))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def chrome_trace(spans: _Spans) -> dict[str, object]:
+    """Render spans as a Chrome ``trace_event`` document.
+
+    Complete (``ph: "X"``) events under one process, one thread per
+    track; ``thread_name`` metadata events label the lanes.  Timestamps
+    and durations are microseconds, per the trace_event spec.
+    """
+    span_list = _as_spans(spans)
+    tracks = sorted({s.track for s in span_list})
+    tids = {track: i for i, track in enumerate(tracks)}
+
+    # Wall-only spans are re-based so the earliest wall start sits at 0
+    # on the shared axis (simulated timelines already start near 0).
+    wall_origin = min(
+        (s.wall_start_ms for s in span_list if s.sim_start_ms is None),
+        default=0.0,
+    )
+
+    events: list[dict[str, object]] = []
+    for track in tracks:
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 1,
+                "tid": tids[track],
+                "args": {"name": track},
+            }
+        )
+    for span in span_list:
+        if span.sim_start_ms is not None:
+            ts_ms = span.sim_start_ms
+            dur_ms = span.sim_ms if span.sim_ms is not None else 0.0
+            clock = "sim"
+        else:
+            ts_ms = span.wall_start_ms - wall_origin
+            dur_ms = span.wall_ms
+            clock = "wall"
+        args: dict[str, object] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "clock": clock,
+            "wall_ms": span.wall_ms,
+        }
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attrs)
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": "lcrs",
+                "pid": 1,
+                "tid": tids[span.track],
+                "ts": round(ts_ms * 1e3, 3),
+                "dur": round(dur_ms * 1e3, 3),
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.observability", "tracks": tracks},
+    }
+
+
+def write_chrome_trace(spans: _Spans, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(spans), indent=1))
+    return path

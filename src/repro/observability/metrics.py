@@ -1,0 +1,300 @@
+"""Named metrics: counters, gauges, and fixed-bucket histograms.
+
+One registry replaces the ad-hoc counter dataclasses that grew up around
+the engine (``ModelCounters``), the miss-path transport
+(``FaultCounters``), and the shared edge (``SchedulerCounters``): every
+metric is a named object in a :class:`MetricsRegistry`, so exporters and
+tests read one schema instead of three, and new subsystems get
+observability by naming a metric rather than writing a dataclass.  The
+legacy classes survive as facades over registry metrics (see
+:mod:`repro.profiling.op_counters`), keeping their ``counters.x += 1``
+call sites and ``as_dict`` schemas bit-compatible.
+
+Metrics are deliberately primitive — a mutable ``value`` plus an
+``add``/``set``/``observe`` method — so the hot paths that bump them pay
+an attribute store, not a dispatch tree.  Histograms keep both
+fixed-bucket counts (stable export schema) and the raw samples (exact
+p50/p95/p99 by nearest rank); serving runs observe at most a few
+thousand samples per metric, so exactness is cheaper than a sketch.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterator, Optional, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "global_registry",
+]
+
+#: Default latency buckets (upper bounds, ms).  Values above the last
+#: bound land in the implicit overflow bucket.
+DEFAULT_BUCKETS_MS: tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class Counter:
+    """A monotone (by convention) accumulator; ``value`` may be int or float."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def add(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def state(self) -> object:
+        return self.value
+
+    def restore(self, state: object) -> None:
+        self.value = state  # type: ignore[assignment]
+
+    def as_dict(self) -> dict[str, object]:
+        return {"name": self.name, "kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (queue depth, clock position)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Retain the high-water mark."""
+        if value > self.value:
+            self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def state(self) -> object:
+        return self.value
+
+    def restore(self, state: object) -> None:
+        self.value = state  # type: ignore[assignment]
+
+    def as_dict(self) -> dict[str, object]:
+        return {"name": self.name, "kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact percentile summaries.
+
+    ``bounds`` are inclusive upper bounds of each bucket; one overflow
+    bucket catches everything beyond the last bound.  ``observe`` is the
+    only mutator.  Percentiles use the nearest-rank definition on the
+    sorted sample list, so the edge cases are crisp: an empty histogram
+    has ``None`` percentiles, a single-sample histogram answers every
+    quantile with that sample.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "_sorted")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS_MS
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self._sorted: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        insort(self._sorted, value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    @property
+    def min(self) -> Optional[float]:
+        return self._sorted[0] if self.count else None
+
+    @property
+    def max(self) -> Optional[float]:
+        return self._sorted[-1] if self.count else None
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile; ``q`` in [0, 100].  ``None`` if empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.count:
+            return None
+        if q == 0.0:
+            return self._sorted[0]
+        rank = -(-q * self.count // 100)  # ceil(q/100 * n) without floats
+        return self._sorted[int(rank) - 1]
+
+    @property
+    def p50(self) -> Optional[float]:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> Optional[float]:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> Optional[float]:
+        return self.percentile(99.0)
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self._sorted = []
+
+    def state(self) -> object:
+        return (list(self.bucket_counts), self.count, self.total, list(self._sorted))
+
+    def restore(self, state: object) -> None:
+        counts, count, total, values = state  # type: ignore[misc]
+        self.bucket_counts = list(counts)
+        self.count = count
+        self.total = total
+        self._sorted = list(values)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready summary: counts, moments, and the percentile trio."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "buckets": {
+                **{str(b): c for b, c in zip(self.bounds, self.bucket_counts)},
+                "+inf": self.bucket_counts[-1],
+            },
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A namespace of metrics, created on first use.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name returns the same object, and asking for a name
+    already registered under a different kind is an error (a silent
+    retype would corrupt exported schemas).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, requested as {kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda: Gauge(name), "gauge")
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS_MS
+    ) -> Histogram:
+        return self._get(name, lambda: Histogram(name, bounds), "histogram")
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def state(self) -> dict[str, object]:
+        """Snapshot every metric's raw state (for scoped restore)."""
+        return {name: m.state() for name, m in self._metrics.items()}
+
+    def restore(self, state: dict[str, object]) -> None:
+        """Restore a :meth:`state` snapshot.
+
+        Metrics created after the snapshot are reset (they did not exist
+        then); metrics present in both are restored in place.
+        """
+        for name, metric in self._metrics.items():
+            if name in state:
+                metric.restore(state[name])
+            else:
+                metric.reset()
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready snapshot grouped by kind, names sorted."""
+        out: dict[str, dict[str, object]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                summary = metric.as_dict()
+                del summary["name"], summary["kind"]
+                out["histograms"][name] = summary
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.value
+            else:
+                out["counters"][name] = metric.value
+        return out
+
+
+#: Process-wide registry for metrics with no better owner.  Scoped by
+#: :func:`repro.profiling.op_counters.counters_scope` in tests.
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    return _GLOBAL_REGISTRY

@@ -1,0 +1,339 @@
+"""Span-based request tracing for the collaborative serving path.
+
+Every chunk of samples flowing through
+:meth:`~repro.runtime.session.LCRSDeployment.run_session` (and, on the
+shared edge, through :class:`~repro.runtime.scheduler.EdgeScheduler`)
+gets a **trace id**; the work done on its behalf is recorded as nested
+**spans** — ``chunk`` → ``stem`` / ``binary_branch`` / ``entropy_gate``
+/ ``codec.encode`` / ``link.exchange`` (one ``link.attempt`` child per
+transport attempt, so retries are visible individually) on the device
+track, and ``sched.queue_wait`` / ``trunk.batch`` on the edge track,
+correlated back to the device by the trace id carried in the request
+frame.
+
+Each span carries **two clocks**, never mixed: ``wall_*`` fields are
+host-CPU time from :mod:`repro.observability.clock`; ``sim_*`` fields
+are the latency engine's priced milliseconds (set explicitly by the
+instrumentation, since simulated durations are computed by the pricing
+model, not observed).  Exporters (:mod:`repro.observability.export`)
+lay the timeline out in simulated time — the clock the paper's figures
+are drawn in — and keep wall time in the span attributes.
+
+The default recorder is :data:`NULL_RECORDER`: ``enabled`` is False and
+every operation is a no-op on shared singletons, so the untraced hot
+loop pays one attribute check and zero allocations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .clock import now_ms
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Span",
+    "TelemetrySummary",
+    "Tracer",
+]
+
+
+@dataclass
+class Span:
+    """One timed unit of work inside a trace.
+
+    ``span_id`` orders spans by *start* (monotonic per recorder), which
+    makes span sequences deterministic under seeded runs even though
+    wall durations are not.  ``sim_start_ms``/``sim_ms`` stay ``None``
+    until the instrumentation prices the span on the simulated clock.
+    """
+
+    name: str
+    trace_id: str
+    span_id: int
+    parent_id: Optional[int]
+    track: str
+    wall_start_ms: float
+    wall_ms: float = 0.0
+    sim_start_ms: Optional[float] = None
+    sim_ms: Optional[float] = None
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    def set(self, **attrs: object) -> None:
+        """Attach structured attributes (entropy, served_by, batch id…)."""
+        self.attrs.update(attrs)
+
+    def set_sim(
+        self, start_ms: Optional[float] = None, dur_ms: Optional[float] = None
+    ) -> None:
+        """Place the span on the simulated timeline."""
+        if start_ms is not None:
+            self.sim_start_ms = float(start_ms)
+        if dur_ms is not None:
+            self.sim_ms = float(dur_ms)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "track": self.track,
+            "wall_start_ms": self.wall_start_ms,
+            "wall_ms": self.wall_ms,
+            "sim_start_ms": self.sim_start_ms,
+            "sim_ms": self.sim_ms,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _SpanContext:
+    """Context-manager shim so ``with tracer.span(...) as s:`` nests."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        self._tracer.end_span(self._span)
+
+
+class _NullSpan:
+    """Inert span: accepts the whole :class:`Span` surface, records nothing."""
+
+    __slots__ = ()
+    attrs: dict[str, object] = {}
+    sim_start_ms = sim_ms = None
+    wall_start_ms = wall_ms = 0.0
+    name = trace_id = track = ""
+    span_id = 0
+    parent_id = None
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+    def set_sim(self, start_ms=None, dur_ms=None) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The disabled recorder: every call is a no-op on shared singletons.
+
+    Instrumentation sites gate their span bookkeeping on
+    ``recorder.enabled``, so a deployment without tracing allocates
+    nothing per sample and the serving loop's only overhead is the
+    boolean check.
+    """
+
+    enabled = False
+
+    def new_trace(self) -> str:
+        return ""
+
+    def start_span(self, name, track="main", trace_id="", parent=None, **attrs):
+        return _NULL_SPAN
+
+    def end_span(self, span) -> None:
+        pass
+
+    def span(self, name, track="main", trace_id="", **attrs):
+        return _NULL_SPAN
+
+    def add_span(self, name, track, trace_id="", **kwargs):
+        return _NULL_SPAN
+
+    def spans(self) -> list[Span]:
+        return []
+
+
+#: Shared disabled recorder — the default everywhere.
+NULL_RECORDER = NullRecorder()
+
+
+class Tracer:
+    """In-memory span recorder with per-track nesting stacks.
+
+    Single-threaded by design (the serving loops are synchronous and the
+    lockstep concurrency driver interleaves sessions in one thread);
+    nesting is tracked per *track* so interleaved sessions cannot
+    corrupt each other's parentage.  Span ids and trace ids are
+    monotonic counters — deterministic for a given call sequence.
+
+    The tracer owns a :class:`MetricsRegistry`; closing a span feeds the
+    ``span.<name>.wall_ms`` histogram (and ``span.<name>.sim_ms`` when
+    the span was priced), so a traced run yields p50/p95/p99 summaries
+    for free.
+    """
+
+    enabled = True
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._spans: list[Span] = []
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._stacks: dict[str, list[Span]] = {}
+
+    # -- trace / span lifecycle ----------------------------------------
+    def new_trace(self) -> str:
+        return f"t{next(self._trace_ids):06d}"
+
+    def start_span(
+        self,
+        name: str,
+        track: str = "main",
+        trace_id: str = "",
+        parent: Optional[Span] = None,
+        **attrs: object,
+    ) -> Span:
+        """Open a span; it nests under the track's innermost open span."""
+        stack = self._stacks.setdefault(track, [])
+        if parent is None and stack:
+            parent = stack[-1]
+        span = Span(
+            name=name,
+            trace_id=trace_id or (parent.trace_id if parent is not None else ""),
+            span_id=next(self._span_ids),
+            parent_id=parent.span_id if parent is not None else None,
+            track=track,
+            wall_start_ms=now_ms(),
+            attrs=dict(attrs),
+        )
+        self._spans.append(span)  # start order == span_id order
+        stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        span.wall_ms = now_ms() - span.wall_start_ms
+        stack = self._stacks.get(span.track, [])
+        if span in stack:
+            # Close any children left open (defensive; balanced use pops one).
+            while stack and stack[-1] is not span:
+                stack.pop()
+            stack.pop()
+        self.metrics.histogram(f"span.{span.name}.wall_ms").observe(span.wall_ms)
+        if span.sim_ms is not None:
+            self.metrics.histogram(f"span.{span.name}.sim_ms").observe(span.sim_ms)
+
+    def span(
+        self, name: str, track: str = "main", trace_id: str = "", **attrs: object
+    ) -> _SpanContext:
+        """``with tracer.span("stem", ...) as s:`` — start/end bracketed."""
+        return _SpanContext(self, self.start_span(name, track, trace_id, **attrs))
+
+    def add_span(
+        self,
+        name: str,
+        track: str,
+        trace_id: str = "",
+        sim_start_ms: Optional[float] = None,
+        sim_ms: Optional[float] = None,
+        wall_ms: float = 0.0,
+        parent: Optional[Span] = None,
+        **attrs: object,
+    ) -> Span:
+        """Record a complete span in one call (simulated-time events).
+
+        Used by the edge scheduler, whose queue-wait and batch-execution
+        intervals exist on the simulated clock only and are fully known
+        when recorded.
+        """
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=next(self._span_ids),
+            parent_id=parent.span_id if parent is not None else None,
+            track=track,
+            wall_start_ms=now_ms(),
+            wall_ms=wall_ms,
+            sim_start_ms=sim_start_ms,
+            sim_ms=sim_ms,
+            attrs=dict(attrs),
+        )
+        self._spans.append(span)
+        self.metrics.histogram(f"span.{name}.wall_ms").observe(wall_ms)
+        if sim_ms is not None:
+            self.metrics.histogram(f"span.{name}.sim_ms").observe(sim_ms)
+        return span
+
+    # -- results -------------------------------------------------------
+    def spans(self) -> list[Span]:
+        """All recorded spans in start (== span id) order."""
+        return list(self._spans)
+
+    def traces(self) -> dict[str, list[Span]]:
+        """Spans grouped by trace id (spans without one are omitted)."""
+        grouped: dict[str, list[Span]] = {}
+        for span in self._spans:
+            if span.trace_id:
+                grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def reset(self) -> None:
+        self._spans = []
+        self._stacks = {}
+        self.metrics.reset()
+
+    def summary(self) -> "TelemetrySummary":
+        return TelemetrySummary.from_tracer(self)
+
+
+@dataclass
+class TelemetrySummary:
+    """What a traced run did, in aggregate — the ``SessionResult.telemetry``.
+
+    ``by_name`` maps span name → {count, wall/sim totals}; ``metrics``
+    is the tracer registry's snapshot (histogram percentiles included).
+    """
+
+    spans: int
+    traces: int
+    by_name: dict[str, dict[str, object]]
+    metrics: dict[str, object]
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "TelemetrySummary":
+        by_name: dict[str, dict[str, object]] = {}
+        trace_ids: set[str] = set()
+        for span in tracer.spans():
+            if span.trace_id:
+                trace_ids.add(span.trace_id)
+            row = by_name.setdefault(
+                span.name, {"count": 0, "wall_ms": 0.0, "sim_ms": 0.0}
+            )
+            row["count"] += 1
+            row["wall_ms"] += span.wall_ms
+            if span.sim_ms is not None:
+                row["sim_ms"] += span.sim_ms
+        return cls(
+            spans=len(tracer.spans()),
+            traces=len(trace_ids),
+            by_name=by_name,
+            metrics=tracer.metrics.as_dict(),
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "spans": self.spans,
+            "traces": self.traces,
+            "by_name": {k: dict(v) for k, v in sorted(self.by_name.items())},
+            "metrics": self.metrics,
+        }

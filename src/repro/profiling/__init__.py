@@ -9,7 +9,13 @@ from .layer_stats import (
     model_size_mb,
     profile_layer,
 )
-from .op_counters import FaultCounters, ModelCounters, OpCounter, SchedulerCounters
+from .op_counters import (
+    FaultCounters,
+    ModelCounters,
+    OpCounter,
+    SchedulerCounters,
+    counters_scope,
+)
 from .tracer import TracedLayer, trace
 
 __all__ = [
@@ -22,6 +28,7 @@ __all__ = [
     "SchedulerCounters",
     "TracedLayer",
     "binary_param_bytes",
+    "counters_scope",
     "model_size_bytes",
     "model_size_mb",
     "profile_layer",

@@ -1,40 +1,93 @@
-"""Lightweight per-op runtime counters for the browser inference engine.
+"""Runtime counter facades over the observability metrics registry.
 
-The latency *model* (:mod:`repro.runtime.latency`) prices plans
-analytically; these counters measure what the engine actually did —
-calls, samples, wall time, and bytes run through the popcount unit — so
-kernel work can be attributed per layer and benchmark trajectories
-(``BENCH_*.json``) have a stable schema to draw from.  Recording is a
-handful of float adds per op call, cheap enough to stay always-on.
+Three counter families grew up ad hoc around the system — per-op engine
+counters (:class:`ModelCounters`), miss-path transport counters
+(:class:`FaultCounters`), and shared-edge counters
+(:class:`SchedulerCounters`).  They are now *facades*: every field is
+backed by a named metric in a
+:class:`~repro.observability.metrics.MetricsRegistry`, so exporters and
+the ``repro trace`` telemetry read one schema, while the existing call
+sites (``counters.frames_sent += 1``) and ``as_dict`` layouts keep
+working bit-for-bit.
+
+Because counters now have a registry behind them, *scoping* them is
+possible: :func:`counters_scope` snapshots every live facade plus the
+true process-global counters (the bit-packing popcount totals and the
+observability global registry) and restores them on exit — the fixture
+``tests/conftest.py`` installs so tests stop leaking counter state into
+each other through session-scoped engines.
 """
 
 from __future__ import annotations
 
+import weakref
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from ..observability.metrics import Counter, Histogram, MetricsRegistry
+
+#: Live counter facades, tracked weakly so :func:`counters_scope` can
+#: snapshot instances held by long-lived fixtures (session-scoped
+#: trained systems, module-level deployments) without pinning them.
+_LIVE_FACADES: "weakref.WeakSet" = weakref.WeakSet()
+
+#: Batch sizes are small integers; a dedicated bucket ladder keeps the
+#: dynamic-batching histogram readable.
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
-@dataclass
 class OpCounter:
-    """Accumulated runtime statistics for one compiled op."""
+    """Accumulated runtime statistics for one compiled op.
 
-    index: int
-    kind: str
-    calls: int = 0
-    samples: int = 0
-    wall_ms: float = 0.0
-    bytes_popcounted: int = 0
+    Fields are registry counters resolved once at construction; the hot
+    :meth:`record` path mutates them through direct references — a
+    handful of attribute stores per op call, cheap enough to stay
+    always-on.
+    """
+
+    __slots__ = ("index", "kind", "_calls", "_samples", "_wall_ms", "_bytes")
+
+    def __init__(
+        self, index: int, kind: str, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        self.index = index
+        self.kind = kind
+        base = f"op.{index:03d}.{kind}"
+        self._calls = registry.counter(f"{base}.calls")
+        self._samples = registry.counter(f"{base}.samples")
+        self._wall_ms = registry.counter(f"{base}.wall_ms")
+        self._bytes = registry.counter(f"{base}.bytes_popcounted")
+
+    @property
+    def calls(self) -> int:
+        return self._calls.value
+
+    @property
+    def samples(self) -> int:
+        return self._samples.value
+
+    @property
+    def wall_ms(self) -> float:
+        return self._wall_ms.value
+
+    @property
+    def bytes_popcounted(self) -> int:
+        return self._bytes.value
 
     def record(self, samples: int, wall_ms: float, bytes_popcounted: int = 0) -> None:
-        self.calls += 1
-        self.samples += samples
-        self.wall_ms += wall_ms
-        self.bytes_popcounted += bytes_popcounted
+        self._calls.value += 1
+        self._samples.value += samples
+        self._wall_ms.value += wall_ms
+        self._bytes.value += bytes_popcounted
 
     def reset(self) -> None:
-        self.calls = 0
-        self.samples = 0
-        self.wall_ms = 0.0
-        self.bytes_popcounted = 0
+        self._calls.value = 0
+        self._samples.value = 0
+        self._wall_ms.value = 0.0
+        self._bytes.value = 0
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -47,15 +100,30 @@ class OpCounter:
         }
 
 
-@dataclass
 class ModelCounters:
-    """Per-op counters for one engine instance, in execution order."""
+    """Per-op counters for one engine instance, in execution order.
 
-    ops: list[OpCounter] = field(default_factory=list)
+    All ops share one :attr:`registry`, so an engine's full counter
+    state exports as a single metrics snapshot.
+    """
+
+    def __init__(
+        self,
+        ops: Optional[list[OpCounter]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.ops: list[OpCounter] = ops if ops is not None else []
+        _LIVE_FACADES.add(self)
 
     @classmethod
     def for_kinds(cls, kinds: list[str]) -> "ModelCounters":
-        return cls(ops=[OpCounter(index=i, kind=k) for i, k in enumerate(kinds)])
+        counters = cls()
+        counters.ops = [
+            OpCounter(index=i, kind=k, registry=counters.registry)
+            for i, k in enumerate(kinds)
+        ]
+        return counters
 
     def reset(self) -> None:
         for op in self.ops:
@@ -78,8 +146,63 @@ class ModelCounters:
         return [op.as_dict() for op in self.ops]
 
 
-@dataclass
-class FaultCounters:
+class _RegistryFacade:
+    """Base for counter facades: named fields backed by registry counters.
+
+    Subclasses declare ``_FIELDS`` (name → zero value); instances route
+    attribute reads/writes for those names to registry counters, so the
+    historical ``counters.x += 1`` mutation style is preserved while the
+    registry remains the single source of truth.
+    """
+
+    _FIELDS: dict[str, Union[int, float]] = {}
+    _PREFIX = "counters"
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        **values: Union[int, float],
+    ) -> None:
+        d = self.__dict__
+        d["registry"] = registry if registry is not None else MetricsRegistry()
+        d["_metrics"] = {
+            name: d["registry"].counter(f"{self._PREFIX}.{name}")
+            for name in self._FIELDS
+        }
+        _LIVE_FACADES.add(self)
+        for name, value in values.items():
+            if name not in self._FIELDS:
+                raise TypeError(f"{type(self).__name__} has no field {name!r}")
+            setattr(self, name, value)
+
+    def __getattr__(self, name: str):
+        metrics = self.__dict__.get("_metrics")
+        if metrics is not None and name in metrics:
+            return metrics[name].value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        metrics = self.__dict__.get("_metrics")
+        if metrics is not None and name in metrics:
+            metrics[name].value = value
+        else:
+            self.__dict__[name] = value
+
+    def reset(self) -> None:
+        for name, zero in self._FIELDS.items():
+            self._metrics[name].value = zero
+
+    def as_dict(self) -> dict[str, object]:
+        return {name: self._metrics[name].value for name in self._FIELDS}
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"{type(self).__name__}({fields})"
+
+
+class FaultCounters(_RegistryFacade):
     """Miss-path transport failure/recovery statistics for one deployment.
 
     The session layer bumps these as collaborative frames travel the
@@ -89,16 +212,19 @@ class FaultCounters:
     and were answered by the local binary branch instead.
     """
 
-    frames_sent: int = 0
-    frames_dropped: int = 0
-    frames_timed_out: int = 0
-    frames_corrupted: int = 0
-    frames_duplicated: int = 0
-    edge_errors: int = 0
-    overloads: int = 0
-    replies_rejected: int = 0
-    retries: int = 0
-    fallbacks: int = 0
+    _PREFIX = "fault"
+    _FIELDS = {
+        "frames_sent": 0,
+        "frames_dropped": 0,
+        "frames_timed_out": 0,
+        "frames_corrupted": 0,
+        "frames_duplicated": 0,
+        "edge_errors": 0,
+        "overloads": 0,
+        "replies_rejected": 0,
+        "retries": 0,
+        "fallbacks": 0,
+    }
 
     @property
     def failures(self) -> int:
@@ -110,59 +236,44 @@ class FaultCounters:
             + self.replies_rejected
         )
 
-    def reset(self) -> None:
-        self.frames_sent = 0
-        self.frames_dropped = 0
-        self.frames_timed_out = 0
-        self.frames_corrupted = 0
-        self.frames_duplicated = 0
-        self.edge_errors = 0
-        self.overloads = 0
-        self.replies_rejected = 0
-        self.retries = 0
-        self.fallbacks = 0
 
-    def as_dict(self) -> dict[str, int]:
-        return {
-            "frames_sent": self.frames_sent,
-            "frames_dropped": self.frames_dropped,
-            "frames_timed_out": self.frames_timed_out,
-            "frames_corrupted": self.frames_corrupted,
-            "frames_duplicated": self.frames_duplicated,
-            "edge_errors": self.edge_errors,
-            "overloads": self.overloads,
-            "replies_rejected": self.replies_rejected,
-            "retries": self.retries,
-            "fallbacks": self.fallbacks,
-        }
-
-
-@dataclass
-class SchedulerCounters:
+class SchedulerCounters(_RegistryFacade):
     """Aggregate telemetry of one :class:`~repro.runtime.scheduler.EdgeScheduler`.
 
     Request/sample counters split admission outcomes (accepted vs shed
     vs malformed); batch counters describe what the trunk actually
-    executed (one entry per trunk pass, so ``batch_size_hist`` is the
-    dynamic-batching histogram); ``queue_wait_ms`` accumulates simulated
-    per-sample waiting (window + head-of-line + edge busy).  Per-tenant
-    rows keep the fairness policy observable.
+    executed; ``queue_wait_ms`` accumulates simulated per-sample
+    waiting (window + head-of-line + edge busy).  Per-tenant rows keep
+    the fairness policy observable, and the registry additionally
+    carries ``sched.batch_size`` / ``sched.queue_wait_ms`` histograms
+    so p50/p95/p99 queueing summaries fall out of any run.
     """
 
-    submitted_requests: int = 0
-    accepted_requests: int = 0
-    shed_requests: int = 0
-    malformed_requests: int = 0
-    submitted_samples: int = 0
-    accepted_samples: int = 0
-    shed_samples: int = 0
-    samples_served: int = 0
-    batches: int = 0
-    busy_ms: float = 0.0
-    queue_wait_ms: float = 0.0
-    max_queue_depth: int = 0
-    batch_size_hist: dict[int, int] = field(default_factory=dict)
-    per_tenant: dict[int, dict[str, int]] = field(default_factory=dict)
+    _PREFIX = "sched"
+    _FIELDS = {
+        "submitted_requests": 0,
+        "accepted_requests": 0,
+        "shed_requests": 0,
+        "malformed_requests": 0,
+        "submitted_samples": 0,
+        "accepted_samples": 0,
+        "shed_samples": 0,
+        "samples_served": 0,
+        "batches": 0,
+        "busy_ms": 0.0,
+        "queue_wait_ms": 0.0,
+        "max_queue_depth": 0,
+    }
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None, **values) -> None:
+        super().__init__(registry=registry, **values)
+        d = self.__dict__
+        d["batch_size_hist"] = {}
+        d["per_tenant"] = {}
+        d["_batch_size_h"] = d["registry"].histogram(
+            "sched.batch_size", bounds=_BATCH_SIZE_BUCKETS
+        )
+        d["_queue_wait_h"] = d["registry"].histogram("sched.batch_queue_wait_ms")
 
     def tenant(self, tenant_id: int) -> dict[str, int]:
         """The (created-on-demand) counter row for one session/tenant."""
@@ -176,6 +287,8 @@ class SchedulerCounters:
         self.busy_ms += exec_ms
         self.queue_wait_ms += waits_ms
         self.batch_size_hist[batch_size] = self.batch_size_hist.get(batch_size, 0) + 1
+        self._batch_size_h.observe(batch_size)
+        self._queue_wait_h.observe(waits_ms / batch_size if batch_size else 0.0)
 
     @property
     def shed_rate(self) -> float:
@@ -202,39 +315,71 @@ class SchedulerCounters:
         return self.samples_served / self.busy_ms * 1e3
 
     def reset(self) -> None:
-        self.submitted_requests = 0
-        self.accepted_requests = 0
-        self.shed_requests = 0
-        self.malformed_requests = 0
-        self.submitted_samples = 0
-        self.accepted_samples = 0
-        self.shed_samples = 0
-        self.samples_served = 0
-        self.batches = 0
-        self.busy_ms = 0.0
-        self.queue_wait_ms = 0.0
-        self.max_queue_depth = 0
-        self.batch_size_hist = {}
-        self.per_tenant = {}
+        super().reset()
+        self.__dict__["batch_size_hist"] = {}
+        self.__dict__["per_tenant"] = {}
+        self._batch_size_h.reset()
+        self._queue_wait_h.reset()
 
     def as_dict(self) -> dict[str, object]:
-        return {
-            "submitted_requests": self.submitted_requests,
-            "accepted_requests": self.accepted_requests,
-            "shed_requests": self.shed_requests,
-            "malformed_requests": self.malformed_requests,
-            "submitted_samples": self.submitted_samples,
-            "accepted_samples": self.accepted_samples,
-            "shed_samples": self.shed_samples,
-            "samples_served": self.samples_served,
-            "batches": self.batches,
-            "busy_ms": self.busy_ms,
-            "queue_wait_ms": self.queue_wait_ms,
-            "max_queue_depth": self.max_queue_depth,
-            "shed_rate": self.shed_rate,
-            "mean_batch_size": self.mean_batch_size,
-            "mean_queue_wait_ms": self.mean_queue_wait_ms,
-            "throughput_rps": self.throughput_rps,
-            "batch_size_hist": {str(k): v for k, v in sorted(self.batch_size_hist.items())},
-            "per_tenant": {str(k): dict(v) for k, v in sorted(self.per_tenant.items())},
-        }
+        out = super().as_dict()
+        out.update(
+            {
+                "shed_rate": self.shed_rate,
+                "mean_batch_size": self.mean_batch_size,
+                "mean_queue_wait_ms": self.mean_queue_wait_ms,
+                "throughput_rps": self.throughput_rps,
+                "batch_size_hist": {
+                    str(k): v for k, v in sorted(self.batch_size_hist.items())
+                },
+                "per_tenant": {
+                    str(k): dict(v) for k, v in sorted(self.per_tenant.items())
+                },
+            }
+        )
+        return out
+
+
+# ----------------------------------------------------------------------
+# Scoping: snapshot/restore every counter a test could leak through
+# ----------------------------------------------------------------------
+@contextmanager
+def counters_scope() -> Iterator[None]:
+    """Snapshot all live counter state; restore it on exit.
+
+    Covers the three facade families (wherever their instances live —
+    session-scoped engines, module-level deployments), the bit-packing
+    kernel's process-global popcount totals, and the observability
+    global registry.  Facades *created inside* the scope are left alone
+    (they did not exist at snapshot time and own no prior state), so
+    wrapping every test makes counter state order-independent without
+    touching tests that build their own deployments.
+    """
+    from ..observability.metrics import global_registry
+    from ..wasm import bitpack
+
+    facades = [f for f in _LIVE_FACADES]
+    reg_snaps = [(f, f.registry.state()) for f in facades]
+    dict_snaps = [
+        (
+            f,
+            {k: dict(v) for k, v in f.per_tenant.items()},
+            dict(f.batch_size_hist),
+        )
+        for f in facades
+        if isinstance(f, SchedulerCounters)
+    ]
+    global_snap = global_registry().state()
+    pop_snap = bitpack._TOTAL_BYTES_POPCOUNTED
+    stats_snap = bitpack._LAST_DOT_STATS
+    try:
+        yield
+    finally:
+        for f, snap in reg_snaps:
+            f.registry.restore(snap)
+        for f, tenants, hist in dict_snaps:
+            f.__dict__["per_tenant"] = tenants
+            f.__dict__["batch_size_hist"] = hist
+        global_registry().restore(global_snap)
+        bitpack._TOTAL_BYTES_POPCOUNTED = pop_snap
+        bitpack._LAST_DOT_STATS = stats_snap

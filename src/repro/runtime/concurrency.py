@@ -20,12 +20,12 @@ edge but is latency-hopeless on the browser, see Table II).
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from ..observability.clock import now_s
 from ..profiling.layer_stats import NetworkProfile
 from ..profiling.op_counters import ModelCounters
 from .profiles import DeviceProfile, EDGE_SERVER
@@ -122,10 +122,10 @@ def measure_service_model(
             trunk(x)  # warm caches before timing
         best = math.inf
         for _ in range(repeats):
-            t0 = time.perf_counter()
+            t0 = now_s()
             with no_grad():
                 trunk(x)
-            best = min(best, time.perf_counter() - t0)
+            best = min(best, now_s() - t0)
         sizes.append(int(batch))
         walls.append(best * 1e3)
     return ServiceTimeModel.from_measurements(sizes, walls)

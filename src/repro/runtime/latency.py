@@ -152,6 +152,16 @@ class SessionTrace:
     def mean_communication_ms(self) -> float:
         return float(np.mean([s.communication_ms for s in self.samples]))
 
+    @property
+    def mean_retry_ms(self) -> float:
+        """Mean per-sample cost of failed transport attempts + backoff."""
+        return float(np.mean([s.retry_ms for s in self.samples]))
+
+    @property
+    def mean_queue_ms(self) -> float:
+        """Mean per-sample shared-edge queueing delay."""
+        return float(np.mean([s.queue_ms for s in self.samples]))
+
     def latencies(self) -> np.ndarray:
         return np.array([s.total_ms for s in self.samples])
 

@@ -155,6 +155,11 @@ class BatchInferenceRequest:
     The payload carries one codec-encoded ``(M, C, H, W)`` tensor — the
     miss-path samples of a processing batch — so M collaborative samples
     cost one frame and one round trip instead of M.
+
+    ``trace_id`` correlates the request with the submitting session's
+    trace (see :mod:`repro.observability.tracing`); it rides in the JSON
+    header only when set, so untraced frames are byte-identical to the
+    pre-tracing wire format and old decoders remain compatible.
     """
 
     session_id: int
@@ -162,18 +167,20 @@ class BatchInferenceRequest:
     codec: str
     feature_shape: tuple[int, ...]
     payload: bytes
+    trace_id: str = ""
 
     type = MessageType.BATCH_INFERENCE_REQUEST
 
     def pack(self) -> bytes:
-        header = json.dumps(
-            {
-                "session_id": self.session_id,
-                "sequences": list(self.sequences),
-                "codec": self.codec,
-                "shape": list(self.feature_shape),
-            }
-        ).encode("utf-8")
+        meta: dict[str, object] = {
+            "session_id": self.session_id,
+            "sequences": list(self.sequences),
+            "codec": self.codec,
+            "shape": list(self.feature_shape),
+        }
+        if self.trace_id:
+            meta["trace_id"] = self.trace_id
+        header = json.dumps(meta).encode("utf-8")
         return struct.pack("<I", len(header)) + header + self.payload
 
     @classmethod
@@ -193,6 +200,7 @@ class BatchInferenceRequest:
             codec=str(meta["codec"]),
             feature_shape=tuple(int(d) for d in meta["shape"]),
             payload=body[4 + hlen :],
+            trace_id=str(meta.get("trace_id", "")),
         )
 
     def features(self) -> np.ndarray:
@@ -215,6 +223,7 @@ class BatchInferenceRequest:
         sequences: "tuple[int, ...] | list[int]",
         codec_name: str,
         features: np.ndarray,
+        trace_id: str = "",
     ) -> "BatchInferenceRequest":
         if features.ndim < 1 or features.shape[0] != len(sequences):
             raise ValueError(
@@ -228,6 +237,7 @@ class BatchInferenceRequest:
             codec=codec_name,
             feature_shape=tuple(features.shape),
             payload=codec.encode(features),
+            trace_id=trace_id,
         )
 
 

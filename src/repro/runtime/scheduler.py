@@ -44,6 +44,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..observability import NULL_RECORDER
+from ..observability.clock import now_ms
 from ..profiling import SchedulerCounters
 from ..profiling.layer_stats import NetworkProfile
 from .concurrency import ServiceTimeModel
@@ -128,16 +130,23 @@ class EdgeScheduler:
         endpoint: EdgeEndpoint,
         service_model: ServiceTimeModel,
         config: Optional[SchedulerConfig] = None,
+        recorder=None,
     ) -> None:
         self.endpoint = endpoint
         self.service_model = service_model
         self.config = config if config is not None else SchedulerConfig()
         self.counters = SchedulerCounters()
+        # Tracing: with an enabled recorder, every served request gets a
+        # `sched.queue_wait` span and every trunk pass a `trunk.batch`
+        # span on the "edge" track, correlated to the submitting session
+        # by the trace id carried in the request frame.
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         #: Simulated time at which the trunk next becomes free.
         self.clock_ms = 0.0
         self._queue: list[_Queued] = []
         self._results: dict[int, tuple[bytes, float]] = {}
         self._tickets = itertools.count(1)
+        self._batch_ids = itertools.count(1)
         self._tenants: set[int] = set()
         # At-least-once delivery: a resubmission of the same (tenant,
         # sequences) pair must land on the same queue entry.
@@ -150,6 +159,7 @@ class EdgeScheduler:
         service_model: Optional[ServiceTimeModel] = None,
         config: Optional[SchedulerConfig] = None,
         edge: DeviceProfile = EDGE_SERVER,
+        recorder=None,
     ) -> "EdgeScheduler":
         """A scheduler serving one calibrated LCRS system's trunk."""
         endpoint = EdgeEndpoint(system.model.main_trunk)
@@ -158,7 +168,7 @@ class EdgeScheduler:
                 system.model.main_trunk, system.model.stem_output_shape
             )
             service_model = ServiceTimeModel.from_profile(trunk_profile, edge=edge)
-        return cls(endpoint, service_model, config)
+        return cls(endpoint, service_model, config, recorder=recorder)
 
     # -- observability -------------------------------------------------
     def register(self, tenant_id: int) -> None:
@@ -327,11 +337,15 @@ class EdgeScheduler:
             gate = max(q.arrival_ms for q in chosen) if full else close
             start = max(self.clock_ms, gate)
             exec_ms = self.service_model.batch_ms(total)
+            rec = self.recorder
+            batch_id = next(self._batch_ids)
 
+            wall0 = now_ms() if rec.enabled else 0.0
             features = np.concatenate(
                 [q.request.features() for q in chosen], axis=0
             )
             logits = self.endpoint.infer(features)
+            infer_wall_ms = now_ms() - wall0 if rec.enabled else 0.0
             # Same softmax/argmax math as EdgeProtocolServer's per-request
             # path, so scheduled answers match unscheduled ones bit-for-bit.
             probs = np.exp(logits - logits.max(axis=1, keepdims=True))
@@ -358,8 +372,35 @@ class EdgeScheduler:
                 served.append(q.ticket)
                 self._queue.remove(q)
                 self._dedupe.pop((q.tenant, q.request.sequences), None)
+                if rec.enabled:
+                    rec.add_span(
+                        "sched.queue_wait",
+                        track="edge",
+                        trace_id=q.request.trace_id,
+                        sim_start_ms=q.arrival_ms,
+                        sim_ms=wait,
+                        ticket=q.ticket,
+                        tenant=q.tenant,
+                        samples=q.samples,
+                        batch=batch_id,
+                    )
             self.clock_ms = start + exec_ms
             self.counters.record_batch(total, exec_ms, waits)
+            if rec.enabled:
+                rec.add_span(
+                    "trunk.batch",
+                    track="edge",
+                    sim_start_ms=start,
+                    sim_ms=exec_ms,
+                    wall_ms=infer_wall_ms,
+                    batch=batch_id,
+                    size=total,
+                    requests=len(chosen),
+                    tenants=sorted({q.tenant for q in chosen}),
+                    trace_ids=[
+                        q.request.trace_id for q in chosen if q.request.trace_id
+                    ],
+                )
         return served
 
     # -- reply routing -------------------------------------------------
@@ -410,6 +451,7 @@ def run_concurrent_sessions(
     streams: Sequence[np.ndarray],
     scheduler: EdgeScheduler,
     config: Optional[SessionConfig] = None,
+    recorder=None,
 ) -> list[SessionResult]:
     """Drive N sessions against one shared scheduler, in lockstep rounds.
 
@@ -425,10 +467,21 @@ def run_concurrent_sessions(
 
     Predictions, entropies, and exit decisions are bit-identical to
     running each session alone against a private endpoint; only the
-    timing (queue delays, amortized trunk passes) differs.
+    timing (queue delays, amortized trunk passes) differs — with or
+    without tracing.
+
+    ``recorder`` (a :class:`~repro.observability.Tracer`) traces the
+    whole run: each session's chunks on its own ``session-<id>`` track
+    and the scheduler's queue waits and batched trunk passes on the
+    shared ``edge`` track, correlated by the trace ids carried in the
+    request frames.  It is installed on the scheduler for the run, so
+    device- and edge-side spans land in one timeline.
     """
     if len(deployments) != len(streams):
         raise ValueError("need exactly one image stream per deployment")
+    if recorder is not None:
+        scheduler.recorder = recorder
+    rec = scheduler.recorder
     cfg = config if config is not None else SessionConfig()
     sessions: list[_SessionState] = []
     for deployment, images in zip(deployments, streams):
@@ -436,7 +489,7 @@ def run_concurrent_sessions(
         sessions.append(
             _SessionState(
                 deployment=deployment,
-                ctx=deployment._session_context(cfg),
+                ctx=deployment._session_context(cfg, recorder=rec),
                 images=np.asarray(images),
             )
         )
@@ -459,6 +512,10 @@ def run_concurrent_sessions(
                     arrival,
                     link=s.ctx.link,
                     policy=s.ctx.policy,
+                    recorder=rec,
+                    trace_id=pending.trace_id,
+                    track=s.ctx.track,
+                    span_sink=pending.spans,
                 )
                 pending.attempts = attempts
                 pending.retry_ms = retry_ms
@@ -474,10 +531,19 @@ def run_concurrent_sessions(
             deployment = s.deployment
             if ticket is not None:
                 raw, wait_ms = scheduler.collect(ticket)
-                try:
-                    reply = decode_frame(raw)
-                except ProtocolError:
-                    reply = None
+                if rec.enabled:
+                    with rec.span(
+                        "codec.decode", track=s.ctx.track, trace_id=pending.trace_id
+                    ):
+                        try:
+                            reply = decode_frame(raw)
+                        except ProtocolError:
+                            reply = None
+                else:
+                    try:
+                        reply = decode_frame(raw)
+                    except ProtocolError:
+                        reply = None
                 if reply is not None and deployment._reply_valid(
                     reply, pending.request, BatchInferenceResponse
                 ):
@@ -494,10 +560,13 @@ def run_concurrent_sessions(
                         pending, None, pending.attempts, pending.retry_ms
                     )
                     deployment.fault_counters.fallbacks += 1
-            deployment._finish_chunk(pending, s.ctx, s.outcomes, s.costs)
+            deployment._finish_chunk(
+                pending, s.ctx, s.outcomes, s.costs, sim_now=s.clock_ms
+            )
             s.clock_ms += sum(c.total_ms for c in s.costs[-pending.count :])
             s.cursor += pending.count
 
+    telemetry = rec.summary() if rec.enabled else None
     return [
         SessionResult(
             outcomes=s.outcomes,
@@ -506,6 +575,7 @@ def run_concurrent_sessions(
                 network=s.deployment.system.model.base_name,
                 samples=s.costs,
             ),
+            telemetry=telemetry,
         )
         for s in sessions
     ]

@@ -38,6 +38,7 @@ from ..nn import Sequential
 from ..nn.autograd import Tensor, no_grad
 from ..nn.functional import softmax
 from ..nn.module import Module
+from ..observability import NULL_RECORDER, TelemetrySummary
 from ..profiling import FLOAT_BYTES, FaultCounters, NetworkProfile
 from ..wasm import WasmModel, serialize_browser_bundle
 from .latency import (
@@ -188,7 +189,14 @@ def _resolve_session_config(
 
 @dataclass
 class _SessionContext:
-    """One session's resolved knobs (config defaults filled in)."""
+    """One session's resolved knobs (config defaults filled in).
+
+    ``recorder``/``track`` carry the session's tracing context (the
+    default :data:`~repro.observability.NULL_RECORDER` keeps the serving
+    loop allocation-free); ``stem_ms``/``branch_ms`` are the per-sample
+    simulated browser compute times, precomputed once so traced chunks
+    can be placed on the simulated timeline without consuming link RNG.
+    """
 
     config: SessionConfig
     plan: "ExecutionPlan"
@@ -196,6 +204,10 @@ class _SessionContext:
     policy: RetryPolicy
     threshold: float
     link: NetworkLink
+    recorder: object = NULL_RECORDER
+    track: str = "main"
+    stem_ms: float = 0.0
+    branch_ms: float = 0.0
 
 
 @dataclass
@@ -222,6 +234,12 @@ class _PendingChunk:
     attempts: int = 0
     retry_ms: float = 0.0
     queue_ms: float = 0.0
+    # Tracing context (empty/None when the recorder is disabled): the
+    # chunk's trace id, its open root span, and the named child spans
+    # that pricing places on the simulated timeline at finish.
+    trace_id: str = ""
+    root: Optional[object] = None
+    spans: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -246,10 +264,17 @@ class RecognitionOutcome:
 
 @dataclass
 class SessionResult:
-    """A full session: outcomes plus the aggregate latency trace."""
+    """A full session: outcomes plus the aggregate latency trace.
+
+    ``telemetry`` is populated only when the session ran with an enabled
+    recorder — an aggregate of the recorder's spans and metric
+    histograms (recorder-wide, so concurrent sessions sharing one tracer
+    see the same summary).
+    """
 
     outcomes: list[RecognitionOutcome]
     trace: SessionTrace
+    telemetry: Optional[TelemetrySummary] = None
 
     @property
     def predictions(self) -> np.ndarray:
@@ -331,7 +356,14 @@ class BrowserClient:
         return features, logits, float(entropies[0]), bool(exits[0])
 
     def process_batch(
-        self, images: np.ndarray, threshold: Optional[float] = None
+        self,
+        images: np.ndarray,
+        threshold: Optional[float] = None,
+        *,
+        recorder=NULL_RECORDER,
+        trace_id: str = "",
+        track: str = "browser",
+        spans: Optional[dict] = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Run the local pipeline on a whole NCHW batch at once.
 
@@ -344,13 +376,44 @@ class BrowserClient:
 
         ``threshold`` overrides the calibrated entropy gate for this
         call (session-level τ sweeps); the default is the loaded one.
+
+        With an enabled ``recorder``, the three stages record as
+        ``stem`` / ``binary_branch`` / ``entropy_gate`` spans on
+        ``track`` (collected into ``spans`` when given, so the caller
+        can price them on the simulated clock afterwards).  The math is
+        identical on both paths; the disabled path allocates nothing.
         """
-        features = self.stem_engine.forward(images)
-        logits = self.branch_engine.forward(features)
-        probs = softmax(logits, axis=1)
-        entropies = normalized_entropy(probs, axis=1)
         gate = self.threshold if threshold is None else threshold
-        return features, logits, entropies, entropies < gate
+        if not recorder.enabled:
+            features = self.stem_engine.forward(images)
+            logits = self.branch_engine.forward(features)
+            probs = softmax(logits, axis=1)
+            entropies = normalized_entropy(probs, axis=1)
+            return features, logits, entropies, entropies < gate
+        with recorder.span(
+            "stem", track=track, trace_id=trace_id, samples=len(images)
+        ) as stem_span:
+            features = self.stem_engine.forward(images)
+        with recorder.span(
+            "binary_branch", track=track, trace_id=trace_id, samples=len(images)
+        ) as branch_span:
+            logits = self.branch_engine.forward(features)
+        with recorder.span("entropy_gate", track=track, trace_id=trace_id) as gate_span:
+            probs = softmax(logits, axis=1)
+            entropies = normalized_entropy(probs, axis=1)
+            exit_mask = entropies < gate
+        exits = int(exit_mask.sum())
+        gate_span.set(
+            threshold=float(gate),
+            exits=exits,
+            misses=len(images) - exits,
+            mean_entropy=float(entropies.mean()) if len(entropies) else 0.0,
+        )
+        if spans is not None:
+            spans["stem"] = stem_span
+            spans["binary_branch"] = branch_span
+            spans["entropy_gate"] = gate_span
+        return features, logits, entropies, exit_mask
 
 
 @dataclass
@@ -433,6 +496,7 @@ class LCRSDeployment:
         edge_device: DeviceProfile = EDGE_SERVER,
         feature_codec: FeatureCodec = FP32_CODEC,
         retry_policy: Optional[RetryPolicy] = None,
+        recorder=None,
     ) -> None:
         if system.calibration is None:
             raise RuntimeError("calibrate the system before deploying it")
@@ -443,6 +507,9 @@ class LCRSDeployment:
         self.feature_codec = feature_codec
         self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
         self.fault_counters = FaultCounters()
+        # Tracing is opt-in: the null recorder keeps every span call site
+        # behind a single `enabled` check with zero per-sample allocation.
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
         self.assets = build_lcrs_assets(system.model)
         self.browser = BrowserClient(
@@ -506,6 +573,10 @@ class LCRSDeployment:
         link: Optional[NetworkLink] = None,
         policy: Optional[RetryPolicy] = None,
         handler=None,
+        recorder=None,
+        trace_id: str = "",
+        track: str = "main",
+        span_sink: Optional[dict] = None,
     ):
         """Send one miss-path request through the retry policy.
 
@@ -520,54 +591,105 @@ class LCRSDeployment:
         sessions with per-session fault injection or retry overrides pass
         theirs.  The handler is resolved at call time so tests (and
         alternative servers) can swap ``self._edge_server.handle``.
+
+        With an enabled recorder, the whole exchange records as one
+        ``link.exchange`` span with a ``link.attempt`` child per
+        transport attempt (outcome, injected faults, and priced failure
+        cost attached), so retries are individually visible in the
+        timeline.  ``span_sink`` receives the exchange span for post-hoc
+        simulated-clock pricing.
         """
         link = link if link is not None else self.link
         policy = policy if policy is not None else self.retry_policy
         handler = handler if handler is not None else self._edge_server.handle
+        rec = recorder if recorder is not None else self.recorder
         counters = self.fault_counters
         frame = encode_frame(request)
+        ex_span = None
+        if rec.enabled:
+            ex_span = rec.start_span(
+                "link.exchange",
+                track=track,
+                trace_id=trace_id,
+                transport="direct",
+                frame_bytes=len(frame),
+            )
+            if span_sink is not None:
+                span_sink["link.exchange"] = ex_span
         retry_ms = 0.0
         attempts = 0
         while attempts < policy.max_attempts and retry_ms < policy.deadline_ms:
             attempts += 1
             counters.frames_sent += 1
+            att_span = (
+                rec.start_span(
+                    "link.attempt", track=track, trace_id=trace_id, attempt=attempts
+                )
+                if rec.enabled
+                else None
+            )
             failure_ms: float
             try:
                 raw = link.exchange(frame, handler)
             except FrameDropped:
                 counters.frames_dropped += 1
                 failure_ms = policy.per_attempt_timeout_ms
+                outcome = "dropped"
             except FrameTimeout:
                 counters.frames_timed_out += 1
                 failure_ms = policy.per_attempt_timeout_ms
+                outcome = "timed-out"
             else:
                 faults = getattr(link, "last_faults", ())
                 if "corrupt" in faults:
                     counters.frames_corrupted += 1
                 if "duplicate" in faults:
                     counters.frames_duplicated += 1
-                try:
-                    reply = decode_frame(raw)
-                except ProtocolError:
-                    reply = None
+                if att_span is not None and faults:
+                    att_span.set(faults=list(faults))
+                if rec.enabled:
+                    with rec.span("codec.decode", track=track, trace_id=trace_id):
+                        try:
+                            reply = decode_frame(raw)
+                        except ProtocolError:
+                            reply = None
+                else:
+                    try:
+                        reply = decode_frame(raw)
+                    except ProtocolError:
+                        reply = None
                 if reply is not None and self._reply_valid(
                     reply, request, expected_type
                 ):
+                    if att_span is not None:
+                        att_span.set(outcome="ok")
+                        rec.end_span(att_span)
+                    if ex_span is not None:
+                        ex_span.set(outcome="ok", attempts=attempts, retry_ms=retry_ms)
+                        rec.end_span(ex_span)
                     return reply, attempts, retry_ms
                 if isinstance(reply, ErrorResponse):
                     counters.edge_errors += 1
+                    outcome = "edge-error"
                 else:
                     counters.replies_rejected += 1
+                    outcome = "rejected"
                 # A rejection came back quickly: price the wasted round
                 # trip, not a full timeout window.
                 failure_ms = link.upload_ms(len(frame)) + link.download_ms(
                     RESULT_BYTES
                 )
             retry_ms += failure_ms
+            if att_span is not None:
+                att_span.set(outcome=outcome, failure_ms=failure_ms)
+                rec.end_span(att_span)
             if attempts < policy.max_attempts and retry_ms < policy.deadline_ms:
                 counters.retries += 1
                 retry_ms += policy.backoff_ms(attempts, self._retry_rng)
         counters.fallbacks += 1
+        if ex_span is not None:
+            ex_span.set(outcome="fallback", attempts=attempts, retry_ms=retry_ms)
+            rec.end_span(ex_span)
         return None, attempts, retry_ms
 
     def _submit_with_retry(
@@ -577,6 +699,10 @@ class LCRSDeployment:
         arrival_ms: float,
         link: Optional[NetworkLink] = None,
         policy: Optional[RetryPolicy] = None,
+        recorder=None,
+        trace_id: str = "",
+        track: str = "main",
+        span_sink: Optional[dict] = None,
     ):
         """Submit one miss-path request to a shared edge scheduler.
 
@@ -593,13 +719,32 @@ class LCRSDeployment:
         """
         link = link if link is not None else self.link
         policy = policy if policy is not None else self.retry_policy
+        rec = recorder if recorder is not None else self.recorder
         counters = self.fault_counters
         frame = encode_frame(request)
+        ex_span = None
+        if rec.enabled:
+            ex_span = rec.start_span(
+                "link.exchange",
+                track=track,
+                trace_id=trace_id,
+                transport="scheduler",
+                frame_bytes=len(frame),
+            )
+            if span_sink is not None:
+                span_sink["link.exchange"] = ex_span
         retry_ms = 0.0
         attempts = 0
         while attempts < policy.max_attempts and retry_ms < policy.deadline_ms:
             attempts += 1
             counters.frames_sent += 1
+            att_span = (
+                rec.start_span(
+                    "link.attempt", track=track, trace_id=trace_id, attempt=attempts
+                )
+                if rec.enabled
+                else None
+            )
             failure_ms: float
             try:
                 # Retries arrive later on the simulated clock: the time
@@ -613,15 +758,19 @@ class LCRSDeployment:
             except FrameDropped:
                 counters.frames_dropped += 1
                 failure_ms = policy.per_attempt_timeout_ms
+                outcome = "dropped"
             except FrameTimeout:
                 counters.frames_timed_out += 1
                 failure_ms = policy.per_attempt_timeout_ms
+                outcome = "timed-out"
             else:
                 faults = getattr(link, "last_faults", ())
                 if "corrupt" in faults:
                     counters.frames_corrupted += 1
                 if "duplicate" in faults:
                     counters.frames_duplicated += 1
+                if att_span is not None and faults:
+                    att_span.set(faults=list(faults))
                 try:
                     reply = decode_frame(raw)
                 except ProtocolError:
@@ -630,27 +779,50 @@ class LCRSDeployment:
                     isinstance(reply, SchedulerAck)
                     and reply.session_id == request.session_id
                 ):
+                    if att_span is not None:
+                        att_span.set(outcome="ok", ticket=reply.ticket)
+                        rec.end_span(att_span)
+                    if ex_span is not None:
+                        ex_span.set(
+                            outcome="ok",
+                            attempts=attempts,
+                            retry_ms=retry_ms,
+                            ticket=reply.ticket,
+                        )
+                        rec.end_span(ex_span)
                     return reply.ticket, attempts, retry_ms
                 if isinstance(reply, ErrorResponse):
                     counters.edge_errors += 1
                     if reply.code == 503:
                         counters.overloads += 1
+                        outcome = "shed"
+                    else:
+                        outcome = "edge-error"
                 else:
                     counters.replies_rejected += 1
+                    outcome = "rejected"
                 failure_ms = link.upload_ms(len(frame)) + link.download_ms(
                     RESULT_BYTES
                 )
             retry_ms += failure_ms
+            if att_span is not None:
+                att_span.set(outcome=outcome, failure_ms=failure_ms)
+                rec.end_span(att_span)
             if attempts < policy.max_attempts and retry_ms < policy.deadline_ms:
                 counters.retries += 1
                 retry_ms += policy.backoff_ms(attempts, self._retry_rng)
         counters.fallbacks += 1
+        if ex_span is not None:
+            ex_span.set(outcome="fallback", attempts=attempts, retry_ms=retry_ms)
+            rec.end_span(ex_span)
         return None, attempts, retry_ms
 
     # ------------------------------------------------------------------
     # Real execution with priced timing
     # ------------------------------------------------------------------
-    def _session_context(self, config: SessionConfig) -> _SessionContext:
+    def _session_context(
+        self, config: SessionConfig, recorder=None
+    ) -> _SessionContext:
         """Resolve a config against the deployment's defaults."""
         codec = get_codec(config.codec) if config.codec is not None else self.feature_codec
         link = self.link
@@ -661,6 +833,17 @@ class LCRSDeployment:
                 seed=config.fault_seed,
                 **dict(config.fault_overrides),
             )
+        rec = recorder if recorder is not None else self.recorder
+        stem_ms = branch_ms = 0.0
+        if rec.enabled:
+            # Deterministic per-sample browser compute (no link RNG): the
+            # simulated placement of traced stem/branch spans.
+            stem_ms = profile_compute_step(
+                self.assets.stem_profile, Location.BROWSER, "stem"
+            ).duration_ms(self.browser_device)
+            branch_ms = profile_compute_step(
+                self.assets.branch_profile, Location.BROWSER, "binary-branch"
+            ).duration_ms(self.browser_device)
         return _SessionContext(
             config=config,
             plan=self.assets.plan(codec=codec),
@@ -672,6 +855,10 @@ class LCRSDeployment:
                 else self.browser.threshold
             ),
             link=link,
+            recorder=rec,
+            track=f"session-{self._session_id}",
+            stem_ms=stem_ms,
+            branch_ms=branch_ms,
         )
 
     def _begin_chunk(
@@ -683,21 +870,62 @@ class LCRSDeployment:
         pass, one round trip — and the reply fans the class ids back out
         *keyed by sequence id*, so a server that reorders its answers
         still lands each class id on the right sample.
+
+        When tracing is enabled the chunk opens a fresh trace: a root
+        ``chunk`` span on the session track, stage spans from
+        :meth:`BrowserClient.process_batch`, and a ``codec.encode`` span
+        around the request build; the trace id travels to the edge in
+        the request frame header.
         """
         chunk = np.asarray(images[start : start + ctx.config.batch_size])
+        rec = ctx.recorder
+        trace_id = ""
+        root = None
+        spans: dict = {}
+        if rec.enabled:
+            trace_id = rec.new_trace()
+            root = rec.start_span(
+                "chunk",
+                track=ctx.track,
+                trace_id=trace_id,
+                session=self._session_id,
+                start=start,
+                batch_size=len(chunk),
+            )
         features, logits, entropies, exits = self.browser.process_batch(
-            chunk, threshold=ctx.threshold
+            chunk,
+            threshold=ctx.threshold,
+            recorder=rec,
+            trace_id=trace_id,
+            track=ctx.track,
+            spans=spans,
         )
         predictions = logits.argmax(axis=1).astype(np.int64)
         miss_idx = np.flatnonzero(~exits)
         request = None
         if miss_idx.size:
-            request = BatchInferenceRequest.from_features(
-                self._session_id,
-                [start + int(j) for j in miss_idx],
-                ctx.codec.name,
-                features[miss_idx],
-            )
+            if rec.enabled:
+                with rec.span("codec.encode", track=ctx.track, trace_id=trace_id) as enc:
+                    request = BatchInferenceRequest.from_features(
+                        self._session_id,
+                        [start + int(j) for j in miss_idx],
+                        ctx.codec.name,
+                        features[miss_idx],
+                        trace_id=trace_id,
+                    )
+                enc.set(
+                    codec=ctx.codec.name,
+                    misses=int(miss_idx.size),
+                    payload_bytes=len(request.payload),
+                )
+                spans["codec.encode"] = enc
+            else:
+                request = BatchInferenceRequest.from_features(
+                    self._session_id,
+                    [start + int(j) for j in miss_idx],
+                    ctx.codec.name,
+                    features[miss_idx],
+                )
         return _PendingChunk(
             start=start,
             count=len(chunk),
@@ -706,6 +934,9 @@ class LCRSDeployment:
             exits=exits,
             miss_idx=miss_idx,
             request=request,
+            trace_id=trace_id,
+            root=root,
+            spans=spans,
         )
 
     def _apply_reply(
@@ -739,6 +970,7 @@ class LCRSDeployment:
         ctx: _SessionContext,
         outcomes: list[RecognitionOutcome],
         costs: list[SampleCost],
+        sim_now: float = 0.0,
     ) -> None:
         """Pricing phase: per-sample latency model + outcome emission.
 
@@ -747,6 +979,13 @@ class LCRSDeployment:
         miss in the chunk waited out the same failed attempts (and the
         same scheduler queue delay, when one is attached), so each
         carries the chunk's full retry/queue cost.
+
+        ``sim_now`` is the session's simulated clock at chunk start;
+        when the chunk is traced, its spans are placed on the simulated
+        timeline here (the root ``chunk`` span covers the chunk's full
+        priced cost, stem/branch children lie at the front, and the
+        residual — transfers, retries, queueing — lands on
+        ``link.exchange``) and the root span is closed.
         """
         config = ctx.config
         for j in range(pending.count):
@@ -781,6 +1020,41 @@ class LCRSDeployment:
                     attempts=pending.attempts if is_miss else 0,
                 )
             )
+        if pending.root is not None:
+            chunk_costs = costs[len(costs) - pending.count :]
+            chunk_total = sum(c.total_ms for c in chunk_costs)
+            stem_total = ctx.stem_ms * pending.count
+            branch_total = ctx.branch_ms * pending.count
+            spans = pending.spans
+            t = sim_now
+            span = spans.get("stem")
+            if span is not None:
+                span.set_sim(t, stem_total)
+                t += stem_total
+            span = spans.get("binary_branch")
+            if span is not None:
+                span.set_sim(t, branch_total)
+                t += branch_total
+            span = spans.get("entropy_gate")
+            if span is not None:
+                span.set_sim(t, 0.0)
+            span = spans.get("codec.encode")
+            if span is not None:
+                span.set_sim(t, 0.0)
+            span = spans.get("link.exchange")
+            if span is not None:
+                span.set_sim(t, max(chunk_total - (t - sim_now), 0.0))
+                span.set(retry_ms=pending.retry_ms, queue_ms=pending.queue_ms)
+            pending.root.set_sim(sim_now, chunk_total)
+            pending.root.set(
+                served_by=pending.served_by,
+                attempts=pending.attempts,
+                misses=int(pending.miss_idx.size),
+                exits=pending.count - int(pending.miss_idx.size),
+                retry_ms=pending.retry_ms,
+                queue_ms=pending.queue_ms,
+            )
+            ctx.recorder.end_span(pending.root)
 
     def run_session(
         self,
@@ -789,6 +1063,7 @@ class LCRSDeployment:
         batch_size: Optional[int] = None,
         *,
         config: Optional[SessionConfig] = None,
+        recorder=None,
     ) -> SessionResult:
         """Process an image stream through the deployed system.
 
@@ -809,11 +1084,17 @@ class LCRSDeployment:
         individually by the latency model, so
         :class:`RecognitionOutcome`/:class:`SampleCost` semantics do not
         depend on chunking.
+
+        ``recorder`` (a :class:`~repro.observability.Tracer`) turns on
+        request tracing for this session only; the deployment-level
+        recorder is the default.  Tracing never changes predictions,
+        entropies, or exit decisions — only records them.
         """
         config = _resolve_session_config(config, cold_start, batch_size)
-        ctx = self._session_context(config)
+        ctx = self._session_context(config, recorder=recorder)
         outcomes: list[RecognitionOutcome] = []
         costs: list[SampleCost] = []
+        sim_clock = 0.0
 
         for start in range(0, len(images), config.batch_size):
             pending = self._begin_chunk(images, start, ctx)
@@ -823,16 +1104,24 @@ class LCRSDeployment:
                     BatchInferenceResponse,
                     link=ctx.link,
                     policy=ctx.policy,
+                    recorder=ctx.recorder,
+                    trace_id=pending.trace_id,
+                    track=ctx.track,
+                    span_sink=pending.spans,
                 )
                 self._apply_reply(pending, reply, attempts, retry_ms)
-            self._finish_chunk(pending, ctx, outcomes, costs)
+            self._finish_chunk(pending, ctx, outcomes, costs, sim_now=sim_clock)
+            sim_clock += sum(c.total_ms for c in costs[len(costs) - pending.count :])
 
-        return SessionResult(
+        result = SessionResult(
             outcomes=outcomes,
             trace=SessionTrace(
                 approach="lcrs", network=self.system.model.base_name, samples=costs
             ),
         )
+        if ctx.recorder.enabled:
+            result.telemetry = ctx.recorder.summary()
+        return result
 
     @property
     def bundle_bytes(self) -> int:

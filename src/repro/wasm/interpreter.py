@@ -25,12 +25,12 @@ op carries an always-on :class:`~repro.profiling.op_counters.OpCounter`
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
 
+from ..observability.clock import now_ms
 from ..profiling.op_counters import ModelCounters
 from . import bitpack
 from .bitpack import pack_signs, packed_dot, unpack_signs
@@ -411,11 +411,11 @@ class WasmModel:
         batch = x.shape[0]
         for op, counter in zip(self._ops, self.counters.ops):
             pop_before = bitpack.total_bytes_popcounted()
-            t0 = time.perf_counter()
+            t0 = now_ms()
             x = op(x)
             counter.record(
                 samples=batch,
-                wall_ms=(time.perf_counter() - t0) * 1e3,
+                wall_ms=now_ms() - t0,
                 bytes_popcounted=bitpack.total_bytes_popcounted() - pop_before,
             )
         return x

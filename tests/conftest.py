@@ -11,6 +11,19 @@ import pytest
 
 from repro.core import LCRS, JointTrainingConfig
 from repro.data import ArrayDataset, make_dataset
+from repro.profiling import counters_scope
+
+
+@pytest.fixture(autouse=True)
+def _isolated_counters():
+    """Snapshot/restore the process-global counter state around each test.
+
+    Counters (fault/scheduler facades, the global metrics registry, the
+    bitpack byte tally) are process-global by design; without this scope
+    a test that bumps them leaks state into whichever test runs next.
+    """
+    with counters_scope():
+        yield
 
 
 @pytest.fixture(scope="session")

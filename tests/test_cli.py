@@ -29,9 +29,10 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("train", "evaluate", "export", "study", "session", "scale"):
+        commands = ("train", "evaluate", "export", "study", "session", "scale", "trace")
+        for command in commands:
             assert parser.parse_args([command] + (
-                ["x.npz"] if command in ("evaluate", "session", "scale") else
+                ["x.npz"] if command in ("evaluate", "session", "scale", "trace") else
                 ["x.npz", "y.lcrs"] if command == "export" else []
             )).command == command
 
@@ -100,6 +101,26 @@ class TestSessionCommand:
         assert "binary-fallback=" in out
         assert "frames_dropped=" in out
 
+    def test_json_report_surfaces_retry_and_queue_ms(self, checkpoint, tmp_path, capsys):
+        output = tmp_path / "session.json"
+        code = main(
+            [
+                "session", str(checkpoint),
+                "--samples", "24",
+                "--batch-size", "8",
+                "--json", str(output),
+            ]
+        )
+        assert code == 0
+        import json
+
+        record = json.loads(output.read_text())
+        assert "mean_retry_ms" in record and "mean_queue_ms" in record
+        assert len(record["per_sample"]) == 24
+        for sample in record["per_sample"]:
+            assert "retry_ms" in sample and "queue_ms" in sample
+            assert sample["retry_ms"] >= 0.0 and sample["queue_ms"] >= 0.0
+
     def test_drop_override_on_batched_path(self, checkpoint, capsys):
         code = main(
             [
@@ -139,6 +160,51 @@ class TestScaleCommand:
         record = json.loads(output.read_text())
         # One per-request comparator plus two windowed cells per user count.
         assert len(record["points"]) == 6
+        for point in record["points"]:
+            assert "mean_retry_ms" in point and "mean_queue_ms" in point
+
+
+class TestTraceCommand:
+    def test_trace_exports_chrome_json(self, checkpoint, tmp_path, capsys):
+        output = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace", str(checkpoint),
+                "--users", "2",
+                "--samples", "8",
+                "--session-batch", "4",
+                "--threshold", "0.05",
+                "--out", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "traces=" in out and "Perfetto" in out
+        import json
+
+        record = json.loads(output.read_text())
+        assert record["displayTimeUnit"] == "ms"
+        events = record["traceEvents"]
+        assert any(e["ph"] == "X" and e["name"] == "chunk" for e in events)
+        assert any(e["ph"] == "M" for e in events)
+
+    def test_trace_exports_jsonl(self, checkpoint, tmp_path, capsys):
+        output = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "trace", str(checkpoint),
+                "--users", "1",
+                "--samples", "8",
+                "--threshold", "0.05",
+                "--format", "jsonl",
+                "--out", str(output),
+            ]
+        )
+        assert code == 0
+        import json
+
+        lines = [json.loads(line) for line in output.read_text().splitlines()]
+        assert lines and all("name" in span and "trace_id" in span for span in lines)
 
 
 class TestStudyCommand:

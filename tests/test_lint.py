@@ -1,0 +1,51 @@
+"""Repo lint gates (source-text checks, no runtime behaviour).
+
+The one rule so far: wall-clock reads go through
+:mod:`repro.observability.clock`.  Direct ``time.time()`` /
+``time.perf_counter()`` / ``time.monotonic()`` calls outside
+``observability/`` would reintroduce the simulated-ms / wall-ms
+conflation the clock module exists to prevent, so they fail here.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Directories whose Python sources must use observability.clock.
+_CHECKED_ROOTS = ("src/repro", "benchmarks", "examples")
+
+#: The only place allowed to touch the stdlib clock.
+_ALLOWED = ("src/repro/observability/",)
+
+_DIRECT_CLOCK = re.compile(
+    r"\btime\.(?:time|perf_counter|perf_counter_ns|monotonic|monotonic_ns|process_time)\s*\("
+)
+
+
+def _python_sources() -> list[Path]:
+    files: list[Path] = []
+    for root in _CHECKED_ROOTS:
+        files.extend(sorted((REPO_ROOT / root).rglob("*.py")))
+    assert files, "lint roots resolved to no files — layout changed?"
+    return files
+
+
+@pytest.mark.obs
+def test_no_direct_wall_clock_outside_observability():
+    offenders = []
+    for path in _python_sources():
+        rel = path.relative_to(REPO_ROOT).as_posix()
+        if rel.startswith(_ALLOWED):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if _DIRECT_CLOCK.search(line):
+                offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "direct wall-clock calls found (use repro.observability.clock):\n"
+        + "\n".join(offenders)
+    )
