@@ -1,13 +1,16 @@
 # Developer entry points.  `make verify` is what CI should run: the
 # tier-1 suite as-is, then again with the fault-injection smoke profile
-# enabled so the degraded (retry/fallback) path is exercised end to end
-# on every run.  REPRO_FAULT_PROFILE selects the profile consumed by
-# tests/test_faults.py (none | smoke | harsh | partition).
+# enabled so the degraded (retry/fallback) path is exercised end to end,
+# then the hardening tier (protocol fuzz, codec properties, the frozen
+# golden trace) and the tracing smoke run.  REPRO_FAULT_PROFILE selects
+# the profile consumed by tests/test_faults.py (none | smoke | harsh |
+# partition); REPRO_REGEN_GOLDEN=1 rewrites the golden-trace fixture
+# after an intentional behaviour change.
 
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest -x -q
 
-.PHONY: test fault-smoke trace-smoke verify bench bench-sched
+.PHONY: test fault-smoke trace-smoke golden verify bench bench-sched bench-par
 
 test:
 	$(PYTEST)
@@ -18,10 +21,16 @@ fault-smoke:
 trace-smoke:
 	PYTHONPATH=src $(PY) benchmarks/trace_smoke.py
 
-verify: test fault-smoke trace-smoke
+golden:
+	$(PYTEST) tests/test_protocol_fuzz.py tests/test_codec_properties.py tests/test_golden_trace.py tests/test_parallel.py
+
+verify: test fault-smoke golden trace-smoke
 
 bench:
 	PYTHONPATH=src $(PY) benchmarks/bench_kernels.py
 
 bench-sched:
 	PYTHONPATH=src $(PY) benchmarks/bench_scheduler.py
+
+bench-par:
+	PYTHONPATH=src $(PY) benchmarks/bench_parallel.py

@@ -1,0 +1,163 @@
+"""Parallel edge benchmark → ``BENCH_parallel.json``.
+
+Measures the worker-pool scaling of the shared edge trunk via
+:func:`repro.experiments.scale.run_worker_scaling`: a saturating burst
+of miss-path batch frames served at 1/2/4 workers, reporting makespan,
+throughput, speedup over serial, the M/M/c capacity cross-check
+(measured throughput over ``c / service_time`` — 1.0 when the request
+count divides evenly), and the bit-identity flag the determinism story
+promises.  The acceptance bar recorded here: 4-worker trunk throughput
+≥ 2.5× single-worker with bit-identical predictions.
+
+A second section times the intra-op ``num_threads`` knob of the blocked
+XNOR-popcount kernels through a real branch-engine forward (wall clock
+via :mod:`repro.observability.clock`) and checks the outputs are
+byte-identical at every thread count.
+
+Standalone — run it directly, not under pytest::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+
+Worker-scaling time is *simulated* (deterministic for the fixed seed);
+only the intra-op section is machine-dependent wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_parallel.json"
+
+WORKERS = (1, 2, 4)
+REQUESTS = 16
+BATCH_SIZE = 4
+THREAD_COUNTS = (1, 2, 4)
+FORWARD_REPEATS = 5
+SEED = 0
+SPEEDUP_FLOOR = 2.5
+
+
+def _build_system():
+    from repro.core import LCRS, JointTrainingConfig
+    from repro.data import make_dataset
+
+    train, test = make_dataset("mnist", 600, 200, seed=7)
+    system = LCRS.build(
+        "lenet",
+        train,
+        training_config=JointTrainingConfig(
+            epochs=4, batch_size=64, lr_main=2e-3, seed=0
+        ),
+        dataset_name="mnist",
+        seed=0,
+    )
+    system.fit(train)
+    system.calibrate(test)
+    return system, test
+
+
+def bench_worker_scaling(system, test) -> dict:
+    from repro.experiments import run_worker_scaling
+
+    result = run_worker_scaling(
+        system,
+        test.images[: REQUESTS * BATCH_SIZE],
+        workers=WORKERS,
+        requests=REQUESTS,
+        batch_size=BATCH_SIZE,
+    )
+    quad = result.point(max(WORKERS))
+    record = result.as_dict()
+    record["headline"] = {
+        "workers": quad.workers,
+        "speedup_vs_serial": quad.speedup_vs_serial,
+        "bit_identical": quad.bit_identical,
+        "meets_floor": quad.speedup_vs_serial >= SPEEDUP_FLOOR
+        and quad.bit_identical,
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    return record
+
+
+def bench_intra_op_threads(system, test) -> dict:
+    """Wall-time the branch engine's forward across num_threads values.
+
+    On a single-core host the wall times will not scale; the section
+    exists to record that the knob never changes a bit of output and to
+    document per-thread-count wall cost where cores are available.
+    """
+    import numpy as np
+
+    from repro.observability.clock import now_s
+    from repro.runtime import build_lcrs_assets
+    from repro.wasm import WasmModel
+
+    assets = build_lcrs_assets(system.model)
+    images = test.images[:32].astype(np.float32)
+    stem = WasmModel.load(assets.stem_payload)
+    features = stem.forward(images)
+
+    baseline = None
+    points = []
+    for threads in THREAD_COUNTS:
+        engine = WasmModel.load(assets.branch_payload, num_threads=threads)
+        out = engine.forward(features)  # warm caches before timing
+        best = float("inf")
+        for _ in range(FORWARD_REPEATS):
+            t0 = now_s()
+            out = engine.forward(features)
+            best = min(best, now_s() - t0)
+        if baseline is None:
+            baseline = out
+        points.append(
+            {
+                "num_threads": threads,
+                "forward_wall_ms": best * 1e3,
+                "bit_identical": out.tobytes() == baseline.tobytes(),
+            }
+        )
+    return {"samples": len(images), "points": points}
+
+
+def main() -> None:
+    system, test = _build_system()
+    scaling = bench_worker_scaling(system, test)
+    record = {
+        "benchmark": "parallel",
+        "config": {
+            "workers": list(WORKERS),
+            "requests": REQUESTS,
+            "batch_size": BATCH_SIZE,
+            "thread_counts": list(THREAD_COUNTS),
+            "seed": SEED,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "results": {
+            "worker_scaling": scaling,
+            "intra_op_threads": bench_intra_op_threads(system, test),
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    headline = scaling["headline"]
+    print(f"wrote {OUTPUT_PATH}")
+    print(
+        f"headline: {headline['speedup_vs_serial']:.2f}x trunk throughput at "
+        f"{headline['workers']} workers "
+        f"(bit_identical={headline['bit_identical']}, "
+        f"floor {SPEEDUP_FLOOR}x met={headline['meets_floor']})"
+    )
+    if not headline["meets_floor"]:
+        raise SystemExit("parallel speedup floor not met")
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    main()

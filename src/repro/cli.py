@@ -106,6 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--max-batch", type=int, default=32)
     scale.add_argument("--queue-capacity", type=int, default=256)
     scale.add_argument(
+        "--workers", type=int, default=1,
+        help="concurrent trunk workers on the shared edge (the M/M/c c)",
+    )
+    scale.add_argument(
         "--session-batch", type=int, default=4,
         help="frames per browser-side chunk (one miss frame each)",
     )
@@ -378,10 +382,11 @@ def _cmd_scale(args: argparse.Namespace) -> int:
         ),
         service_model=service_model,
         seed=args.seed,
+        num_workers=args.workers,
     )
     print(
         f"{result.network}: {args.samples} frames/user, "
-        f"session batch {result.session_batch_size}"
+        f"session batch {result.session_batch_size}, workers {args.workers}"
     )
     print(
         f"{'users':>5} {'window':>7} {'maxb':>5} {'tput(r/s)':>10} "

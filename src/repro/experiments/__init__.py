@@ -57,7 +57,10 @@ from .scale import (
     ConcurrencyPoint,
     ConcurrencyResult,
     ExperimentScale,
+    WorkerScalingPoint,
+    WorkerScalingResult,
     run_concurrency,
+    run_worker_scaling,
 )
 from .structure import Figure4Result, StructurePoint, run_figure4
 from .table1 import Table1Cell, Table1Result, run_table1, run_table1_cell
@@ -92,6 +95,8 @@ __all__ = [
     "Table1Cell",
     "Table1Result",
     "Table1Row",
+    "WorkerScalingPoint",
+    "WorkerScalingResult",
     "build_network_assets",
     "build_plans",
     "paper_table1_row",
@@ -110,5 +115,6 @@ __all__ = [
     "run_latency_comparison",
     "run_table1",
     "run_table1_cell",
+    "run_worker_scaling",
     "shape_check",
 ]

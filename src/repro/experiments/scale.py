@@ -22,6 +22,13 @@ import numpy as np
 
 from ..runtime.concurrency import QueueModel, ServiceTimeModel
 from ..runtime.network import four_g
+from ..runtime.protocol import (
+    BatchInferenceRequest,
+    BatchInferenceResponse,
+    SchedulerAck,
+    decode_frame,
+    encode_frame,
+)
 from ..runtime.scheduler import EdgeScheduler, SchedulerConfig, run_concurrent_sessions
 from ..runtime.session import LCRSDeployment, SessionConfig
 
@@ -93,6 +100,7 @@ class ConcurrencyPoint:
     mean_latency_ms: float
     mean_retry_ms: float = 0.0
     mean_queue_ms: float = 0.0
+    num_workers: int = 1
 
     @property
     def per_request(self) -> bool:
@@ -104,6 +112,7 @@ class ConcurrencyPoint:
             "users": self.users,
             "window_ms": self.window_ms,
             "max_batch_size": self.max_batch_size,
+            "num_workers": self.num_workers,
             "samples_served": self.samples_served,
             "batches": self.batches,
             "throughput_rps": self.throughput_rps,
@@ -186,7 +195,7 @@ def _concurrency_cell(
     if c.samples_served and c.mean_batch_size > 0 and duration_s > 0:
         arrival = c.accepted_samples / duration_s
         queue = QueueModel(
-            workers=1,
+            workers=scheduler.config.num_workers,
             service_time_s=scheduler.service_model.service_time_s(
                 max(1, int(round(c.mean_batch_size)))
             ),
@@ -198,6 +207,7 @@ def _concurrency_cell(
         users=n_users,
         window_ms=scheduler_config.window_ms,
         max_batch_size=scheduler_config.max_batch_size,
+        num_workers=scheduler_config.num_workers,
         samples_served=c.samples_served,
         batches=c.batches,
         throughput_rps=c.throughput_rps,
@@ -223,6 +233,7 @@ def run_concurrency(
     session_config: Optional[SessionConfig] = None,
     service_model: Optional[ServiceTimeModel] = None,
     seed: int = 0,
+    num_workers: int = 1,
 ) -> ConcurrencyResult:
     """Sweep concurrent users × batching windows through a shared edge.
 
@@ -250,7 +261,10 @@ def run_concurrency(
                 images,
                 n_users,
                 SchedulerConfig(
-                    window_ms=0.0, max_batch_size=1, queue_capacity=queue_capacity
+                    window_ms=0.0,
+                    max_batch_size=1,
+                    queue_capacity=queue_capacity,
+                    num_workers=num_workers,
                 ),
                 cfg,
                 link_seed,
@@ -267,10 +281,184 @@ def run_concurrency(
                         window_ms=window_ms,
                         max_batch_size=max_batch_size,
                         queue_capacity=queue_capacity,
+                        num_workers=num_workers,
                     ),
                     cfg,
                     link_seed,
                     service_model,
                 )
             )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Worker scaling: trunk throughput vs pool size, cross-checked vs M/M/c
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerScalingPoint:
+    """One worker-pool size under a saturating, deterministic load.
+
+    ``capacity_ratio`` is measured throughput over the M/M/c service
+    capacity ``c / service_time`` at the same batch size — with the
+    request count an exact multiple of ``workers`` it should be 1.0,
+    which keeps :class:`~repro.runtime.concurrency.QueueModel` and the
+    scheduler's simulated clock priced off the same arithmetic.
+    """
+
+    workers: int
+    samples: int
+    batches: int
+    makespan_ms: float
+    throughput_rps: float
+    speedup_vs_serial: float
+    analytic_capacity_rps: float
+    capacity_ratio: float
+    bit_identical: bool
+    mean_queue_wait_ms: float
+    max_workers_busy: int
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "workers": self.workers,
+            "samples": self.samples,
+            "batches": self.batches,
+            "makespan_ms": self.makespan_ms,
+            "throughput_rps": self.throughput_rps,
+            "speedup_vs_serial": self.speedup_vs_serial,
+            "analytic_capacity_rps": self.analytic_capacity_rps,
+            "capacity_ratio": self.capacity_ratio,
+            "bit_identical": self.bit_identical,
+            "mean_queue_wait_ms": self.mean_queue_wait_ms,
+            "max_workers_busy": self.max_workers_busy,
+        }
+
+
+@dataclass
+class WorkerScalingResult:
+    """The worker sweep: one point per pool size, serial first."""
+
+    network: str
+    requests: int
+    batch_size: int
+    points: list[WorkerScalingPoint] = field(default_factory=list)
+
+    def point(self, workers: int) -> WorkerScalingPoint:
+        for p in self.points:
+            if p.workers == workers:
+                return p
+        raise KeyError(f"no point for workers={workers}")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "network": self.network,
+            "requests": self.requests,
+            "batch_size": self.batch_size,
+            "points": [p.as_dict() for p in self.points],
+        }
+
+
+def run_worker_scaling(
+    system,
+    images: np.ndarray,
+    workers: Sequence[int] = (1, 2, 4),
+    requests: int = 16,
+    batch_size: int = 4,
+    service_model: Optional[ServiceTimeModel] = None,
+) -> WorkerScalingResult:
+    """Sweep trunk worker-pool sizes under a saturating miss burst.
+
+    ``requests`` batch frames of exactly ``batch_size`` stem-feature
+    samples each (distinct tenants) all arrive at simulated t=0 with a
+    zero batching window, so every request forms its own full batch and
+    the pool is saturated from the first flush.  Makespan is then
+    ``ceil(requests / c) · batch_ms`` on the simulated clock, so
+    throughput scales ideally with ``c`` whenever ``c`` divides the
+    request count — measured against the M/M/c capacity per point and
+    against the serial run's predictions bit-for-bit.
+    """
+    from ..nn.autograd import Tensor, no_grad
+
+    if requests < 1:
+        raise ValueError("requests must be positive")
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    images = np.asarray(images, dtype=np.float32)
+    need = requests * batch_size
+    if len(images) == 0:
+        raise ValueError("need at least one image")
+    if len(images) < need:
+        reps = -(-need // len(images))
+        images = np.concatenate([images] * reps, axis=0)
+    images = images[:need]
+
+    # One shared stem pass: the sweep measures trunk serving, so every
+    # pool size replays the identical feature stacks.
+    model = system.model
+    model.eval()
+    with no_grad():
+        features = model.stem(Tensor(images)).data.astype(np.float32)
+
+    result = WorkerScalingResult(
+        network=model.base_name, requests=requests, batch_size=batch_size
+    )
+    serial_throughput: Optional[float] = None
+    serial_answers: Optional[tuple] = None
+    for c in workers:
+        if c < 1:
+            raise ValueError("workers must be positive")
+        scheduler = EdgeScheduler.for_system(
+            system,
+            service_model=service_model,
+            config=SchedulerConfig(
+                window_ms=0.0,
+                max_batch_size=batch_size,
+                queue_capacity=need,
+                num_workers=c,
+            ),
+        )
+        tickets: list[int] = []
+        for r in range(requests):
+            request = BatchInferenceRequest.from_features(
+                session_id=r + 1,
+                sequences=tuple(range(batch_size)),
+                codec_name="fp32",
+                features=features[r * batch_size : (r + 1) * batch_size],
+            )
+            ack = decode_frame(scheduler.submit(encode_frame(request), 0.0))
+            if not isinstance(ack, SchedulerAck):
+                raise RuntimeError(f"worker-scaling request shed: {ack}")
+            tickets.append(ack.ticket)
+        scheduler.flush()
+        answers: list[int] = []
+        for ticket in tickets:
+            raw, _wait = scheduler.collect(ticket)
+            reply = decode_frame(raw)
+            assert isinstance(reply, BatchInferenceResponse)
+            answers.extend(reply.class_ids)
+        answer_key = tuple(answers)
+
+        counters = scheduler.counters
+        makespan_ms = scheduler.clock_ms
+        throughput = need / makespan_ms * 1e3 if makespan_ms > 0 else float("inf")
+        if serial_throughput is None:
+            serial_throughput, serial_answers = throughput, answer_key
+        queue = QueueModel.from_service_model(
+            scheduler.service_model, workers=c, batch_size=batch_size
+        )
+        capacity_rps = c / queue.service_time_s
+        result.points.append(
+            WorkerScalingPoint(
+                workers=c,
+                samples=need,
+                batches=counters.batches,
+                makespan_ms=makespan_ms,
+                throughput_rps=throughput,
+                speedup_vs_serial=throughput / serial_throughput,
+                analytic_capacity_rps=capacity_rps,
+                capacity_ratio=throughput / capacity_rps,
+                bit_identical=answer_key == serial_answers,
+                mean_queue_wait_ms=counters.mean_queue_wait_ms,
+                max_workers_busy=counters.max_workers_busy,
+            )
+        )
     return result

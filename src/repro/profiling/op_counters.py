@@ -263,6 +263,7 @@ class SchedulerCounters(_RegistryFacade):
         "busy_ms": 0.0,
         "queue_wait_ms": 0.0,
         "max_queue_depth": 0,
+        "max_workers_busy": 0,
     }
 
     def __init__(self, registry: Optional[MetricsRegistry] = None, **values) -> None:

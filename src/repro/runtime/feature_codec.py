@@ -26,7 +26,18 @@ import numpy as np
 
 
 class CodecError(ValueError):
-    """Raised on malformed encoded payloads."""
+    """Raised on malformed encoded payloads (or unencodable inputs)."""
+
+
+class UnknownCodecError(CodecError, KeyError):
+    """Raised when a codec name does not resolve.
+
+    Doubly derived so protocol-level handlers can catch the structured
+    :class:`CodecError` while existing ``KeyError`` callers keep working.
+    """
+
+    def __str__(self) -> str:  # KeyError repr()s its argument; keep the message
+        return self.args[0] if self.args else ""
 
 
 @dataclass(frozen=True)
@@ -69,11 +80,22 @@ def _decode_fp16(payload: bytes, shape: tuple[int, ...]) -> np.ndarray:
 
 def _encode_int8(features: np.ndarray) -> bytes:
     features = np.ascontiguousarray(features, dtype=np.float32)
+    if features.size == 0:
+        # Nothing to quantize; a neutral header keeps decode total.
+        return struct.pack("<ff", 0.0, 1.0)
+    if not np.isfinite(features).all():
+        # An affine uint8 grid cannot represent ±inf/NaN; refusing beats
+        # shipping a NaN scale that dequantizes to garbage.
+        raise CodecError("int8 codec requires finite features")
     lo = float(features.min())
     hi = float(features.max())
+    # Quantization in float64: a denormal (hi - lo) / 255 range would
+    # flush to zero in float32 and divide by zero.
     scale = (hi - lo) / 255.0 if hi > lo else 1.0
-    q = np.round((features - lo) / scale).astype(np.uint8)
-    return struct.pack("<ff", lo, scale) + q.tobytes()
+    q = np.clip(
+        np.round((features.astype(np.float64) - lo) / scale), 0.0, 255.0
+    ).astype(np.uint8)
+    return struct.pack("<ff", np.float32(lo), np.float32(scale)) + q.tobytes()
 
 
 def _decode_int8(payload: bytes, shape: tuple[int, ...]) -> np.ndarray:
@@ -81,8 +103,12 @@ def _decode_int8(payload: bytes, shape: tuple[int, ...]) -> np.ndarray:
     if len(payload) != expected:
         raise CodecError(f"int8 payload is {len(payload)}B, expected {expected}B")
     lo, scale = struct.unpack("<ff", payload[:8])
+    if not (np.isfinite(lo) and np.isfinite(scale)) or scale <= 0:
+        # Encode never emits these; a non-finite or non-positive header
+        # is corruption, not a quantization grid.
+        raise CodecError(f"bad int8 header: lo={lo!r}, scale={scale!r}")
     q = np.frombuffer(payload[8:], dtype=np.uint8).reshape(shape)
-    return (q.astype(np.float32) * scale + lo).astype(np.float32)
+    return (q.astype(np.float64) * scale + lo).astype(np.float32)
 
 
 FP32_CODEC = FeatureCodec("fp32", _encode_fp32, _decode_fp32, bytes_per_element=4.0)
@@ -98,7 +124,9 @@ FEATURE_CODECS: dict[str, FeatureCodec] = {
 
 def get_codec(name: str) -> FeatureCodec:
     if name not in FEATURE_CODECS:
-        raise KeyError(f"unknown codec {name!r}; available: {sorted(FEATURE_CODECS)}")
+        raise UnknownCodecError(
+            f"unknown codec {name!r}; available: {sorted(FEATURE_CODECS)}"
+        )
     return FEATURE_CODECS[name]
 
 

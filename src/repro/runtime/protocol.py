@@ -97,13 +97,18 @@ class InferenceRequest:
             meta = json.loads(body[4 : 4 + hlen].decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ProtocolError(f"bad request header: {exc}") from exc
-        return cls(
-            session_id=int(meta["session_id"]),
-            sequence=int(meta["sequence"]),
-            codec=str(meta["codec"]),
-            feature_shape=tuple(int(d) for d in meta["shape"]),
-            payload=body[4 + hlen :],
-        )
+        try:
+            return cls(
+                session_id=int(meta["session_id"]),
+                sequence=int(meta["sequence"]),
+                codec=str(meta["codec"]),
+                feature_shape=tuple(int(d) for d in meta["shape"]),
+                payload=body[4 + hlen :],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            # Valid JSON, wrong schema (missing/mistyped fields): still a
+            # malformed frame, not a server crash.
+            raise ProtocolError(f"bad request header fields: {exc!r}") from exc
 
     def features(self) -> np.ndarray:
         """Decode the carried tensor through the named codec."""
@@ -194,14 +199,19 @@ class BatchInferenceRequest:
             meta = json.loads(body[4 : 4 + hlen].decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ProtocolError(f"bad batch request header: {exc}") from exc
-        return cls(
-            session_id=int(meta["session_id"]),
-            sequences=tuple(int(s) for s in meta["sequences"]),
-            codec=str(meta["codec"]),
-            feature_shape=tuple(int(d) for d in meta["shape"]),
-            payload=body[4 + hlen :],
-            trace_id=str(meta.get("trace_id", "")),
-        )
+        try:
+            return cls(
+                session_id=int(meta["session_id"]),
+                sequences=tuple(int(s) for s in meta["sequences"]),
+                codec=str(meta["codec"]),
+                feature_shape=tuple(int(d) for d in meta["shape"]),
+                payload=body[4 + hlen :],
+                trace_id=str(meta.get("trace_id", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            # Valid JSON, wrong schema (missing/mistyped fields): still a
+            # malformed frame, not a server crash.
+            raise ProtocolError(f"bad batch request header fields: {exc!r}") from exc
 
     def features(self) -> np.ndarray:
         """Decode the carried feature stack through the named codec.
@@ -358,10 +368,11 @@ class ModelResponse:
         (nlen,) = struct.unpack("<I", body[:4])
         if len(body) < 4 + nlen:
             raise ProtocolError("truncated model response name")
-        return cls(
-            bundle_name=body[4 : 4 + nlen].decode("utf-8"),
-            payload=body[4 + nlen :],
-        )
+        try:
+            name = body[4 : 4 + nlen].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("bad model response name") from exc
+        return cls(bundle_name=name, payload=body[4 + nlen :])
 
 
 @dataclass(frozen=True)

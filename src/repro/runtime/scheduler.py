@@ -39,6 +39,7 @@ batches.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -69,6 +70,7 @@ from .session import (
     SessionResult,
     SessionTrace,
 )
+from .worker_pool import WorkerPool
 
 
 @dataclass(frozen=True)
@@ -88,6 +90,10 @@ class SchedulerConfig:
     max_batch_size: int = 32
     queue_capacity: int = 256
     max_per_tenant: Optional[int] = None
+    #: Concurrent trunk workers (the M/M/c ``c``).  Each dynamic batch
+    #: runs whole on one worker; with ``c > 1`` batches overlap on the
+    #: simulated clock and execute through a real thread pool.
+    num_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.window_ms < 0:
@@ -98,6 +104,8 @@ class SchedulerConfig:
             raise ValueError("queue_capacity must be at least 1")
         if self.max_per_tenant is not None and self.max_per_tenant < 1:
             raise ValueError("max_per_tenant must be at least 1")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
 
 
 @dataclass
@@ -112,6 +120,24 @@ class _Queued:
     @property
     def samples(self) -> int:
         return len(self.request.sequences)
+
+
+@dataclass
+class _Batch:
+    """One formed dynamic batch, assigned to a simulated worker.
+
+    Formation and worker assignment are decided *before* any real
+    execution (membership depends only on arrivals and the window, never
+    on execution results), so the batches of a flush can run through the
+    worker pool concurrently and still route replies deterministically.
+    """
+
+    batch_id: int
+    worker: int
+    chosen: list[_Queued]
+    total: int
+    start_ms: float
+    exec_ms: float
 
 
 class EdgeScheduler:
@@ -138,11 +164,24 @@ class EdgeScheduler:
         self.counters = SchedulerCounters()
         # Tracing: with an enabled recorder, every served request gets a
         # `sched.queue_wait` span and every trunk pass a `trunk.batch`
-        # span on the "edge" track, correlated to the submitting session
-        # by the trace id carried in the request frame.
+        # span (with a `trunk.worker[i]` child naming its worker lane)
+        # on the "edge" track, correlated to the submitting session by
+        # the trace id carried in the request frame.
         self.recorder = recorder if recorder is not None else NULL_RECORDER
-        #: Simulated time at which the trunk next becomes free.
-        self.clock_ms = 0.0
+        #: Simulated time at which each trunk worker next becomes free.
+        self._worker_free = [0.0] * self.config.num_workers
+        #: Real thread pool for batch execution; its busy high-water
+        #: feeds the `sched.workers_busy` gauge and counter.
+        self.worker_pool = WorkerPool(
+            self.config.num_workers,
+            gauge=self.counters.registry.gauge("sched.workers_busy"),
+        )
+        # The trunk executes under a lock: the autograd no_grad flag is
+        # process-global and the framework's counters are unsynchronized,
+        # so concurrent real passes would race.  Simulated-clock overlap
+        # (which the c-worker speedup is measured on) is unaffected, and
+        # decode/concatenate work still runs on the pool threads.
+        self._exec_lock = threading.Lock()
         self._queue: list[_Queued] = []
         self._results: dict[int, tuple[bytes, float]] = {}
         self._tickets = itertools.count(1)
@@ -171,6 +210,20 @@ class EdgeScheduler:
         return cls(endpoint, service_model, config, recorder=recorder)
 
     # -- observability -------------------------------------------------
+    @property
+    def clock_ms(self) -> float:
+        """Simulated time at which the whole trunk pool is next free.
+
+        With one worker this is exactly the pre-pool scalar clock; with
+        ``c`` workers it is the latest worker's free time (the makespan
+        of everything executed so far).
+        """
+        return max(self._worker_free)
+
+    @clock_ms.setter
+    def clock_ms(self, value: float) -> None:
+        self._worker_free = [float(value)] * len(self._worker_free)
+
     def register(self, tenant_id: int) -> None:
         self._tenants.add(int(tenant_id))
 
@@ -314,19 +367,45 @@ class EdgeScheduler:
         full = budget <= 0 or len(chosen) < len(eligible)
         return chosen, full
 
+    def _execute_batch(self, batch: _Batch) -> tuple[np.ndarray, float]:
+        """Run one batch's real trunk pass (worker-pool task).
+
+        Feature decode and concatenation run freely on the pool thread;
+        the trunk pass itself is serialized under the execution lock
+        (see ``__init__``).  Returns ``(logits, infer_wall_ms)``.
+        """
+        rec = self.recorder
+        wall0 = now_ms() if rec.enabled else 0.0
+        features = np.concatenate(
+            [q.request.features() for q in batch.chosen], axis=0
+        )
+        with self._exec_lock:
+            logits = self.endpoint.infer(features)
+        infer_wall_ms = now_ms() - wall0 if rec.enabled else 0.0
+        return logits, infer_wall_ms
+
     def flush(self) -> list[int]:
         """Form and execute batches until the queue drains.
 
-        Each batch is one real trunk pass over the concatenated feature
-        stacks (predictions are bit-identical to per-request serving —
-        the trunk's math is per-sample) priced once by the service
-        model.  A batch starts when its window closes — ``head arrival +
-        window_ms`` — or as soon as its last member arrived if it filled
-        up early, and never before the trunk is free.  Returns the
-        served tickets in completion order.
+        Two phases.  *Formation* (serial, deterministic): batches are
+        drawn from the queue exactly as a single-worker scheduler would
+        draw them — membership depends only on arrivals and the window —
+        and each is assigned to the earliest-free simulated worker
+        (ties break on the lowest worker index), starting when its
+        window closes — ``head arrival + window_ms`` — or as soon as
+        its last member arrived if it filled up early, and never before
+        its worker is free.  *Execution*: every batch is one real trunk
+        pass over the concatenated feature stacks (predictions are
+        bit-identical to per-request serving — the trunk's math is
+        per-sample), run through the worker pool and priced once by the
+        service model; replies are then routed serially in formation
+        order.  Returns the served tickets in completion order.
         """
         served: list[int] = []
         cfg = self.config
+        rec = self.recorder
+
+        batches: list[_Batch] = []
         while self._queue:
             self._queue.sort(key=lambda q: (q.arrival_ms, q.ticket))
             head = self._queue[0]
@@ -335,26 +414,41 @@ class EdgeScheduler:
             chosen, full = self._choose(eligible)
             total = sum(q.samples for q in chosen)
             gate = max(q.arrival_ms for q in chosen) if full else close
-            start = max(self.clock_ms, gate)
-            exec_ms = self.service_model.batch_ms(total)
-            rec = self.recorder
-            batch_id = next(self._batch_ids)
-
-            wall0 = now_ms() if rec.enabled else 0.0
-            features = np.concatenate(
-                [q.request.features() for q in chosen], axis=0
+            worker = min(
+                range(len(self._worker_free)), key=lambda i: (self._worker_free[i], i)
             )
-            logits = self.endpoint.infer(features)
-            infer_wall_ms = now_ms() - wall0 if rec.enabled else 0.0
+            start = max(self._worker_free[worker], gate)
+            exec_ms = self.service_model.batch_ms(total)
+            self._worker_free[worker] = start + exec_ms
+            batches.append(
+                _Batch(
+                    batch_id=next(self._batch_ids),
+                    worker=worker,
+                    chosen=chosen,
+                    total=total,
+                    start_ms=start,
+                    exec_ms=exec_ms,
+                )
+            )
+            for q in chosen:
+                self._queue.remove(q)
+
+        outputs = self.worker_pool.map(self._execute_batch, batches)
+        self.counters.max_workers_busy = max(
+            self.counters.max_workers_busy, self.worker_pool.max_busy
+        )
+
+        for batch, (logits, infer_wall_ms) in zip(batches, outputs):
             # Same softmax/argmax math as EdgeProtocolServer's per-request
             # path, so scheduled answers match unscheduled ones bit-for-bit.
             probs = np.exp(logits - logits.max(axis=1, keepdims=True))
             probs /= probs.sum(axis=1, keepdims=True)
             class_ids = logits.argmax(axis=1)
 
+            start = batch.start_ms
             waits = 0.0
             offset = 0
-            for q in chosen:
+            for q in batch.chosen:
                 ids = class_ids[offset : offset + q.samples]
                 response = BatchInferenceResponse(
                     session_id=q.request.session_id,
@@ -370,7 +464,6 @@ class EdgeScheduler:
                 waits += wait * q.samples
                 offset += q.samples
                 served.append(q.ticket)
-                self._queue.remove(q)
                 self._dedupe.pop((q.tenant, q.request.sequences), None)
                 if rec.enabled:
                     rec.add_span(
@@ -382,24 +475,33 @@ class EdgeScheduler:
                         ticket=q.ticket,
                         tenant=q.tenant,
                         samples=q.samples,
-                        batch=batch_id,
+                        batch=batch.batch_id,
                     )
-            self.clock_ms = start + exec_ms
-            self.counters.record_batch(total, exec_ms, waits)
+            self.counters.record_batch(batch.total, batch.exec_ms, waits)
             if rec.enabled:
-                rec.add_span(
+                batch_span = rec.add_span(
                     "trunk.batch",
                     track="edge",
                     sim_start_ms=start,
-                    sim_ms=exec_ms,
+                    sim_ms=batch.exec_ms,
                     wall_ms=infer_wall_ms,
-                    batch=batch_id,
-                    size=total,
-                    requests=len(chosen),
-                    tenants=sorted({q.tenant for q in chosen}),
+                    batch=batch.batch_id,
+                    size=batch.total,
+                    requests=len(batch.chosen),
+                    worker=batch.worker,
+                    tenants=sorted({q.tenant for q in batch.chosen}),
                     trace_ids=[
-                        q.request.trace_id for q in chosen if q.request.trace_id
+                        q.request.trace_id for q in batch.chosen if q.request.trace_id
                     ],
+                )
+                rec.add_span(
+                    f"trunk.worker[{batch.worker}]",
+                    track="edge",
+                    sim_start_ms=start,
+                    sim_ms=batch.exec_ms,
+                    parent=batch_span,
+                    batch=batch.batch_id,
+                    size=batch.total,
                 )
         return served
 

@@ -116,6 +116,11 @@ class SessionConfig:
     with seeded fault injection for this session only; ``fault_seed``
     seeds those draws.  ``fault_overrides`` accepts a mapping and is
     normalized to a sorted tuple of pairs so the config stays hashable.
+
+    ``num_threads`` sets the browser engines' intra-op thread count for
+    the XNOR-popcount kernels (see
+    :func:`repro.wasm.bitpack.packed_dot`); predictions, entropies, and
+    exit decisions are bit-identical for every value.
     """
 
     batch_size: int = 1
@@ -126,10 +131,13 @@ class SessionConfig:
     fault_profile: Optional[str] = None
     fault_overrides: tuple = ()
     fault_seed: int = 0
+    num_threads: int = 1
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise ValueError("batch_size must be positive")
+        if self.num_threads < 1:
+            raise ValueError("num_threads must be at least 1")
         if self.threshold is not None and not 0.0 <= self.threshold <= 1.0:
             raise ValueError("threshold must be in [0, 1]")
         if self.codec is not None:
@@ -346,6 +354,19 @@ class BrowserClient:
         self.branch_engine = WasmModel.load(branch_payload)
         self.threshold = threshold
         self.loaded_bytes = len(stem_payload) + len(branch_payload)
+
+    def set_num_threads(self, num_threads: int) -> None:
+        """Set both engines' intra-op kernel thread count.
+
+        Purely a performance knob: the threaded popcount kernels are
+        bit-identical to serial (see
+        :func:`repro.wasm.bitpack.packed_dot`).
+        """
+        num_threads = int(num_threads)
+        if num_threads < 1:
+            raise ValueError("num_threads must be at least 1")
+        self.stem_engine.num_threads = num_threads
+        self.branch_engine.num_threads = num_threads
 
     def process(self, image: np.ndarray) -> tuple[np.ndarray, np.ndarray, float, bool]:
         """Run the local pipeline on one CHW image.
@@ -834,6 +855,7 @@ class LCRSDeployment:
                 **dict(config.fault_overrides),
             )
         rec = recorder if recorder is not None else self.recorder
+        self.browser.set_num_threads(config.num_threads)
         stem_ms = branch_ms = 0.0
         if rec.enabled:
             # Deterministic per-sample browser compute (no link RNG): the

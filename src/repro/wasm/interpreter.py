@@ -168,9 +168,17 @@ class WasmModel:
     them in linear memory.
     """
 
-    def __init__(self, parsed: ParsedModel) -> None:
+    def __init__(self, parsed: ParsedModel, num_threads: int = 1) -> None:
+        num_threads = int(num_threads)
+        if num_threads < 1:
+            raise ValueError("num_threads must be at least 1")
         self.input_shape = parsed.input_shape
         self.metadata = parsed.metadata
+        #: Intra-op threads for the XNOR-popcount kernels (mutable knob;
+        #: the compiled binary ops read it per call).  Results are
+        #: bit-identical for every value — see
+        #: :func:`repro.wasm.bitpack.packed_dot`.
+        self.num_threads = num_threads
         self._ops: list[Callable[[np.ndarray], np.ndarray]] = []
         self._build(parsed)
         self.counters = ModelCounters.for_kinds(
@@ -178,8 +186,8 @@ class WasmModel:
         )
 
     @classmethod
-    def load(cls, payload: bytes) -> "WasmModel":
-        return cls(parse_model(payload))
+    def load(cls, payload: bytes, num_threads: int = 1) -> "WasmModel":
+        return cls(parse_model(payload), num_threads=num_threads)
 
     # ------------------------------------------------------------------
     # Compilation
@@ -336,10 +344,16 @@ class WasmModel:
                     bits = bits.reshape(n * geom.rows, geom.row_len)
                     vbits = np.packbits(bits, axis=1)
                     # The geometry mask applies cyclically across samples.
-                    dots = packed_dot(vbits, packed_w, mask=geom.mbits)
+                    dots = packed_dot(
+                        vbits, packed_w, mask=geom.mbits,
+                        num_threads=self.num_threads,
+                    )
                 else:
                     vbits = np.packbits(bits, axis=1)
-                    dots = packed_dot(vbits, packed_w, length=bit_length)
+                    dots = packed_dot(
+                        vbits, packed_w, length=bit_length,
+                        num_threads=self.num_threads,
+                    )
                 out = dots * alpha_row * kfac[:, None]
                 if bias is not None:
                     out += bias
@@ -382,7 +396,10 @@ class WasmModel:
             def op(x: np.ndarray) -> np.ndarray:
                 beta = np.abs(x).mean(axis=1, keepdims=True)
                 vbits = np.packbits((x >= 0), axis=1)
-                dots = packed_dot(vbits, packed_w, length=bit_length)
+                dots = packed_dot(
+                    vbits, packed_w, length=bit_length,
+                    num_threads=self.num_threads,
+                )
                 out = dots * alpha_row * beta
                 if bias is not None:
                     out += bias

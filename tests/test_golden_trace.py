@@ -1,0 +1,139 @@
+"""Golden-trace regression: a frozen-seed run pinned to a committed fixture.
+
+The fixture (``tests/golden/lenet_trace.json``) freezes what the tiny
+LeNet system answered on a fixed 12-image stream — per-sample
+predictions, exit decisions, who served each sample, and digests of the
+entropies and priced costs.  Two runs are checked against it:
+
+* the solo session (private endpoint, the seed path every PR inherits);
+* a 2-session scheduled run on a 4-worker edge, which the determinism
+  story promises is *bit-identical* in predictions/exits to solo.
+
+Any drift — a kernel change, a scheduler reorder, a codec tweak, a
+pricing change — fails here with a field-level diff instead of silently
+shifting downstream numbers.  To regenerate after an intentional
+behaviour change::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_golden_trace.py -m slow
+"""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import (
+    EdgeScheduler,
+    LCRSDeployment,
+    SchedulerConfig,
+    SessionConfig,
+    four_g,
+    run_concurrent_sessions,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "lenet_trace.json"
+SAMPLES = 12
+LINK_SEED = 11
+#: A tight threshold forces misses so the trace covers the edge path.
+SESSION = dict(batch_size=4, threshold=0.05)
+
+
+def _digest(values) -> str:
+    """Order-sensitive digest of floats, rounded past platform noise."""
+    h = hashlib.sha256()
+    for v in values:
+        h.update(f"{v:.6f};".encode())
+    return h.hexdigest()
+
+
+def _trace_record(system, session) -> dict:
+    return {
+        "network": system.model.base_name,
+        "samples": len(session.outcomes),
+        "predictions": [int(o.prediction) for o in session.outcomes],
+        "exited_locally": [bool(o.exited_locally) for o in session.outcomes],
+        "served_by": [o.served_by for o in session.outcomes],
+        "entropy_digest": _digest(o.entropy for o in session.outcomes),
+        "cost_digest": _digest(
+            v
+            for c in session.trace.samples
+            for v in (c.total_ms, c.compute_ms, c.communication_ms)
+        ),
+    }
+
+
+@pytest.fixture(scope="session")
+def golden_images(tiny_mnist):
+    _, test = tiny_mnist
+    return test.images[:SAMPLES]
+
+
+@pytest.fixture(scope="session")
+def solo_record(trained_system, golden_images) -> dict:
+    deployment = LCRSDeployment(trained_system, four_g(seed=LINK_SEED))
+    session = deployment.run_session(
+        golden_images, config=SessionConfig(**SESSION)
+    )
+    return _trace_record(trained_system, session)
+
+
+@pytest.fixture(autouse=True)
+def _maybe_regenerate(request):
+    """With REPRO_REGEN_GOLDEN set, rewrite the fixture before checking."""
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        record = request.getfixturevalue("solo_record")
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(json.dumps(record, indent=2) + "\n")
+
+
+@pytest.mark.slow
+class TestGoldenTrace:
+    def test_fixture_committed(self):
+        assert GOLDEN.exists(), (
+            f"{GOLDEN} missing — regenerate with REPRO_REGEN_GOLDEN=1 "
+            "python -m pytest tests/test_golden_trace.py -m slow"
+        )
+
+    def test_solo_session_matches_golden(self, solo_record):
+        golden = json.loads(GOLDEN.read_text())
+        assert solo_record == golden
+
+    def test_trace_exercises_both_paths(self, solo_record):
+        """A golden trace that never misses (or never exits) pins nothing."""
+        assert any(solo_record["exited_locally"])
+        assert not all(solo_record["exited_locally"])
+
+    def test_four_worker_scheduled_run_matches_golden(
+        self, trained_system, golden_images, solo_record
+    ):
+        """Two sessions on a 4-worker edge answer exactly like solo runs:
+        predictions, exit decisions, and serving source all pinned."""
+        deployments = [
+            LCRSDeployment(trained_system, four_g(seed=LINK_SEED + i))
+            for i in range(2)
+        ]
+        scheduler = EdgeScheduler.for_system(
+            trained_system,
+            config=SchedulerConfig(window_ms=0.0, num_workers=4),
+        )
+        results = run_concurrent_sessions(
+            deployments,
+            [golden_images] * 2,
+            scheduler,
+            config=SessionConfig(**SESSION),
+        )
+        for result in results:
+            assert [int(o.prediction) for o in result.outcomes] == (
+                solo_record["predictions"]
+            )
+            assert [bool(o.exited_locally) for o in result.outcomes] == (
+                solo_record["exited_locally"]
+            )
+            assert [o.served_by for o in result.outcomes] == (
+                solo_record["served_by"]
+            )
+            assert _digest(o.entropy for o in result.outcomes) == (
+                solo_record["entropy_digest"]
+            )
