@@ -10,7 +10,7 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest -x -q
 
-.PHONY: test fault-smoke trace-smoke golden verify bench bench-sched bench-par
+.PHONY: test fault-smoke trace-smoke plan-smoke golden verify bench bench-sched bench-par bench-plan
 
 test:
 	$(PYTEST)
@@ -21,10 +21,13 @@ fault-smoke:
 trace-smoke:
 	PYTHONPATH=src $(PY) benchmarks/trace_smoke.py
 
+plan-smoke:
+	$(PYTEST) -m plan tests/test_plan_properties.py tests/test_golden_trace.py
+
 golden:
 	$(PYTEST) tests/test_protocol_fuzz.py tests/test_codec_properties.py tests/test_golden_trace.py tests/test_parallel.py
 
-verify: test fault-smoke golden trace-smoke
+verify: test fault-smoke golden trace-smoke plan-smoke
 
 bench:
 	PYTHONPATH=src $(PY) benchmarks/bench_kernels.py
@@ -34,3 +37,6 @@ bench-sched:
 
 bench-par:
 	PYTHONPATH=src $(PY) benchmarks/bench_parallel.py
+
+bench-plan:
+	PYTHONPATH=src $(PY) benchmarks/bench_plan.py

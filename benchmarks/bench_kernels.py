@@ -126,32 +126,41 @@ def _build_system():
 
 
 def bench_session() -> dict:
-    """Batched vs per-sample run_session throughput (samples/s)."""
+    """Batched vs per-sample run_session throughput (samples/s).
+
+    Both cells pin ``compile_plan=False`` so this stays the pure
+    *interpreter* baseline; the compiled-plan speedup over it is
+    measured separately by ``benchmarks/bench_plan.py``.
+    """
     from repro.runtime import LCRSDeployment, SessionConfig, four_g
 
     system, test = _build_system()
     deployment = LCRSDeployment(system, four_g(seed=0).deterministic())
     images = test.images[:SESSION_BATCH]
+    scalar_cfg = SessionConfig(compile_plan=False)
+    batched_cfg = SessionConfig(batch_size=SESSION_BATCH, compile_plan=False)
 
     # Warm both paths (first call pays page-load setup bookkeeping and
     # any lazy numpy initialisation).
-    deployment.run_session(images[:8])
-    deployment.run_session(images[:8], config=SessionConfig(batch_size=8))
+    deployment.run_session(images[:8], config=scalar_cfg)
+    deployment.run_session(images[:8], config=SessionConfig(batch_size=8, compile_plan=False))
 
-    scalar_s = _best_seconds(lambda: deployment.run_session(images), SESSION_REPEATS)
+    scalar_s = _best_seconds(
+        lambda: deployment.run_session(images, config=scalar_cfg), SESSION_REPEATS
+    )
     batched_s = _best_seconds(
-        lambda: deployment.run_session(images, config=SessionConfig(batch_size=SESSION_BATCH)),
+        lambda: deployment.run_session(images, config=batched_cfg),
         SESSION_REPEATS,
     )
 
-    scalar = deployment.run_session(images)
-    batched = deployment.run_session(images, config=SessionConfig(batch_size=SESSION_BATCH))
+    scalar = deployment.run_session(images, config=scalar_cfg)
+    batched = deployment.run_session(images, config=batched_cfg)
     assert (scalar.predictions == batched.predictions).all(), "paths disagree"
 
     # Per-op engine counters of the batched run: where the time goes.
     deployment.browser.stem_engine.reset_counters()
     deployment.browser.branch_engine.reset_counters()
-    deployment.run_session(images, config=SessionConfig(batch_size=SESSION_BATCH))
+    deployment.run_session(images, config=batched_cfg)
 
     return {
         "network": "lenet",

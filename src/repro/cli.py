@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the library's lifecycle without writing Python:
+Eight commands cover the library's lifecycle without writing Python:
 
 * ``train``   — joint-train an LCRS on a synthetic dataset, calibrate,
   report, and optionally checkpoint.
@@ -17,6 +17,10 @@ Seven commands cover the library's lifecycle without writing Python:
 * ``trace``   — run a traced multi-session scheduler round and export
   the timeline as Chrome ``trace_event`` JSON (Perfetto-loadable) or a
   JSONL span log.
+* ``plan``    — compile the trace-compiled inference plans (stem,
+  binary branch, edge trunk) from a checkpoint, verify them bit-for-bit
+  against the interpreter, and dump the fused steps with per-step
+  counters.
 """
 
 from __future__ import annotations
@@ -154,6 +158,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--out", type=Path, default=Path("trace.json"),
         help="output path for the exported timeline",
+    )
+
+    plan = sub.add_parser(
+        "plan", help="compile and inspect the trace-compiled inference plans"
+    )
+    plan.add_argument("checkpoint", type=Path)
+    plan.add_argument(
+        "--batch", type=int, default=64,
+        help="plan capacity: the largest batch the flat plans will replay",
+    )
+    plan.add_argument("--seed", type=int, default=0)
+    plan.add_argument(
+        "--json", type=Path, default=None,
+        help="write the plan descriptions (steps, counters, arenas) as JSON here",
     )
     return parser
 
@@ -474,6 +492,89 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .nn.autograd import Tensor, no_grad
+    from .wasm import (
+        PlanCompileError,
+        WasmModel,
+        backend_available,
+        backend_error,
+        compile_trunk_plan,
+        serialize_browser_bundle,
+    )
+
+    system = load_system(args.checkpoint)
+    model = system.model
+    input_shape = (model.in_channels, model.input_size, model.input_size)
+    stem_shape = model.stem_output_shape
+    stem_engine = WasmModel.load(serialize_browser_bundle(model.stem, input_shape))
+    branch_engine = WasmModel.load(
+        serialize_browser_bundle(model.binary_branch, stem_shape)
+    )
+
+    print(
+        f"{model.base_name}: C kernel backend "
+        + ("available" if backend_available() else f"unavailable ({backend_error()})")
+    )
+    rng = np.random.default_rng(args.seed)
+    probe = rng.standard_normal((args.batch, *input_shape)).astype(np.float32)
+
+    records: dict[str, object] = {"network": model.base_name, "capacity": args.batch}
+    targets = [
+        ("stem", stem_engine, probe),
+        ("binary_branch", branch_engine, None),  # probe filled from stem output
+    ]
+    stem_out = stem_engine.forward(probe)
+    targets[1] = ("binary_branch", branch_engine, stem_out)
+    for name, engine, x in targets:
+        plan = engine.plan_for(args.batch)
+        if plan is None:
+            print(f"\n{name}: no compiled plan (interpreter fallback)")
+            records[name] = None
+            continue
+        identical = bool(np.array_equal(plan.execute(x), engine.forward(x)))
+        _print_plan(name, plan, identical)
+        records[name] = {**plan.describe(), "bit_identical": identical}
+
+    try:
+        trunk_plan = compile_trunk_plan(model.main_trunk, stem_shape, args.batch)
+    except PlanCompileError as exc:
+        print(f"\ntrunk: no compiled plan ({exc})")
+        records["trunk"] = None
+    else:
+        model.main_trunk.eval()
+        with no_grad():
+            ref = model.main_trunk(Tensor(stem_out)).data
+        identical = bool(np.array_equal(trunk_plan.execute(stem_out), ref))
+        _print_plan("trunk", trunk_plan, identical)
+        records["trunk"] = {**trunk_plan.describe(), "bit_identical": identical}
+
+    if args.json is not None:
+        import json
+
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(records, indent=2))
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _print_plan(name: str, plan, identical: bool) -> None:
+    desc = plan.describe()
+    print(
+        f"\n{name}: {desc['num_steps']} fused steps, capacity {desc['capacity']}, "
+        f"arena {desc['arena_bytes'] / 1e6:.2f}MB, "
+        f"bit_identical={identical}"
+    )
+    for step in desc["steps"]:
+        wall = step.get("wall_ms", 0.0)
+        print(
+            f"  step[{step['index']}] {step['name']:<40} "
+            f"runners={step['runners']} wall={wall:.3f}ms"
+        )
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
@@ -482,6 +583,7 @@ _COMMANDS = {
     "session": _cmd_session,
     "scale": _cmd_scale,
     "trace": _cmd_trace,
+    "plan": _cmd_plan,
 }
 
 

@@ -20,7 +20,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..runtime.concurrency import QueueModel, ServiceTimeModel
+from ..runtime.concurrency import QueueModel, ServiceTimeModel, measure_service_model
 from ..runtime.network import four_g
 from ..runtime.protocol import (
     BatchInferenceRequest,
@@ -364,6 +364,7 @@ def run_worker_scaling(
     requests: int = 16,
     batch_size: int = 4,
     service_model: Optional[ServiceTimeModel] = None,
+    measure: Optional[str] = None,
 ) -> WorkerScalingResult:
     """Sweep trunk worker-pool sizes under a saturating miss burst.
 
@@ -375,9 +376,20 @@ def run_worker_scaling(
     throughput scales ideally with ``c`` whenever ``c`` divides the
     request count — measured against the M/M/c capacity per point and
     against the serial run's predictions bit-for-bit.
+
+    ``measure`` opts into a *measured* service model when
+    ``service_model`` is not given: ``"module"`` times real trunk module
+    passes, ``"plan"`` times the trace-compiled trunk plan the edge
+    endpoint actually replays (see
+    :func:`repro.runtime.concurrency.measure_service_model`).  The
+    default stays the analytic FLOPs model so the M/M/c cross-check is
+    machine-independent; pass ``measure="plan"`` when the numbers should
+    reflect the compiled-path service times of this host.
     """
     from ..nn.autograd import Tensor, no_grad
 
+    if measure not in (None, "module", "plan"):
+        raise ValueError("measure must be None, 'module', or 'plan'")
     if requests < 1:
         raise ValueError("requests must be positive")
     if batch_size < 1:
@@ -397,6 +409,14 @@ def run_worker_scaling(
     model.eval()
     with no_grad():
         features = model.stem(Tensor(images)).data.astype(np.float32)
+
+    if service_model is None and measure is not None:
+        service_model = measure_service_model(
+            model.main_trunk,
+            tuple(features.shape[1:]),
+            batch_sizes=sorted({1, batch_size, 2 * batch_size}),
+            compile_plan=(measure == "plan"),
+        )
 
     result = WorkerScalingResult(
         network=model.base_name, requests=requests, batch_size=batch_size

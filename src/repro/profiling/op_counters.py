@@ -373,6 +373,8 @@ def counters_scope() -> Iterator[None]:
     global_snap = global_registry().state()
     pop_snap = bitpack._TOTAL_BYTES_POPCOUNTED
     stats_snap = bitpack._LAST_DOT_STATS
+    keyed_snap = bitpack._DOT_STATS.copy()
+    evict_snap = bitpack._DOT_STATS_EVICTIONS
     try:
         yield
     finally:
@@ -384,3 +386,6 @@ def counters_scope() -> Iterator[None]:
         global_registry().restore(global_snap)
         bitpack._TOTAL_BYTES_POPCOUNTED = pop_snap
         bitpack._LAST_DOT_STATS = stats_snap
+        bitpack._DOT_STATS.clear()
+        bitpack._DOT_STATS.update(keyed_snap)
+        bitpack._DOT_STATS_EVICTIONS = evict_snap

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import itertools
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Union
 
@@ -121,6 +122,13 @@ class SessionConfig:
     the XNOR-popcount kernels (see
     :func:`repro.wasm.bitpack.packed_dot`); predictions, entropies, and
     exit decisions are bit-identical for every value.
+
+    ``compile_plan`` routes the stem/branch engines and the edge trunk
+    through trace-compiled fused plans (see :mod:`repro.wasm.plan`).
+    Plans are probe-verified bit-identical to the interpreter at compile
+    time and fall back to it transparently (no C compiler, unsupported
+    layer, verification failure), so this is purely a throughput knob —
+    predictions, entropies, and exit decisions never change.
     """
 
     batch_size: int = 1
@@ -132,6 +140,7 @@ class SessionConfig:
     fault_overrides: tuple = ()
     fault_seed: int = 0
     num_threads: int = 1
+    compile_plan: bool = True
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -326,13 +335,67 @@ class SessionResult:
 
 
 class EdgeEndpoint:
-    """The edge server's inference service: conv1 features → class logits."""
+    """The edge server's inference service: conv1 features → class logits.
 
-    def __init__(self, trunk: Module) -> None:
+    When ``compile_plan`` is on, batches execute through a trace-compiled
+    trunk plan (:func:`repro.wasm.plan.compile_trunk_plan`) cached per
+    feature geometry and (power-of-two-rounded) batch capacity; plans are
+    probe-verified bit-identical to the module path at compile time, and
+    any compile failure falls back to the module path silently.
+    """
+
+    #: Trunk plans cached per (feature geometry, capacity).
+    PLAN_CACHE_SIZE = 8
+
+    def __init__(self, trunk: Module, *, compile_plan: bool = True) -> None:
         self._trunk = trunk
         self.requests_served = 0
+        self.compile_plan = bool(compile_plan)
+        self._plan_cache: "OrderedDict[tuple, object]" = OrderedDict()
 
-    def infer(self, features: np.ndarray) -> np.ndarray:
+    def plan_for(self, feature_shape: tuple, batch_size: int):
+        """The cached trunk plan for this geometry/capacity, or ``None``.
+
+        Capacity is the batch size rounded up to a power of two, so a
+        ramp of batch sizes (1, 2, .., 64) shares a handful of plans
+        instead of compiling one per size.  Failed compilations are
+        cached as ``None`` — one attempt per key, never per call.
+        """
+        capacity = 1 << max(0, int(batch_size) - 1).bit_length()
+        key = (tuple(int(d) for d in feature_shape), capacity)
+        if key in self._plan_cache:
+            self._plan_cache.move_to_end(key)
+            return self._plan_cache[key]
+        from ..wasm.plan import PlanCompileError, compile_trunk_plan
+
+        try:
+            plan = compile_trunk_plan(self._trunk, key[0], capacity)
+        except PlanCompileError:
+            plan = None
+        self._plan_cache[key] = plan
+        if len(self._plan_cache) > self.PLAN_CACHE_SIZE:
+            self._plan_cache.popitem(last=False)
+        return plan
+
+    def infer(
+        self,
+        features: np.ndarray,
+        *,
+        recorder=None,
+        trace_id: str = "",
+        track: str = "edge",
+    ) -> np.ndarray:
+        if self.compile_plan and len(features):
+            plan = self.plan_for(features.shape[1:], len(features))
+            if plan is not None:
+                logits = plan.execute(
+                    np.ascontiguousarray(features, dtype=np.float32),
+                    recorder=recorder,
+                    trace_id=trace_id,
+                    track=track,
+                )
+                self.requests_served += len(features)
+                return logits
         self._trunk.eval()
         with no_grad():
             logits = self._trunk(Tensor(features)).data
@@ -354,6 +417,16 @@ class BrowserClient:
         self.branch_engine = WasmModel.load(branch_payload)
         self.threshold = threshold
         self.loaded_bytes = len(stem_payload) + len(branch_payload)
+        self.compile_plan = True
+
+    def set_compile_plan(self, compile_plan: bool) -> None:
+        """Route both engines through trace-compiled plans (or not).
+
+        Purely a performance knob: plans are probe-verified bit-identical
+        to the interpreter and fall back to it transparently (see
+        :meth:`repro.wasm.WasmModel.forward_planned`).
+        """
+        self.compile_plan = bool(compile_plan)
 
     def set_num_threads(self, num_threads: int) -> None:
         """Set both engines' intra-op kernel thread count.
@@ -406,19 +479,33 @@ class BrowserClient:
         """
         gate = self.threshold if threshold is None else threshold
         if not recorder.enabled:
-            features = self.stem_engine.forward(images)
-            logits = self.branch_engine.forward(features)
+            if self.compile_plan:
+                features = self.stem_engine.forward_planned(images)
+                logits = self.branch_engine.forward_planned(features)
+            else:
+                features = self.stem_engine.forward(images)
+                logits = self.branch_engine.forward(features)
             probs = softmax(logits, axis=1)
             entropies = normalized_entropy(probs, axis=1)
             return features, logits, entropies, entropies < gate
         with recorder.span(
             "stem", track=track, trace_id=trace_id, samples=len(images)
         ) as stem_span:
-            features = self.stem_engine.forward(images)
+            if self.compile_plan:
+                features = self.stem_engine.forward_planned(
+                    images, recorder=recorder, trace_id=trace_id, track=track
+                )
+            else:
+                features = self.stem_engine.forward(images)
         with recorder.span(
             "binary_branch", track=track, trace_id=trace_id, samples=len(images)
         ) as branch_span:
-            logits = self.branch_engine.forward(features)
+            if self.compile_plan:
+                logits = self.branch_engine.forward_planned(
+                    features, recorder=recorder, trace_id=trace_id, track=track
+                )
+            else:
+                logits = self.branch_engine.forward(features)
         with recorder.span("entropy_gate", track=track, trace_id=trace_id) as gate_span:
             probs = softmax(logits, axis=1)
             entropies = normalized_entropy(probs, axis=1)
@@ -856,6 +943,8 @@ class LCRSDeployment:
             )
         rec = recorder if recorder is not None else self.recorder
         self.browser.set_num_threads(config.num_threads)
+        self.browser.set_compile_plan(config.compile_plan)
+        self.edge.compile_plan = config.compile_plan
         stem_ms = branch_ms = 0.0
         if rec.enabled:
             # Deterministic per-sample browser compute (no link RNG): the

@@ -16,6 +16,15 @@ from .bitpack import (
     unpack_signs,
 )
 from .interpreter import ConvGeometry, WasmModel, conv_geometry
+from .plan import (
+    CompiledPlan,
+    PlanCompileError,
+    PlanExecutionError,
+    PlanVerificationError,
+    compile_trunk_plan,
+    compile_wasm_plan,
+)
+from .plan_compile import backend_available, backend_error
 from .model_format import (
     FORMAT_VERSION,
     MAGIC,
@@ -31,12 +40,20 @@ __all__ = [
     "DEFAULT_BLOCK_BYTES",
     "FORMAT_VERSION",
     "MAGIC",
+    "CompiledPlan",
     "ConvGeometry",
     "ModelFormatError",
     "PackedDotStats",
     "ParsedModel",
+    "PlanCompileError",
+    "PlanExecutionError",
+    "PlanVerificationError",
     "ValidationReport",
     "WasmModel",
+    "backend_available",
+    "backend_error",
+    "compile_trunk_plan",
+    "compile_wasm_plan",
     "conv_geometry",
     "iter_leaf_modules",
     "last_dot_stats",

@@ -29,6 +29,7 @@ profiling hooks can attribute popcount traffic to layers.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Optional
@@ -41,7 +42,7 @@ DEFAULT_BLOCK_BYTES = 4 * 1024 * 1024
 
 @dataclass
 class PackedDotStats:
-    """Allocation/work accounting for one :func:`packed_dot` call."""
+    """Allocation/work accounting for one popcount dot-product call."""
 
     peak_temp_bytes: int = 0
     tile_count: int = 0
@@ -49,10 +50,39 @@ class PackedDotStats:
     block_bytes: int = DEFAULT_BLOCK_BYTES
     output_shape: tuple[int, int] = (0, 0)
     num_threads: int = 1
+    #: Which execution path produced the call: ``"interpreter"`` for
+    #: :func:`packed_dot`, ``"plan"`` for a compiled plan's fused kernel.
+    source: str = "interpreter"
+
+    @property
+    def key(self) -> tuple[str, int, int]:
+        """The stats-registry key: (source, block_bytes, num_threads)."""
+        return (self.source, self.block_bytes, self.num_threads)
 
 
 _LAST_DOT_STATS = PackedDotStats()
 _TOTAL_BYTES_POPCOUNTED = 0
+
+#: Bounded per-configuration stats registry.  Interpreter kernels and
+#: compiled-plan kernels record under different sources (and different
+#: block/thread configurations under different keys), so a reader that
+#: cares about one configuration is not raced by calls made under
+#: another — the failure mode an unkeyed "last call wins" global has in
+#: long multi-tenant runs.  LRU-bounded so the registry cannot grow
+#: without bound across configuration sweeps.
+_DOT_STATS: "OrderedDict[tuple[str, int, int], PackedDotStats]" = OrderedDict()
+_DOT_STATS_MAXSIZE = 32
+_DOT_STATS_EVICTIONS = 0
+
+
+def _record_dot_stats(stats: PackedDotStats) -> None:
+    global _LAST_DOT_STATS, _DOT_STATS_EVICTIONS
+    _LAST_DOT_STATS = stats
+    _DOT_STATS[stats.key] = stats
+    _DOT_STATS.move_to_end(stats.key)
+    while len(_DOT_STATS) > _DOT_STATS_MAXSIZE:
+        _DOT_STATS.popitem(last=False)
+        _DOT_STATS_EVICTIONS += 1
 
 #: Module default for :func:`packed_dot`'s ``num_threads`` (the knob a
 #: WASM host would set from ``navigator.hardwareConcurrency``).
@@ -87,9 +117,74 @@ def _executor(n: int) -> ThreadPoolExecutor:
     return pool
 
 
-def last_dot_stats() -> PackedDotStats:
-    """Stats of the most recent :func:`packed_dot` call."""
-    return _LAST_DOT_STATS
+def last_dot_stats(
+    source: Optional[str] = None,
+    block_bytes: Optional[int] = None,
+    num_threads: Optional[int] = None,
+) -> PackedDotStats:
+    """Stats of the most recent popcount dot-product call.
+
+    With no arguments this is the most recent call of *any*
+    configuration (the historical behaviour).  Passing any of
+    ``source`` / ``block_bytes`` / ``num_threads`` filters the keyed
+    registry instead and returns the most recent call matching every
+    given field — e.g. ``last_dot_stats(source="plan")`` is never raced
+    by interleaved interpreter calls.  Returns an empty
+    :class:`PackedDotStats` when nothing matches.
+    """
+    if source is None and block_bytes is None and num_threads is None:
+        return _LAST_DOT_STATS
+    for key in reversed(_DOT_STATS):
+        k_source, k_block, k_threads = key
+        if source is not None and k_source != source:
+            continue
+        if block_bytes is not None and k_block != int(block_bytes):
+            continue
+        if num_threads is not None and k_threads != int(num_threads):
+            continue
+        return _DOT_STATS[key]
+    return PackedDotStats(block_bytes=0, source=source or "")
+
+
+def dot_stats_cache_info() -> dict[str, object]:
+    """Occupancy of the keyed dot-stats registry (LRU-bounded)."""
+    return {
+        "size": len(_DOT_STATS),
+        "maxsize": _DOT_STATS_MAXSIZE,
+        "evictions": _DOT_STATS_EVICTIONS,
+        "keys": list(_DOT_STATS.keys()),
+    }
+
+
+def record_plan_popcount(
+    bytes_popcounted: int,
+    output_shape: tuple[int, int],
+    block_bytes: Optional[int] = None,
+    num_threads: int = 1,
+) -> None:
+    """Account popcount traffic executed by a compiled plan's kernel.
+
+    Compiled plans run their XNOR-popcount loops outside
+    :func:`packed_dot`; this keeps the process-global popcount total and
+    the keyed stats registry (under ``source="plan"``) consistent with
+    the interpreter path so profiling hooks see one coherent stream.
+    """
+    global _TOTAL_BYTES_POPCOUNTED
+    bytes_popcounted = int(bytes_popcounted)
+    _TOTAL_BYTES_POPCOUNTED += bytes_popcounted
+    _record_dot_stats(
+        PackedDotStats(
+            peak_temp_bytes=0,
+            tile_count=1,
+            bytes_popcounted=bytes_popcounted,
+            block_bytes=(
+                int(block_bytes) if block_bytes is not None else DEFAULT_BLOCK_BYTES
+            ),
+            output_shape=tuple(int(d) for d in output_shape),
+            num_threads=int(num_threads),
+            source="plan",
+        )
+    )
 
 
 def total_bytes_popcounted() -> int:
@@ -187,7 +282,7 @@ def packed_dot(
     bit-identical for every thread count; peak scratch scales with the
     number of workers actually used and is reported in the stats.
     """
-    global _LAST_DOT_STATS, _TOTAL_BYTES_POPCOUNTED
+    global _TOTAL_BYTES_POPCOUNTED
 
     va = np.ascontiguousarray(va, dtype=np.uint8)
     vb = np.ascontiguousarray(vb, dtype=np.uint8)
@@ -330,13 +425,16 @@ def packed_dot(
 
     tiles = sum(r[0] for r in results)
     popcounted = sum(r[1] for r in results)
-    _LAST_DOT_STATS = PackedDotStats(
-        peak_temp_bytes=overhead + n_used * per_worker,
-        tile_count=tiles,
-        bytes_popcounted=popcounted,
-        block_bytes=block,
-        output_shape=(p, q),
-        num_threads=n_used,
+    _record_dot_stats(
+        PackedDotStats(
+            peak_temp_bytes=overhead + n_used * per_worker,
+            tile_count=tiles,
+            bytes_popcounted=popcounted,
+            block_bytes=block,
+            output_shape=(p, q),
+            num_threads=n_used,
+            source="interpreter",
+        )
     )
     _TOTAL_BYTES_POPCOUNTED += popcounted
     return out

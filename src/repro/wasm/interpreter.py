@@ -25,6 +25,7 @@ op carries an always-on :class:`~repro.profiling.op_counters.OpCounter`
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -66,7 +67,32 @@ class ConvGeometry:
     mbits: Optional[np.ndarray]
 
 
-_GEOMETRY_CACHE: dict[tuple[int, int, int, int, int, int], ConvGeometry] = {}
+#: Process-wide geometry cache, explicitly keyed by every parameter the
+#: artifacts depend on — ``(c, h, w, kernel, stride, padding)``.  The
+#: cached masks are independent of kernel-execution knobs (block size,
+#: ``num_threads``), which key the per-configuration dot stats in
+#: :mod:`repro.wasm.bitpack` instead.  LRU-bounded so long multi-tenant
+#: runs sweeping many model geometries cannot grow it without bound.
+_GEOMETRY_CACHE: "OrderedDict[tuple[int, int, int, int, int, int], ConvGeometry]" = (
+    OrderedDict()
+)
+_GEOMETRY_CACHE_MAXSIZE = 128
+_GEOMETRY_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def geometry_cache_info() -> dict[str, int]:
+    """Hit/miss/eviction counts and occupancy of the geometry cache."""
+    return {
+        "size": len(_GEOMETRY_CACHE),
+        "maxsize": _GEOMETRY_CACHE_MAXSIZE,
+        **_GEOMETRY_CACHE_STATS,
+    }
+
+
+def clear_geometry_cache() -> None:
+    """Drop all cached geometries and reset the cache statistics."""
+    _GEOMETRY_CACHE.clear()
+    _GEOMETRY_CACHE_STATS.update(hits=0, misses=0, evictions=0)
 
 
 def conv_geometry(
@@ -76,7 +102,10 @@ def conv_geometry(
     key = (c, h, w, kernel, stride, padding)
     cached = _GEOMETRY_CACHE.get(key)
     if cached is not None:
+        _GEOMETRY_CACHE_STATS["hits"] += 1
+        _GEOMETRY_CACHE.move_to_end(key)
         return cached
+    _GEOMETRY_CACHE_STATS["misses"] += 1
 
     oh = (h + 2 * padding - kernel) // stride + 1
     ow = (w + 2 * padding - kernel) // stride + 1
@@ -108,6 +137,9 @@ def conv_geometry(
         mbits=mbits,
     )
     _GEOMETRY_CACHE[key] = geometry
+    while len(_GEOMETRY_CACHE) > _GEOMETRY_CACHE_MAXSIZE:
+        _GEOMETRY_CACHE.popitem(last=False)
+        _GEOMETRY_CACHE_STATS["evictions"] += 1
     return geometry
 
 
@@ -179,11 +211,20 @@ class WasmModel:
         #: bit-identical for every value — see
         #: :func:`repro.wasm.bitpack.packed_dot`.
         self.num_threads = num_threads
+        #: Retained layer specs: the trace-compiler in
+        #: :mod:`repro.wasm.plan` re-reads them to build fused plans.
+        self.parsed = parsed
         self._ops: list[Callable[[np.ndarray], np.ndarray]] = []
         self._build(parsed)
         self.counters = ModelCounters.for_kinds(
             [spec["type"] for spec in parsed.layers]
         )
+        # Compiled-plan cache: capacity (rounded up to a power of two)
+        # → CompiledPlan, or None when compilation/verification failed
+        # for that capacity (so the fallback decision is cached too).
+        self._plan_cache: "OrderedDict[int, object]" = OrderedDict()
+        self._plan_cache_maxsize = 4
+        self._plan_cache_stats = {"hits": 0, "misses": 0, "failures": 0}
 
     @classmethod
     def load(cls, payload: bytes, num_threads: int = 1) -> "WasmModel":
@@ -439,9 +480,83 @@ class WasmModel:
 
     __call__ = forward
 
+    # ------------------------------------------------------------------
+    # Compiled plans (record-once / replay-many fast path)
+    # ------------------------------------------------------------------
+    def plan_for(self, batch_size: int):
+        """The compiled plan serving batches of up to ``batch_size``.
+
+        The cache key is the capacity rounded up to a power of two, so a
+        session's ragged tail chunks reuse the full-chunk plan (replay
+        slices every arena buffer to the live batch).  Returns ``None``
+        when compilation or bit-identity verification failed — callers
+        fall back to :meth:`forward`, which stays the reference path.
+        """
+        from .plan import compile_wasm_plan
+
+        batch_size = int(batch_size)
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        capacity = 1
+        while capacity < batch_size:
+            capacity *= 2
+        cached = self._plan_cache.get(capacity, _PLAN_UNSET)
+        if cached is not _PLAN_UNSET:
+            self._plan_cache_stats["hits"] += 1
+            self._plan_cache.move_to_end(capacity)
+            return cached
+        self._plan_cache_stats["misses"] += 1
+        try:
+            plan = compile_wasm_plan(self, capacity)
+        except Exception:
+            plan = None
+        if plan is None:
+            self._plan_cache_stats["failures"] += 1
+        self._plan_cache[capacity] = plan
+        while len(self._plan_cache) > self._plan_cache_maxsize:
+            self._plan_cache.popitem(last=False)
+        return plan
+
+    def forward_planned(
+        self,
+        x: np.ndarray,
+        *,
+        recorder=None,
+        trace_id: str = "",
+        track: str = "browser",
+    ) -> np.ndarray:
+        """Run via the compiled plan, falling back to :meth:`forward`.
+
+        Bit-identical to :meth:`forward` by construction: every plan is
+        probe-verified against the interpreter at compile time, and any
+        model the compiler cannot handle transparently falls back.
+        """
+        x = np.ascontiguousarray(x, dtype=np.float32)
+        plan = self.plan_for(max(len(x), 1))
+        if plan is None:
+            return self.forward(x)
+        return plan.execute(x, recorder=recorder, trace_id=trace_id, track=track)
+
+    def plan_cache_info(self) -> dict[str, object]:
+        """Occupancy and hit/miss/failure counts of the plan cache."""
+        return {
+            "size": len(self._plan_cache),
+            "maxsize": self._plan_cache_maxsize,
+            "capacities": list(self._plan_cache.keys()),
+            **self._plan_cache_stats,
+        }
+
+    def clear_plan_cache(self) -> None:
+        self._plan_cache.clear()
+        self._plan_cache_stats.update(hits=0, misses=0, failures=0)
+
     def reset_counters(self) -> None:
         self.counters.reset()
 
     @property
     def num_ops(self) -> int:
         return len(self._ops)
+
+
+#: Sentinel distinguishing "never compiled" from a cached failure.
+_PLAN_UNSET = object()

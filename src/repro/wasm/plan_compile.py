@@ -1,0 +1,1461 @@
+"""Runtime-compiled C kernels backing the trace-compiled inference plans.
+
+The plan compiler (``plan.py``) fuses each anchor op (conv / binary conv /
+linear) with its adjacent elementwise ops into one flat step.  The hot
+inner loops of those steps — window gather, bit packing, XNOR+popcount,
+scale/bias/relu epilogues, pooling, batch-norm affines — live here as a
+single C translation unit compiled once per process with the system C
+compiler and loaded through :mod:`ctypes`.
+
+Everything about the build is defensive:
+
+* no compiler on ``PATH``, a failed compile, or ``REPRO_PLAN_NO_CC=1``
+  in the environment simply raises :class:`KernelBackendError`; the plan
+  compiler treats that as "plan unavailable" and the interpreter keeps
+  serving requests;
+* the shared object is cached under ``src/repro/wasm/_kernels/`` (git
+  ignored) keyed by a hash of the source + flags, so repeated processes
+  pay nothing; an unwritable tree falls back to the system temp dir;
+* the flags pin IEEE semantics (``-fno-fast-math -ffp-contract=off``)
+  because the plans promise *bit identity* with the NumPy interpreter,
+  not just numerical closeness.  Each C formula mirrors one specific
+  NumPy expression — see the comments in the source string — and every
+  compiled plan is additionally probe-verified against the interpreter
+  before it is ever used (``plan.py``).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from shutil import which
+from typing import Optional
+
+__all__ = [
+    "KernelBackendError",
+    "backend_available",
+    "backend_error",
+    "get_backend",
+    "kill_switch_engaged",
+]
+
+
+class KernelBackendError(RuntimeError):
+    """The C kernel backend could not be built or was disabled."""
+
+
+#: Environment variable that disables the C backend (and therefore all
+#: compiled plans) without code changes — sessions fall back to the
+#: interpreter transparently.
+KILL_SWITCH = "REPRO_PLAN_NO_CC"
+
+_CFLAGS = ("-O3", "-std=c99", "-fPIC", "-shared", "-fno-fast-math", "-ffp-contract=off")
+
+# Bit layout note: activation bits are packed to match ``np.packbits``
+# (MSB-first within each byte) viewed as little-endian uint64, so the
+# weight/mask planes prepared in NumPy from the serialized bitplanes line
+# up word-for-word.  Only popcount((a ^ b) & mask) is ever read, so the
+# layout just has to be *consistent* across the three planes.
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+#include <math.h>
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define HAVE_X86 1
+#endif
+
+#define API __attribute__((visibility("default")))
+
+/* Zero-padded copy: interior rows only — the destination borders were
+   zero-initialised once at arena creation and are never written again. */
+API void pad_nchw(const float *x, float *xp,
+                  long n, long c, long h, long w, long pad)
+{
+    long hp = h + 2 * pad, wp = w + 2 * pad;
+    for (long i = 0; i < n * c; i++) {
+        const float *src = x + i * h * w;
+        float *dst = xp + i * hp * wp + pad * wp + pad;
+        for (long iy = 0; iy < h; iy++)
+            memcpy(dst + iy * wp, src + iy * w, (size_t)w * sizeof(float));
+    }
+}
+
+/* Position of logical bit j inside its 64-bit word under the
+   np.packbits(MSB-first) + little-endian-u64 view convention. */
+static inline uint64_t bitmask(long j)
+{
+    long within = j & 63;
+    return 1ULL << (((within >> 3) << 3) + (7 - (within & 7)));
+}
+
+/* 8x8 bit-matrix transpose (Hacker's Delight 7-3): bit (8p+q) of the
+   result is bit (8q+p) of the input.  Used to turn eight movemask bytes
+   (one bit per *row*) into eight per-row bytes in packbits order. */
+static inline uint64_t transpose8(uint64_t v)
+{
+    uint64_t t;
+    t = (v ^ (v >> 7)) & 0x00AA00AA00AA00AAULL; v ^= t ^ (t << 7);
+    t = (v ^ (v >> 14)) & 0x0000CCCC0000CCCCULL; v ^= t ^ (t << 14);
+    t = (v ^ (v >> 28)) & 0x00000000F0F0F0F0ULL; v ^= t ^ (t << 28);
+    return v;
+}
+
+/* Mirror of interpreter._im2col: zero-padded window gather into rows of
+   length c*k*k, row index (i*oh + oy)*ow + ox, column (ci*k + ki)*k + kj.
+   The kj loop is fringe-split (explicit zero-fill + unchecked copy) so
+   the interior carries no per-element bounds branches. */
+static inline void im2col_impl(const float *x, float *cols,
+                               long n, long c, long h, long w,
+                               long k, long stride, long pad,
+                               long oh, long ow)
+{
+    for (long i = 0; i < n; i++) {
+        const float *xi = x + i * c * h * w;
+        float *crow = cols + i * oh * ow * c * k * k;
+        for (long oy = 0; oy < oh; oy++) {
+            for (long ox = 0; ox < ow; ox++) {
+                long ix0 = ox * stride - pad;
+                long kj_lo = ix0 < 0 ? -ix0 : 0;
+                long kj_hi = w - ix0 < k ? w - ix0 : k;
+                if (kj_hi < kj_lo) kj_hi = kj_lo;
+                for (long ci = 0; ci < c; ci++) {
+                    const float *xc = xi + ci * h * w;
+                    for (long ki = 0; ki < k; ki++) {
+                        long iy = oy * stride + ki - pad;
+                        if (iy < 0 || iy >= h) {
+                            for (long kj = 0; kj < k; kj++) *crow++ = 0.0f;
+                            continue;
+                        }
+                        const float *src = xc + iy * w + ix0;
+                        if (kj_lo == 0 && kj_hi == k) {
+                            /* full-width segment: constant trip count
+                               when k is a literal (see clones below) */
+                            for (long kj = 0; kj < k; kj++) crow[kj] = src[kj];
+                            crow += k;
+                            continue;
+                        }
+                        for (long kj = 0; kj < kj_lo; kj++) *crow++ = 0.0f;
+                        for (long kj = kj_lo; kj < kj_hi; kj++) *crow++ = src[kj];
+                        for (long kj = kj_hi; kj < k; kj++) *crow++ = 0.0f;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/* Constant-k clones let the compiler unroll (and for full-width rows
+   vectorize) the k-element interior copies; k in {2,3,5,7} covers every
+   conv in the model zoo. */
+API void im2col_f32(const float *x, float *cols,
+                    long n, long c, long h, long w,
+                    long k, long stride, long pad, long oh, long ow)
+{
+    switch (k) {
+    case 2: im2col_impl(x, cols, n, c, h, w, 2, stride, pad, oh, ow); break;
+    case 3: im2col_impl(x, cols, n, c, h, w, 3, stride, pad, oh, ow); break;
+    case 5: im2col_impl(x, cols, n, c, h, w, 5, stride, pad, oh, ow); break;
+    case 7: im2col_impl(x, cols, n, c, h, w, 7, stride, pad, oh, ow); break;
+    default: im2col_impl(x, cols, n, c, h, w, k, stride, pad, oh, ow); break;
+    }
+}
+
+/* relu_mode 1 mirrors np.maximum(x, 0.0): NaN propagates, -0.0 -> +0.0.
+   Branchless (data-dependent float branches mispredict ~50%). */
+static inline float relu_max0(float v)
+{
+    float t = (v > 0.0f) ? v : 0.0f;
+    return (v != v) ? v : t;
+}
+
+/* relu_mode 2 mirrors x * (x > 0): negatives -> -0.0, -inf -> NaN. */
+static inline float relu_mask(float v)
+{
+    return v * ((v > 0.0f) ? 1.0f : 0.0f);
+}
+
+/* Epilogue after the conv matmul: optional per-channel scale, optional
+   bias, optional relu, written back in NCHW. */
+API void conv_post(const float *mm, const float *scale, const float *bias,
+                   float *out, long n, long rows, long oc, int relu_mode)
+{
+    /* Channel-outer: the (rows, oc) GEMM block stays cache-resident for
+       its strided reads while every NCHW write is contiguous. */
+    for (long i = 0; i < n; i++) {
+        const float *mi = mm + i * rows * oc;
+        float *oi = out + i * oc * rows;
+        for (long o = 0; o < oc; o++) {
+            const float *mo = mi + o;
+            float *oo = oi + o * rows;
+            float sc = scale ? scale[o] : 1.0f;
+            float bi = bias ? bias[o] : 0.0f;
+            for (long r = 0; r < rows; r++) {
+                float v = mo[r * oc];
+                if (scale) v = v * sc;
+                if (bias) v = v + bi;
+                if (relu_mode == 1) v = relu_max0(v);
+                else if (relu_mode == 2) v = relu_mask(v);
+                oo[r] = v;
+            }
+        }
+    }
+}
+
+/* Fused direct convolution for narrow output channels (oc <= 16):
+   gathers the window straight from the zero-padded image and
+   accumulates with sequential-K fmaf — the exact reduction OpenBLAS
+   sgemm performs for these skinny shapes, so the result is bit-identical
+   to the interpreter's im2col + np.matmul without materialising the cols
+   matrix or the (rows, oc) GEMM block at all.  Padded positions
+   contribute fmaf(+0, w, acc) just as the zero-filled cols entries do.
+   The scale/bias/relu epilogue and the NCHW transpose happen in
+   registers.  Weight layout: wt[kidx][lane] padded to 16 lanes.
+   Probe verification (plan.py) guards the sequential-K assumption; if
+   a BLAS swap ever changes the reduction order the plan compiler falls
+   back to the im2col + np.matmul path. */
+static void conv_direct_scalar(const float *xp, const float *wt,
+                               const float *scale, const float *bias,
+                               float *out,
+                               long n, long c, long hp, long wp,
+                               long k, long stride,
+                               long oh, long ow, long oc, int relu_mode)
+{
+    long rows = oh * ow;
+    for (long i = 0; i < n; i++) {
+        const float *base = xp + i * c * hp * wp;
+        float *oi = out + i * oc * rows;
+        for (long oy = 0; oy < oh; oy++) {
+            for (long ox = 0; ox < ow; ox++) {
+                long r = oy * ow + ox;
+                for (long j = 0; j < oc; j++) {
+                    float acc = 0.0f;
+                    long kidx = 0;
+                    for (long ci = 0; ci < c; ci++) {
+                        const float *xc = base + ci * hp * wp;
+                        for (long ki = 0; ki < k; ki++) {
+                            const float *src =
+                                xc + (oy * stride + ki) * wp + ox * stride;
+                            for (long kj = 0; kj < k; kj++, kidx++)
+                                acc = fmaf(src[kj], wt[kidx * 16 + j], acc);
+                        }
+                    }
+                    if (scale) acc = acc * scale[j];
+                    if (bias) acc = acc + bias[j];
+                    if (relu_mode == 1) acc = relu_max0(acc);
+                    else if (relu_mode == 2) acc = relu_mask(acc);
+                    oi[j * rows + r] = acc;
+                }
+            }
+        }
+    }
+}
+
+#if defined(HAVE_X86) && (defined(__GNUC__) || defined(__clang__))
+__attribute__((target("avx2,fma"))) static inline
+void conv_direct_fma_impl(const float *xp, const float *wt,
+                          const float *scale, const float *bias, float *out,
+                          long n, long c, long hp, long wp,
+                          long k, long stride,
+                          long oh, long ow, long oc, int relu_mode)
+{
+    long rows = oh * ow;
+    int two = oc > 8;
+    __m256 zero = _mm256_setzero_ps();
+    __m256 one = _mm256_set1_ps(1.0f);
+    __m256 sc0 = scale ? _mm256_loadu_ps(scale) : one;
+    __m256 sc1 = scale && two ? _mm256_loadu_ps(scale + 8) : one;
+    __m256 bi0 = bias ? _mm256_loadu_ps(bias) : zero;
+    __m256 bi1 = bias && two ? _mm256_loadu_ps(bias + 8) : zero;
+    float tmp[16];
+    for (long i = 0; i < n; i++) {
+        const float *base = xp + i * c * hp * wp;
+        float *oi = out + i * oc * rows;
+        for (long oy = 0; oy < oh; oy++) {
+            for (long ox = 0; ox < ow; ox++) {
+                long r = oy * ow + ox;
+                __m256 a0 = zero, a1 = zero;
+                const float *wk = wt;
+                for (long ci = 0; ci < c; ci++) {
+                    const float *xc = base + ci * hp * wp;
+                    for (long ki = 0; ki < k; ki++) {
+                        const float *src =
+                            xc + (oy * stride + ki) * wp + ox * stride;
+                        for (long kj = 0; kj < k; kj++, wk += 16) {
+                            __m256 a = _mm256_set1_ps(src[kj]);
+                            a0 = _mm256_fmadd_ps(a, _mm256_loadu_ps(wk), a0);
+                            if (two)
+                                a1 = _mm256_fmadd_ps(
+                                    a, _mm256_loadu_ps(wk + 8), a1);
+                        }
+                    }
+                }
+                if (scale) {
+                    a0 = _mm256_mul_ps(a0, sc0);
+                    if (two) a1 = _mm256_mul_ps(a1, sc1);
+                }
+                if (bias) {
+                    a0 = _mm256_add_ps(a0, bi0);
+                    if (two) a1 = _mm256_add_ps(a1, bi1);
+                }
+                if (relu_mode == 1) {
+                    /* np.maximum(x, 0): NaN propagates, -0 -> +0 */
+                    __m256 gt = _mm256_cmp_ps(a0, zero, _CMP_GT_OQ);
+                    __m256 nn = _mm256_cmp_ps(a0, a0, _CMP_UNORD_Q);
+                    a0 = _mm256_blendv_ps(_mm256_blendv_ps(zero, a0, gt),
+                                          a0, nn);
+                    if (two) {
+                        gt = _mm256_cmp_ps(a1, zero, _CMP_GT_OQ);
+                        nn = _mm256_cmp_ps(a1, a1, _CMP_UNORD_Q);
+                        a1 = _mm256_blendv_ps(_mm256_blendv_ps(zero, a1, gt),
+                                              a1, nn);
+                    }
+                } else if (relu_mode == 2) {
+                    /* x * (x > 0) */
+                    __m256 m0 = _mm256_blendv_ps(
+                        zero, one, _mm256_cmp_ps(a0, zero, _CMP_GT_OQ));
+                    a0 = _mm256_mul_ps(a0, m0);
+                    if (two) {
+                        __m256 m1 = _mm256_blendv_ps(
+                            zero, one, _mm256_cmp_ps(a1, zero, _CMP_GT_OQ));
+                        a1 = _mm256_mul_ps(a1, m1);
+                    }
+                }
+                _mm256_storeu_ps(tmp, a0);
+                if (two) _mm256_storeu_ps(tmp + 8, a1);
+                for (long j = 0; j < oc; j++) oi[j * rows + r] = tmp[j];
+            }
+        }
+    }
+}
+
+/* Constant-k clones fully unroll the kj window walk (k is a loop bound,
+   not a compile-time constant, in the generic body). */
+__attribute__((target("avx2,fma"))) static
+void conv_direct_fma(const float *xp, const float *wt,
+                     const float *scale, const float *bias, float *out,
+                     long n, long c, long hp, long wp,
+                     long k, long stride,
+                     long oh, long ow, long oc, int relu_mode)
+{
+    switch (k) {
+    case 3:
+        conv_direct_fma_impl(xp, wt, scale, bias, out, n, c, hp, wp,
+                             3, stride, oh, ow, oc, relu_mode);
+        break;
+    case 5:
+        conv_direct_fma_impl(xp, wt, scale, bias, out, n, c, hp, wp,
+                             5, stride, oh, ow, oc, relu_mode);
+        break;
+    default:
+        conv_direct_fma_impl(xp, wt, scale, bias, out, n, c, hp, wp,
+                             k, stride, oh, ow, oc, relu_mode);
+        break;
+    }
+}
+
+static const int32_t lanemask8[9][8] = {
+    {0, 0, 0, 0, 0, 0, 0, 0},
+    {-1, 0, 0, 0, 0, 0, 0, 0},
+    {-1, -1, 0, 0, 0, 0, 0, 0},
+    {-1, -1, -1, 0, 0, 0, 0, 0},
+    {-1, -1, -1, -1, 0, 0, 0, 0},
+    {-1, -1, -1, -1, -1, 0, 0, 0},
+    {-1, -1, -1, -1, -1, -1, 0, 0},
+    {-1, -1, -1, -1, -1, -1, -1, 0},
+    {-1, -1, -1, -1, -1, -1, -1, -1},
+};
+
+__attribute__((target("avx2"))) static inline
+__m256 relu_vec(__m256 a, int relu_mode, __m256 zero, __m256 one)
+{
+    if (relu_mode == 1) {
+        /* np.maximum(x, 0): NaN propagates, -0 -> +0 */
+        __m256 gt = _mm256_cmp_ps(a, zero, _CMP_GT_OQ);
+        __m256 nn = _mm256_cmp_ps(a, a, _CMP_UNORD_Q);
+        return _mm256_blendv_ps(_mm256_blendv_ps(zero, a, gt), a, nn);
+    }
+    if (relu_mode == 2) {
+        /* x * (x > 0) */
+        __m256 m = _mm256_blendv_ps(
+            zero, one, _mm256_cmp_ps(a, zero, _CMP_GT_OQ));
+        return _mm256_mul_ps(a, m);
+    }
+    return a;
+}
+
+/* Stride-1 variant: eight output *positions* per vector, one FMA chain
+   per output channel.  The per-output accumulation order over the
+   window (ci, ki, kj) is unchanged — each lane is an independent
+   sequential-fmaf chain, so results stay bit-identical to the
+   per-output kernel above — but eight chains run concurrently instead
+   of one, hiding the FMA latency that bounds the broadcast-weight
+   kernel.  Channels run in blocks of 8 register accumulators (weights
+   are zero-padded to 16 lanes, so out-of-range channels compute
+   harmlessly into dead registers). */
+__attribute__((target("avx2,fma"))) static inline
+void conv_direct_lanes_impl(const float *xp, const float *wt,
+                            const float *scale, const float *bias,
+                            float *out,
+                            long n, long c, long hp, long wp,
+                            long k, long oh, long ow, long oc,
+                            int relu_mode)
+{
+    long rows = oh * ow;
+    __m256 zero = _mm256_setzero_ps();
+    __m256 one = _mm256_set1_ps(1.0f);
+    for (long i = 0; i < n; i++) {
+        const float *xi = xp + i * c * hp * wp;
+        float *oi = out + i * oc * rows;
+        for (long oy = 0; oy < oh; oy++) {
+            for (long ox = 0; ox < ow; ox += 8) {
+                long nl = ow - ox < 8 ? ow - ox : 8;
+                long r = oy * ow + ox;
+                for (long cb = 0; cb < oc; cb += 8) {
+                    __m256 a0 = zero, a1 = zero, a2 = zero, a3 = zero;
+                    __m256 a4 = zero, a5 = zero, a6 = zero, a7 = zero;
+                    const float *wk = wt + cb;
+                    for (long ci = 0; ci < c; ci++) {
+                        const float *xc = xi + ci * hp * wp;
+                        for (long ki = 0; ki < k; ki++) {
+                            const float *src = xc + (oy + ki) * wp + ox;
+                            for (long kj = 0; kj < k; kj++, wk += 16) {
+                                __m256 v;
+                                if (nl == 8 || wp - ox - kj >= 8) {
+                                    v = _mm256_loadu_ps(src + kj);
+                                } else {
+                                    v = _mm256_maskload_ps(
+                                        src + kj,
+                                        _mm256_loadu_si256(
+                                            (const __m256i *)
+                                            lanemask8[wp - ox - kj]));
+                                }
+                                a0 = _mm256_fmadd_ps(v, _mm256_set1_ps(wk[0]), a0);
+                                a1 = _mm256_fmadd_ps(v, _mm256_set1_ps(wk[1]), a1);
+                                a2 = _mm256_fmadd_ps(v, _mm256_set1_ps(wk[2]), a2);
+                                a3 = _mm256_fmadd_ps(v, _mm256_set1_ps(wk[3]), a3);
+                                a4 = _mm256_fmadd_ps(v, _mm256_set1_ps(wk[4]), a4);
+                                a5 = _mm256_fmadd_ps(v, _mm256_set1_ps(wk[5]), a5);
+                                a6 = _mm256_fmadd_ps(v, _mm256_set1_ps(wk[6]), a6);
+                                a7 = _mm256_fmadd_ps(v, _mm256_set1_ps(wk[7]), a7);
+                            }
+                        }
+                    }
+                    __m256 accs[8] = {a0, a1, a2, a3, a4, a5, a6, a7};
+                    long jmax = oc - cb < 8 ? oc - cb : 8;
+                    for (long j = 0; j < jmax; j++) {
+                        __m256 a = accs[j];
+                        if (scale)
+                            a = _mm256_mul_ps(a, _mm256_set1_ps(scale[cb + j]));
+                        if (bias)
+                            a = _mm256_add_ps(a, _mm256_set1_ps(bias[cb + j]));
+                        a = relu_vec(a, relu_mode, zero, one);
+                        float *op = oi + (cb + j) * rows + r;
+                        if (nl == 8)
+                            _mm256_storeu_ps(op, a);
+                        else
+                            _mm256_maskstore_ps(
+                                op,
+                                _mm256_loadu_si256(
+                                    (const __m256i *)lanemask8[nl]), a);
+                    }
+                }
+            }
+        }
+    }
+}
+
+__attribute__((target("avx2,fma"))) static
+void conv_direct_lanes(const float *xp, const float *wt,
+                       const float *scale, const float *bias, float *out,
+                       long n, long c, long hp, long wp,
+                       long k, long oh, long ow, long oc, int relu_mode)
+{
+    switch (k) {
+    case 3:
+        conv_direct_lanes_impl(xp, wt, scale, bias, out, n, c, hp, wp,
+                               3, oh, ow, oc, relu_mode);
+        break;
+    case 5:
+        conv_direct_lanes_impl(xp, wt, scale, bias, out, n, c, hp, wp,
+                               5, oh, ow, oc, relu_mode);
+        break;
+    default:
+        conv_direct_lanes_impl(xp, wt, scale, bias, out, n, c, hp, wp,
+                               k, oh, ow, oc, relu_mode);
+        break;
+    }
+}
+#endif /* HAVE_X86 */
+
+API void conv_direct(const float *xp, const float *wt,
+                     const float *scale, const float *bias, float *out,
+                     long n, long c, long hp, long wp,
+                     long k, long stride,
+                     long oh, long ow, long oc, int relu_mode)
+{
+#if defined(HAVE_X86) && (defined(__GNUC__) || defined(__clang__))
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+        if (stride == 1) {
+            conv_direct_lanes(xp, wt, scale, bias, out, n, c, hp, wp,
+                              k, oh, ow, oc, relu_mode);
+            return;
+        }
+        conv_direct_fma(xp, wt, scale, bias, out, n, c, hp, wp,
+                        k, stride, oh, ow, oc, relu_mode);
+        return;
+    }
+#endif
+    conv_direct_scalar(xp, wt, scale, bias, out, n, c, hp, wp,
+                       k, stride, oh, ow, oc, relu_mode);
+}
+
+/* Max pooling over non-overlapping-or-strided windows, valid region
+   only (matches conv_geometry with pad 0).  tie_first=0 reproduces the
+   interpreter's chained np.maximum (ties keep the accumulator, i.e. the
+   earliest window element wins only through the chain semantics);
+   tie_first=1 reproduces the framework's argmax/take_along_axis (first
+   maximal element wins, NaN beats numbers). */
+static inline void maxpool_impl(const float *x, float *out,
+                                long n, long c, long h, long w,
+                                long k, long stride, long oh, long ow,
+                                int tie_first)
+{
+    for (long i = 0; i < n; i++) {
+        for (long ci = 0; ci < c; ci++) {
+            const float *xc = x + (i * c + ci) * h * w;
+            float *op = out + (i * c + ci) * oh * ow;
+            for (long oy = 0; oy < oh; oy++) {
+                for (long ox = 0; ox < ow; ox++) {
+                    long y0 = oy * stride, x0 = ox * stride;
+                    float m = xc[y0 * w + x0];
+                    for (long ki = 0; ki < k; ki++) {
+                        for (long kj = 0; kj < k; kj++) {
+                            if (ki == 0 && kj == 0) continue;
+                            float v = xc[(y0 + ki) * w + (x0 + kj)];
+                            if (tie_first) {
+                                /* argmax semantics: first max wins, NaN
+                                   beats numbers; branchless. */
+                                float t = (v > m) ? v : m;
+                                m = (v != v && m == m) ? v : t;
+                            } else {
+                                /* chained np.maximum: tie takes the new
+                                   value, NaN accumulator sticks. */
+                                float t = (m > v) ? m : v;
+                                m = (m != m) ? m : t;
+                            }
+                        }
+                    }
+                    op[oy * ow + ox] = m;
+                }
+            }
+        }
+    }
+}
+
+#if defined(HAVE_X86) && (defined(__GNUC__) || defined(__clang__))
+/* 2x2/stride-2 pool, eight output columns per iteration.  The window
+   chain runs lanewise with the exact scalar tie/NaN semantics: each
+   step is the branchless cmp+blendv transliteration of the tie_first
+   expressions in maxpool_impl, so results match bit-for-bit. */
+__attribute__((target("avx2"))) static
+void maxpool_k2s2_avx2(const float *x, float *out,
+                       long n, long c, long h, long w,
+                       long oh, long ow, int tie_first)
+{
+    /* mtab[cnt] selects the first cnt lanes for maskload/maskstore;
+       masked-off lanes never fault, so partial groups at the row end
+       stay in bounds without a scalar tail. */
+    static const int32_t mtab[9][8] = {
+        {0, 0, 0, 0, 0, 0, 0, 0},
+        {-1, 0, 0, 0, 0, 0, 0, 0},
+        {-1, -1, 0, 0, 0, 0, 0, 0},
+        {-1, -1, -1, 0, 0, 0, 0, 0},
+        {-1, -1, -1, -1, 0, 0, 0, 0},
+        {-1, -1, -1, -1, -1, 0, 0, 0},
+        {-1, -1, -1, -1, -1, -1, 0, 0},
+        {-1, -1, -1, -1, -1, -1, -1, 0},
+        {-1, -1, -1, -1, -1, -1, -1, -1},
+    };
+    __m256i idx_ev = _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+    for (long i = 0; i < n * c; i++) {
+        const float *xc = x + i * h * w;
+        float *op = out + i * oh * ow;
+        for (long oy = 0; oy < oh; oy++) {
+            const float *r0 = xc + (2 * oy) * w;
+            const float *r1 = r0 + w;
+            for (long ox = 0; ox < ow; ox += 8) {
+                long nl = ow - ox < 8 ? ow - ox : 8;
+                __m256 u0, u1, v0, v1;
+                if (nl == 8) {
+                    u0 = _mm256_loadu_ps(r0 + 2 * ox);
+                    u1 = _mm256_loadu_ps(r0 + 2 * ox + 8);
+                    v0 = _mm256_loadu_ps(r1 + 2 * ox);
+                    v1 = _mm256_loadu_ps(r1 + 2 * ox + 8);
+                } else {
+                    long len = 2 * nl;
+                    long c0 = len < 8 ? len : 8;
+                    __m256i m0 = _mm256_loadu_si256((const __m256i *)mtab[c0]);
+                    __m256i m1 = _mm256_loadu_si256((const __m256i *)mtab[len - c0]);
+                    u0 = _mm256_maskload_ps(r0 + 2 * ox, m0);
+                    u1 = _mm256_maskload_ps(r0 + 2 * ox + 8, m1);
+                    v0 = _mm256_maskload_ps(r1 + 2 * ox, m0);
+                    v1 = _mm256_maskload_ps(r1 + 2 * ox + 8, m1);
+                }
+                __m256 m = _mm256_permutevar8x32_ps(
+                    _mm256_shuffle_ps(u0, u1, 0x88), idx_ev);
+                __m256 wv[3];
+                wv[0] = _mm256_permutevar8x32_ps(
+                    _mm256_shuffle_ps(u0, u1, 0xDD), idx_ev);
+                wv[1] = _mm256_permutevar8x32_ps(
+                    _mm256_shuffle_ps(v0, v1, 0x88), idx_ev);
+                wv[2] = _mm256_permutevar8x32_ps(
+                    _mm256_shuffle_ps(v0, v1, 0xDD), idx_ev);
+                if (tie_first) {
+                    for (int s = 0; s < 3; s++) {
+                        __m256 v = wv[s];
+                        __m256 gt = _mm256_cmp_ps(v, m, _CMP_GT_OQ);
+                        __m256 t = _mm256_blendv_ps(m, v, gt);
+                        __m256 cond = _mm256_and_ps(
+                            _mm256_cmp_ps(v, v, _CMP_UNORD_Q),
+                            _mm256_cmp_ps(m, m, _CMP_ORD_Q));
+                        m = _mm256_blendv_ps(t, v, cond);
+                    }
+                } else {
+                    for (int s = 0; s < 3; s++) {
+                        __m256 v = wv[s];
+                        __m256 gt = _mm256_cmp_ps(m, v, _CMP_GT_OQ);
+                        __m256 t = _mm256_blendv_ps(v, m, gt);
+                        __m256 nn = _mm256_cmp_ps(m, m, _CMP_UNORD_Q);
+                        m = _mm256_blendv_ps(t, m, nn);
+                    }
+                }
+                if (nl == 8)
+                    _mm256_storeu_ps(op + oy * ow + ox, m);
+                else
+                    _mm256_maskstore_ps(
+                        op + oy * ow + ox,
+                        _mm256_loadu_si256((const __m256i *)mtab[nl]), m);
+            }
+        }
+    }
+}
+#endif /* HAVE_X86 */
+
+API void maxpool_nchw(const float *x, float *out,
+                      long n, long c, long h, long w,
+                      long k, long stride, long oh, long ow, int tie_first)
+{
+#if defined(HAVE_X86) && (defined(__GNUC__) || defined(__clang__))
+    if (k == 2 && stride == 2 && __builtin_cpu_supports("avx2")) {
+        maxpool_k2s2_avx2(x, out, n, c, h, w, oh, ow, tie_first);
+        return;
+    }
+#endif
+    /* Constant-k clones unroll the window walk (and fold away the
+       skip-first-element branch). */
+    switch (k) {
+    case 2: maxpool_impl(x, out, n, c, h, w, 2, stride, oh, ow, tie_first); break;
+    case 3: maxpool_impl(x, out, n, c, h, w, 3, stride, oh, ow, tie_first); break;
+    default: maxpool_impl(x, out, n, c, h, w, k, stride, oh, ow, tie_first); break;
+    }
+}
+
+/* Interpreter batch-norm folded to affine: out = x*scale[c] + shift[c]
+   with exactly two float32 roundings per element. */
+API void affine_ch(const float *x, float *out, const float *scale,
+                   const float *shift, long n, long c, long hw)
+{
+    for (long i = 0; i < n; i++) {
+        for (long ci = 0; ci < c; ci++) {
+            const float *xi = x + (i * c + ci) * hw;
+            float *oi = out + (i * c + ci) * hw;
+            float s = scale[ci], sh = shift[ci];
+            for (long j = 0; j < hw; j++) {
+                float t = xi[j] * s;
+                oi[j] = t + sh;
+            }
+        }
+    }
+}
+
+/* Framework eval batch-norm: gamma*((x - mean) * inv_std) + beta with
+   the same four float32 roundings as nn.functional.batch_norm. */
+API void bn_eval_ch(const float *x, float *out, const float *gamma,
+                    const float *beta, const float *mean,
+                    const float *inv_std, long n, long c, long hw)
+{
+    for (long i = 0; i < n; i++) {
+        for (long ci = 0; ci < c; ci++) {
+            const float *xi = x + (i * c + ci) * hw;
+            float *oi = out + (i * c + ci) * hw;
+            float mu = mean[ci], inv = inv_std[ci];
+            float g = gamma[ci], b = beta[ci];
+            for (long j = 0; j < hw; j++) {
+                float t1 = xi[j] - mu;
+                float t2 = t1 * inv;
+                float t3 = g * t2;
+                oi[j] = t3 + b;
+            }
+        }
+    }
+}
+
+/* Standalone relu pass (unfused); modes as in conv_post. */
+API void relu_inplace(float *x, long size, int mode)
+{
+    if (mode == 1) {
+        for (long j = 0; j < size; j++) x[j] = relu_max0(x[j]);
+    } else {
+        for (long j = 0; j < size; j++) x[j] = relu_mask(x[j]);
+    }
+}
+
+/* NumPy's pairwise float32 sum for a contiguous axis of length <= 128:
+   eight independent scalar accumulators seeded from the first block,
+   combined as ((r0+r1)+(r2+r3)) + ((r4+r5)+(r6+r7)), sequential tail.
+   Used to fold the kfac |window| mean into the gather below; every plan
+   is probe-verified against the interpreter, so if a NumPy upgrade ever
+   changes this reduction the plan compiler falls back to streaming the
+   |value| rows through np.mean instead (see plan.py). */
+static inline float pairwise_mean_small(const float *a, long n)
+{
+    float res;
+    if (n < 8) {
+        res = 0.0f;
+        for (long i = 0; i < n; i++) res += a[i];
+    } else {
+        float r0 = a[0], r1 = a[1], r2 = a[2], r3 = a[3];
+        float r4 = a[4], r5 = a[5], r6 = a[6], r7 = a[7];
+        long i = 8;
+        for (; i + 8 <= n; i += 8) {
+            r0 += a[i];     r1 += a[i + 1];
+            r2 += a[i + 2]; r3 += a[i + 3];
+            r4 += a[i + 4]; r5 += a[i + 5];
+            r6 += a[i + 6]; r7 += a[i + 7];
+        }
+        res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7));
+        for (; i < n; i++) res += a[i];
+    }
+    return res / (float)n;
+}
+
+/* Fused window gather for binary convs: writes |value| rows (for the
+   NumPy kfac mean, bitwise-identical to np.abs) and packs the sign bit
+   (v >= 0, matching the interpreter's cols >= 0; padded zeros pack as 1)
+   into zeroed u64 words.  When maskw is given (padding present), the
+   per-row validity mask is pre-applied to the activation words, so the
+   popcount loop can use premasked weights: (a&m)^(b&m) == (a^b)&m.
+
+   abscols may be NULL when kfac is given and row_len <= 128: the |v|
+   row then lives in a stack buffer and the per-row mean is computed
+   in-place, eliminating the abscols memory traffic entirely. */
+static inline void binconv_prepare_impl(const float *x, float *abscols,
+                                        float *kfac,
+                                        uint64_t *words, const uint64_t *maskw,
+                                        long n, long c, long h, long w,
+                                        long k, long stride, long pad,
+                                        long oh, long ow, long W)
+{
+    long row_len = c * k * k;
+    long rows = oh * ow;
+    float stackrow[128];
+    for (long i = 0; i < n; i++) {
+        const float *xi = x + i * c * h * w;
+        for (long oy = 0; oy < oh; oy++) {
+            for (long ox = 0; ox < ow; ox++) {
+                long r = i * rows + oy * ow + ox;
+                float *arow = abscols ? abscols + r * row_len : stackrow;
+                uint64_t *wrow = words + r * W;
+                long ix0 = ox * stride - pad;
+                long kj_lo = ix0 < 0 ? -ix0 : 0;
+                long kj_hi = w - ix0 < k ? w - ix0 : k;
+                if (kj_hi < kj_lo) kj_hi = kj_lo;
+                long j = 0;
+                /* Bits accumulate in a register word and flush once per
+                   64 positions; j is strictly increasing, so every word
+                   0..W-1 is assigned exactly once (no pre-zero, no RMW
+                   store-to-load chain). */
+                uint64_t acc = 0;
+                long cw = 0;
+#define PUT_BIT(on) do { \
+        long wi_ = j >> 6; \
+        if (wi_ != cw) { wrow[cw] = acc; acc = 0; cw = wi_; } \
+        acc |= bitmask(j) & (uint64_t)(on); } while (0)
+                for (long ci = 0; ci < c; ci++) {
+                    const float *xc = xi + ci * h * w;
+                    for (long ki = 0; ki < k; ki++) {
+                        long iy = oy * stride + ki - pad;
+                        if (iy < 0 || iy >= h) {
+                            /* zero padding: |0| = 0, sign bit 0>=0 set */
+                            for (long kj = 0; kj < k; kj++, j++) {
+                                arow[j] = 0.0f;
+                                PUT_BIT(~(uint64_t)0);
+                            }
+                            continue;
+                        }
+                        const float *src = xc + iy * w + ix0;
+                        if (kj_lo == 0 && kj_hi == k) {
+                            for (long kj = 0; kj < k; kj++, j++) {
+                                float v = src[kj];
+                                arow[j] = fabsf(v);
+                                PUT_BIT((uint64_t)0 - (uint64_t)(v >= 0.0f));
+                            }
+                            continue;
+                        }
+                        for (long kj = 0; kj < kj_lo; kj++, j++) {
+                            arow[j] = 0.0f;
+                            PUT_BIT(~(uint64_t)0);
+                        }
+                        for (long kj = kj_lo; kj < kj_hi; kj++, j++) {
+                            float v = src[kj];
+                            arow[j] = fabsf(v);
+                            PUT_BIT((uint64_t)0 - (uint64_t)(v >= 0.0f));
+                        }
+                        for (long kj = kj_hi; kj < k; kj++, j++) {
+                            arow[j] = 0.0f;
+                            PUT_BIT(~(uint64_t)0);
+                        }
+                    }
+                }
+#undef PUT_BIT
+                wrow[cw] = acc;
+                if (maskw) {
+                    const uint64_t *mk = maskw + (oy * ow + ox) * W;
+                    for (long wi = 0; wi < W; wi++) wrow[wi] &= mk[wi];
+                }
+                if (kfac) kfac[r] = pairwise_mean_small(arow, row_len);
+            }
+        }
+    }
+}
+
+#if defined(HAVE_X86) && (defined(__GNUC__) || defined(__clang__))
+/* ox-vectorized prepare for the pre-padded stride-1 fused-mean case:
+   eight output windows per iteration.  Window values are staged into a
+   [row_len][8] buffer; movemask of the lanewise v >= 0 compare yields
+   one sign bit per *row*, and an 8x8 bit-matrix transpose (with bytes
+   assembled MSB-first) emits each row's packed byte directly in
+   np.packbits order.  The kfac mean replays pairwise_mean_small's
+   8-accumulator scheme lanewise — IEEE lanewise add/div make every
+   lane bit-identical to the scalar reduction. */
+__attribute__((target("avx2"))) static
+void binconv_prepare_avx2(const float *x, float *kfac,
+                          uint64_t *words, const uint64_t *maskw,
+                          long n, long c, long h, long w,
+                          long k, long oh, long ow, long W)
+{
+    long row_len = c * k * k;
+    long rows = oh * ow;
+    long nb = row_len >= 8 ? ((row_len - 8) >> 3) + 1 : 0;
+    __m256 zero = _mm256_setzero_ps();
+    __m256 absm = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    __m256 divn = _mm256_set1_ps((float)row_len);
+    float vbuf[128 * 8];
+    float tmp8[8];
+    for (long i = 0; i < n; i++) {
+        const float *base = x + i * c * h * w;
+        for (long oy = 0; oy < oh; oy++) {
+            for (long ox = 0; ox < ow; ox += 8) {
+                long nl = ow - ox < 8 ? ow - ox : 8;
+                long j = 0;
+                for (long ci = 0; ci < c; ci++) {
+                    const float *xc = base + ci * h * w;
+                    for (long ki = 0; ki < k; ki++) {
+                        const float *src = xc + (oy + ki) * w + ox;
+                        if (nl == 8) {
+                            for (long kj = 0; kj < k; kj++, j++)
+                                _mm256_storeu_ps(vbuf + j * 8,
+                                                 _mm256_loadu_ps(src + kj));
+                        } else {
+                            for (long kj = 0; kj < k; kj++, j++)
+                                for (long l = 0; l < 8; l++)
+                                    vbuf[j * 8 + l] =
+                                        l < nl ? src[kj + l] : 0.0f;
+                        }
+                    }
+                }
+                /* packed sign bits, eight rows per transpose */
+                uint64_t wl[8][2] = {{0}};
+                for (long j0 = 0; j0 < row_len; j0 += 8) {
+                    long tmax = row_len - j0 < 8 ? row_len - j0 : 8;
+                    uint64_t B = 0;
+                    for (long t = 0; t < tmax; t++) {
+                        int msk = _mm256_movemask_ps(_mm256_cmp_ps(
+                            _mm256_loadu_ps(vbuf + (j0 + t) * 8),
+                            zero, _CMP_GE_OQ));
+                        B |= (uint64_t)(uint8_t)msk << (8 * (7 - t));
+                    }
+                    uint64_t T = transpose8(B);
+                    long wi = j0 >> 6;
+                    long sh = 8 * ((j0 >> 3) & 7);
+                    for (long l = 0; l < 8; l++)
+                        wl[l][wi] |= ((T >> (8 * l)) & 0xFF) << sh;
+                }
+                /* numpy pairwise |v| mean, lanewise */
+                __m256 a0 = zero, a1 = zero, a2 = zero, a3 = zero;
+                __m256 a4 = zero, a5 = zero, a6 = zero, a7 = zero;
+                for (long b = 0; b < nb; b++) {
+                    const float *vb = vbuf + b * 64;
+                    a0 = _mm256_add_ps(a0, _mm256_and_ps(absm, _mm256_loadu_ps(vb)));
+                    a1 = _mm256_add_ps(a1, _mm256_and_ps(absm, _mm256_loadu_ps(vb + 8)));
+                    a2 = _mm256_add_ps(a2, _mm256_and_ps(absm, _mm256_loadu_ps(vb + 16)));
+                    a3 = _mm256_add_ps(a3, _mm256_and_ps(absm, _mm256_loadu_ps(vb + 24)));
+                    a4 = _mm256_add_ps(a4, _mm256_and_ps(absm, _mm256_loadu_ps(vb + 32)));
+                    a5 = _mm256_add_ps(a5, _mm256_and_ps(absm, _mm256_loadu_ps(vb + 40)));
+                    a6 = _mm256_add_ps(a6, _mm256_and_ps(absm, _mm256_loadu_ps(vb + 48)));
+                    a7 = _mm256_add_ps(a7, _mm256_and_ps(absm, _mm256_loadu_ps(vb + 56)));
+                }
+                __m256 res = _mm256_add_ps(
+                    _mm256_add_ps(_mm256_add_ps(a0, a1), _mm256_add_ps(a2, a3)),
+                    _mm256_add_ps(_mm256_add_ps(a4, a5), _mm256_add_ps(a6, a7)));
+                for (long jt = nb * 8; jt < row_len; jt++)
+                    res = _mm256_add_ps(res, _mm256_and_ps(
+                        absm, _mm256_loadu_ps(vbuf + jt * 8)));
+                res = _mm256_div_ps(res, divn);
+                long rbase = i * rows + oy * ow + ox;
+                if (nl == 8) {
+                    _mm256_storeu_ps(kfac + rbase, res);
+                } else {
+                    _mm256_storeu_ps(tmp8, res);
+                    for (long l = 0; l < nl; l++) kfac[rbase + l] = tmp8[l];
+                }
+                for (long l = 0; l < nl; l++) {
+                    uint64_t *wr = words + (rbase + l) * W;
+                    if (maskw) {
+                        const uint64_t *mk = maskw + (oy * ow + ox + l) * W;
+                        for (long wi = 0; wi < W; wi++)
+                            wr[wi] = wl[l][wi] & mk[wi];
+                    } else {
+                        for (long wi = 0; wi < W; wi++) wr[wi] = wl[l][wi];
+                    }
+                }
+            }
+        }
+    }
+}
+#endif /* HAVE_X86 */
+
+API void binconv_prepare(const float *x, float *abscols, float *kfac,
+                         uint64_t *words, const uint64_t *maskw,
+                         long n, long c, long h, long w,
+                         long k, long stride, long pad,
+                         long oh, long ow, long W)
+{
+#if defined(HAVE_X86) && (defined(__GNUC__) || defined(__clang__))
+    if (stride == 1 && pad == 0 && kfac && !abscols &&
+        c * k * k <= 128 && ow >= 8 && __builtin_cpu_supports("avx2")) {
+        binconv_prepare_avx2(x, kfac, words, maskw, n, c, h, w, k, oh, ow, W);
+        return;
+    }
+#endif
+    switch (k) {
+    case 3:
+        binconv_prepare_impl(x, abscols, kfac, words, maskw,
+                             n, c, h, w, 3, stride, pad, oh, ow, W);
+        break;
+    case 5:
+        binconv_prepare_impl(x, abscols, kfac, words, maskw,
+                             n, c, h, w, 5, stride, pad, oh, ow, W);
+        break;
+    default:
+        binconv_prepare_impl(x, abscols, kfac, words, maskw,
+                             n, c, h, w, k, stride, pad, oh, ow, W);
+        break;
+    }
+}
+
+/* Row-wise sign packing for binary linear layers (x >= 0 per element).
+   Same register-accumulated word trick as binconv_prepare. */
+static void pack_rows_scalar(const float *x, uint64_t *words,
+                             long m, long f, long W)
+{
+    for (long i = 0; i < m; i++) {
+        const float *xi = x + i * f;
+        uint64_t *wrow = words + i * W;
+        uint64_t acc = 0;
+        long cw = 0;
+        for (long j = 0; j < f; j++) {
+            long wi = j >> 6;
+            if (wi != cw) { wrow[cw] = acc; acc = 0; cw = wi; }
+            acc |= bitmask(j) & ((uint64_t)0 - (uint64_t)(xi[j] >= 0.0f));
+        }
+        wrow[cw] = acc;
+    }
+}
+
+#if defined(HAVE_X86) && (defined(__GNUC__) || defined(__clang__))
+/* Bit-reversal table: movemask emits lane 0 in bit 0, packbits wants
+   element 0 in bit 7 of its byte. */
+#define RV2(n) n, (n) + 2 * 64, (n) + 1 * 64, (n) + 3 * 64
+#define RV4(n) RV2(n), RV2((n) + 2 * 16), RV2((n) + 1 * 16), RV2((n) + 3 * 16)
+#define RV6(n) RV4(n), RV4((n) + 2 * 4), RV4((n) + 1 * 4), RV4((n) + 3 * 4)
+static const uint8_t bitrev8[256] = { RV6(0), RV6(2), RV6(1), RV6(3) };
+#undef RV6
+#undef RV4
+#undef RV2
+
+/* Eight signs per compare: movemask the lanewise x >= 0, bit-reverse
+   the byte into packbits order, accumulate eight bytes per u64 store.
+   Trailing bits past f stay zero, as in the scalar register path. */
+__attribute__((target("avx2"))) static
+void pack_rows_avx2(const float *x, uint64_t *words, long m, long f, long W)
+{
+    __m256 zero = _mm256_setzero_ps();
+    long f8 = f & ~7L;
+    for (long i = 0; i < m; i++) {
+        const float *xi = x + i * f;
+        uint64_t *wrow = words + i * W;
+        uint64_t acc = 0;
+        long j = 0;
+        for (; j < f8; j += 8) {
+            int msk = _mm256_movemask_ps(
+                _mm256_cmp_ps(_mm256_loadu_ps(xi + j), zero, _CMP_GE_OQ));
+            acc |= (uint64_t)bitrev8[(uint8_t)msk] << (8 * ((j >> 3) & 7));
+            if ((j & 63) == 56) { wrow[j >> 6] = acc; acc = 0; }
+        }
+        for (; j < f; j++)
+            acc |= bitmask(j) & ((uint64_t)0 - (uint64_t)(xi[j] >= 0.0f));
+        if (f & 63 || f == 0) wrow[f >> 6] = acc;
+    }
+}
+#endif /* HAVE_X86 */
+
+API void pack_rows(const float *x, uint64_t *words, long m, long f, long W)
+{
+#if defined(HAVE_X86) && (defined(__GNUC__) || defined(__clang__))
+    if (f >= 8 && __builtin_cpu_supports("avx2")) {
+        pack_rows_avx2(x, words, m, f, W);
+        return;
+    }
+#endif
+    pack_rows_scalar(x, words, m, f, W);
+}
+
+/* Fused XNOR dot + scale chain.  For activation row p = i*rows + r and
+   output channel o: mismatches = popcount(a ^ w); then exactly the
+   interpreter's float32 chain  d = float(valid - 2*mismatches);
+   t = d*alpha[o]; t = t*kfac[p]; t += bias[o].  Channel-outer so every
+   NCHW write (out[i][o][r]; rows == 1 degenerates to NC linear layout)
+   is contiguous; activation words restream per channel from L2.
+
+   With padding, both planes arrive premasked: binconv_prepare applies
+   the validity mask to the activation words, and the caller passes
+   vwm — per-row premasked weight words, layout (oc, rows, W) — plus
+   the per-row valid counts; (a&m)^(b&m) == (a^b)&m makes this exact.
+   Without padding, vw is the plain (oc, W) weight plane and every row
+   has fallback_valid usable bits. */
+static void popdot_impl(const uint64_t *va, const uint64_t *vw,
+                        const uint64_t *vwm, const int32_t *valid,
+                        const float *alpha, const float *kfac,
+                        const float *bias, float *out,
+                        long n, long rows, long oc, long W,
+                        long fallback_valid)
+{
+    for (long o = 0; o < oc; o++) {
+        const uint64_t *b_plain = vw ? vw + o * W : 0;
+        const uint64_t *b_rows = vwm ? vwm + o * rows * W : 0;
+        float al = alpha[o];
+        float bi = bias ? bias[o] : 0.0f;
+        for (long i = 0; i < n; i++) {
+            const uint64_t *ai = va + i * rows * W;
+            const float *kfi = kfac + i * rows;
+            float *oo = out + (i * oc + o) * rows;
+            for (long r = 0; r < rows; r++) {
+                const uint64_t *a = ai + r * W;
+                const uint64_t *b = vwm ? b_rows + r * W : b_plain;
+                uint64_t mism = 0;
+                for (long wi = 0; wi < W; wi++)
+                    mism += (uint64_t)__builtin_popcountll(a[wi] ^ b[wi]);
+                long vld = valid ? (long)valid[r] : fallback_valid;
+                float d = (float)(vld - 2 * (long long)mism);
+                float t = d * al;
+                t = t * kfi[r];
+                if (bias) t = t + bi;
+                oo[r] = t;
+            }
+        }
+    }
+}
+
+#if defined(HAVE_X86) && (defined(__GNUC__) || defined(__clang__))
+#define AVX2_FN __attribute__((target("avx2"), always_inline)) static inline
+#define AVX2_KERNEL __attribute__((target("avx2"))) static
+
+/* Byte-wise nibble-LUT popcount; _mm256_sad_epu8 then sums the 8 bytes
+   of each 64-bit lane, so each u64 lane of the result holds the exact
+   popcount of the corresponding input word. */
+AVX2_FN __m256i popcnt256(__m256i v)
+{
+    const __m256i lut = _mm256_setr_epi8(
+        0,1,1,2,1,2,2,3,1,2,2,3,2,3,3,4,
+        0,1,1,2,1,2,2,3,1,2,2,3,2,3,3,4);
+    const __m256i low = _mm256_set1_epi8(0x0f);
+    __m256i lo = _mm256_and_si256(v, low);
+    __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+    __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                  _mm256_shuffle_epi8(lut, hi));
+    return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+/* Shared epilogue: m holds the 8 mismatch counts as epi32; run the exact
+   interpreter float chain lanewise (lane ops are IEEE-identical to the
+   scalar chain, and (float)(int32) conversion is exact for these small
+   counts, matching the scalar (float)(long long) cast). */
+AVX2_FN void popdot_store8(__m256i m, const int32_t *valid, long r,
+                           __m256i vfb, __m256 al8, __m256 bi8,
+                           int has_bias, const float *kfi, float *oo)
+{
+    __m256i vld = valid
+        ? _mm256_loadu_si256((const __m256i *)(valid + r))
+        : vfb;
+    __m256i dif = _mm256_sub_epi32(vld, _mm256_slli_epi32(m, 1));
+    __m256 t = _mm256_mul_ps(_mm256_cvtepi32_ps(dif), al8);
+    t = _mm256_mul_ps(t, _mm256_loadu_ps(kfi + r));
+    if (has_bias) t = _mm256_add_ps(t, bi8);
+    _mm256_storeu_ps(oo + r, t);
+}
+
+/* W == 2: 8 rows per iteration.  Activation rows are 16 bytes apart, so
+   4 rows span one 256-bit load ([rA.w0 rA.w1 rB.w0 rB.w1]); per-row
+   mismatch = sum of the two u64 popcounts, gathered across the four
+   partial vectors into one epi32 vector of 8 row counts. */
+AVX2_KERNEL void popdot_w2_avx2(const uint64_t *va, const uint64_t *vw,
+                                const uint64_t *vwm, const int32_t *valid,
+                                const float *alpha, const float *kfac,
+                                const float *bias, float *out,
+                                long n, long rows, long oc,
+                                long fallback_valid)
+{
+    const __m256i idx0 = _mm256_setr_epi32(0, 4, 0, 0, 0, 0, 0, 0);
+    const __m256i idx1 = _mm256_setr_epi32(0, 0, 0, 4, 0, 0, 0, 0);
+    const __m256i idx2 = _mm256_setr_epi32(0, 0, 0, 0, 0, 4, 0, 0);
+    const __m256i idx3 = _mm256_setr_epi32(0, 0, 0, 0, 0, 0, 0, 4);
+    __m256i vfb = _mm256_set1_epi32((int)fallback_valid);
+    int has_bias = bias != 0;
+    for (long o = 0; o < oc; o++) {
+        const uint64_t *b_plain = vw ? vw + o * 2 : 0;
+        const uint64_t *b_rows = vwm ? vwm + o * rows * 2 : 0;
+        __m256i bb = vwm ? _mm256_setzero_si256()
+            : _mm256_broadcastsi128_si256(
+                  _mm_loadu_si128((const __m128i *)b_plain));
+        __m256 al8 = _mm256_set1_ps(alpha[o]);
+        __m256 bi8 = _mm256_set1_ps(has_bias ? bias[o] : 0.0f);
+        for (long i = 0; i < n; i++) {
+            const uint64_t *ai = va + i * rows * 2;
+            const float *kfi = kfac + i * rows;
+            float *oo = out + (i * oc + o) * rows;
+            long r = 0;
+            for (; r + 8 <= rows; r += 8) {
+                __m256i s[4];
+                for (int q = 0; q < 4; q++) {
+                    __m256i av = _mm256_loadu_si256(
+                        (const __m256i *)(ai + (r + 2 * q) * 2));
+                    __m256i bv = vwm
+                        ? _mm256_loadu_si256(
+                              (const __m256i *)(b_rows + (r + 2 * q) * 2))
+                        : bb;
+                    __m256i ct = popcnt256(_mm256_xor_si256(av, bv));
+                    /* u64 lanes [p0 p1 p2 p3] -> row sums p0+p1, p2+p3
+                       at dword lanes 0 and 4. */
+                    s[q] = _mm256_add_epi64(
+                        ct, _mm256_shuffle_epi32(ct, 0x4E));
+                }
+                __m256i m = _mm256_blend_epi32(
+                    _mm256_blend_epi32(
+                        _mm256_permutevar8x32_epi32(s[0], idx0),
+                        _mm256_permutevar8x32_epi32(s[1], idx1), 0x0C),
+                    _mm256_blend_epi32(
+                        _mm256_permutevar8x32_epi32(s[2], idx2),
+                        _mm256_permutevar8x32_epi32(s[3], idx3), 0xC0),
+                    0xF0);
+                popdot_store8(m, valid, r, vfb, al8, bi8,
+                              has_bias, kfi, oo);
+            }
+            for (; r < rows; r++) {
+                const uint64_t *a = ai + r * 2;
+                const uint64_t *b = vwm ? b_rows + r * 2 : b_plain;
+                uint64_t mism =
+                    (uint64_t)__builtin_popcountll(a[0] ^ b[0]) +
+                    (uint64_t)__builtin_popcountll(a[1] ^ b[1]);
+                long vld = valid ? (long)valid[r] : fallback_valid;
+                float d = (float)(vld - 2 * (long long)mism);
+                float t = d * al8[0];
+                t = t * kfi[r];
+                if (has_bias) t = t + bi8[0];
+                oo[r] = t;
+            }
+        }
+    }
+}
+
+/* W == 1: 8 rows = 8 contiguous u64 words = two 256-bit loads. */
+AVX2_KERNEL void popdot_w1_avx2(const uint64_t *va, const uint64_t *vw,
+                                const uint64_t *vwm, const int32_t *valid,
+                                const float *alpha, const float *kfac,
+                                const float *bias, float *out,
+                                long n, long rows, long oc,
+                                long fallback_valid)
+{
+    const __m256i idx_lo = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    const __m256i idx_hi = _mm256_setr_epi32(0, 0, 0, 0, 0, 2, 4, 6);
+    __m256i vfb = _mm256_set1_epi32((int)fallback_valid);
+    int has_bias = bias != 0;
+    for (long o = 0; o < oc; o++) {
+        const uint64_t *b_plain = vw ? vw + o : 0;
+        const uint64_t *b_rows = vwm ? vwm + o * rows : 0;
+        __m256i bb = vwm ? _mm256_setzero_si256()
+                         : _mm256_set1_epi64x((long long)b_plain[0]);
+        __m256 al8 = _mm256_set1_ps(alpha[o]);
+        __m256 bi8 = _mm256_set1_ps(has_bias ? bias[o] : 0.0f);
+        for (long i = 0; i < n; i++) {
+            const uint64_t *ai = va + i * rows;
+            const float *kfi = kfac + i * rows;
+            float *oo = out + (i * oc + o) * rows;
+            long r = 0;
+            for (; r + 8 <= rows; r += 8) {
+                __m256i a0 = _mm256_loadu_si256((const __m256i *)(ai + r));
+                __m256i a1 = _mm256_loadu_si256((const __m256i *)(ai + r + 4));
+                __m256i b0 = vwm
+                    ? _mm256_loadu_si256((const __m256i *)(b_rows + r)) : bb;
+                __m256i b1 = vwm
+                    ? _mm256_loadu_si256((const __m256i *)(b_rows + r + 4)) : bb;
+                __m256i c0 = popcnt256(_mm256_xor_si256(a0, b0));
+                __m256i c1 = popcnt256(_mm256_xor_si256(a1, b1));
+                __m256i m = _mm256_blend_epi32(
+                    _mm256_permutevar8x32_epi32(c0, idx_lo),
+                    _mm256_permutevar8x32_epi32(c1, idx_hi), 0xF0);
+                popdot_store8(m, valid, r, vfb, al8, bi8,
+                              has_bias, kfi, oo);
+            }
+            for (; r < rows; r++) {
+                uint64_t b = vwm ? b_rows[r] : b_plain[0];
+                uint64_t mism = (uint64_t)__builtin_popcountll(ai[r] ^ b);
+                long vld = valid ? (long)valid[r] : fallback_valid;
+                float d = (float)(vld - 2 * (long long)mism);
+                float t = d * al8[0];
+                t = t * kfi[r];
+                if (has_bias) t = t + bi8[0];
+                oo[r] = t;
+            }
+        }
+    }
+}
+
+/* Generic W >= 3: one row at a time, 256-bit chunks over the word axis
+   (maskload covers the W % 4 remainder — masked lanes read as zero and
+   0^0 popcounts to 0).  Used by e.g. the 784-bit binary linear rows,
+   where the scalar path's software popcount dominates. */
+AVX2_KERNEL void popdot_genw_avx2(const uint64_t *va, const uint64_t *vw,
+                                  const uint64_t *vwm, const int32_t *valid,
+                                  const float *alpha, const float *kfac,
+                                  const float *bias, float *out,
+                                  long n, long rows, long oc, long W,
+                                  long fallback_valid)
+{
+    static const long long qmtab[4][4] = {
+        {0, 0, 0, 0}, {-1, 0, 0, 0}, {-1, -1, 0, 0}, {-1, -1, -1, 0},
+    };
+    long W4 = W & ~3L;
+    __m256i qm = _mm256_loadu_si256((const __m256i *)qmtab[W - W4]);
+    int has_bias = bias != 0;
+    for (long o = 0; o < oc; o++) {
+        const uint64_t *b_plain = vw ? vw + o * W : 0;
+        const uint64_t *b_rows = vwm ? vwm + o * rows * W : 0;
+        float al = alpha[o];
+        float bi = has_bias ? bias[o] : 0.0f;
+        for (long i = 0; i < n; i++) {
+            const uint64_t *ai = va + i * rows * W;
+            const float *kfi = kfac + i * rows;
+            float *oo = out + (i * oc + o) * rows;
+            for (long r = 0; r < rows; r++) {
+                const uint64_t *a = ai + r * W;
+                const uint64_t *b = vwm ? b_rows + r * W : b_plain;
+                __m256i acc = _mm256_setzero_si256();
+                long wi = 0;
+                for (; wi < W4; wi += 4)
+                    acc = _mm256_add_epi64(acc, popcnt256(_mm256_xor_si256(
+                        _mm256_loadu_si256((const __m256i *)(a + wi)),
+                        _mm256_loadu_si256((const __m256i *)(b + wi)))));
+                if (wi < W)
+                    acc = _mm256_add_epi64(acc, popcnt256(_mm256_xor_si256(
+                        _mm256_maskload_epi64((const long long *)(a + wi), qm),
+                        _mm256_maskload_epi64((const long long *)(b + wi), qm))));
+                __m128i s = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                                          _mm256_extracti128_si256(acc, 1));
+                uint64_t mism = (uint64_t)_mm_cvtsi128_si64(s) +
+                                (uint64_t)_mm_extract_epi64(s, 1);
+                long vld = valid ? (long)valid[r] : fallback_valid;
+                float d = (float)(vld - 2 * (long long)mism);
+                float t = d * al;
+                t = t * kfi[r];
+                if (has_bias) t = t + bi;
+                oo[r] = t;
+            }
+        }
+    }
+}
+#endif /* HAVE_X86 */
+
+API void popdot_scale(const uint64_t *va, const uint64_t *vw,
+                      const uint64_t *vwm, const int32_t *valid,
+                      const float *alpha, const float *kfac,
+                      const float *bias, float *out,
+                      long n, long rows, long oc, long W,
+                      long fallback_valid)
+{
+#if defined(HAVE_X86) && (defined(__GNUC__) || defined(__clang__))
+    if (__builtin_cpu_supports("avx2")) {
+        if (W == 2) {
+            popdot_w2_avx2(va, vw, vwm, valid, alpha, kfac, bias, out,
+                           n, rows, oc, fallback_valid);
+            return;
+        }
+        if (W == 1) {
+            popdot_w1_avx2(va, vw, vwm, valid, alpha, kfac, bias, out,
+                           n, rows, oc, fallback_valid);
+            return;
+        }
+        popdot_genw_avx2(va, vw, vwm, valid, alpha, kfac, bias, out,
+                         n, rows, oc, W, fallback_valid);
+        return;
+    }
+#endif
+    /* Constant W lets -O3 fully unroll the popcount loop. */
+    if (W == 1)
+        popdot_impl(va, vw, vwm, valid, alpha, kfac, bias, out,
+                    n, rows, oc, 1, fallback_valid);
+    else if (W == 2)
+        popdot_impl(va, vw, vwm, valid, alpha, kfac, bias, out,
+                    n, rows, oc, 2, fallback_valid);
+    else
+        popdot_impl(va, vw, vwm, valid, alpha, kfac, bias, out,
+                    n, rows, oc, W, fallback_valid);
+}
+"""
+
+_VOIDP = ctypes.c_void_p
+_LONG = ctypes.c_long
+_INT = ctypes.c_int
+
+_SIGNATURES = {
+    # name -> argtypes (all pointers passed as raw addresses)
+    "im2col_f32": [_VOIDP, _VOIDP] + [_LONG] * 9,
+    "pad_nchw": [_VOIDP, _VOIDP] + [_LONG] * 5,
+    "conv_direct": [_VOIDP] * 5 + [_LONG] * 9 + [_INT],
+    "conv_post": [_VOIDP, _VOIDP, _VOIDP, _VOIDP, _LONG, _LONG, _LONG, _INT],
+    "maxpool_nchw": [_VOIDP, _VOIDP] + [_LONG] * 8 + [_INT],
+    "affine_ch": [_VOIDP, _VOIDP, _VOIDP, _VOIDP, _LONG, _LONG, _LONG],
+    "bn_eval_ch": [_VOIDP] * 6 + [_LONG] * 3,
+    "relu_inplace": [_VOIDP, _LONG, _INT],
+    "binconv_prepare": [_VOIDP, _VOIDP, _VOIDP, _VOIDP, _VOIDP] + [_LONG] * 10,
+    "pack_rows": [_VOIDP, _VOIDP, _LONG, _LONG, _LONG],
+    "popdot_scale": [_VOIDP] * 8 + [_LONG] * 5,  # n, rows, oc, W, fallback_valid
+}
+
+_BACKEND: Optional[ctypes.CDLL] = None
+_BACKEND_ERROR: Optional[str] = None
+_TRIED = False
+
+
+def kill_switch_engaged() -> bool:
+    """True when ``REPRO_PLAN_NO_CC`` disables the backend."""
+    return bool(os.environ.get(KILL_SWITCH))
+
+
+def _find_compiler() -> Optional[str]:
+    for candidate in ("cc", "gcc", "clang"):
+        path = which(candidate)
+        if path:
+            return path
+    return None
+
+
+def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
+    for name, argtypes in _SIGNATURES.items():
+        fn = getattr(lib, name)
+        fn.argtypes = argtypes
+        fn.restype = None
+    return lib
+
+
+def _source_digest() -> str:
+    payload = (" ".join(_CFLAGS) + "\n" + _C_SOURCE).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def _build_library() -> ctypes.CDLL:
+    digest = _source_digest()
+    so_name = f"plan_kernels_{digest}.so"
+    cache_dir = Path(__file__).resolve().parent / "_kernels"
+    for directory in (cache_dir, Path(tempfile.gettempdir()) / "repro_plan_kernels"):
+        so_path = directory / so_name
+        if so_path.exists():
+            return _declare(ctypes.CDLL(str(so_path)))
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            probe = directory / f".w{os.getpid()}"
+            probe.write_text("")
+            probe.unlink()
+        except OSError:
+            continue
+        cc = _find_compiler()
+        if cc is None:
+            raise KernelBackendError("no C compiler (cc/gcc/clang) on PATH")
+        src_path = directory / f"plan_kernels_{digest}.c"
+        src_path.write_text(_C_SOURCE)
+        tmp_so = directory / f"{so_name}.tmp{os.getpid()}"
+        cmd = [cc, *_CFLAGS, str(src_path), "-lm", "-o", str(tmp_so)]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise KernelBackendError(
+                f"kernel compile failed ({' '.join(cmd)}): {proc.stderr.strip()[:400]}"
+            )
+        os.replace(tmp_so, so_path)
+        return _declare(ctypes.CDLL(str(so_path)))
+    raise KernelBackendError("no writable directory for the kernel cache")
+
+
+def get_backend() -> ctypes.CDLL:
+    """Return the loaded kernel library, building it on first use.
+
+    Raises :class:`KernelBackendError` when the kill switch is set or the
+    build failed; the failure is cached so later calls fail fast.
+    """
+    global _BACKEND, _BACKEND_ERROR, _TRIED
+    if kill_switch_engaged():
+        raise KernelBackendError(f"{KILL_SWITCH} is set; compiled plans disabled")
+    if _BACKEND is not None:
+        return _BACKEND
+    if _TRIED and _BACKEND_ERROR is not None:
+        raise KernelBackendError(_BACKEND_ERROR)
+    _TRIED = True
+    try:
+        _BACKEND = _build_library()
+    except KernelBackendError as exc:
+        _BACKEND_ERROR = str(exc)
+        raise
+    except Exception as exc:  # defensive: any loader surprise
+        _BACKEND_ERROR = f"{type(exc).__name__}: {exc}"
+        raise KernelBackendError(_BACKEND_ERROR) from exc
+    return _BACKEND
+
+
+def backend_available() -> bool:
+    """True when the C backend can be (or has been) loaded."""
+    try:
+        get_backend()
+    except KernelBackendError:
+        return False
+    return True
+
+
+def backend_error() -> Optional[str]:
+    """The cached build failure message, if any."""
+    if kill_switch_engaged():
+        return f"{KILL_SWITCH} is set"
+    return _BACKEND_ERROR

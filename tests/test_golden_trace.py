@@ -105,6 +105,29 @@ class TestGoldenTrace:
         assert any(solo_record["exited_locally"])
         assert not all(solo_record["exited_locally"])
 
+    @pytest.mark.plan
+    def test_compiled_plans_match_golden(
+        self, trained_system, golden_images, solo_record
+    ):
+        """The trace-compiled fused plans replay the frozen trace exactly.
+
+        Both the interpreter path (``compile_plan=False``) and the
+        compiled-plan path must reproduce the committed fixture
+        field-for-field — predictions, exit decisions, serving sources,
+        and the entropy/cost digests — so enabling plans can never move
+        a golden number.
+        """
+        golden = json.loads(GOLDEN.read_text())
+        for compile_plan in (False, True):
+            deployment = LCRSDeployment(trained_system, four_g(seed=LINK_SEED))
+            session = deployment.run_session(
+                golden_images,
+                config=SessionConfig(compile_plan=compile_plan, **SESSION),
+            )
+            assert _trace_record(trained_system, session) == golden, (
+                f"compile_plan={compile_plan} drifted from the golden trace"
+            )
+
     def test_four_worker_scheduled_run_matches_golden(
         self, trained_system, golden_images, solo_record
     ):
