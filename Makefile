@@ -10,7 +10,7 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest -x -q
 
-.PHONY: test fault-smoke trace-smoke plan-smoke golden verify bench bench-sched bench-par bench-plan
+.PHONY: test fault-smoke trace-smoke plan-smoke golden stress verify bench bench-sched bench-par bench-par-wall bench-plan
 
 test:
 	$(PYTEST)
@@ -27,7 +27,10 @@ plan-smoke:
 golden:
 	$(PYTEST) tests/test_protocol_fuzz.py tests/test_codec_properties.py tests/test_golden_trace.py tests/test_parallel.py
 
-verify: test fault-smoke golden trace-smoke plan-smoke
+stress:
+	$(PYTEST) -m par tests/test_thread_safety.py
+
+verify: test fault-smoke golden stress trace-smoke plan-smoke
 
 bench:
 	PYTHONPATH=src $(PY) benchmarks/bench_kernels.py
@@ -37,6 +40,9 @@ bench-sched:
 
 bench-par:
 	PYTHONPATH=src $(PY) benchmarks/bench_parallel.py
+
+bench-par-wall:
+	REPRO_BENCH_WALL=1 PYTHONPATH=src $(PY) benchmarks/bench_parallel.py
 
 bench-plan:
 	PYTHONPATH=src $(PY) benchmarks/bench_plan.py

@@ -15,37 +15,54 @@ compositions of tensor ops.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 Arrayish = Union["Tensor", np.ndarray, float, int]
 
-_grad_enabled = True
+
+class _GradMode(threading.local):
+    """Per-thread grad-recording flag.
+
+    Graph recording is a property of the *calling thread's* computation,
+    not of the process: one edge worker running a ``no_grad`` trunk pass
+    must not stop a concurrent training thread from recording its tape.
+    ``threading.local`` gives every thread its own ``enabled`` slot; the
+    class attribute is the default a fresh thread sees before it ever
+    touches the flag.
+    """
+
+    enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 
 class no_grad:
-    """Context manager that disables graph recording.
+    """Context manager that disables graph recording on this thread.
 
     Used during evaluation and inside the binary-weight update step of
     Algorithm 1, where the full-precision master weights are mutated
-    outside the differentiated graph.
+    outside the differentiated graph.  Scopes nest (each ``__exit__``
+    restores the flag its ``__enter__`` saw, exception or not) and are
+    thread-local: entering ``no_grad`` on one thread never changes what
+    another thread records.
     """
 
     def __enter__(self) -> "no_grad":
-        global _grad_enabled
-        self._prev = _grad_enabled
-        _grad_enabled = False
+        self._prev = _GRAD_MODE.enabled
+        _GRAD_MODE.enabled = False
         return self
 
     def __exit__(self, *exc: object) -> None:
-        global _grad_enabled
-        _grad_enabled = self._prev
+        _GRAD_MODE.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations are currently being recorded."""
-    return _grad_enabled
+    """Return whether this thread's operations are being recorded."""
+    return _GRAD_MODE.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -96,9 +113,10 @@ class Tensor:
             arr = arr.astype(np.float32)
         self.data: np.ndarray = arr
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _grad_enabled
-        self._parents: tuple[Tensor, ...] = tuple(_parents) if _grad_enabled else ()
-        self._backward = _backward if _grad_enabled else None
+        recording = _GRAD_MODE.enabled
+        self.requires_grad = bool(requires_grad) and recording
+        self._parents: tuple[Tensor, ...] = tuple(_parents) if recording else ()
+        self._backward = _backward if recording else None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -147,7 +165,7 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        requires = _GRAD_MODE.enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)

@@ -16,10 +16,17 @@ an attribute store, not a dispatch tree.  Histograms keep both
 fixed-bucket counts (stable export schema) and the raw samples (exact
 p50/p95/p99 by nearest rank); serving runs observe at most a few
 thousand samples per metric, so exactness is cheaper than a sketch.
+
+Every mutator takes the metric's own lock: ``WorkerPool`` threads bump
+the same counters and histograms concurrently once the trunk exec lock
+is gone, and ``value += amount`` / ``insort`` are not atomic under the
+interpreter.  Reads stay lock-free — a torn read of a monotone counter
+is at worst one update stale, which exporters tolerate.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left, insort
 from typing import Iterator, Optional, Sequence, Union
 
@@ -45,14 +52,16 @@ class Counter:
     """A monotone (by convention) accumulator; ``value`` may be int or float."""
 
     kind = "counter"
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Union[int, float] = 0
+        self._lock = threading.Lock()
 
     def add(self, amount: Union[int, float] = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
         self.value = 0
@@ -71,19 +80,21 @@ class Gauge:
     """A point-in-time value (queue depth, clock position)."""
 
     kind = "gauge"
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = value
 
     def set_max(self, value: float) -> None:
-        """Retain the high-water mark."""
-        if value > self.value:
-            self.value = value
+        """Retain the high-water mark (read-compare-store, so locked)."""
+        with self._lock:
+            if value > self.value:
+                self.value = value
 
     def reset(self) -> None:
         self.value = 0.0
@@ -110,7 +121,9 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "_sorted")
+    __slots__ = (
+        "name", "bounds", "bucket_counts", "count", "total", "_sorted", "_lock"
+    )
 
     def __init__(
         self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS_MS
@@ -126,13 +139,15 @@ class Histogram:
         self.count = 0
         self.total = 0.0
         self._sorted: list[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
-        insort(self._sorted, value)
+        with self._lock:
+            self.bucket_counts[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.total += value
+            insort(self._sorted, value)
 
     @property
     def mean(self) -> Optional[float]:
@@ -219,13 +234,18 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, factory, kind: str):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = factory()
-            self._metrics[name] = metric
-        elif metric.kind != kind:
+        # Locked so concurrent first-use of the same name yields one
+        # object — a lost-insert race would silently split increments
+        # across two counters.
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+        if metric.kind != kind:
             raise TypeError(
                 f"metric {name!r} is a {metric.kind}, requested as {kind}"
             )

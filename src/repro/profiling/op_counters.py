@@ -41,9 +41,9 @@ class OpCounter:
     """Accumulated runtime statistics for one compiled op.
 
     Fields are registry counters resolved once at construction; the hot
-    :meth:`record` path mutates them through direct references — a
-    handful of attribute stores per op call, cheap enough to stay
-    always-on.
+    :meth:`record` path mutates them through their locked ``add`` — a
+    handful of locked stores per op call, cheap enough to stay
+    always-on and safe when worker threads share one engine.
     """
 
     __slots__ = ("index", "kind", "_calls", "_samples", "_wall_ms", "_bytes")
@@ -78,10 +78,10 @@ class OpCounter:
         return self._bytes.value
 
     def record(self, samples: int, wall_ms: float, bytes_popcounted: int = 0) -> None:
-        self._calls.value += 1
-        self._samples.value += samples
-        self._wall_ms.value += wall_ms
-        self._bytes.value += bytes_popcounted
+        self._calls.add(1)
+        self._samples.add(samples)
+        self._wall_ms.add(wall_ms)
+        self._bytes.add(bytes_popcounted)
 
     def reset(self) -> None:
         self._calls.value = 0
@@ -371,10 +371,7 @@ def counters_scope() -> Iterator[None]:
         if isinstance(f, SchedulerCounters)
     ]
     global_snap = global_registry().state()
-    pop_snap = bitpack._TOTAL_BYTES_POPCOUNTED
-    stats_snap = bitpack._LAST_DOT_STATS
-    keyed_snap = bitpack._DOT_STATS.copy()
-    evict_snap = bitpack._DOT_STATS_EVICTIONS
+    bitpack_snap = bitpack._REGISTRY.state()
     try:
         yield
     finally:
@@ -384,8 +381,4 @@ def counters_scope() -> Iterator[None]:
             f.__dict__["per_tenant"] = tenants
             f.__dict__["batch_size_hist"] = hist
         global_registry().restore(global_snap)
-        bitpack._TOTAL_BYTES_POPCOUNTED = pop_snap
-        bitpack._LAST_DOT_STATS = stats_snap
-        bitpack._DOT_STATS.clear()
-        bitpack._DOT_STATS.update(keyed_snap)
-        bitpack._DOT_STATS_EVICTIONS = evict_snap
+        bitpack._REGISTRY.restore(bitpack_snap)

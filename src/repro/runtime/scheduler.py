@@ -39,7 +39,6 @@ batches.
 from __future__ import annotations
 
 import itertools
-import threading
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -176,12 +175,6 @@ class EdgeScheduler:
             self.config.num_workers,
             gauge=self.counters.registry.gauge("sched.workers_busy"),
         )
-        # The trunk executes under a lock: the autograd no_grad flag is
-        # process-global and the framework's counters are unsynchronized,
-        # so concurrent real passes would race.  Simulated-clock overlap
-        # (which the c-worker speedup is measured on) is unaffected, and
-        # decode/concatenate work still runs on the pool threads.
-        self._exec_lock = threading.Lock()
         self._queue: list[_Queued] = []
         self._results: dict[int, tuple[bytes, float]] = {}
         self._tickets = itertools.count(1)
@@ -370,17 +363,19 @@ class EdgeScheduler:
     def _execute_batch(self, batch: _Batch) -> tuple[np.ndarray, float]:
         """Run one batch's real trunk pass (worker-pool task).
 
-        Feature decode and concatenation run freely on the pool thread;
-        the trunk pass itself is serialized under the execution lock
-        (see ``__init__``).  Returns ``(logits, infer_wall_ms)``.
+        Runs entirely on the pool thread with no shared lock: the engine
+        is thread-safe end-to-end — no-grad mode is thread-local,
+        kernel/geometry caches are locked, counters take atomic adds,
+        and concurrent batches lease distinct compiled-plan instances
+        from the endpoint's pool (see DESIGN.md §11).  Returns
+        ``(logits, infer_wall_ms)``.
         """
         rec = self.recorder
         wall0 = now_ms() if rec.enabled else 0.0
         features = np.concatenate(
             [q.request.features() for q in batch.chosen], axis=0
         )
-        with self._exec_lock:
-            logits = self.endpoint.infer(features)
+        logits = self.endpoint.infer(features)
         infer_wall_ms = now_ms() - wall0 if rec.enabled else 0.0
         return logits, infer_wall_ms
 

@@ -26,6 +26,7 @@ it took.
 from __future__ import annotations
 
 import itertools
+import threading
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -334,48 +335,117 @@ class SessionResult:
         return float(np.mean(attempts)) if attempts else 0.0
 
 
+class _TrunkPlanPool:
+    """A lease pool of compiled trunk plans for one (geometry, capacity).
+
+    A :class:`~repro.wasm.plan.CompiledPlan` owns preallocated arena
+    buffers, so one instance cannot serve two workers at once without
+    serializing on its internal lock.  The pool hands each concurrent
+    ``infer`` its *own* instance: ``lease`` pops an idle plan, or
+    compiles a fresh one (outside the pool lock) while fewer than
+    ``max_instances`` exist.  When the pool is exhausted — or the first
+    compile failed — ``lease`` returns ``None`` and the caller takes the
+    module path, which is bit-identical because every plan is
+    probe-verified against the trunk module at compile time.
+    """
+
+    def __init__(
+        self, trunk: Module, feature_shape: tuple, capacity: int, max_instances: int
+    ) -> None:
+        self._trunk = trunk
+        self.feature_shape = tuple(int(d) for d in feature_shape)
+        self.capacity = int(capacity)
+        self.max_instances = int(max_instances)
+        self._lock = threading.Lock()
+        self._idle: list = []
+        self._total = 0
+        self._failed = False
+
+    def lease(self):
+        with self._lock:
+            if self._failed:
+                return None
+            if self._idle:
+                return self._idle.pop()
+            if self._total >= self.max_instances:
+                return None
+            self._total += 1
+        from ..wasm.plan import PlanCompileError, compile_trunk_plan
+
+        try:
+            return compile_trunk_plan(self._trunk, self.feature_shape, self.capacity)
+        except PlanCompileError:
+            with self._lock:
+                self._failed = True
+                self._total -= 1
+                self._idle.clear()
+            return None
+
+    def release(self, plan) -> None:
+        with self._lock:
+            if not self._failed:
+                self._idle.append(plan)
+
+    @property
+    def instances(self) -> int:
+        with self._lock:
+            return self._total
+
+
 class EdgeEndpoint:
     """The edge server's inference service: conv1 features → class logits.
 
     When ``compile_plan`` is on, batches execute through a trace-compiled
-    trunk plan (:func:`repro.wasm.plan.compile_trunk_plan`) cached per
-    feature geometry and (power-of-two-rounded) batch capacity; plans are
+    trunk plan (:func:`repro.wasm.plan.compile_trunk_plan`) leased from a
+    per-(feature geometry, power-of-two capacity) pool; plans are
     probe-verified bit-identical to the module path at compile time, and
-    any compile failure falls back to the module path silently.
+    compile failure or pool exhaustion falls back to the module path
+    silently.  ``infer`` is thread-safe: concurrent callers lease
+    distinct plan instances (each owns its own arena), the module path
+    only reads frozen weights, and ``requests_served`` is bumped under a
+    lock.
     """
 
-    #: Trunk plans cached per (feature geometry, capacity).
+    #: Plan pools kept per (feature geometry, capacity), LRU.
     PLAN_CACHE_SIZE = 8
+    #: Max compiled plan instances per pool — bounds arena memory while
+    #: letting that many workers run the trunk concurrently.
+    PLAN_POOL_SIZE = 8
 
     def __init__(self, trunk: Module, *, compile_plan: bool = True) -> None:
         self._trunk = trunk
+        self._trunk.eval()
         self.requests_served = 0
         self.compile_plan = bool(compile_plan)
-        self._plan_cache: "OrderedDict[tuple, object]" = OrderedDict()
+        self._pools: "OrderedDict[tuple, _TrunkPlanPool]" = OrderedDict()
+        self._pools_lock = threading.Lock()
+        self._served_lock = threading.Lock()
 
-    def plan_for(self, feature_shape: tuple, batch_size: int):
-        """The cached trunk plan for this geometry/capacity, or ``None``.
+    def _pool_for(self, feature_shape: tuple, batch_size: int) -> _TrunkPlanPool:
+        """The plan pool for this geometry/capacity, created on miss.
 
         Capacity is the batch size rounded up to a power of two, so a
-        ramp of batch sizes (1, 2, .., 64) shares a handful of plans
-        instead of compiling one per size.  Failed compilations are
-        cached as ``None`` — one attempt per key, never per call.
+        ramp of batch sizes (1, 2, .., 64) shares a handful of pools
+        instead of compiling one per size.
         """
         capacity = 1 << max(0, int(batch_size) - 1).bit_length()
         key = (tuple(int(d) for d in feature_shape), capacity)
-        if key in self._plan_cache:
-            self._plan_cache.move_to_end(key)
-            return self._plan_cache[key]
-        from ..wasm.plan import PlanCompileError, compile_trunk_plan
+        with self._pools_lock:
+            pool = self._pools.get(key)
+            if pool is None:
+                pool = _TrunkPlanPool(
+                    self._trunk, key[0], capacity, self.PLAN_POOL_SIZE
+                )
+                self._pools[key] = pool
+                if len(self._pools) > self.PLAN_CACHE_SIZE:
+                    self._pools.popitem(last=False)
+            else:
+                self._pools.move_to_end(key)
+            return pool
 
-        try:
-            plan = compile_trunk_plan(self._trunk, key[0], capacity)
-        except PlanCompileError:
-            plan = None
-        self._plan_cache[key] = plan
-        if len(self._plan_cache) > self.PLAN_CACHE_SIZE:
-            self._plan_cache.popitem(last=False)
-        return plan
+    def _count_served(self, n: int) -> None:
+        with self._served_lock:
+            self.requests_served += n
 
     def infer(
         self,
@@ -386,20 +456,23 @@ class EdgeEndpoint:
         track: str = "edge",
     ) -> np.ndarray:
         if self.compile_plan and len(features):
-            plan = self.plan_for(features.shape[1:], len(features))
+            pool = self._pool_for(features.shape[1:], len(features))
+            plan = pool.lease()
             if plan is not None:
-                logits = plan.execute(
-                    np.ascontiguousarray(features, dtype=np.float32),
-                    recorder=recorder,
-                    trace_id=trace_id,
-                    track=track,
-                )
-                self.requests_served += len(features)
+                try:
+                    logits = plan.execute(
+                        np.ascontiguousarray(features, dtype=np.float32),
+                        recorder=recorder,
+                        trace_id=trace_id,
+                        track=track,
+                    )
+                finally:
+                    pool.release(plan)
+                self._count_served(len(features))
                 return logits
-        self._trunk.eval()
         with no_grad():
             logits = self._trunk(Tensor(features)).data
-        self.requests_served += len(features)
+        self._count_served(len(features))
         return logits
 
 

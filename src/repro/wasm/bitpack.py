@@ -29,6 +29,7 @@ profiling hooks can attribute popcount traffic to layers.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -60,37 +61,130 @@ class PackedDotStats:
         return (self.source, self.block_bytes, self.num_threads)
 
 
-_LAST_DOT_STATS = PackedDotStats()
-_TOTAL_BYTES_POPCOUNTED = 0
+class _ThreadDotState(threading.local):
+    """Per-thread kernel bookkeeping.
 
-#: Bounded per-configuration stats registry.  Interpreter kernels and
-#: compiled-plan kernels record under different sources (and different
-#: block/thread configurations under different keys), so a reader that
-#: cares about one configuration is not raced by calls made under
-#: another — the failure mode an unkeyed "last call wins" global has in
-#: long multi-tenant runs.  LRU-bounded so the registry cannot grow
-#: without bound across configuration sweeps.
-_DOT_STATS: "OrderedDict[tuple[str, int, int], PackedDotStats]" = OrderedDict()
-_DOT_STATS_MAXSIZE = 32
-_DOT_STATS_EVICTIONS = 0
+    ``last`` is the most recent :class:`PackedDotStats` recorded *by
+    this thread* — "last call" is only a meaningful question per caller
+    once concurrent engines run, so the answer lives in thread-local
+    storage instead of a keyed global that another thread can clobber.
+    ``bytes_popcounted`` is this thread's cumulative popcount traffic;
+    profiling hooks snapshot it around an op to attribute traffic
+    per layer without another thread's kernels bleeding into the delta.
+    """
+
+    last: Optional[PackedDotStats] = None
+    bytes_popcounted = 0
+
+
+_THREAD_STATE = _ThreadDotState()
+
+
+class _DotStatsRegistry:
+    """Lock-guarded keyed stats registry plus the global popcount total.
+
+    Interpreter kernels and compiled-plan kernels record under different
+    sources (and different block/thread configurations under different
+    keys), so a reader that cares about one configuration is not raced
+    by calls made under another.  LRU-bounded so the registry cannot
+    grow without bound across configuration sweeps; insertion, eviction,
+    the eviction tally, and the process-global byte total all mutate
+    under one lock so concurrent ``packed_dot`` calls never lose counts
+    or double-pop the LRU.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self._lock = threading.Lock()
+        self._stats: "OrderedDict[tuple[str, int, int], PackedDotStats]" = OrderedDict()
+        self.maxsize = maxsize
+        self._evictions = 0
+        self._total_bytes = 0
+
+    def record(self, stats: PackedDotStats) -> None:
+        _THREAD_STATE.last = stats
+        with self._lock:
+            self._stats[stats.key] = stats
+            self._stats.move_to_end(stats.key)
+            while len(self._stats) > self.maxsize:
+                self._stats.popitem(last=False)
+                self._evictions += 1
+
+    def add_bytes(self, n: int) -> None:
+        _THREAD_STATE.bytes_popcounted += n
+        with self._lock:
+            self._total_bytes += n
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._total_bytes
+
+    def lookup(
+        self,
+        source: Optional[str],
+        block_bytes: Optional[int],
+        num_threads: Optional[int],
+    ) -> PackedDotStats:
+        with self._lock:
+            for key in reversed(self._stats):
+                k_source, k_block, k_threads = key
+                if source is not None and k_source != source:
+                    continue
+                if block_bytes is not None and k_block != int(block_bytes):
+                    continue
+                if num_threads is not None and k_threads != int(num_threads):
+                    continue
+                return self._stats[key]
+        return PackedDotStats(block_bytes=0, source=source or "")
+
+    def info(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "size": len(self._stats),
+                "maxsize": self.maxsize,
+                "evictions": self._evictions,
+                "keys": list(self._stats.keys()),
+            }
+
+    # -- scoped snapshot/restore (tests) -------------------------------
+    def state(self) -> tuple:
+        with self._lock:
+            return (
+                self._stats.copy(),
+                self._evictions,
+                self._total_bytes,
+                _THREAD_STATE.last,
+                _THREAD_STATE.bytes_popcounted,
+            )
+
+    def restore(self, state: tuple) -> None:
+        stats, evictions, total, last, thread_bytes = state
+        with self._lock:
+            self._stats.clear()
+            self._stats.update(stats)
+            self._evictions = evictions
+            self._total_bytes = total
+        _THREAD_STATE.last = last
+        _THREAD_STATE.bytes_popcounted = thread_bytes
+
+
+_REGISTRY = _DotStatsRegistry(maxsize=32)
 
 
 def _record_dot_stats(stats: PackedDotStats) -> None:
-    global _LAST_DOT_STATS, _DOT_STATS_EVICTIONS
-    _LAST_DOT_STATS = stats
-    _DOT_STATS[stats.key] = stats
-    _DOT_STATS.move_to_end(stats.key)
-    while len(_DOT_STATS) > _DOT_STATS_MAXSIZE:
-        _DOT_STATS.popitem(last=False)
-        _DOT_STATS_EVICTIONS += 1
+    _REGISTRY.record(stats)
 
 #: Module default for :func:`packed_dot`'s ``num_threads`` (the knob a
-#: WASM host would set from ``navigator.hardwareConcurrency``).
+#: WASM host would set from ``navigator.hardwareConcurrency``).  Set by
+#: plain rebind (atomic store) in :func:`set_num_threads`.
 _NUM_THREADS = 1
 
 #: Cached executors keyed by thread count — worker threads are reused
 #: across calls, the way a WASM SIMD kernel reuses its worker pool.
+#: Creation is lock-guarded so two engines racing on first use cannot
+#: leak a second pool for the same count.
 _EXECUTORS: dict[int, ThreadPoolExecutor] = {}
+_EXECUTORS_LOCK = threading.Lock()
 
 
 def set_num_threads(n: int) -> int:
@@ -110,11 +204,12 @@ def get_num_threads() -> int:
 
 
 def _executor(n: int) -> ThreadPoolExecutor:
-    pool = _EXECUTORS.get(n)
-    if pool is None:
-        pool = ThreadPoolExecutor(max_workers=n, thread_name_prefix="bitpack")
-        _EXECUTORS[n] = pool
-    return pool
+    with _EXECUTORS_LOCK:
+        pool = _EXECUTORS.get(n)
+        if pool is None:
+            pool = ThreadPoolExecutor(max_workers=n, thread_name_prefix="bitpack")
+            _EXECUTORS[n] = pool
+        return pool
 
 
 def last_dot_stats(
@@ -124,36 +219,25 @@ def last_dot_stats(
 ) -> PackedDotStats:
     """Stats of the most recent popcount dot-product call.
 
-    With no arguments this is the most recent call of *any*
-    configuration (the historical behaviour).  Passing any of
-    ``source`` / ``block_bytes`` / ``num_threads`` filters the keyed
+    With no arguments this is the most recent call made *by the calling
+    thread*, of any configuration — thread-local, so a test or profiling
+    hook that reads right after its own kernel call can never observe a
+    concurrent thread's stats.  Passing any of ``source`` /
+    ``block_bytes`` / ``num_threads`` filters the process-wide keyed
     registry instead and returns the most recent call matching every
     given field — e.g. ``last_dot_stats(source="plan")`` is never raced
     by interleaved interpreter calls.  Returns an empty
     :class:`PackedDotStats` when nothing matches.
     """
     if source is None and block_bytes is None and num_threads is None:
-        return _LAST_DOT_STATS
-    for key in reversed(_DOT_STATS):
-        k_source, k_block, k_threads = key
-        if source is not None and k_source != source:
-            continue
-        if block_bytes is not None and k_block != int(block_bytes):
-            continue
-        if num_threads is not None and k_threads != int(num_threads):
-            continue
-        return _DOT_STATS[key]
-    return PackedDotStats(block_bytes=0, source=source or "")
+        last = _THREAD_STATE.last
+        return last if last is not None else PackedDotStats()
+    return _REGISTRY.lookup(source, block_bytes, num_threads)
 
 
 def dot_stats_cache_info() -> dict[str, object]:
     """Occupancy of the keyed dot-stats registry (LRU-bounded)."""
-    return {
-        "size": len(_DOT_STATS),
-        "maxsize": _DOT_STATS_MAXSIZE,
-        "evictions": _DOT_STATS_EVICTIONS,
-        "keys": list(_DOT_STATS.keys()),
-    }
+    return _REGISTRY.info()
 
 
 def record_plan_popcount(
@@ -169,9 +253,8 @@ def record_plan_popcount(
     the keyed stats registry (under ``source="plan"``) consistent with
     the interpreter path so profiling hooks see one coherent stream.
     """
-    global _TOTAL_BYTES_POPCOUNTED
     bytes_popcounted = int(bytes_popcounted)
-    _TOTAL_BYTES_POPCOUNTED += bytes_popcounted
+    _REGISTRY.add_bytes(bytes_popcounted)
     _record_dot_stats(
         PackedDotStats(
             peak_temp_bytes=0,
@@ -190,10 +273,24 @@ def record_plan_popcount(
 def total_bytes_popcounted() -> int:
     """Cumulative bytes run through the popcount unit since import.
 
-    A monotone counter; profiling hooks snapshot it around an op to
-    attribute popcount traffic per layer.
+    A monotone process-wide counter, summed over every thread.  For
+    per-op attribution under concurrency use
+    :func:`thread_bytes_popcounted` instead — deltas of the global
+    counter include other threads' traffic.
     """
-    return _TOTAL_BYTES_POPCOUNTED
+    return _REGISTRY.total_bytes
+
+
+def thread_bytes_popcounted() -> int:
+    """Cumulative popcount bytes issued *by the calling thread*.
+
+    The attribution counter: engines snapshot it around an op so the
+    delta is exactly the traffic that op's kernels issued, regardless of
+    what other threads are running.  Kernels threaded via
+    ``num_threads`` still account to the thread that called
+    :func:`packed_dot` (recording happens after the worker fan-in).
+    """
+    return _THREAD_STATE.bytes_popcounted
 
 
 def pack_signs(signs: np.ndarray) -> tuple[np.ndarray, int]:
@@ -282,8 +379,6 @@ def packed_dot(
     bit-identical for every thread count; peak scratch scales with the
     number of workers actually used and is reported in the stats.
     """
-    global _TOTAL_BYTES_POPCOUNTED
-
     va = np.ascontiguousarray(va, dtype=np.uint8)
     vb = np.ascontiguousarray(vb, dtype=np.uint8)
     if va.ndim != 2 or vb.ndim != 2:
@@ -436,7 +531,7 @@ def packed_dot(
             source="interpreter",
         )
     )
-    _TOTAL_BYTES_POPCOUNTED += popcounted
+    _REGISTRY.add_bytes(popcounted)
     return out
 
 

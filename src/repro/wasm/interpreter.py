@@ -25,6 +25,7 @@ op carries an always-on :class:`~repro.profiling.op_counters.OpCounter`
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -67,32 +68,75 @@ class ConvGeometry:
     mbits: Optional[np.ndarray]
 
 
-#: Process-wide geometry cache, explicitly keyed by every parameter the
-#: artifacts depend on — ``(c, h, w, kernel, stride, padding)``.  The
-#: cached masks are independent of kernel-execution knobs (block size,
-#: ``num_threads``), which key the per-configuration dot stats in
-#: :mod:`repro.wasm.bitpack` instead.  LRU-bounded so long multi-tenant
-#: runs sweeping many model geometries cannot grow it without bound.
-_GEOMETRY_CACHE: "OrderedDict[tuple[int, int, int, int, int, int], ConvGeometry]" = (
-    OrderedDict()
-)
-_GEOMETRY_CACHE_MAXSIZE = 128
-_GEOMETRY_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+class _GeometryCache:
+    """Process-wide LRU geometry cache, safe for concurrent engines.
+
+    Explicitly keyed by every parameter the artifacts depend on —
+    ``(c, h, w, kernel, stride, padding)``.  The cached masks are
+    independent of kernel-execution knobs (block size, ``num_threads``),
+    which key the per-configuration dot stats in
+    :mod:`repro.wasm.bitpack` instead.  LRU-bounded so long multi-tenant
+    runs sweeping many model geometries cannot grow it without bound.
+
+    All access — lookup, stats increments, insertion, and the eviction
+    loop — happens under one lock: concurrent misses used to lose
+    hit/miss counts and could double-pop the LRU (``KeyError``).  The
+    artifact *computation* runs outside the lock (it is pure and
+    deterministic, so a racing duplicate build is wasted work, never a
+    wrong answer); insertion re-checks the key and keeps the first
+    build, counting the loser's work as a miss that inserted nothing.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self._lock = threading.Lock()
+        self._cache: "OrderedDict[tuple[int, int, int, int, int, int], ConvGeometry]" = (
+            OrderedDict()
+        )
+        self.maxsize = maxsize
+        self._stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+    def lookup(self, key) -> Optional[ConvGeometry]:
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._stats["hits"] += 1
+                self._cache.move_to_end(key)
+            else:
+                self._stats["misses"] += 1
+            return cached
+
+    def insert(self, key, geometry: ConvGeometry) -> ConvGeometry:
+        with self._lock:
+            existing = self._cache.get(key)
+            if existing is not None:
+                return existing
+            self._cache[key] = geometry
+            while len(self._cache) > self.maxsize:
+                self._cache.popitem(last=False)
+                self._stats["evictions"] += 1
+            return geometry
+
+    def info(self) -> dict[str, int]:
+        with self._lock:
+            return {"size": len(self._cache), "maxsize": self.maxsize, **self._stats}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cache.clear()
+            self._stats.update(hits=0, misses=0, evictions=0)
+
+
+_GEOMETRY_CACHE = _GeometryCache(maxsize=128)
 
 
 def geometry_cache_info() -> dict[str, int]:
     """Hit/miss/eviction counts and occupancy of the geometry cache."""
-    return {
-        "size": len(_GEOMETRY_CACHE),
-        "maxsize": _GEOMETRY_CACHE_MAXSIZE,
-        **_GEOMETRY_CACHE_STATS,
-    }
+    return _GEOMETRY_CACHE.info()
 
 
 def clear_geometry_cache() -> None:
     """Drop all cached geometries and reset the cache statistics."""
     _GEOMETRY_CACHE.clear()
-    _GEOMETRY_CACHE_STATS.update(hits=0, misses=0, evictions=0)
 
 
 def conv_geometry(
@@ -100,12 +144,9 @@ def conv_geometry(
 ) -> ConvGeometry:
     """Cached geometry artifacts for an im2col with the given parameters."""
     key = (c, h, w, kernel, stride, padding)
-    cached = _GEOMETRY_CACHE.get(key)
+    cached = _GEOMETRY_CACHE.lookup(key)
     if cached is not None:
-        _GEOMETRY_CACHE_STATS["hits"] += 1
-        _GEOMETRY_CACHE.move_to_end(key)
         return cached
-    _GEOMETRY_CACHE_STATS["misses"] += 1
 
     oh = (h + 2 * padding - kernel) // stride + 1
     ow = (w + 2 * padding - kernel) // stride + 1
@@ -136,11 +177,7 @@ def conv_geometry(
         valid_cols=valid_cols,
         mbits=mbits,
     )
-    _GEOMETRY_CACHE[key] = geometry
-    while len(_GEOMETRY_CACHE) > _GEOMETRY_CACHE_MAXSIZE:
-        _GEOMETRY_CACHE.popitem(last=False)
-        _GEOMETRY_CACHE_STATS["evictions"] += 1
-    return geometry
+    return _GEOMETRY_CACHE.insert(key, geometry)
 
 
 def _unfold(a: np.ndarray, kernel: int, stride: int, oh: int, ow: int) -> np.ndarray:
@@ -222,9 +259,13 @@ class WasmModel:
         # Compiled-plan cache: capacity (rounded up to a power of two)
         # → CompiledPlan, or None when compilation/verification failed
         # for that capacity (so the fallback decision is cached too).
+        # The lock covers lookup, compile, and insert: concurrent first
+        # use of a capacity compiles exactly once (later threads block
+        # briefly and reuse the winner's plan).
         self._plan_cache: "OrderedDict[int, object]" = OrderedDict()
         self._plan_cache_maxsize = 4
         self._plan_cache_stats = {"hits": 0, "misses": 0, "failures": 0}
+        self._plan_cache_lock = threading.Lock()
 
     @classmethod
     def load(cls, payload: bytes, num_threads: int = 1) -> "WasmModel":
@@ -468,13 +509,16 @@ class WasmModel:
             raise ValueError(f"expected input shape (N, {expected}), got {x.shape}")
         batch = x.shape[0]
         for op, counter in zip(self._ops, self.counters.ops):
-            pop_before = bitpack.total_bytes_popcounted()
+            # Attribution reads the *calling thread's* popcount tally:
+            # a delta of the process-global total would credit this op
+            # with whatever concurrent engines popcounted meanwhile.
+            pop_before = bitpack.thread_bytes_popcounted()
             t0 = now_ms()
             x = op(x)
             counter.record(
                 samples=batch,
                 wall_ms=now_ms() - t0,
-                bytes_popcounted=bitpack.total_bytes_popcounted() - pop_before,
+                bytes_popcounted=bitpack.thread_bytes_popcounted() - pop_before,
             )
         return x
 
@@ -500,22 +544,23 @@ class WasmModel:
         capacity = 1
         while capacity < batch_size:
             capacity *= 2
-        cached = self._plan_cache.get(capacity, _PLAN_UNSET)
-        if cached is not _PLAN_UNSET:
-            self._plan_cache_stats["hits"] += 1
-            self._plan_cache.move_to_end(capacity)
-            return cached
-        self._plan_cache_stats["misses"] += 1
-        try:
-            plan = compile_wasm_plan(self, capacity)
-        except Exception:
-            plan = None
-        if plan is None:
-            self._plan_cache_stats["failures"] += 1
-        self._plan_cache[capacity] = plan
-        while len(self._plan_cache) > self._plan_cache_maxsize:
-            self._plan_cache.popitem(last=False)
-        return plan
+        with self._plan_cache_lock:
+            cached = self._plan_cache.get(capacity, _PLAN_UNSET)
+            if cached is not _PLAN_UNSET:
+                self._plan_cache_stats["hits"] += 1
+                self._plan_cache.move_to_end(capacity)
+                return cached
+            self._plan_cache_stats["misses"] += 1
+            try:
+                plan = compile_wasm_plan(self, capacity)
+            except Exception:
+                plan = None
+            if plan is None:
+                self._plan_cache_stats["failures"] += 1
+            self._plan_cache[capacity] = plan
+            while len(self._plan_cache) > self._plan_cache_maxsize:
+                self._plan_cache.popitem(last=False)
+            return plan
 
     def forward_planned(
         self,
@@ -539,16 +584,18 @@ class WasmModel:
 
     def plan_cache_info(self) -> dict[str, object]:
         """Occupancy and hit/miss/failure counts of the plan cache."""
-        return {
-            "size": len(self._plan_cache),
-            "maxsize": self._plan_cache_maxsize,
-            "capacities": list(self._plan_cache.keys()),
-            **self._plan_cache_stats,
-        }
+        with self._plan_cache_lock:
+            return {
+                "size": len(self._plan_cache),
+                "maxsize": self._plan_cache_maxsize,
+                "capacities": list(self._plan_cache.keys()),
+                **self._plan_cache_stats,
+            }
 
     def clear_plan_cache(self) -> None:
-        self._plan_cache.clear()
-        self._plan_cache_stats.update(hits=0, misses=0, failures=0)
+        with self._plan_cache_lock:
+            self._plan_cache.clear()
+            self._plan_cache_stats.update(hits=0, misses=0, failures=0)
 
     def reset_counters(self) -> None:
         self.counters.reset()

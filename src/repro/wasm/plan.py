@@ -33,6 +33,7 @@ express raises :class:`PlanCompileError`, which callers treat as
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
@@ -128,6 +129,12 @@ class CompiledPlan:
     arena buffer to the live batch; per-step :class:`OpCounter`\\ s are
     always on, and ``plan.step[i]`` spans are emitted when a recorder is
     passed, so profiling attribution survives fusion.
+
+    One instance owns one preallocated arena, so concurrent ``execute``
+    calls on the *same* plan would overwrite each other's buffers; an
+    internal lock serializes them (correct but not parallel).  Callers
+    that want real concurrency lease distinct instances — see
+    ``EdgeEndpoint`` in :mod:`repro.runtime.session`.
     """
 
     def __init__(
@@ -153,6 +160,8 @@ class CompiledPlan:
         self.counters = ModelCounters.for_kinds([s.name for s in self.steps])
         for step, counter in zip(self.steps, self.counters.ops):
             step.counter = counter
+        # Guards the shared arena during execute; see class docstring.
+        self._exec_lock = threading.Lock()
 
     @property
     def num_steps(self) -> int:
@@ -178,31 +187,35 @@ class CompiledPlan:
             raise PlanExecutionError(
                 f"batch of {n} exceeds plan capacity {self.capacity}"
             )
-        self._input_buf[:n] = x
-        for step in self.steps:
-            if rec.enabled:
-                with rec.span(
-                    f"plan.step[{step.index}]",
-                    track=track,
-                    trace_id=trace_id,
-                    step=step.name,
-                    samples=int(n),
-                ):
+        with self._exec_lock:
+            self._input_buf[:n] = x
+            for step in self.steps:
+                if rec.enabled:
+                    with rec.span(
+                        f"plan.step[{step.index}]",
+                        track=track,
+                        trace_id=trace_id,
+                        step=step.name,
+                        samples=int(n),
+                    ):
+                        self._run_step(step, n)
+                else:
                     self._run_step(step, n)
-            else:
-                self._run_step(step, n)
-        return self._output_view[:n].copy()
+            return self._output_view[:n].copy()
 
     @staticmethod
     def _run_step(step: PlanStep, n: int) -> None:
-        pop_before = bitpack.total_bytes_popcounted()
+        # Attribution deltas come from the calling thread's tally, not
+        # the process-wide total, so concurrent plans on other threads
+        # never bleed popcount bytes into this step's counter.
+        pop_before = bitpack.thread_bytes_popcounted()
         t0 = now_ms()
         for runner in step.runners:
             runner(n)
         step.counter.record(
             samples=n,
             wall_ms=now_ms() - t0,
-            bytes_popcounted=bitpack.total_bytes_popcounted() - pop_before,
+            bytes_popcounted=bitpack.thread_bytes_popcounted() - pop_before,
         )
 
     def describe(self) -> dict:

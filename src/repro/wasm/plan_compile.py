@@ -31,6 +31,7 @@ import hashlib
 import os
 import subprocess
 import tempfile
+import threading
 from pathlib import Path
 from shutil import which
 from typing import Optional
@@ -1360,6 +1361,10 @@ _SIGNATURES = {
 _BACKEND: Optional[ctypes.CDLL] = None
 _BACKEND_ERROR: Optional[str] = None
 _TRIED = False
+#: Serializes first-use backend init: without it two threads racing into
+#: ``get_backend`` could both run the compile/load (wasted work, and a
+#: torn ``_TRIED``/``_BACKEND_ERROR`` pair on the failure path).
+_BACKEND_LOCK = threading.Lock()
 
 
 def kill_switch_engaged() -> bool:
@@ -1425,24 +1430,30 @@ def get_backend() -> ctypes.CDLL:
 
     Raises :class:`KernelBackendError` when the kill switch is set or the
     build failed; the failure is cached so later calls fail fast.
+    Safe for concurrent first-use: the build runs at most once, under
+    ``_BACKEND_LOCK`` (double-checked — the hot path reads ``_BACKEND``
+    without taking it).
     """
     global _BACKEND, _BACKEND_ERROR, _TRIED
     if kill_switch_engaged():
         raise KernelBackendError(f"{KILL_SWITCH} is set; compiled plans disabled")
     if _BACKEND is not None:
         return _BACKEND
-    if _TRIED and _BACKEND_ERROR is not None:
-        raise KernelBackendError(_BACKEND_ERROR)
-    _TRIED = True
-    try:
-        _BACKEND = _build_library()
-    except KernelBackendError as exc:
-        _BACKEND_ERROR = str(exc)
-        raise
-    except Exception as exc:  # defensive: any loader surprise
-        _BACKEND_ERROR = f"{type(exc).__name__}: {exc}"
-        raise KernelBackendError(_BACKEND_ERROR) from exc
-    return _BACKEND
+    with _BACKEND_LOCK:
+        if _BACKEND is not None:
+            return _BACKEND
+        if _TRIED and _BACKEND_ERROR is not None:
+            raise KernelBackendError(_BACKEND_ERROR)
+        _TRIED = True
+        try:
+            _BACKEND = _build_library()
+        except KernelBackendError as exc:
+            _BACKEND_ERROR = str(exc)
+            raise
+        except Exception as exc:  # defensive: any loader surprise
+            _BACKEND_ERROR = f"{type(exc).__name__}: {exc}"
+            raise KernelBackendError(_BACKEND_ERROR) from exc
+        return _BACKEND
 
 
 def backend_available() -> bool:

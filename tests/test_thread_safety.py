@@ -1,0 +1,342 @@
+"""Concurrency stress suite: the engine with no exec lock.
+
+PR 7's contract is that the inference engine is thread-safe end-to-end —
+no-grad mode is thread-local, kernel and geometry caches are locked,
+counters take atomic adds, and a shared :class:`EdgeEndpoint` leases
+distinct compiled-plan instances per concurrent caller.  These tests
+hammer each piece from real threads and assert *exact* outcomes: bit
+wise-identical predictions versus serial, and counter totals exactly
+equal to the summed per-thread work.  Lost-update races are
+probabilistic, so the hammer tests use barriers and enough iterations
+that the pre-fix code fails them reliably.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor, is_grad_enabled, no_grad
+from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.profiling.op_counters import OpCounter
+from repro.runtime import LCRSDeployment, SessionConfig, four_g
+from repro.runtime.session import EdgeEndpoint
+from repro.wasm.bitpack import (
+    last_dot_stats,
+    pack_signs,
+    packed_dot,
+    thread_bytes_popcounted,
+    total_bytes_popcounted,
+)
+from repro.wasm.interpreter import (
+    clear_geometry_cache,
+    conv_geometry,
+    geometry_cache_info,
+)
+
+pytestmark = pytest.mark.par
+
+THREADS = 4
+ITERS = 200
+
+
+def _run_threads(n, target):
+    """Start n threads on target(idx), join, and re-raise any failure."""
+    errors = []
+
+    def wrapped(idx):
+        try:
+            target(idx)
+        except BaseException as exc:  # noqa: BLE001 - reported to pytest
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+# ----------------------------------------------------------------------
+# Satellite (a): thread-local last_dot_stats
+# ----------------------------------------------------------------------
+class TestThreadLocalDotStats:
+    def test_each_thread_reads_its_own_last_stats(self):
+        """Concurrent packed_dot calls never see another thread's stats."""
+        rng = np.random.default_rng(0)
+        barrier = threading.Barrier(THREADS)
+
+        def work(idx):
+            rows = 2 + idx  # distinct output shape per thread
+            signs = rng.random((rows, 64)) > 0.5
+            packed, length = pack_signs(signs)
+            barrier.wait()
+            for _ in range(ITERS):
+                packed_dot(packed, packed, length=length)
+                stats = last_dot_stats()
+                assert stats.output_shape == (rows, rows), (
+                    f"thread {idx} read another thread's stats: "
+                    f"{stats.output_shape}"
+                )
+
+        _run_threads(THREADS, work)
+
+    def test_thread_tallies_sum_to_global_total(self):
+        """Per-thread byte tallies partition the process-wide total."""
+        signs = np.random.default_rng(1).random((8, 256)) > 0.5
+        packed, length = pack_signs(signs)
+        expected = packed_dot(packed, packed, length=length)
+        per_call = thread_bytes_popcounted()  # snapshot before
+
+        # One serial call to learn the per-call byte cost.
+        packed_dot(packed, packed, length=length)
+        per_call = thread_bytes_popcounted() - per_call
+
+        total_before = total_bytes_popcounted()
+        tallies = [0] * THREADS
+        barrier = threading.Barrier(THREADS)
+
+        def work(idx):
+            before = thread_bytes_popcounted()
+            barrier.wait()
+            for _ in range(ITERS):
+                out = packed_dot(packed, packed, length=length)
+                assert out.tobytes() == expected.tobytes()
+            tallies[idx] = thread_bytes_popcounted() - before
+
+        _run_threads(THREADS, work)
+        assert all(t == ITERS * per_call for t in tallies)
+        assert total_bytes_popcounted() - total_before == sum(tallies)
+
+
+# ----------------------------------------------------------------------
+# Satellite (b): geometry cache under a hammering thread pool
+# ----------------------------------------------------------------------
+class TestGeometryCacheHammer:
+    def test_concurrent_misses_keep_stats_and_size_consistent(self):
+        """hits + misses == lookups, size ≤ maxsize, no KeyError evictions."""
+        clear_geometry_cache()
+        maxsize = geometry_cache_info()["maxsize"]
+        n_keys = maxsize + 40  # force the eviction loop under contention
+        barrier = threading.Barrier(THREADS)
+
+        def work(idx):
+            barrier.wait()
+            for i in range(ITERS):
+                h = 3 + (i * THREADS + idx) % n_keys
+                geo = conv_geometry(1, h, 3, 3, 1, 1)
+                assert geo.out_height == h  # stride 1, padding 1, kernel 3
+
+        _run_threads(THREADS, work)
+        info = geometry_cache_info()
+        assert info["hits"] + info["misses"] == THREADS * ITERS
+        assert info["size"] <= info["maxsize"]
+        # Every eviction was caused by an insert, and every insert by a
+        # miss (racing duplicate builds insert nothing).
+        assert info["evictions"] <= info["misses"]
+        clear_geometry_cache()
+
+
+# ----------------------------------------------------------------------
+# Satellite (c): thread-local no_grad
+# ----------------------------------------------------------------------
+class TestNoGradThreadSafety:
+    def test_scope_does_not_leak_to_other_threads(self):
+        entered = threading.Event()
+        checked = threading.Event()
+        observed = []
+
+        def holder():
+            with no_grad():
+                entered.set()
+                checked.wait(timeout=5)
+                observed.append(is_grad_enabled())
+
+        t = threading.Thread(target=holder)
+        t.start()
+        assert entered.wait(timeout=5)
+        # The other thread sits inside no_grad; this thread is unaffected.
+        assert is_grad_enabled()
+        checked.set()
+        t.join()
+        assert observed == [False]
+
+    def test_overlapping_nested_scopes_on_two_threads(self):
+        """Interleaved nested scopes restore each thread independently."""
+        barrier = threading.Barrier(2)
+
+        def work(idx):
+            for _ in range(ITERS):
+                assert is_grad_enabled()
+                with no_grad():
+                    barrier.wait()
+                    assert not is_grad_enabled()
+                    with no_grad():
+                        assert not is_grad_enabled()
+                    assert not is_grad_enabled()
+                    barrier.wait()
+                assert is_grad_enabled()
+
+        _run_threads(2, work)
+
+    def test_exception_inside_scope_restores_flag(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with no_grad():
+                assert not is_grad_enabled()
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_tensors_made_under_no_grad_record_no_tape(self):
+        x = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        y2 = x * 2.0
+        assert y2.requires_grad
+
+
+# ----------------------------------------------------------------------
+# Tentpole (4): metrics and op counters take concurrent increments
+# ----------------------------------------------------------------------
+class TestMetricsConcurrency:
+    def test_counter_add_is_exact_under_contention(self):
+        counter = Counter("t")
+        _run_threads(THREADS, lambda idx: [counter.add(1) for _ in range(2500)])
+        assert counter.value == THREADS * 2500
+
+    def test_histogram_observe_is_exact_under_contention(self):
+        hist = Histogram("t")
+        _run_threads(
+            THREADS, lambda idx: [hist.observe(idx + 0.5) for _ in range(500)]
+        )
+        assert hist.count == THREADS * 500
+        assert sum(hist.bucket_counts) == hist.count
+        assert len(hist.state()[3]) == hist.count  # sorted samples intact
+
+    def test_gauge_set_max_keeps_high_water(self):
+        gauge = Gauge("t")
+        _run_threads(
+            THREADS,
+            lambda idx: [gauge.set_max(float(i % (idx + 2))) for i in range(2000)],
+        )
+        assert gauge.value == float(THREADS)  # max of idx+1 over idx<THREADS
+
+    def test_op_counter_record_is_exact_under_contention(self):
+        op = OpCounter(0, "conv", registry=MetricsRegistry())
+        _run_threads(
+            THREADS,
+            lambda idx: [op.record(samples=2, wall_ms=0.25, bytes_popcounted=8)
+                         for _ in range(1000)],
+        )
+        assert op.calls == THREADS * 1000
+        assert op.samples == 2 * THREADS * 1000
+        assert op.bytes_popcounted == 8 * THREADS * 1000
+
+    def test_registry_concurrent_first_use_yields_one_object(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(THREADS)
+        seen = []
+
+        def work(idx):
+            barrier.wait()
+            seen.append(id(registry.counter("first.use")))
+
+        _run_threads(THREADS, work)
+        assert len(set(seen)) == 1
+
+
+# ----------------------------------------------------------------------
+# Satellite (d): real trunks and full sessions, bit-identical to serial
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestSharedEndpointConcurrency:
+    BATCHES = 8
+    BATCH = 4
+
+    def _features(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        images = test.images[: self.BATCHES * self.BATCH].astype(np.float32)
+        model = trained_system.model
+        model.eval()
+        with no_grad():
+            return model.stem(Tensor(images)).data.astype(np.float32)
+
+    def test_concurrent_trunk_batches_bit_identical_to_serial(
+        self, trained_system, tiny_mnist
+    ):
+        """4 threads through one endpoint == serial, with exact counts."""
+        features = self._features(trained_system, tiny_mnist)
+        batches = [
+            features[i * self.BATCH : (i + 1) * self.BATCH]
+            for i in range(self.BATCHES)
+        ]
+
+        serial = EdgeEndpoint(trained_system.model.main_trunk)
+        expected = [serial.infer(b).tobytes() for b in batches]
+
+        shared = EdgeEndpoint(trained_system.model.main_trunk)
+        barrier = threading.Barrier(THREADS)
+        results: dict[int, bytes] = {}
+        lock = threading.Lock()
+
+        def work(idx):
+            barrier.wait()
+            for i in range(idx, self.BATCHES, THREADS):
+                out = shared.infer(batches[i]).tobytes()
+                with lock:
+                    results[i] = out
+
+        _run_threads(THREADS, work)
+        assert [results[i] for i in range(self.BATCHES)] == expected
+        assert shared.requests_served == self.BATCHES * self.BATCH
+
+    def test_module_path_concurrency_bit_identical(
+        self, trained_system, tiny_mnist
+    ):
+        """compile_plan=False exercises the bare framework trunk."""
+        features = self._features(trained_system, tiny_mnist)
+        batches = [
+            features[i * self.BATCH : (i + 1) * self.BATCH]
+            for i in range(self.BATCHES)
+        ]
+        serial = EdgeEndpoint(trained_system.model.main_trunk, compile_plan=False)
+        expected = [serial.infer(b).tobytes() for b in batches]
+
+        shared = EdgeEndpoint(trained_system.model.main_trunk, compile_plan=False)
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            got = list(pool.map(lambda b: shared.infer(b).tobytes(), batches))
+        assert got == expected
+        assert shared.requests_served == self.BATCHES * self.BATCH
+
+    def test_concurrent_full_sessions_match_solo(self, trained_system, tiny_mnist):
+        """N full sessions on N threads answer exactly like a solo run."""
+        _, test = tiny_mnist
+        images = test.images[:12]
+        config = SessionConfig(batch_size=4, threshold=0.05)
+
+        solo = LCRSDeployment(trained_system, four_g(seed=11)).run_session(
+            images, config=config
+        )
+        solo_key = (
+            [int(o.prediction) for o in solo.outcomes],
+            [bool(o.exited_locally) for o in solo.outcomes],
+            np.asarray([o.entropy for o in solo.outcomes]).tobytes(),
+        )
+
+        barrier = threading.Barrier(THREADS)
+
+        def work(idx):
+            deployment = LCRSDeployment(trained_system, four_g(seed=11))
+            barrier.wait()
+            session = deployment.run_session(images, config=config)
+            key = (
+                [int(o.prediction) for o in session.outcomes],
+                [bool(o.exited_locally) for o in session.outcomes],
+                np.asarray([o.entropy for o in session.outcomes]).tobytes(),
+            )
+            assert key == solo_key
+
+        _run_threads(THREADS, work)
