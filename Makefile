@@ -10,7 +10,7 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest -x -q
 
-.PHONY: test fault-smoke trace-smoke plan-smoke golden stress verify bench bench-sched bench-par bench-par-wall bench-plan
+.PHONY: test fault-smoke trace-smoke plan-smoke fleet-smoke golden stress verify bench bench-sched bench-par bench-par-wall bench-plan bench-fleet
 
 test:
 	$(PYTEST)
@@ -24,13 +24,16 @@ trace-smoke:
 plan-smoke:
 	$(PYTEST) -m plan tests/test_plan_properties.py tests/test_golden_trace.py
 
+fleet-smoke:
+	$(PYTEST) -m "fleet and not sched" tests/test_fleet.py
+
 golden:
 	$(PYTEST) tests/test_protocol_fuzz.py tests/test_codec_properties.py tests/test_golden_trace.py tests/test_parallel.py
 
 stress:
 	$(PYTEST) -m par tests/test_thread_safety.py
 
-verify: test fault-smoke golden stress trace-smoke plan-smoke
+verify: test fault-smoke golden stress trace-smoke plan-smoke fleet-smoke
 
 bench:
 	PYTHONPATH=src $(PY) benchmarks/bench_kernels.py
@@ -46,3 +49,6 @@ bench-par-wall:
 
 bench-plan:
 	PYTHONPATH=src $(PY) benchmarks/bench_plan.py
+
+bench-fleet:
+	PYTHONPATH=src $(PY) benchmarks/bench_fleet.py

@@ -75,14 +75,14 @@ def _build_system():
 
 
 def bench_worker_scaling(system, test) -> dict:
-    from repro.experiments import run_worker_scaling
+    from repro.experiments import WorkerScalingConfig, run_worker_scaling
 
     result = run_worker_scaling(
         system,
         test.images[: REQUESTS * BATCH_SIZE],
-        workers=WORKERS,
-        requests=REQUESTS,
-        batch_size=BATCH_SIZE,
+        config=WorkerScalingConfig(
+            workers=WORKERS, requests=REQUESTS, batch_size=BATCH_SIZE
+        ),
     )
     quad = result.point(max(WORKERS))
     record = result.as_dict()
@@ -99,16 +99,18 @@ def bench_worker_scaling(system, test) -> dict:
 
 def bench_worker_scaling_wall(system, test) -> dict:
     """The measured wall-clock sweep — real concurrent trunks, no lock."""
-    from repro.experiments import run_worker_scaling
+    from repro.experiments import WorkerScalingConfig, run_worker_scaling
 
     result = run_worker_scaling(
         system,
         test.images[: REQUESTS * BATCH_SIZE],
-        workers=WORKERS,
-        requests=REQUESTS,
-        batch_size=BATCH_SIZE,
-        mode="wall",
-        wall_repeats=WALL_REPEATS,
+        config=WorkerScalingConfig(
+            workers=WORKERS,
+            requests=REQUESTS,
+            batch_size=BATCH_SIZE,
+            mode="wall",
+            wall_repeats=WALL_REPEATS,
+        ),
     )
     quad = result.point(max(WORKERS))
     floor_applies = result.host_cores >= 2

@@ -65,7 +65,7 @@ def _build_system():
 
 
 def bench_scheduler() -> dict:
-    from repro.experiments import run_concurrency
+    from repro.experiments import ConcurrencySweepConfig, run_concurrency
     from repro.runtime import SessionConfig, ServiceTimeModel, measure_service_model
     from repro.profiling import NetworkProfile
 
@@ -81,11 +81,13 @@ def bench_scheduler() -> dict:
     result = run_concurrency(
         system,
         test.images[:FRAMES_PER_USER],
-        users=USERS,
-        windows_ms=WINDOWS_MS,
-        max_batch_size=MAX_BATCH,
-        session_config=SessionConfig(batch_size=SESSION_BATCH, threshold=THRESHOLD),
-        seed=SEED,
+        config=ConcurrencySweepConfig(
+            users=USERS,
+            windows_ms=WINDOWS_MS,
+            max_batch_size=MAX_BATCH,
+            session_config=SessionConfig(batch_size=SESSION_BATCH, threshold=THRESHOLD),
+            seed=SEED,
+        ),
     )
     top_users = max(USERS)
     top_window = max(WINDOWS_MS)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the library's lifecycle without writing Python:
+Nine commands cover the library's lifecycle without writing Python:
 
 * ``train``   — joint-train an LCRS on a synthetic dataset, calibrate,
   report, and optionally checkpoint.
@@ -17,6 +17,9 @@ Eight commands cover the library's lifecycle without writing Python:
 * ``trace``   — run a traced multi-session scheduler round and export
   the timeline as Chrome ``trace_event`` JSON (Perfetto-loadable) or a
   JSONL span log.
+* ``fleet``   — sweep shard counts through the multi-edge fleet router
+  (capacity vs the M/M/c·N bound), optionally drill a mid-run shard
+  partition, and print the users-per-p99-target planning table.
 * ``plan``    — compile the trace-compiled inference plans (stem,
   binary branch, edge trunk) from a checkpoint, verify them bit-for-bit
   against the interpreter, and dump the fused steps with per-step
@@ -159,6 +162,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=Path("trace.json"),
         help="output path for the exported timeline",
     )
+
+    fleet = sub.add_parser(
+        "fleet", help="multi-shard fleet: capacity sweep, partition drill, planning"
+    )
+    fleet.add_argument("checkpoint", type=Path)
+    fleet.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4],
+        help="shard counts to sweep in the capacity burst",
+    )
+    fleet.add_argument(
+        "--requests", type=int, default=48,
+        help="burst requests (must divide by every shard count x workers)",
+    )
+    fleet.add_argument("--batch-size", type=int, default=4, help="samples per request")
+    fleet.add_argument(
+        "--workers", type=int, default=1, help="trunk workers per shard (M/M/c c)"
+    )
+    fleet.add_argument(
+        "--partition", action="store_true",
+        help="also run the mid-run shard-partition drill with live sessions",
+    )
+    fleet.add_argument(
+        "--partition-sessions", type=int, default=4,
+        help="concurrent sessions in the partition drill",
+    )
+    fleet.add_argument(
+        "--partition-samples", type=int, default=16,
+        help="frames per session in the partition drill",
+    )
+    fleet.add_argument(
+        "--p99-ms", type=float, nargs="+", default=[10.0, 25.0, 50.0],
+        help="p99 queueing-delay targets for the capacity-planning table",
+    )
+    fleet.add_argument(
+        "--per-user-rps", type=float, default=1.0,
+        help="miss-path sample arrivals per user per second",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--json", type=Path, default=None, help="also write JSON here")
 
     plan = sub.add_parser(
         "plan", help="compile and inspect the trace-compiled inference plans"
@@ -367,7 +409,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
 def _cmd_scale(args: argparse.Namespace) -> int:
     import json
 
-    from .experiments import run_concurrency
+    from .experiments import ConcurrencySweepConfig, run_concurrency
     from .runtime import SessionConfig, measure_service_model
 
     system = load_system(args.checkpoint)
@@ -391,16 +433,18 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     result = run_concurrency(
         system,
         test.images[: args.samples],
-        users=args.users,
-        windows_ms=args.window_ms,
-        max_batch_size=args.max_batch,
-        queue_capacity=args.queue_capacity,
-        session_config=SessionConfig(
-            batch_size=args.session_batch, threshold=args.threshold
+        config=ConcurrencySweepConfig(
+            users=tuple(args.users),
+            windows_ms=tuple(args.window_ms),
+            max_batch_size=args.max_batch,
+            queue_capacity=args.queue_capacity,
+            session_config=SessionConfig(
+                batch_size=args.session_batch, threshold=args.threshold
+            ),
+            seed=args.seed,
+            num_workers=args.workers,
         ),
         service_model=service_model,
-        seed=args.seed,
-        num_workers=args.workers,
     )
     print(
         f"{result.network}: {args.samples} frames/user, "
@@ -489,6 +533,93 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:
         write_jsonl(tracer, args.out)
         print(f"wrote {args.out} (one span per line)")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments import (
+        capacity_planning_table,
+        render_capacity_table,
+        run_fleet_capacity,
+        run_fleet_partition,
+    )
+    from .profiling.layer_stats import NetworkProfile
+    from .runtime import ServiceTimeModel
+
+    system = load_system(args.checkpoint)
+    if not system.dataset_name:
+        print("checkpoint has no dataset name; cannot regenerate data", file=sys.stderr)
+        return 2
+    need = args.requests * args.batch_size
+    _, test = make_dataset(system.dataset_name, 10, max(need, 64), seed=args.seed)
+    if system.calibration is None:
+        system.calibrate(test)
+
+    capacity = run_fleet_capacity(
+        system,
+        test.images,
+        shard_counts=tuple(args.shards),
+        requests=args.requests,
+        batch_size=args.batch_size,
+        workers_per_shard=args.workers,
+    )
+    print(
+        f"{capacity.network}: {args.requests} requests x {args.batch_size} samples, "
+        f"{args.workers} worker(s)/shard"
+    )
+    print(
+        f"{'shards':>6} {'makespan':>9} {'tput(s/s)':>10} {'speedup':>8} "
+        f"{'shard/MMc':>9} {'fleet/MMcN':>10} {'identical':>9}"
+    )
+    for p in capacity.points:
+        ident = "-" if p.bit_identical_to_bare is None else str(p.bit_identical_to_bare)
+        print(
+            f"{p.shards:>6} {p.makespan_ms:>9.2f} {p.throughput_rps:>10.0f} "
+            f"{p.speedup_vs_single:>8.2f} {p.per_shard_capacity_ratio:>9.2f} "
+            f"{p.fleet_capacity_ratio:>10.2f} {ident:>9}"
+        )
+
+    records: dict[str, object] = {"capacity": capacity.as_dict()}
+
+    if args.partition:
+        drill = run_fleet_partition(
+            system,
+            test.images[: args.partition_samples],
+            sessions=args.partition_sessions,
+            seed=args.seed,
+        )
+        print(
+            f"\npartition drill: shard {drill.partitioned_shard} killed at round "
+            f"{drill.partition_round} under {drill.sessions} sessions"
+        )
+        print(
+            f"  served_by={drill.served_by} rerouted={drill.sessions_rerouted} "
+            f"tickets_lost={drill.tickets_lost} "
+            f"all_served={drill.all_samples_served}"
+        )
+        records["partition"] = drill.as_dict()
+
+    service_model = ServiceTimeModel.from_profile(
+        NetworkProfile.of(system.model.main_trunk, system.model.stem_output_shape)
+    )
+    rows = capacity_planning_table(
+        service_model,
+        shard_counts=tuple(args.shards),
+        p99_targets_ms=tuple(args.p99_ms),
+        workers_per_shard=args.workers,
+        batch_size=args.batch_size,
+        per_user_rps=args.per_user_rps,
+    )
+    print("\ncapacity planning (users servable at p99 queueing <= target):")
+    print(render_capacity_table(rows))
+    records["planning"] = [r.as_dict() for r in rows]
+
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(records, indent=2))
+        print(f"\nwrote {args.json}")
     return 0
 
 
@@ -583,6 +714,7 @@ _COMMANDS = {
     "session": _cmd_session,
     "scale": _cmd_scale,
     "trace": _cmd_trace,
+    "fleet": _cmd_fleet,
     "plan": _cmd_plan,
 }
 

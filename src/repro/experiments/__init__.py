@@ -12,6 +12,7 @@
 | §IV-D ablations| :mod:`repro.experiments.ablations` |
 | §IV-D.1 instability | :func:`repro.experiments.faults_exp.run_degradation` |
 | §I concurrency | :func:`repro.experiments.scale.run_concurrency` |
+| §I fleet scale | :mod:`repro.experiments.fleet` |
 """
 
 from .ablations import (
@@ -28,6 +29,16 @@ from .faults_exp import (
     DegradationPoint,
     DegradationResult,
     run_degradation,
+)
+from .fleet import (
+    CapacityPlanRow,
+    FleetCapacityPoint,
+    FleetCapacityResult,
+    FleetPartitionResult,
+    capacity_planning_table,
+    render_capacity_table,
+    run_fleet_capacity,
+    run_fleet_partition,
 )
 from .latency import (
     DEFAULT_EXIT_RATES,
@@ -56,7 +67,9 @@ from .scale import (
     STANDARD,
     ConcurrencyPoint,
     ConcurrencyResult,
+    ConcurrencySweepConfig,
     ExperimentScale,
+    WorkerScalingConfig,
     WorkerScalingPoint,
     WorkerScalingResult,
     run_concurrency,
@@ -69,8 +82,10 @@ from .webar_exp import Figure10Result, run_figure10
 __all__ = [
     "BranchCountResult",
     "BranchLocationResult",
+    "CapacityPlanRow",
     "ConcurrencyPoint",
     "ConcurrencyResult",
+    "ConcurrencySweepConfig",
     "DEFAULT_EXIT_RATES",
     "DegradationPoint",
     "DegradationResult",
@@ -82,6 +97,9 @@ __all__ = [
     "Figure5Result",
     "Figure6Result",
     "Figure7Result",
+    "FleetCapacityPoint",
+    "FleetCapacityResult",
+    "FleetPartitionResult",
     "LatencyComparison",
     "PAPER_CLAIMS",
     "PAPER_TABLE1",
@@ -95,11 +113,14 @@ __all__ = [
     "Table1Cell",
     "Table1Result",
     "Table1Row",
+    "WorkerScalingConfig",
     "WorkerScalingPoint",
     "WorkerScalingResult",
     "build_network_assets",
     "build_plans",
+    "capacity_planning_table",
     "paper_table1_row",
+    "render_capacity_table",
     "render_series",
     "render_table",
     "run_branch_count",
@@ -108,6 +129,8 @@ __all__ = [
     "run_degradation",
     "run_device_sensitivity",
     "run_figure10",
+    "run_fleet_capacity",
+    "run_fleet_partition",
     "run_figure4",
     "run_figure5",
     "run_figure6",

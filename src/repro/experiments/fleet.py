@@ -1,0 +1,487 @@
+"""Fleet experiments: capacity scaling, partition survival, planning.
+
+The single-edge story ends at one box's M/M/c capacity; the paper's
+"millions of users" framing (§I) needs the horizontal axis.  Three
+harnesses, all deterministic (simulated clocks, seeded placement):
+
+* :func:`run_fleet_capacity` — a saturating miss burst over N shards for
+  each shard count, measured fleet throughput cross-checked per shard
+  against its own M/M/c prediction and for the fleet against the
+  ``N·c/service_time`` bound.  The acceptance bar: each shard within
+  10 % of its model, and ≥3× fleet capacity from 1→4 shards.
+* :func:`run_fleet_partition` — full concurrent sessions through a
+  :class:`~repro.runtime.fleet.FleetRouter` with one shard partitioned
+  mid-run; every session must complete with correct ``served_by``
+  accounting (the blip becomes binary fallbacks, never errors).
+* :func:`capacity_planning_table` — the operator-facing artifact: "users
+  servable at p99 queueing ≤ X ms" per shard count, from the M/M/c wait
+  quantile (:meth:`~repro.runtime.concurrency.QueueModel.wait_quantile_s`)
+  with load split evenly across shards.
+
+``make bench-fleet`` writes all three into ``BENCH_fleet.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..runtime.concurrency import QueueModel, ServiceTimeModel
+from ..runtime.fleet import FleetConfig, FleetRouter
+from ..runtime.network import four_g
+from ..runtime.protocol import (
+    BatchInferenceRequest,
+    BatchInferenceResponse,
+    SchedulerAck,
+    decode_frame,
+    encode_frame,
+)
+from ..runtime.scheduler import SchedulerConfig, run_concurrent_sessions
+from ..runtime.session import (
+    SERVED_BY_BRANCH,
+    SERVED_BY_EDGE,
+    SERVED_BY_FALLBACK,
+    LCRSDeployment,
+    SessionConfig,
+)
+
+
+# ----------------------------------------------------------------------
+# Capacity sweep: fleet throughput vs shard count, vs M/M/c·N
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetCapacityPoint:
+    """One shard count under a saturating, deterministic miss burst.
+
+    ``per_shard_capacity_ratio`` is the worst shard's measured
+    throughput over its own M/M/c capacity ``c/service_time`` — the
+    per-failure-domain honesty check; ``fleet_capacity_ratio`` compares
+    fleet throughput to the ``N·c/service_time`` bound.  With the
+    request count an exact multiple of ``shards × workers`` and full
+    batches both should be 1.0 on the simulated clock.
+    """
+
+    shards: int
+    workers_per_shard: int
+    samples: int
+    batches: int
+    makespan_ms: float
+    throughput_rps: float
+    speedup_vs_single: float
+    fleet_capacity_rps: float
+    fleet_capacity_ratio: float
+    per_shard_throughput_rps: tuple[float, ...]
+    per_shard_capacity_rps: float
+    per_shard_capacity_ratio: float
+    bit_identical_to_bare: Optional[bool] = None
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "shards": self.shards,
+            "workers_per_shard": self.workers_per_shard,
+            "samples": self.samples,
+            "batches": self.batches,
+            "makespan_ms": self.makespan_ms,
+            "throughput_rps": self.throughput_rps,
+            "speedup_vs_single": self.speedup_vs_single,
+            "fleet_capacity_rps": self.fleet_capacity_rps,
+            "fleet_capacity_ratio": self.fleet_capacity_ratio,
+            "per_shard_throughput_rps": list(self.per_shard_throughput_rps),
+            "per_shard_capacity_rps": self.per_shard_capacity_rps,
+            "per_shard_capacity_ratio": self.per_shard_capacity_ratio,
+            "bit_identical_to_bare": self.bit_identical_to_bare,
+        }
+
+
+@dataclass
+class FleetCapacityResult:
+    """The shard-count sweep, single shard first."""
+
+    network: str
+    requests: int
+    batch_size: int
+    points: list[FleetCapacityPoint] = field(default_factory=list)
+
+    def point(self, shards: int) -> FleetCapacityPoint:
+        for p in self.points:
+            if p.shards == shards:
+                return p
+        raise KeyError(f"no point for shards={shards}")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "network": self.network,
+            "requests": self.requests,
+            "batch_size": self.batch_size,
+            "points": [p.as_dict() for p in self.points],
+        }
+
+
+def run_fleet_capacity(
+    system,
+    images: np.ndarray,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    requests: int = 48,
+    batch_size: int = 4,
+    workers_per_shard: int = 1,
+    service_model: Optional[ServiceTimeModel] = None,
+) -> FleetCapacityResult:
+    """Sweep shard counts under a saturating miss burst.
+
+    ``requests`` frames of exactly ``batch_size`` stem-feature samples
+    (one session each, so least-loaded placement spreads them evenly)
+    all arrive at simulated t=0 against a zero batching window; every
+    request forms its own full batch, so a fleet of N shards serves
+    ``requests/N`` batches per shard and the makespan shrinks ∝ 1/N
+    whenever N divides the request count.  The single-shard point also
+    verifies bit-identity against a bare :class:`EdgeScheduler` — the
+    router must be a zero-cost wrapper at N=1.
+    """
+    from ..nn.autograd import Tensor, no_grad
+    from ..runtime.scheduler import EdgeScheduler
+
+    if requests < 1:
+        raise ValueError("requests must be positive")
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    shard_counts = tuple(int(n) for n in shard_counts)
+    if not shard_counts or any(n < 1 for n in shard_counts):
+        raise ValueError("shard_counts must be non-empty and positive")
+    for n in shard_counts:
+        if requests % (n * workers_per_shard):
+            raise ValueError(
+                f"requests={requests} must divide evenly across "
+                f"{n} shards x {workers_per_shard} workers for the "
+                "capacity cross-check to be exact"
+            )
+
+    images = np.asarray(images, dtype=np.float32)
+    need = requests * batch_size
+    if len(images) == 0:
+        raise ValueError("need at least one image")
+    if len(images) < need:
+        reps = -(-need // len(images))
+        images = np.concatenate([images] * reps, axis=0)
+    images = images[:need]
+
+    model = system.model
+    model.eval()
+    with no_grad():
+        features = model.stem(Tensor(images)).data.astype(np.float32)
+
+    scheduler_config = SchedulerConfig(
+        window_ms=0.0,
+        max_batch_size=batch_size,
+        queue_capacity=need,
+        num_workers=workers_per_shard,
+    )
+
+    def submit_burst(target) -> list[int]:
+        tickets: list[int] = []
+        for r in range(requests):
+            request = BatchInferenceRequest.from_features(
+                session_id=r + 1,
+                sequences=tuple(range(batch_size)),
+                codec_name="fp32",
+                features=features[r * batch_size : (r + 1) * batch_size],
+            )
+            ack = decode_frame(target.submit(encode_frame(request), 0.0))
+            if not isinstance(ack, SchedulerAck):
+                raise RuntimeError(f"fleet capacity request shed: {ack}")
+            tickets.append(ack.ticket)
+        return tickets
+
+    def collect_answers(target, tickets: list[int]) -> tuple:
+        answers: list[int] = []
+        for ticket in tickets:
+            raw, _wait = target.collect(ticket)
+            reply = decode_frame(raw)
+            assert isinstance(reply, BatchInferenceResponse)
+            answers.extend(reply.class_ids)
+        return tuple(answers)
+
+    result = FleetCapacityResult(
+        network=model.base_name, requests=requests, batch_size=batch_size
+    )
+    queue = QueueModel.from_service_model(
+        service_model
+        if service_model is not None
+        else _analytic_service_model(system),
+        workers=workers_per_shard,
+        batch_size=batch_size,
+    )
+    per_shard_capacity = workers_per_shard / queue.service_time_s
+
+    # The comparator for single-shard bit-identity.
+    bare = EdgeScheduler.for_system(
+        system, service_model=service_model, config=scheduler_config
+    )
+    for r in range(requests):
+        bare.register(r + 1)
+    bare_tickets = submit_burst(bare)
+    bare.flush()
+    bare_answers = collect_answers(bare, bare_tickets)
+
+    single_throughput: Optional[float] = None
+    for n in shard_counts:
+        fleet = FleetRouter.for_system(
+            system,
+            config=FleetConfig(
+                num_shards=n,
+                placement="least-loaded",
+                scheduler=scheduler_config,
+            ),
+            service_model=service_model,
+        )
+        for r in range(requests):
+            fleet.register(r + 1)
+        tickets = submit_burst(fleet)
+        fleet.flush()
+        answers = collect_answers(fleet, tickets)
+
+        makespan_ms = fleet.clock_ms
+        throughput = need / makespan_ms * 1e3 if makespan_ms > 0 else float("inf")
+        if single_throughput is None:
+            single_throughput = throughput
+        shard_stats = [fleet.shard(sid).describe() for sid in fleet.shard_ids]
+        per_shard_tput = tuple(
+            float(s["samples_served"]) / float(s["clock_ms"]) * 1e3
+            for s in shard_stats
+            if float(s["clock_ms"]) > 0
+        )
+        worst_ratio = (
+            min(t / per_shard_capacity for t in per_shard_tput)
+            if per_shard_tput
+            else 0.0
+        )
+        fleet_capacity = n * per_shard_capacity
+        result.points.append(
+            FleetCapacityPoint(
+                shards=n,
+                workers_per_shard=workers_per_shard,
+                samples=need,
+                batches=sum(int(s["batches"]) for s in shard_stats),
+                makespan_ms=makespan_ms,
+                throughput_rps=throughput,
+                speedup_vs_single=throughput / single_throughput,
+                fleet_capacity_rps=fleet_capacity,
+                fleet_capacity_ratio=throughput / fleet_capacity,
+                per_shard_throughput_rps=per_shard_tput,
+                per_shard_capacity_rps=per_shard_capacity,
+                per_shard_capacity_ratio=worst_ratio,
+                bit_identical_to_bare=(answers == bare_answers) if n == 1 else None,
+            )
+        )
+    return result
+
+
+def _analytic_service_model(system) -> ServiceTimeModel:
+    from ..profiling.layer_stats import NetworkProfile
+
+    return ServiceTimeModel.from_profile(
+        NetworkProfile.of(system.model.main_trunk, system.model.stem_output_shape)
+    )
+
+
+# ----------------------------------------------------------------------
+# Partition survival: live sessions across a mid-run shard loss
+# ----------------------------------------------------------------------
+@dataclass
+class FleetPartitionResult:
+    """Outcome of a mid-run shard partition under live sessions."""
+
+    sessions: int
+    shards: int
+    partitioned_shard: int
+    partition_round: int
+    samples: int
+    served_by: dict[str, int]
+    sessions_rerouted: int
+    tickets_lost: int
+    shard_failures: int
+    events: list[dict[str, object]]
+
+    @property
+    def all_samples_served(self) -> bool:
+        return sum(self.served_by.values()) == self.samples
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "sessions": self.sessions,
+            "shards": self.shards,
+            "partitioned_shard": self.partitioned_shard,
+            "partition_round": self.partition_round,
+            "samples": self.samples,
+            "served_by": dict(self.served_by),
+            "sessions_rerouted": self.sessions_rerouted,
+            "tickets_lost": self.tickets_lost,
+            "shard_failures": self.shard_failures,
+            "all_samples_served": self.all_samples_served,
+            "events": [dict(e) for e in self.events],
+        }
+
+
+def run_fleet_partition(
+    system,
+    images: np.ndarray,
+    sessions: int = 4,
+    num_shards: int = 2,
+    partition_round: int = 2,
+    partitioned_shard: int = 0,
+    session_config: Optional[SessionConfig] = None,
+    fleet_config: Optional[FleetConfig] = None,
+    seed: int = 0,
+) -> FleetPartitionResult:
+    """Kill one shard mid-run under N live concurrent sessions.
+
+    The fleet router is driven by the unmodified
+    :func:`~repro.runtime.scheduler.run_concurrent_sessions` loop; a
+    ``before_flush_hook`` partitions the target shard's control link at
+    ``partition_round``.  The contract under test: every session's every
+    sample is answered (edge, branch, or fallback — never an exception),
+    stranded tickets surface as counted binary fallbacks, and the
+    victim's sessions re-route to surviving shards.
+    """
+    images = np.asarray(images)
+    if fleet_config is None:
+        fleet_config = FleetConfig(
+            num_shards=num_shards,
+            placement="least-loaded",
+            scheduler=SchedulerConfig(window_ms=0.0),
+            failure_threshold=1,
+            seed=seed,
+        )
+    cfg = (
+        session_config
+        if session_config is not None
+        else SessionConfig(batch_size=4, threshold=0.05)
+    )
+    fleet = FleetRouter.for_system(system, config=fleet_config)
+    deployments = [
+        LCRSDeployment(system, four_g(seed=seed * 100 + i)) for i in range(sessions)
+    ]
+
+    def partition_hook(router: FleetRouter, round_no: int) -> None:
+        if round_no == partition_round:
+            router.partition_shard(partitioned_shard)
+
+    fleet.before_flush_hooks.append(partition_hook)
+    results = run_concurrent_sessions(
+        deployments, [images] * sessions, fleet, config=cfg
+    )
+
+    served_by = {SERVED_BY_BRANCH: 0, SERVED_BY_EDGE: 0, SERVED_BY_FALLBACK: 0}
+    for r in results:
+        for outcome in r.outcomes:
+            served_by[outcome.served_by] += 1
+
+    snapshot = fleet.describe()
+    return FleetPartitionResult(
+        sessions=sessions,
+        shards=num_shards,
+        partitioned_shard=partitioned_shard,
+        partition_round=partition_round,
+        samples=sessions * len(images),
+        served_by=served_by,
+        sessions_rerouted=int(snapshot["sessions_rerouted"]),
+        tickets_lost=int(snapshot["tickets_lost"]),
+        shard_failures=int(snapshot["shard_failures"]),
+        events=list(snapshot["events"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Capacity planning: users servable at a p99 wait target per shard count
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CapacityPlanRow:
+    """Max sustainable users for one (shard count, p99 target) cell."""
+
+    shards: int
+    p99_target_ms: float
+    max_users: int
+    arrival_rps: float
+    utilization: float
+    p99_wait_ms: float
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "shards": self.shards,
+            "p99_target_ms": self.p99_target_ms,
+            "max_users": self.max_users,
+            "arrival_rps": self.arrival_rps,
+            "utilization": self.utilization,
+            "p99_wait_ms": self.p99_wait_ms,
+        }
+
+
+def capacity_planning_table(
+    service_model: ServiceTimeModel,
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    p99_targets_ms: Sequence[float] = (10.0, 25.0, 50.0),
+    workers_per_shard: int = 1,
+    batch_size: int = 4,
+    per_user_rps: float = 1.0,
+    max_users: int = 100_000,
+) -> list[CapacityPlanRow]:
+    """The operator table: "N shards serve U users at p99 wait ≤ X ms".
+
+    Load splits evenly across shards (what hash placement converges to
+    and least-loaded enforces), so each shard is an independent M/M/c
+    at ``λ/N``; the row's ``max_users`` is the largest user count whose
+    per-shard p99 queueing delay (M/M/c wait quantile at the effective
+    batched service time) stays at or under the target.  Monotone in
+    users, so binary search; ``per_user_rps`` converts users to sample
+    arrivals (each miss-path sample is one queued unit).
+    """
+    if per_user_rps <= 0:
+        raise ValueError("per_user_rps must be positive")
+    rows: list[CapacityPlanRow] = []
+    for shards in shard_counts:
+        if shards < 1:
+            raise ValueError("shard_counts must be positive")
+        queue = QueueModel.from_service_model(
+            service_model, workers=workers_per_shard, batch_size=batch_size
+        )
+        for target_ms in p99_targets_ms:
+            def p99_ms(users: int) -> float:
+                lam = users * per_user_rps / shards
+                wait = queue.wait_quantile_s(lam, 0.99)
+                return wait * 1e3
+
+            lo, hi = 0, max_users
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if p99_ms(mid) <= target_ms:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            arrival = lo * per_user_rps / shards
+            rows.append(
+                CapacityPlanRow(
+                    shards=shards,
+                    p99_target_ms=float(target_ms),
+                    max_users=lo,
+                    arrival_rps=arrival * shards,
+                    utilization=queue.utilization(arrival),
+                    p99_wait_ms=p99_ms(lo),
+                )
+            )
+    return rows
+
+
+def render_capacity_table(rows: Sequence[CapacityPlanRow]) -> str:
+    """Fixed-width text rendering for the CLI."""
+    lines = [
+        f"{'shards':>6} {'p99<=ms':>8} {'users':>8} {'arrivals/s':>11} "
+        f"{'util':>6} {'p99 ms':>8}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.shards:>6} {row.p99_target_ms:>8.1f} {row.max_users:>8} "
+            f"{row.arrival_rps:>11.1f} {row.utilization:>6.2f} "
+            f"{row.p99_wait_ms:>8.2f}"
+        )
+    return "\n".join(lines)

@@ -15,6 +15,7 @@ multi-session counterpart of the §I edge-cost argument, written to
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -72,6 +73,109 @@ SCALES = {scale.name: scale for scale in (QUICK, STANDARD, FULL)}
 # ----------------------------------------------------------------------
 # Concurrency sweep: users × batching window through the shared edge
 # ----------------------------------------------------------------------
+def _resolve_sweep_config(config, legacy: dict, config_cls, fn_name: str):
+    """Shared shim: fold legacy sweep kwargs into a frozen config.
+
+    Mirrors the PR 3 ``SessionConfig`` migration exactly — the legacy
+    kwargs still work for one release but warn, ``config=`` plus legacy
+    kwargs is a ``TypeError``, and unknown kwargs fail like any normal
+    signature mismatch.
+    """
+    supplied = {k: v for k, v in legacy.items() if v is not None}
+    unknown = set(supplied) - set(config_cls.__dataclass_fields__)
+    if unknown:
+        raise TypeError(
+            f"{fn_name}() got unexpected keyword arguments {sorted(unknown)}"
+        )
+    if config is not None:
+        if supplied:
+            raise TypeError(
+                f"pass either config= or the legacy "
+                f"{'/'.join(sorted(supplied))} kwargs, not both"
+            )
+        if not isinstance(config, config_cls):
+            raise TypeError(f"config must be a {config_cls.__name__}")
+        return config
+    if not supplied:
+        return config_cls()
+    warnings.warn(
+        f"{fn_name}({', '.join(sorted(supplied))}=...) is deprecated; "
+        f"pass {fn_name}(system, images, config={config_cls.__name__}(...)) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return config_cls(**supplied)
+
+
+@dataclass(frozen=True)
+class ConcurrencySweepConfig:
+    """Everything one :func:`run_concurrency` sweep can vary.
+
+    Frozen and hashable (sequences normalize to tuples), mirroring
+    ``SessionConfig``/``SchedulerConfig``/``FleetConfig``: one config
+    object names a sweep operating grid, so benchmark scripts and the
+    CLI pass a single value instead of seven parallel kwargs.  The
+    injected ``service_model`` stays a separate argument — it is a
+    calibration artifact of a host, not part of the sweep's identity.
+    """
+
+    users: tuple[int, ...] = (1, 4, 16)
+    windows_ms: tuple[float, ...] = (0.0, 4.0)
+    max_batch_size: int = 32
+    queue_capacity: int = 256
+    num_workers: int = 1
+    session_config: SessionConfig = field(
+        default_factory=lambda: SessionConfig(batch_size=8)
+    )
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "users", tuple(int(u) for u in self.users))
+        object.__setattr__(
+            self, "windows_ms", tuple(float(w) for w in self.windows_ms)
+        )
+        if not self.users or any(u < 1 for u in self.users):
+            raise ValueError("users must be a non-empty sequence of positive ints")
+        if not self.windows_ms or any(w < 0 for w in self.windows_ms):
+            raise ValueError("windows_ms must be non-empty and non-negative")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if not isinstance(self.session_config, SessionConfig):
+            raise TypeError("session_config must be a SessionConfig")
+
+
+@dataclass(frozen=True)
+class WorkerScalingConfig:
+    """Everything one :func:`run_worker_scaling` sweep can vary."""
+
+    workers: tuple[int, ...] = (1, 2, 4)
+    requests: int = 16
+    batch_size: int = 4
+    measure: Optional[str] = None
+    mode: str = "sim"
+    wall_repeats: int = 3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workers", tuple(int(c) for c in self.workers))
+        if not self.workers or any(c < 1 for c in self.workers):
+            raise ValueError("workers must be a non-empty sequence of positive ints")
+        if self.requests < 1:
+            raise ValueError("requests must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.measure not in (None, "module", "plan"):
+            raise ValueError("measure must be None, 'module', or 'plan'")
+        if self.mode not in ("sim", "wall"):
+            raise ValueError("mode must be 'sim' or 'wall'")
+        if self.wall_repeats < 1:
+            raise ValueError("wall_repeats must be positive")
+
+
 @dataclass(frozen=True)
 class ConcurrencyPoint:
     """One (users, window, max batch) operating point of the shared edge.
@@ -226,35 +330,51 @@ def _concurrency_cell(
 def run_concurrency(
     system,
     images: np.ndarray,
-    users: Sequence[int] = (1, 4, 16),
-    windows_ms: Sequence[float] = (0.0, 4.0),
-    max_batch_size: int = 32,
-    queue_capacity: int = 256,
-    session_config: Optional[SessionConfig] = None,
+    config: Optional[ConcurrencySweepConfig] = None,
     service_model: Optional[ServiceTimeModel] = None,
-    seed: int = 0,
-    num_workers: int = 1,
+    *,
+    users: Optional[Sequence[int]] = None,
+    windows_ms: Optional[Sequence[float]] = None,
+    max_batch_size: Optional[int] = None,
+    queue_capacity: Optional[int] = None,
+    session_config: Optional[SessionConfig] = None,
+    seed: Optional[int] = None,
+    num_workers: Optional[int] = None,
 ) -> ConcurrencyResult:
     """Sweep concurrent users × batching windows through a shared edge.
 
-    Every cell replays the same image stream through ``n`` fresh
-    deployments against one :class:`EdgeScheduler`; per user count a
-    per-request comparator cell (``window 0, max batch 1`` — the
+    ``config`` (a :class:`ConcurrencySweepConfig`) is the canonical way
+    to shape the sweep; the bare kwargs are deprecated shims kept for
+    one release.  Every cell replays the same image stream through ``n``
+    fresh deployments against one :class:`EdgeScheduler`; per user count
+    a per-request comparator cell (``window 0, max batch 1`` — the
     pre-scheduler serving discipline) is run first, so each batched
     cell's :meth:`ConcurrencyResult.speedup` is directly the edge
     throughput win of dynamic batching.  Deterministic for a fixed
-    ``seed``: link jitter seeds derive from it and scheduler time is
-    simulated.
+    ``config.seed``: link jitter seeds derive from it and scheduler time
+    is simulated.
     """
-    images = np.asarray(images)
-    cfg = session_config if session_config is not None else SessionConfig(batch_size=8)
-    result = ConcurrencyResult(
-        network=system.model.base_name, session_batch_size=cfg.batch_size
+    cfg = _resolve_sweep_config(
+        config,
+        {
+            "users": users,
+            "windows_ms": windows_ms,
+            "max_batch_size": max_batch_size,
+            "queue_capacity": queue_capacity,
+            "session_config": session_config,
+            "seed": seed,
+            "num_workers": num_workers,
+        },
+        ConcurrencySweepConfig,
+        "run_concurrency",
     )
-    for n_users in users:
-        if n_users < 1:
-            raise ValueError("users must be positive")
-        link_seed = seed * 10_000 + n_users * 100
+    images = np.asarray(images)
+    result = ConcurrencyResult(
+        network=system.model.base_name,
+        session_batch_size=cfg.session_config.batch_size,
+    )
+    for n_users in cfg.users:
+        link_seed = cfg.seed * 10_000 + n_users * 100
         result.points.append(
             _concurrency_cell(
                 system,
@@ -263,15 +383,15 @@ def run_concurrency(
                 SchedulerConfig(
                     window_ms=0.0,
                     max_batch_size=1,
-                    queue_capacity=queue_capacity,
-                    num_workers=num_workers,
+                    queue_capacity=cfg.queue_capacity,
+                    num_workers=cfg.num_workers,
                 ),
-                cfg,
+                cfg.session_config,
                 link_seed,
                 service_model,
             )
         )
-        for window_ms in windows_ms:
+        for window_ms in cfg.windows_ms:
             result.points.append(
                 _concurrency_cell(
                     system,
@@ -279,11 +399,11 @@ def run_concurrency(
                     n_users,
                     SchedulerConfig(
                         window_ms=window_ms,
-                        max_batch_size=max_batch_size,
-                        queue_capacity=queue_capacity,
-                        num_workers=num_workers,
+                        max_batch_size=cfg.max_batch_size,
+                        queue_capacity=cfg.queue_capacity,
+                        num_workers=cfg.num_workers,
                     ),
-                    cfg,
+                    cfg.session_config,
                     link_seed,
                     service_model,
                 )
@@ -402,17 +522,21 @@ class WorkerScalingResult:
 def run_worker_scaling(
     system,
     images: np.ndarray,
-    workers: Sequence[int] = (1, 2, 4),
-    requests: int = 16,
-    batch_size: int = 4,
+    config: Optional[WorkerScalingConfig] = None,
     service_model: Optional[ServiceTimeModel] = None,
+    *,
+    workers: Optional[Sequence[int]] = None,
+    requests: Optional[int] = None,
+    batch_size: Optional[int] = None,
     measure: Optional[str] = None,
-    mode: str = "sim",
-    wall_repeats: int = 3,
+    mode: Optional[str] = None,
+    wall_repeats: Optional[int] = None,
 ) -> WorkerScalingResult:
     """Sweep trunk worker-pool sizes under a saturating miss burst.
 
-    ``requests`` batch frames of exactly ``batch_size`` stem-feature
+    ``config`` (a :class:`WorkerScalingConfig`) is the canonical way to
+    shape the sweep; the bare kwargs are deprecated shims kept for one
+    release.  ``requests`` batch frames of exactly ``batch_size`` stem-feature
     samples each (distinct tenants) all arrive at simulated t=0 with a
     zero batching window, so every request forms its own full batch and
     the pool is saturated from the first flush.  Makespan is then
@@ -444,18 +568,27 @@ def run_worker_scaling(
     from ..nn.autograd import Tensor, no_grad
     from ..observability.clock import now_ms
 
-    if mode not in ("sim", "wall"):
-        raise ValueError("mode must be 'sim' or 'wall'")
-    if mode == "wall" and wall_repeats < 1:
-        raise ValueError("wall_repeats must be positive")
+    cfg = _resolve_sweep_config(
+        config,
+        {
+            "workers": workers,
+            "requests": requests,
+            "batch_size": batch_size,
+            "measure": measure,
+            "mode": mode,
+            "wall_repeats": wall_repeats,
+        },
+        WorkerScalingConfig,
+        "run_worker_scaling",
+    )
+    workers_sweep = cfg.workers
+    requests = cfg.requests
+    batch_size = cfg.batch_size
+    measure = cfg.measure
+    mode = cfg.mode
+    wall_repeats = cfg.wall_repeats
     if mode == "wall" and measure is None and service_model is None:
         measure = "plan"
-    if measure not in (None, "module", "plan"):
-        raise ValueError("measure must be None, 'module', or 'plan'")
-    if requests < 1:
-        raise ValueError("requests must be positive")
-    if batch_size < 1:
-        raise ValueError("batch_size must be at least 1")
     images = np.asarray(images, dtype=np.float32)
     need = requests * batch_size
     if len(images) == 0:
@@ -516,9 +649,7 @@ def run_worker_scaling(
     serial_throughput: Optional[float] = None
     serial_wall_throughput: Optional[float] = None
     serial_answers: Optional[tuple] = None
-    for c in workers:
-        if c < 1:
-            raise ValueError("workers must be positive")
+    for c in workers_sweep:
         scheduler = EdgeScheduler.for_system(
             system,
             service_model=service_model,

@@ -25,6 +25,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     global_registry,
+    labeled,
 )
 from .tracing import NULL_RECORDER, NullRecorder, Span, TelemetrySummary, Tracer
 
@@ -42,6 +43,7 @@ __all__ = [
     "Tracer",
     "chrome_trace",
     "global_registry",
+    "labeled",
     "now_ms",
     "now_s",
     "spans_to_jsonl",

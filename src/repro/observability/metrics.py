@@ -38,7 +38,24 @@ __all__ = [
     "Metric",
     "MetricsRegistry",
     "global_registry",
+    "labeled",
 ]
+
+
+def labeled(name: str, **labels: object) -> str:
+    """Canonical labeled series name: ``labeled("sched.queue_depth", shard=2)``
+    → ``"sched.queue_depth{shard=2}"``.
+
+    Labels distinguish instances of the same logical metric sharing one
+    registry (e.g. the N shard schedulers of a fleet); with no labels the
+    bare name comes back unchanged, so single-instance callers keep their
+    historical series names bit-for-bit.  Label keys are sorted so the
+    same label set always produces the same series name.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
 
 #: Default latency buckets (upper bounds, ms).  Values above the last
 #: bound land in the implicit overflow bucket.

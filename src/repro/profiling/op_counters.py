@@ -25,7 +25,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Union
 
-from ..observability.metrics import Counter, Histogram, MetricsRegistry
+from typing import Mapping
+
+from ..observability.metrics import Counter, Histogram, MetricsRegistry, labeled
 
 #: Live counter facades, tracked weakly so :func:`counters_scope` can
 #: snapshot instances held by long-lived fixtures (session-scoped
@@ -161,12 +163,14 @@ class _RegistryFacade:
     def __init__(
         self,
         registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Mapping[str, object]] = None,
         **values: Union[int, float],
     ) -> None:
         d = self.__dict__
         d["registry"] = registry if registry is not None else MetricsRegistry()
+        d["_labels"] = dict(labels) if labels else {}
         d["_metrics"] = {
-            name: d["registry"].counter(f"{self._PREFIX}.{name}")
+            name: d["registry"].counter(self.metric_name(name))
             for name in self._FIELDS
         }
         _LIVE_FACADES.add(self)
@@ -174,6 +178,20 @@ class _RegistryFacade:
             if name not in self._FIELDS:
                 raise TypeError(f"{type(self).__name__} has no field {name!r}")
             setattr(self, name, value)
+
+    def metric_name(self, suffix: str) -> str:
+        """Full registry name of one field: prefix, suffix, and labels.
+
+        Unlabeled facades keep the historical ``<prefix>.<field>`` names;
+        labeled ones (e.g. a fleet shard's scheduler) write distinct
+        series like ``sched.accepted_samples{shard=2}`` so N instances can
+        share one registry without folding into a single series.
+        """
+        return labeled(f"{self._PREFIX}.{suffix}", **self.__dict__["_labels"])
+
+    @property
+    def labels(self) -> dict[str, object]:
+        return dict(self.__dict__["_labels"])
 
     def __getattr__(self, name: str):
         metrics = self.__dict__.get("_metrics")
@@ -266,15 +284,22 @@ class SchedulerCounters(_RegistryFacade):
         "max_workers_busy": 0,
     }
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None, **values) -> None:
-        super().__init__(registry=registry, **values)
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Mapping[str, object]] = None,
+        **values,
+    ) -> None:
+        super().__init__(registry=registry, labels=labels, **values)
         d = self.__dict__
         d["batch_size_hist"] = {}
         d["per_tenant"] = {}
         d["_batch_size_h"] = d["registry"].histogram(
-            "sched.batch_size", bounds=_BATCH_SIZE_BUCKETS
+            self.metric_name("batch_size"), bounds=_BATCH_SIZE_BUCKETS
         )
-        d["_queue_wait_h"] = d["registry"].histogram("sched.batch_queue_wait_ms")
+        d["_queue_wait_h"] = d["registry"].histogram(
+            self.metric_name("batch_queue_wait_ms")
+        )
 
     def tenant(self, tenant_id: int) -> dict[str, int]:
         """The (created-on-demand) counter row for one session/tenant."""

@@ -238,6 +238,28 @@ class QueueModel:
         wait = self.mean_wait_s(arrival_rate)
         return wait + self.service_time_s if math.isfinite(wait) else math.inf
 
+    def wait_quantile_s(self, arrival_rate: float, q: float = 0.99) -> float:
+        """The ``q``-quantile of queueing delay.
+
+        In M/M/c the waiting time is a mixture: with probability
+        ``1 - Pw`` an arrival finds a free worker (zero wait), otherwise
+        the wait is exponential with rate ``cμ − λ``, so
+        ``P(W > t) = Pw · exp(−(cμ − λ)t)`` and the quantile is
+        ``ln(Pw / (1 − q)) / (cμ − λ)`` — zero whenever ``Pw ≤ 1 − q``
+        (an arrival at that quantile never queues at all).
+        """
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        if arrival_rate == 0:
+            return 0.0
+        if not self.is_stable(arrival_rate):
+            return math.inf
+        pw = self.erlang_c(arrival_rate)
+        if pw <= 1.0 - q:
+            return 0.0
+        drain = self.workers * self.service_rate - arrival_rate
+        return math.log(pw / (1.0 - q)) / drain
+
 
 @dataclass(frozen=True)
 class EdgeLoadPoint:

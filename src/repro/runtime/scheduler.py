@@ -156,11 +156,22 @@ class EdgeScheduler:
         service_model: ServiceTimeModel,
         config: Optional[SchedulerConfig] = None,
         recorder=None,
+        shard: Optional[int] = None,
+        registry=None,
     ) -> None:
         self.endpoint = endpoint
         self.service_model = service_model
         self.config = config if config is not None else SchedulerConfig()
-        self.counters = SchedulerCounters()
+        #: Fleet identity.  A bare scheduler (``shard=None``) keeps the
+        #: historical unlabeled metric names; a fleet shard writes
+        #: shard-labeled series (``sched.queue_depth{shard=2}``) into the
+        #: router's shared ``registry`` so N shards never fold their
+        #: telemetry into one series.
+        self.shard = shard
+        self.counters = SchedulerCounters(
+            registry=registry,
+            labels={"shard": shard} if shard is not None else None,
+        )
         # Tracing: with an enabled recorder, every served request gets a
         # `sched.queue_wait` span and every trunk pass a `trunk.batch`
         # span (with a `trunk.worker[i]` child naming its worker lane)
@@ -169,11 +180,19 @@ class EdgeScheduler:
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         #: Simulated time at which each trunk worker next becomes free.
         self._worker_free = [0.0] * self.config.num_workers
+        #: Queue-depth high-water gauge (samples queued at admission);
+        #: consumers that want per-window readings (the fleet autoscaler)
+        #: read it and reset it between windows.
+        self.queue_depth_gauge = self.counters.registry.gauge(
+            self.counters.metric_name("queue_depth")
+        )
         #: Real thread pool for batch execution; its busy high-water
         #: feeds the `sched.workers_busy` gauge and counter.
         self.worker_pool = WorkerPool(
             self.config.num_workers,
-            gauge=self.counters.registry.gauge("sched.workers_busy"),
+            gauge=self.counters.registry.gauge(
+                self.counters.metric_name("workers_busy")
+            ),
         )
         self._queue: list[_Queued] = []
         self._results: dict[int, tuple[bytes, float]] = {}
@@ -192,6 +211,8 @@ class EdgeScheduler:
         config: Optional[SchedulerConfig] = None,
         edge: DeviceProfile = EDGE_SERVER,
         recorder=None,
+        shard: Optional[int] = None,
+        registry=None,
     ) -> "EdgeScheduler":
         """A scheduler serving one calibrated LCRS system's trunk."""
         endpoint = EdgeEndpoint(system.model.main_trunk)
@@ -200,7 +221,10 @@ class EdgeScheduler:
                 system.model.main_trunk, system.model.stem_output_shape
             )
             service_model = ServiceTimeModel.from_profile(trunk_profile, edge=edge)
-        return cls(endpoint, service_model, config, recorder=recorder)
+        return cls(
+            endpoint, service_model, config, recorder=recorder,
+            shard=shard, registry=registry,
+        )
 
     # -- observability -------------------------------------------------
     @property
@@ -323,6 +347,7 @@ class EdgeScheduler:
         row["accepted"] += n
         depth = self.queued_samples()
         counters.max_queue_depth = max(counters.max_queue_depth, depth)
+        self.queue_depth_gauge.set_max(depth)
         return encode_frame(
             SchedulerAck(session_id=tenant, ticket=ticket, queued_samples=depth)
         )

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import itertools
 import threading
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Union
@@ -94,6 +93,10 @@ SERVED_BY_FALLBACK = "binary-fallback"
 #: :class:`FaultyLink` knobs that :class:`SessionConfig.fault_overrides`
 #: may set.
 _FAULT_KNOBS = ("corrupt_prob", "drop_prob", "duplicate_prob", "timeout_prob")
+
+#: Sentinel marking the removed pre-``SessionConfig`` ``run_session``
+#: kwargs: any explicit value (even ``None``) now raises ``TypeError``.
+_REMOVED = object()
 
 
 @dataclass(frozen=True)
@@ -175,34 +178,6 @@ class SessionConfig:
     @property
     def injects_faults(self) -> bool:
         return self.fault_profile is not None or bool(self.fault_overrides)
-
-
-def _resolve_session_config(
-    config: Optional[SessionConfig],
-    cold_start: Optional[bool],
-    batch_size: Optional[int],
-) -> SessionConfig:
-    """Fold legacy ``run_session`` kwargs into a :class:`SessionConfig`."""
-    legacy = cold_start is not None or batch_size is not None
-    if config is not None:
-        if legacy:
-            raise TypeError(
-                "pass either config= or the legacy cold_start/batch_size "
-                "kwargs, not both"
-            )
-        return config
-    if not legacy:
-        return SessionConfig()
-    warnings.warn(
-        "run_session(cold_start=..., batch_size=...) is deprecated; "
-        "pass run_session(images, config=SessionConfig(...)) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return SessionConfig(
-        batch_size=1 if batch_size is None else batch_size,
-        cold_start=bool(cold_start),
-    )
 
 
 @dataclass
@@ -1243,8 +1218,8 @@ class LCRSDeployment:
     def run_session(
         self,
         images: np.ndarray,
-        cold_start: Optional[bool] = None,
-        batch_size: Optional[int] = None,
+        cold_start: object = _REMOVED,
+        batch_size: object = _REMOVED,
         *,
         config: Optional[SessionConfig] = None,
         recorder=None,
@@ -1255,9 +1230,10 @@ class LCRSDeployment:
         engines / the trunk); per-sample costs come from the latency
         model with the link's jitter applied per transfer.
 
-        ``config`` is the canonical way to shape a session (see
-        :class:`SessionConfig`); the bare ``cold_start``/``batch_size``
-        kwargs are deprecated shims kept for one release.  There is a
+        ``config`` is the only way to shape a session (see
+        :class:`SessionConfig`); the pre-``SessionConfig``
+        ``cold_start``/``batch_size`` kwargs completed their deprecation
+        cycle and now raise.  There is a
         single serving code path: frames are pushed through the
         stem/branch engines ``config.batch_size`` at a time, the entropy
         gate is vectorized, and each chunk's misses travel to the edge
@@ -1274,7 +1250,14 @@ class LCRSDeployment:
         recorder is the default.  Tracing never changes predictions,
         entropies, or exit decisions — only records them.
         """
-        config = _resolve_session_config(config, cold_start, batch_size)
+        if cold_start is not _REMOVED or batch_size is not _REMOVED:
+            raise TypeError(
+                "run_session(cold_start=..., batch_size=...) was removed; "
+                "pass run_session(images, config=SessionConfig("
+                "cold_start=..., batch_size=...)) instead"
+            )
+        if config is None:
+            config = SessionConfig()
         ctx = self._session_context(config, recorder=recorder)
         outcomes: list[RecognitionOutcome] = []
         costs: list[SampleCost] = []

@@ -1,6 +1,7 @@
 """Equivalence tests for the batched serving path.
 
-The contract: ``run_session(images, batch_size=k)`` must make exactly
+The contract: ``run_session(images, config=SessionConfig(batch_size=k))``
+must make exactly
 the same recognition decisions as the per-sample loop — same
 predictions, same exit decisions — while shipping each chunk's misses
 in one protocol frame.  (Float convs go through BLAS, whose reduction
@@ -11,7 +12,7 @@ round-off; the decisions themselves must match exactly.)
 import numpy as np
 import pytest
 
-from repro.runtime import LCRSDeployment, four_g
+from repro.runtime import LCRSDeployment, SessionConfig, four_g
 
 
 @pytest.fixture
@@ -33,7 +34,7 @@ class TestBatchedEquivalence:
         images = test.images[:40]
         scalar = fresh_deployment(trained_system).run_session(images)
         batched = fresh_deployment(trained_system).run_session(
-            images, batch_size=batch_size
+            images, config=SessionConfig(batch_size=batch_size)
         )
 
         np.testing.assert_array_equal(batched.predictions, scalar.predictions)
@@ -53,7 +54,9 @@ class TestBatchedEquivalence:
         _, test = tiny_mnist
         images = test.images[:24]
         scalar = fresh_deployment(trained_system).run_session(images)
-        batched = fresh_deployment(trained_system).run_session(images, batch_size=8)
+        batched = fresh_deployment(trained_system).run_session(
+            images, config=SessionConfig(batch_size=8)
+        )
         for a, b in zip(scalar.outcomes, batched.outcomes):
             assert b.cost.total_ms == pytest.approx(a.cost.total_ms)
             assert b.cost.compute_ms == pytest.approx(a.cost.compute_ms)
@@ -62,7 +65,7 @@ class TestBatchedEquivalence:
     def test_matches_functional_predictor(self, deployment, trained_system, tiny_mnist):
         _, test = tiny_mnist
         images = test.images[:40]
-        session = deployment.run_session(images, batch_size=16)
+        session = deployment.run_session(images, config=SessionConfig(batch_size=16))
         functional = trained_system.predictor().predict(images)
         np.testing.assert_array_equal(session.predictions, functional.predictions)
         assert session.exit_rate == pytest.approx(functional.exit_rate)
@@ -71,7 +74,9 @@ class TestBatchedEquivalence:
 class TestBatchedProtocolPath:
     def test_edge_serves_only_misses(self, deployment, tiny_mnist):
         _, test = tiny_mnist
-        session = deployment.run_session(test.images[:40], batch_size=10)
+        session = deployment.run_session(
+            test.images[:40], config=SessionConfig(batch_size=10)
+        )
         misses = sum(not o.exited_locally for o in session.outcomes)
         assert deployment.edge.requests_served == misses
 
@@ -79,17 +84,19 @@ class TestBatchedProtocolPath:
         """A stream that does not divide evenly must still cover every
         sample exactly once."""
         _, test = tiny_mnist
-        session = deployment.run_session(test.images[:23], batch_size=10)
+        session = deployment.run_session(
+            test.images[:23], config=SessionConfig(batch_size=10)
+        )
         assert len(session.outcomes) == 23
         assert [o.index for o in session.outcomes] == list(range(23))
 
     def test_cold_start_dearer_than_warm(self, trained_system, tiny_mnist):
         _, test = tiny_mnist
         cold = fresh_deployment(trained_system).run_session(
-            test.images[:10], cold_start=True, batch_size=10
+            test.images[:10], config=SessionConfig(cold_start=True, batch_size=10)
         )
         warm = fresh_deployment(trained_system).run_session(
-            test.images[:10], batch_size=10
+            test.images[:10], config=SessionConfig(batch_size=10)
         )
         assert cold.mean_latency_ms > warm.mean_latency_ms
 
@@ -97,4 +104,6 @@ class TestBatchedProtocolPath:
     def test_nonpositive_batch_size_rejected(self, deployment, tiny_mnist, batch_size):
         _, test = tiny_mnist
         with pytest.raises(ValueError):
-            deployment.run_session(test.images[:4], batch_size=batch_size)
+            deployment.run_session(
+                test.images[:4], config=SessionConfig(batch_size=batch_size)
+            )

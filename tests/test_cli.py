@@ -29,12 +29,22 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        commands = ("train", "evaluate", "export", "study", "session", "scale", "trace")
+        commands = (
+            "train", "evaluate", "export", "study", "session", "scale",
+            "trace", "fleet", "plan",
+        )
         for command in commands:
             assert parser.parse_args([command] + (
-                ["x.npz"] if command in ("evaluate", "session", "scale", "trace") else
-                ["x.npz", "y.lcrs"] if command == "export" else []
+                ["x.npz"]
+                if command in ("evaluate", "session", "scale", "trace", "fleet", "plan")
+                else ["x.npz", "y.lcrs"] if command == "export" else []
             )).command == command
+
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet", "x.npz"])
+        assert args.shards == [1, 2, 4]
+        assert args.requests == 48
+        assert not args.partition
 
     def test_session_rejects_unknown_fault_profile(self):
         with pytest.raises(SystemExit):
@@ -162,6 +172,44 @@ class TestScaleCommand:
         assert len(record["points"]) == 6
         for point in record["points"]:
             assert "mean_retry_ms" in point and "mean_queue_ms" in point
+
+
+@pytest.mark.fleet
+class TestFleetCommand:
+    def test_fleet_sweep_with_partition_writes_json(
+        self, checkpoint, tmp_path, capsys
+    ):
+        output = tmp_path / "fleet.json"
+        code = main(
+            [
+                "fleet", str(checkpoint),
+                "--shards", "1", "2",
+                "--requests", "8",
+                "--batch-size", "2",
+                "--partition",
+                "--partition-sessions", "2",
+                "--partition-samples", "8",
+                "--p99-ms", "10.0",
+                "--json", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards" in out and "capacity planning" in out
+        assert "partition drill" in out
+        assert output.exists()
+        import json
+
+        record = json.loads(output.read_text())
+        assert {"capacity", "partition", "planning"} <= set(record)
+        points = record["capacity"]["points"]
+        assert [p["shards"] for p in points] == [1, 2]
+        assert points[0]["bit_identical_to_bare"] is True
+        assert record["partition"]["all_samples_served"] is True
+
+    def test_fleet_rejects_indivisible_requests(self, checkpoint, capsys):
+        with pytest.raises(ValueError, match="divide evenly"):
+            main(["fleet", str(checkpoint), "--shards", "3", "--requests", "8"])
 
 
 class TestTraceCommand:

@@ -28,6 +28,7 @@ from repro.runtime import (
     InferenceResponse,
     LCRSDeployment,
     ProtocolError,
+    SessionConfig,
     RetryPolicy,
     decode_frame,
     encode_frame,
@@ -280,7 +281,7 @@ class TestRegressionFixes:
             return encode_frame(reply)
 
         deployment._edge_server.handle = reordering_handle
-        batched = deployment.run_session(images, batch_size=10)
+        batched = deployment.run_session(images, config=SessionConfig(batch_size=10))
         np.testing.assert_array_equal(batched.predictions, reference.predictions)
         assert all(
             o.served_by == SERVED_BY_EDGE
@@ -288,7 +289,7 @@ class TestRegressionFixes:
             if not o.exited_locally
         )
 
-    @pytest.mark.parametrize("batch_size", [None, 10])
+    @pytest.mark.parametrize("batch_size", [1, 10])
     def test_mismatched_session_id_rejected(self, strict_system, batch_size):
         """Replies carrying the wrong correlation ids are failures, not
         answers — the session retries and then falls back."""
@@ -305,7 +306,9 @@ class TestRegressionFixes:
             return encode_frame(reply)
 
         deployment._edge_server.handle = confused_handle
-        session = deployment.run_session(test.images[:20], batch_size=batch_size)
+        session = deployment.run_session(
+            test.images[:20], config=SessionConfig(batch_size=batch_size)
+        )
         misses = [o for o in session.outcomes if not o.exited_locally]
         assert misses
         assert all(o.served_by == SERVED_BY_FALLBACK for o in misses)
@@ -316,7 +319,7 @@ class TestRegressionFixes:
 
 
 class TestGracefulDegradation:
-    @pytest.mark.parametrize("batch_size", [None, 8])
+    @pytest.mark.parametrize("batch_size", [1, 8])
     def test_full_partition_serves_every_frame(self, strict_system, batch_size):
         """Acceptance: with a 100 %-drop link both serving paths finish
         without raising, every miss is a binary-branch fallback, and the
@@ -328,7 +331,7 @@ class TestGracefulDegradation:
             faulty(four_g(seed=2).deterministic(), "partition"),
             retry_policy=FAST_POLICY,
         )
-        session = deployment.run_session(images, batch_size=batch_size)
+        session = deployment.run_session(images, config=SessionConfig(batch_size=batch_size))
 
         assert len(session.outcomes) == len(images)
         misses = [o for o in session.outcomes if not o.exited_locally]
@@ -373,7 +376,9 @@ class TestGracefulDegradation:
             faulty(four_g(seed=2).deterministic(), "partition"),
             retry_policy=FAST_POLICY,
         )
-        session = deployment.run_session(test.images[:20], batch_size=7)
+        session = deployment.run_session(
+            test.images[:20], config=SessionConfig(batch_size=7)
+        )
         misses = sum(not o.exited_locally for o in session.outcomes)
         assert deployment.fault_counters.fallbacks == misses
 
@@ -480,7 +485,7 @@ class TestGracefulDegradation:
         assert deployment.fault_counters.frames_duplicated == 1
         assert deployment.edge.requests_served == misses + 1
 
-    @pytest.mark.parametrize("batch_size", [None, 8])
+    @pytest.mark.parametrize("batch_size", [1, 8])
     def test_zero_fault_link_is_bit_identical(self, strict_system, batch_size):
         """Acceptance: a FaultyLink with every probability at zero must
         reproduce the plain link's predictions, exits, and priced
@@ -488,11 +493,11 @@ class TestGracefulDegradation:
         system, test = strict_system
         images = test.images[:30]
         plain = LCRSDeployment(system, four_g(seed=2).deterministic()).run_session(
-            images, batch_size=batch_size
+            images, config=SessionConfig(batch_size=batch_size)
         )
         wrapped_link = FaultyLink(inner=four_g(seed=2).deterministic())
         deployment = LCRSDeployment(system, wrapped_link)
-        wrapped = deployment.run_session(images, batch_size=batch_size)
+        wrapped = deployment.run_session(images, config=SessionConfig(batch_size=batch_size))
 
         np.testing.assert_array_equal(wrapped.predictions, plain.predictions)
         for a, b in zip(plain.outcomes, wrapped.outcomes):
@@ -584,7 +589,7 @@ class TestFaultSmokeProfile:
     named by REPRO_FAULT_PROFILE (default: smoke) and assert the
     degraded path's invariants hold whatever the link does."""
 
-    @pytest.mark.parametrize("batch_size", [None, 8])
+    @pytest.mark.parametrize("batch_size", [1, 8])
     def test_smoke_profile_session_invariants(self, strict_system, batch_size):
         profile = os.environ.get("REPRO_FAULT_PROFILE", "smoke")
         if profile == "none":
@@ -596,7 +601,7 @@ class TestFaultSmokeProfile:
             faulty(four_g(seed=2), profile, seed=13),
             retry_policy=FAST_POLICY,
         )
-        session = deployment.run_session(images, batch_size=batch_size)
+        session = deployment.run_session(images, config=SessionConfig(batch_size=batch_size))
 
         assert len(session.outcomes) == len(images)
         counters = deployment.fault_counters

@@ -9,7 +9,7 @@ import pytest
 
 from repro.core import LCRS, JointTrainingConfig
 from repro.data import make_dataset
-from repro.runtime import LCRSDeployment, four_g, wifi
+from repro.runtime import LCRSDeployment, SessionConfig, four_g, wifi
 from repro.wasm import WasmModel, serialize_browser_bundle, validate_bundle
 
 
@@ -88,8 +88,12 @@ class TestFullLifecycle:
         system, _, _, test = pipeline
         slow = LCRSDeployment(system, four_g(seed=2).deterministic())
         fast = LCRSDeployment(system, wifi(seed=2).deterministic())
-        slow_ms = slow.run_session(test.images[:20], cold_start=True).mean_latency_ms
-        fast_ms = fast.run_session(test.images[:20], cold_start=True).mean_latency_ms
+        slow_ms = slow.run_session(
+            test.images[:20], config=SessionConfig(cold_start=True)
+        ).mean_latency_ms
+        fast_ms = fast.run_session(
+            test.images[:20], config=SessionConfig(cold_start=True)
+        ).mean_latency_ms
         assert fast_ms < slow_ms
 
     def test_report_is_reproducible(self, pipeline):

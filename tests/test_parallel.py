@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.experiments import run_worker_scaling
+from repro.experiments import WorkerScalingConfig, run_worker_scaling
 from repro.nn.autograd import Tensor, no_grad
 from repro.observability.metrics import Gauge
 from repro.runtime import (
@@ -386,8 +386,9 @@ class TestWorkerScalingIntegration:
         M/M/c capacity when c divides the request count."""
         _, test = tiny_mnist
         result = run_worker_scaling(
-            trained_system, test.images[:64], workers=(1, 2, 4),
-            requests=16, batch_size=4,
+            trained_system,
+            test.images[:64],
+            config=WorkerScalingConfig(workers=(1, 2, 4), requests=16, batch_size=4),
         )
         serial = result.point(1)
         assert serial.speedup_vs_serial == pytest.approx(1.0)
@@ -405,16 +406,18 @@ class TestWorkerScalingIntegration:
     ):
         """The M/M/c cross-check must use the configured worker count —
         the old hard-coded workers=1 underpriced multi-worker cells."""
-        from repro.experiments import run_concurrency
+        from repro.experiments import ConcurrencySweepConfig, run_concurrency
 
         _, test = tiny_mnist
         result = run_concurrency(
             trained_system,
             test.images[:8],
-            users=[2],
-            windows_ms=[0.0],
-            session_config=SessionConfig(batch_size=4, threshold=0.05),
-            num_workers=2,
+            config=ConcurrencySweepConfig(
+                users=(2,),
+                windows_ms=(0.0,),
+                session_config=SessionConfig(batch_size=4, threshold=0.05),
+                num_workers=2,
+            ),
         )
         assert all(p.num_workers == 2 for p in result.points)
         assert {"num_workers"} <= set(result.points[0].as_dict())

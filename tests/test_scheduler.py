@@ -12,7 +12,7 @@ simulated clock are checked exactly.  The integration tier runs real
 import numpy as np
 import pytest
 
-from repro.experiments import run_concurrency
+from repro.experiments import ConcurrencySweepConfig, run_concurrency
 from repro.runtime import (
     EdgeScheduler,
     LCRSDeployment,
@@ -484,10 +484,12 @@ class TestConcurrencySweep:
         result = run_concurrency(
             trained_system,
             test.images[:16],
-            users=(1, 16),
-            windows_ms=(4.0,),
-            session_config=SessionConfig(batch_size=4, threshold=0.05),
-            seed=3,
+            config=ConcurrencySweepConfig(
+                users=(1, 16),
+                windows_ms=(4.0,),
+                session_config=SessionConfig(batch_size=4, threshold=0.05),
+                seed=3,
+            ),
         )
         batched = result.point(16, 4.0, 32)
         per_request = next(
@@ -514,10 +516,12 @@ class TestConcurrencySweep:
         result = run_concurrency(
             trained_system,
             test.images[:12],
-            users=(1,),
-            windows_ms=(0.0, 4.0),
-            session_config=SessionConfig(batch_size=4, threshold=0.05),
-            seed=3,
+            config=ConcurrencySweepConfig(
+                users=(1,),
+                windows_ms=(0.0, 4.0),
+                session_config=SessionConfig(batch_size=4, threshold=0.05),
+                seed=3,
+            ),
         )
         no_window = result.point(1, 0.0, 32)
         windowed = result.point(1, 4.0, 32)

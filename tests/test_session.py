@@ -9,6 +9,7 @@ from repro.runtime import (
     EdgeEndpoint,
     LCRSDeployment,
     MOBILE_BROWSER_WASM,
+    SessionConfig,
     build_lcrs_assets,
     four_g,
 )
@@ -93,7 +94,9 @@ class TestDeployment:
 
     def test_latency_accounting_positive(self, deployment, tiny_mnist):
         _, test = tiny_mnist
-        session = deployment.run_session(test.images[:10], cold_start=True)
+        session = deployment.run_session(
+            test.images[:10], config=SessionConfig(cold_start=True)
+        )
         for outcome in session.outcomes:
             assert outcome.cost.total_ms > 0
             assert outcome.cost.total_ms == pytest.approx(
@@ -104,8 +107,12 @@ class TestDeployment:
         _, test = tiny_mnist
         cold = LCRSDeployment(trained_system, four_g(seed=1).deterministic())
         warm = LCRSDeployment(trained_system, four_g(seed=1).deterministic())
-        cold_result = cold.run_session(test.images[:10], cold_start=True)
-        warm_result = warm.run_session(test.images[:10], cold_start=False)
+        cold_result = cold.run_session(
+            test.images[:10], config=SessionConfig(cold_start=True)
+        )
+        warm_result = warm.run_session(
+            test.images[:10], config=SessionConfig(cold_start=False)
+        )
         assert cold_result.mean_latency_ms > warm_result.mean_latency_ms
 
     def test_miss_paths_cost_more(self, deployment, tiny_mnist):

@@ -1,10 +1,10 @@
-"""Tests for the ``SessionConfig`` API and its legacy-kwarg shims.
+"""Tests for the ``SessionConfig`` API.
 
 The redesign's contract: ``run_session(images, config=SessionConfig(...))``
-is the canonical signature; the old ``cold_start``/``batch_size`` kwargs
-still work but emit ``DeprecationWarning`` and must produce *bit-identical*
-``SessionResult``s to the config path, so downstream callers can migrate
-mechanically.
+is the only signature.  The old ``cold_start``/``batch_size`` kwargs spent
+their deprecation cycle as warning shims and now raise a ``TypeError``
+that names the replacement, so stragglers get a one-line migration
+message instead of silently changed behaviour.
 """
 
 import dataclasses
@@ -74,12 +74,35 @@ class TestValidation:
             cfg.batch_size = 4
 
 
-class TestLegacyShims:
-    def test_legacy_kwargs_warn(self, trained_system, tiny_mnist):
+class TestRemovedLegacyKwargs:
+    @pytest.mark.parametrize(
+        "legacy_kwargs",
+        [
+            {"batch_size": 4},
+            {"cold_start": True},
+            {"cold_start": False},
+            {"cold_start": True, "batch_size": 5},
+            # Even an explicit None is an attempt to use the old kwargs.
+            {"batch_size": None},
+        ],
+    )
+    def test_legacy_kwargs_raise_with_migration_hint(
+        self, trained_system, tiny_mnist, legacy_kwargs
+    ):
         _, test = tiny_mnist
         deployment = fresh_deployment(trained_system)
-        with pytest.warns(DeprecationWarning, match="run_session"):
-            deployment.run_session(test.images[:4], batch_size=4)
+        with pytest.raises(TypeError, match="SessionConfig"):
+            deployment.run_session(test.images[:4], **legacy_kwargs)
+
+    def test_legacy_positional_args_raise(self, trained_system, tiny_mnist):
+        """The old positional forms ``run_session(images, cold_start)``
+        and ``run_session(images, cold_start, batch_size)`` fail too."""
+        _, test = tiny_mnist
+        deployment = fresh_deployment(trained_system)
+        with pytest.raises(TypeError, match="SessionConfig"):
+            deployment.run_session(test.images[:4], True)
+        with pytest.raises(TypeError, match="SessionConfig"):
+            deployment.run_session(test.images[:4], False, 8)
 
     def test_config_path_does_not_warn(self, trained_system, tiny_mnist):
         _, test = tiny_mnist
@@ -88,47 +111,6 @@ class TestLegacyShims:
             warnings.simplefilter("error", DeprecationWarning)
             deployment.run_session(test.images[:4], config=SessionConfig(batch_size=4))
             deployment.run_session(test.images[:4])
-
-    def test_config_plus_legacy_rejected(self, trained_system, tiny_mnist):
-        _, test = tiny_mnist
-        deployment = fresh_deployment(trained_system)
-        with pytest.raises(TypeError, match="not both"):
-            deployment.run_session(
-                test.images[:4], batch_size=2, config=SessionConfig()
-            )
-
-    @pytest.mark.parametrize(
-        "legacy_kwargs,config",
-        [
-            ({"batch_size": 8}, SessionConfig(batch_size=8)),
-            ({"cold_start": True}, SessionConfig(cold_start=True)),
-            (
-                {"cold_start": True, "batch_size": 5},
-                SessionConfig(cold_start=True, batch_size=5),
-            ),
-        ],
-    )
-    def test_legacy_and_config_bit_identical(
-        self, trained_system, tiny_mnist, legacy_kwargs, config
-    ):
-        """The shim maps onto the dataclass exactly: same predictions,
-        same costs to the bit, same transport counters."""
-        _, test = tiny_mnist
-        images = test.images[:24]
-        with pytest.warns(DeprecationWarning):
-            legacy = fresh_deployment(trained_system).run_session(
-                images, **legacy_kwargs
-            )
-        canonical = fresh_deployment(trained_system).run_session(
-            images, config=config
-        )
-        np.testing.assert_array_equal(legacy.predictions, canonical.predictions)
-        for a, b in zip(legacy.outcomes, canonical.outcomes):
-            assert a.exited_locally == b.exited_locally
-            assert a.served_by == b.served_by
-            assert a.attempts == b.attempts
-            assert a.entropy == b.entropy
-            assert a.cost == b.cost  # exact, not approx: bit-identical
 
 
 class TestConfigKnobs:
