@@ -10,7 +10,7 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest -x -q
 
-.PHONY: test fault-smoke trace-smoke plan-smoke fleet-smoke golden stress verify bench bench-sched bench-par bench-par-wall bench-plan bench-fleet
+.PHONY: test fault-smoke trace-smoke plan-smoke fleet-smoke obs-smoke golden stress verify bench bench-sched bench-par bench-par-wall bench-plan bench-fleet bench-check bench-check-dry
 
 test:
 	$(PYTEST)
@@ -27,13 +27,16 @@ plan-smoke:
 fleet-smoke:
 	$(PYTEST) -m "fleet and not sched" tests/test_fleet.py
 
+obs-smoke:
+	$(PYTEST) -m obs tests/test_observability.py tests/test_windows.py tests/test_slo.py
+
 golden:
 	$(PYTEST) tests/test_protocol_fuzz.py tests/test_codec_properties.py tests/test_golden_trace.py tests/test_parallel.py
 
 stress:
 	$(PYTEST) -m par tests/test_thread_safety.py
 
-verify: test fault-smoke golden stress trace-smoke plan-smoke fleet-smoke
+verify: test fault-smoke golden stress trace-smoke plan-smoke fleet-smoke obs-smoke bench-check-dry
 
 bench:
 	PYTHONPATH=src $(PY) benchmarks/bench_kernels.py
@@ -52,3 +55,12 @@ bench-plan:
 
 bench-fleet:
 	PYTHONPATH=src $(PY) benchmarks/bench_fleet.py
+
+# Diff the committed BENCH_*.json headline ratios against their floors.
+# bench-check requires the files; bench-check-dry tolerates missing ones
+# (fresh clone) but still fails on a recorded regression.
+bench-check:
+	$(PY) benchmarks/bench_check.py
+
+bench-check-dry:
+	$(PY) benchmarks/bench_check.py --dry-run

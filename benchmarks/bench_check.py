@@ -1,0 +1,153 @@
+"""Regression gate over the committed ``BENCH_*.json`` headline ratios.
+
+The bench harnesses (``make bench-plan`` / ``bench-par`` / ``bench-fleet``)
+write their results to ``BENCH_<name>.json`` at the repo root.  Those
+files are committed, so the headline speedups double as a performance
+contract: this script re-reads them and fails (exit 1) if any headline
+has slipped under its floor.  It never *runs* a benchmark — it only
+checks what the last run recorded — so it is cheap enough to sit in
+``make verify``.
+
+Floors (mirroring the claims in DESIGN.md):
+
+* ``BENCH_plan.json``     — ``session.speedup``        >= 3.0x
+  (trace-compiled plans vs the interpreter on the session hot path).
+* ``BENCH_parallel.json`` — ``results.worker_scaling.headline
+  .speedup_vs_serial``    >= 2.5x (4-worker simulated-capacity scaling).
+  The wall-clock headline is only checked when its own
+  ``floor_applies`` flag is true (single-core hosts physically cap
+  wall parallelism at 1x and record that exemption themselves).
+* ``BENCH_fleet.json``    — ``results.headline_speedup`` >= 3.0x
+  (4-shard fleet capacity vs a single shard).
+
+``--dry-run`` tolerates *missing* files (a fresh clone that has not run
+the benches yet still verifies) but still fails on a regression in any
+file that is present.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _dig(payload: dict, path: str):
+    node = payload
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+class HeadlineCheck:
+    """One (file, json-path, floor) contract."""
+
+    def __init__(
+        self,
+        filename: str,
+        path: str,
+        floor: float,
+        label: str,
+        gate_path: Optional[str] = None,
+    ) -> None:
+        self.filename = filename
+        self.path = path
+        self.floor = floor
+        self.label = label
+        #: optional json-path of a boolean; when present and false the
+        #: floor does not apply (the bench recorded its own exemption).
+        self.gate_path = gate_path
+
+    def run(self, root: Path) -> tuple[str, str]:
+        """Returns (status, message); status in {ok, skip, missing, fail}."""
+        file = root / self.filename
+        if not file.exists():
+            return "missing", f"{self.filename}: not found"
+        try:
+            payload = json.loads(file.read_text())
+        except ValueError as exc:
+            return "fail", f"{self.filename}: unreadable JSON ({exc})"
+        if self.gate_path is not None:
+            applies = _dig(payload, self.gate_path)
+            if applies is not None and not applies:
+                return "skip", (
+                    f"{self.filename}: {self.label} floor not applicable "
+                    f"({self.gate_path} is false)"
+                )
+        value = _dig(payload, self.path)
+        if not isinstance(value, (int, float)):
+            return "fail", f"{self.filename}: no numeric value at {self.path}"
+        if value < self.floor:
+            return "fail", (
+                f"{self.filename}: {self.label} = {value:.3f}x "
+                f"REGRESSED below floor {self.floor:.1f}x"
+            )
+        return "ok", (
+            f"{self.filename}: {self.label} = {value:.3f}x (floor {self.floor:.1f}x)"
+        )
+
+
+CHECKS = [
+    HeadlineCheck(
+        "BENCH_plan.json",
+        "session.speedup",
+        3.0,
+        "compiled-plan session speedup",
+    ),
+    HeadlineCheck(
+        "BENCH_parallel.json",
+        "results.worker_scaling.headline.speedup_vs_serial",
+        2.5,
+        "4-worker capacity speedup",
+    ),
+    HeadlineCheck(
+        "BENCH_parallel.json",
+        "results.worker_scaling_wall.headline.wall_speedup_vs_serial",
+        2.0,
+        "4-worker wall speedup",
+        gate_path="results.worker_scaling_wall.headline.floor_applies",
+    ),
+    HeadlineCheck(
+        "BENCH_fleet.json",
+        "results.headline_speedup",
+        3.0,
+        "4-shard fleet capacity speedup",
+    ),
+]
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="tolerate missing BENCH files (regressions still fail)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=REPO_ROOT,
+        help="directory holding the BENCH_*.json files",
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for check in CHECKS:
+        status, message = check.run(args.root)
+        if status == "fail" or (status == "missing" and not args.dry_run):
+            failures += 1
+            print(f"FAIL  {message}")
+        else:
+            print(f"{status:<5} {message}")
+    if failures:
+        print(f"bench-check: {failures} failure(s)")
+        return 1
+    print("bench-check: all headline floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine commands cover the library's lifecycle without writing Python:
+Eleven commands cover the library's lifecycle without writing Python:
 
 * ``train``   — joint-train an LCRS on a synthetic dataset, calibrate,
   report, and optionally checkpoint.
@@ -20,6 +20,11 @@ Nine commands cover the library's lifecycle without writing Python:
 * ``fleet``   — sweep shard counts through the multi-edge fleet router
   (capacity vs the M/M/c·N bound), optionally drill a mid-run shard
   partition, and print the users-per-p99-target planning table.
+* ``health``  — run the SLO-monitored partition drill and print the
+  fleet health snapshot (per-shard queue/busy/p99, burn-rate alerts,
+  error-budget report) as JSON; optionally dump Prometheus text.
+* ``top``     — the same drill rendered live: one per-round frame of
+  shard state, windowed p99 waits, budgets, and firing alerts.
 * ``plan``    — compile the trace-compiled inference plans (stem,
   binary branch, edge trunk) from a checkpoint, verify them bit-for-bit
   against the interpreter, and dump the fused steps with per-step
@@ -202,6 +207,36 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--seed", type=int, default=0)
     fleet.add_argument("--json", type=Path, default=None, help="also write JSON here")
 
+    health = sub.add_parser(
+        "health",
+        help="run the monitored partition drill and print the fleet "
+        "health snapshot (SLO report, burn-rate alerts) as JSON",
+    )
+    _add_slo_drill_args(health)
+    health.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the snapshot JSON here",
+    )
+    health.add_argument(
+        "--prometheus", type=Path, default=None,
+        help="also write the metrics registry in Prometheus text format here",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live per-round fleet view (shard queue/busy/p99/budget "
+        "plus firing alerts) over the monitored partition drill",
+    )
+    _add_slo_drill_args(top)
+    top.add_argument(
+        "--interval", type=float, default=0.0,
+        help="wall seconds to hold each frame (0: print frames back to back)",
+    )
+    top.add_argument(
+        "--no-ansi", action="store_true",
+        help="do not clear the screen between frames (pipe-friendly)",
+    )
+
     plan = sub.add_parser(
         "plan", help="compile and inspect the trace-compiled inference plans"
     )
@@ -216,6 +251,124 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the plan descriptions (steps, counters, arenas) as JSON here",
     )
     return parser
+
+
+def _add_slo_drill_args(sub: argparse.ArgumentParser) -> None:
+    """Shared flags for the SLO-monitored partition drill (health/top)."""
+    sub.add_argument("checkpoint", type=Path)
+    sub.add_argument("--sessions", type=int, default=4, help="concurrent sessions")
+    sub.add_argument("--shards", type=int, default=2, help="fleet shard count")
+    sub.add_argument("--samples", type=int, default=40, help="frames per session")
+    sub.add_argument(
+        "--partition-round", type=int, default=2,
+        help="fleet round at which one shard is partitioned away",
+    )
+    sub.add_argument(
+        "--heal-round", type=int, default=7,
+        help="fleet round at which the shard heals and placement rebalances",
+    )
+    sub.add_argument(
+        "--p99-ms", type=float, default=25.0,
+        help="queue-wait p99 SLO threshold (simulated ms)",
+    )
+    sub.add_argument(
+        "--availability", type=float, default=0.99,
+        help="per-shard request availability objective",
+    )
+    sub.add_argument(
+        "--fallback", type=float, default=0.05,
+        help="max fleet-wide fallback fraction objective",
+    )
+    sub.add_argument("--seed", type=int, default=0)
+
+
+def _load_drill_inputs(args: argparse.Namespace):
+    system = load_system(args.checkpoint)
+    if not system.dataset_name:
+        print("checkpoint has no dataset name; cannot regenerate data", file=sys.stderr)
+        return None
+    _, test = make_dataset(
+        system.dataset_name, 10, max(args.samples, 64), seed=args.seed
+    )
+    if system.calibration is None:
+        system.calibrate(test)
+    return system, test
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments import run_fleet_slo
+
+    loaded = _load_drill_inputs(args)
+    if loaded is None:
+        return 2
+    system, test = loaded
+    result = run_fleet_slo(
+        system,
+        test.images[: args.samples],
+        sessions=args.sessions,
+        num_shards=args.shards,
+        partition_round=args.partition_round,
+        heal_round=args.heal_round,
+        seed=args.seed,
+        queue_wait_p99_ms=args.p99_ms,
+        max_fallback_fraction=args.fallback,
+        min_availability=args.availability,
+    )
+    snapshot = result.health
+    print(json.dumps(snapshot, indent=2))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(result.as_dict(), indent=2))
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.prometheus is not None:
+        from .observability import prometheus_text
+
+        args.prometheus.parent.mkdir(parents=True, exist_ok=True)
+        args.prometheus.write_text(prometheus_text(result.registry))
+        print(f"wrote {args.prometheus}", file=sys.stderr)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .experiments import run_fleet_slo
+    from .observability import render_fleet_top
+
+    loaded = _load_drill_inputs(args)
+    if loaded is None:
+        return 2
+    system, test = loaded
+    clear = not args.no_ansi
+
+    def frame(router, round_no: int) -> None:
+        print(render_fleet_top(router.health().as_dict(), clear=clear))
+        if args.interval > 0:
+            time.sleep(args.interval)
+
+    result = run_fleet_slo(
+        system,
+        test.images[: args.samples],
+        sessions=args.sessions,
+        num_shards=args.shards,
+        partition_round=args.partition_round,
+        heal_round=args.heal_round,
+        seed=args.seed,
+        queue_wait_p99_ms=args.p99_ms,
+        max_fallback_fraction=args.fallback,
+        min_availability=args.availability,
+        on_round=frame,
+    )
+    fired = result.fired
+    cleared = result.cleared
+    print(
+        f"drill complete: {result.samples} samples, "
+        f"alerts fired={len(fired)} cleared={len(cleared)} "
+        f"active={len(result.health['alerts'])}"
+    )
+    return 0
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -715,6 +868,8 @@ _COMMANDS = {
     "scale": _cmd_scale,
     "trace": _cmd_trace,
     "fleet": _cmd_fleet,
+    "health": _cmd_health,
+    "top": _cmd_top,
     "plan": _cmd_plan,
 }
 

@@ -35,10 +35,12 @@ from .fleet import (
     FleetCapacityPoint,
     FleetCapacityResult,
     FleetPartitionResult,
+    FleetSloResult,
     capacity_planning_table,
     render_capacity_table,
     run_fleet_capacity,
     run_fleet_partition,
+    run_fleet_slo,
 )
 from .latency import (
     DEFAULT_EXIT_RATES,
@@ -100,6 +102,7 @@ __all__ = [
     "FleetCapacityPoint",
     "FleetCapacityResult",
     "FleetPartitionResult",
+    "FleetSloResult",
     "LatencyComparison",
     "PAPER_CLAIMS",
     "PAPER_TABLE1",
@@ -131,6 +134,7 @@ __all__ = [
     "run_figure10",
     "run_fleet_capacity",
     "run_fleet_partition",
+    "run_fleet_slo",
     "run_figure4",
     "run_figure5",
     "run_figure6",

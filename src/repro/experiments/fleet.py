@@ -24,10 +24,11 @@ harnesses, all deterministic (simulated clocks, seeded placement):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..observability.slo import BurnRatePolicy, default_fleet_slos
 from ..runtime.concurrency import QueueModel, ServiceTimeModel
 from ..runtime.fleet import FleetConfig, FleetRouter
 from ..runtime.network import four_g
@@ -389,6 +390,180 @@ def run_fleet_partition(
         tickets_lost=int(snapshot["tickets_lost"]),
         shard_failures=int(snapshot["shard_failures"]),
         events=list(snapshot["events"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# SLO drill: partition + heal under monitoring, alerts must not flap
+# ----------------------------------------------------------------------
+@dataclass
+class FleetSloResult:
+    """Outcome of a monitored partition-and-heal drill.
+
+    ``alert_events`` is the monitor's full transition log (fire /
+    escalate / clear, in order); ``history`` has one row per SLO target
+    per round (the windowed p99 trace the spike assertion reads);
+    ``health`` is the final ``FleetRouter.health()`` snapshot and
+    ``report`` the final SLO report.  ``predictions`` carries each
+    session's served class ids so monitored and unmonitored runs can be
+    compared bit-for-bit.
+    """
+
+    sessions: int
+    shards: int
+    partitioned_shard: int
+    partition_round: int
+    heal_round: int
+    samples: int
+    served_by: dict[str, int]
+    predictions: list[list[int]]
+    monitored: bool
+    alert_events: list[dict[str, object]]
+    history: list[dict[str, object]]
+    health: Optional[dict[str, object]]
+    report: Optional[dict[str, object]]
+    #: the fleet's live metrics registry (for Prometheus export); not
+    #: part of :meth:`as_dict`.
+    registry: Optional[object] = None
+
+    @property
+    def fired(self) -> list[dict[str, object]]:
+        return [e for e in self.alert_events if e["transition"] == "fire"]
+
+    @property
+    def cleared(self) -> list[dict[str, object]]:
+        return [e for e in self.alert_events if e["transition"] == "clear"]
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "sessions": self.sessions,
+            "shards": self.shards,
+            "partitioned_shard": self.partitioned_shard,
+            "partition_round": self.partition_round,
+            "heal_round": self.heal_round,
+            "samples": self.samples,
+            "served_by": dict(self.served_by),
+            "monitored": self.monitored,
+            "alerts_fired": len(self.fired),
+            "alerts_cleared": len(self.cleared),
+            "alert_events": [dict(e) for e in self.alert_events],
+            "health": self.health,
+            "report": self.report,
+        }
+
+
+def run_fleet_slo(
+    system,
+    images: np.ndarray,
+    sessions: int = 4,
+    num_shards: int = 2,
+    partition_round: int = 2,
+    heal_round: int = 7,
+    partitioned_shard: int = 0,
+    session_config: Optional[SessionConfig] = None,
+    fleet_config: Optional[FleetConfig] = None,
+    seed: int = 0,
+    monitor: bool = True,
+    queue_wait_p99_ms: float = 25.0,
+    max_fallback_fraction: float = 0.05,
+    min_availability: float = 0.99,
+    fast_window_ms: float = 150.0,
+    slow_window_ms: float = 600.0,
+    clear_holds: int = 2,
+    on_round: Optional[Callable[[FleetRouter, int], None]] = None,
+) -> FleetSloResult:
+    """The monitored partition drill: partition at one round, heal at a
+    later one, and let the SLO monitor watch the whole arc.
+
+    Same traffic shape as :func:`run_fleet_partition` (so its survival
+    contract still holds underneath), plus: per-shard availability and
+    p99 queue-wait objectives and the fleet fallback-ratio objective
+    evaluated every round on the simulated clock.  Burn-rate windows
+    are sized to the drill's simulated timescale (a few hundred ms of
+    makespan), not wall minutes.  With ``monitor=False`` the run is the
+    bit-identity control: no watcher is ever attached and predictions
+    must match the monitored run exactly.
+    """
+    images = np.asarray(images)
+    if heal_round <= partition_round:
+        raise ValueError("heal_round must come after partition_round")
+    if fleet_config is None:
+        # Two workers per shard: a healthy shard absorbs its sessions'
+        # coinciding chunks without queueing, so windowed queue waits
+        # separate partition-era pileup from normal operation.
+        fleet_config = FleetConfig(
+            num_shards=num_shards,
+            placement="least-loaded",
+            scheduler=SchedulerConfig(window_ms=0.0, num_workers=2),
+            failure_threshold=1,
+            seed=seed,
+        )
+    cfg = (
+        session_config
+        if session_config is not None
+        else SessionConfig(batch_size=4, threshold=0.05)
+    )
+    fleet = FleetRouter.for_system(system, config=fleet_config)
+    if monitor:
+        fleet.enable_monitoring(
+            specs=default_fleet_slos(
+                queue_wait_p99_ms=queue_wait_p99_ms,
+                max_fallback_fraction=max_fallback_fraction,
+                min_availability=min_availability,
+            ),
+            policy=BurnRatePolicy(
+                fast_window_ms=fast_window_ms,
+                slow_window_ms=slow_window_ms,
+                clear_holds=clear_holds,
+            ),
+        )
+    deployments = [
+        LCRSDeployment(system, four_g(seed=seed * 100 + i)) for i in range(sessions)
+    ]
+
+    def drill_hook(router: FleetRouter, round_no: int) -> None:
+        if round_no == partition_round:
+            router.partition_shard(partitioned_shard)
+        elif round_no == heal_round:
+            # Heal restores the shard's capacity; rebalance restores the
+            # placement (rerouted sessions are sticky on the survivors
+            # otherwise, and the queue-wait SLO would keep burning on a
+            # healthy fleet).
+            router.heal_shard(partitioned_shard)
+            router.rebalance()
+
+    fleet.before_flush_hooks.append(drill_hook)
+    if on_round is not None:
+        fleet.after_flush_hooks.append(on_round)
+    results = run_concurrent_sessions(
+        deployments, [images] * sessions, fleet, config=cfg
+    )
+
+    served_by = {SERVED_BY_BRANCH: 0, SERVED_BY_EDGE: 0, SERVED_BY_FALLBACK: 0}
+    predictions: list[list[int]] = []
+    for r in results:
+        session_preds = []
+        for outcome in r.outcomes:
+            served_by[outcome.served_by] += 1
+            session_preds.append(int(outcome.prediction))
+        predictions.append(session_preds)
+
+    mon = fleet.monitor
+    return FleetSloResult(
+        sessions=sessions,
+        shards=num_shards,
+        partitioned_shard=partitioned_shard,
+        partition_round=partition_round,
+        heal_round=heal_round,
+        samples=sessions * len(images),
+        served_by=served_by,
+        predictions=predictions,
+        monitored=monitor,
+        alert_events=[dict(e) for e in mon.events] if mon is not None else [],
+        history=[dict(h) for h in mon.history] if mon is not None else [],
+        health=fleet.health().as_dict(),
+        report=mon.report(fleet.clock_ms) if mon is not None else None,
+        registry=fleet.registry,
     )
 
 

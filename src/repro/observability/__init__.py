@@ -12,12 +12,27 @@ latency claim in this repository:
 * :mod:`~repro.observability.tracing` — span-based request tracing with
   a trace id per serving chunk and an allocation-free
   :data:`NULL_RECORDER` default;
-* :mod:`~repro.observability.export` — JSONL and Chrome ``trace_event``
-  exporters (``repro trace`` CLI, Perfetto-loadable timelines).
+* :mod:`~repro.observability.export` — JSONL, Chrome ``trace_event``,
+  and Prometheus text-format exporters (``repro trace`` CLI,
+  Perfetto-loadable timelines, scrape endpoints);
+* :mod:`~repro.observability.windows` — sliding time-window views
+  (bounded rings, exact within-window percentiles) tapped onto metrics
+  through their watcher hooks;
+* :mod:`~repro.observability.slo` — declarative objectives with
+  multi-window burn-rate alerting over those windows;
+* :mod:`~repro.observability.top` — the ``repro top`` / ``repro
+  health`` dashboard renderer (pure formatting over health snapshots).
 """
 
 from .clock import Stopwatch, now_ms, now_s
-from .export import chrome_trace, spans_to_jsonl, write_chrome_trace, write_jsonl
+from .export import (
+    chrome_trace,
+    prometheus_text,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
 from .metrics import (
     Counter,
     DEFAULT_BUCKETS_MS,
@@ -26,27 +41,46 @@ from .metrics import (
     MetricsRegistry,
     global_registry,
     labeled,
+    parse_labels,
 )
+from .slo import (
+    BurnRatePolicy,
+    SloMonitor,
+    SloSpec,
+    default_fleet_slos,
+)
+from .top import render_fleet_top
 from .tracing import NULL_RECORDER, NullRecorder, Span, TelemetrySummary, Tracer
+from .windows import MetricWindows, WindowedSeries
 
 __all__ = [
+    "BurnRatePolicy",
     "Counter",
     "DEFAULT_BUCKETS_MS",
     "Gauge",
     "Histogram",
+    "MetricWindows",
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
+    "SloMonitor",
+    "SloSpec",
     "Span",
     "Stopwatch",
     "TelemetrySummary",
     "Tracer",
+    "WindowedSeries",
     "chrome_trace",
+    "default_fleet_slos",
     "global_registry",
     "labeled",
     "now_ms",
     "now_s",
+    "parse_labels",
+    "prometheus_text",
+    "render_fleet_top",
     "spans_to_jsonl",
     "write_chrome_trace",
     "write_jsonl",
+    "write_prometheus",
 ]

@@ -1,6 +1,6 @@
-"""Trace exporters: JSONL event logs and Chrome ``trace_event`` JSON.
+"""Exporters: JSONL event logs, Chrome ``trace_event`` JSON, Prometheus text.
 
-Two formats, two audiences:
+Three formats, three audiences:
 
 * **JSONL** — one span per line, schema = :meth:`Span.as_dict`.  Greppable,
   streamable, diffable; the format regression gates consume.
@@ -11,6 +11,13 @@ Two formats, two audiences:
   swim-lane timeline (device compute on the tenant lanes, queue wait
   and batched trunk passes on the edge lane, correlated by the
   ``trace_id`` arg on every event).
+* **Prometheus text exposition** — :func:`prometheus_text` renders a
+  whole :class:`~.metrics.MetricsRegistry` in the ``text/plain;
+  version=0.0.4`` scrape format: our ``{shard=i}``-suffixed series
+  become proper Prometheus labels (via :func:`~.metrics.parse_labels`),
+  histograms emit cumulative ``_bucket{le=...}`` series plus ``_sum`` /
+  ``_count``, and dots in metric names become underscores per the
+  Prometheus naming rules.
 
 The timeline axis is **simulated** milliseconds wherever the span was
 priced (``sim_start_ms``/``sim_ms``); spans that only have wall time
@@ -22,16 +29,20 @@ nothing is lost, and the two clocks are never summed.
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Sequence, Union
 
+from .metrics import Gauge, Histogram, MetricsRegistry, parse_labels
 from .tracing import Span, Tracer
 
 __all__ = [
     "chrome_trace",
+    "prometheus_text",
     "spans_to_jsonl",
     "write_chrome_trace",
     "write_jsonl",
+    "write_prometheus",
 ]
 
 _Spans = Union[Tracer, Sequence[Span]]
@@ -132,4 +143,92 @@ def write_chrome_trace(spans: _Spans, path: Union[str, Path]) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(chrome_trace(spans), indent=1))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+_PROM_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_BAD_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    name = _PROM_BAD_CHARS.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prom_labels(labels: dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{_PROM_BAD_LABEL_CHARS.sub("_", k)}="{v}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_num(value: float) -> str:
+    f = float(value)
+    return repr(int(f)) if f == int(f) and abs(f) < 1e15 else repr(f)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Series of one logical metric (``fleet.requests_ok{shard=0}``,
+    ``…{shard=1}``) share one ``# TYPE`` family with ``{shard="i"}``
+    labels; histogram buckets are cumulative with a closing ``+Inf``
+    per the format spec.  Output is deterministically ordered (families
+    sorted by exposition name, series by label set).
+    """
+    families: dict[str, list] = {}
+    kinds: dict[str, str] = {}
+    for metric in sorted(registry, key=lambda m: m.name):
+        base, labels = parse_labels(metric.name)
+        family = _prom_name(base)
+        if isinstance(metric, Histogram):
+            kind = "histogram"
+        elif isinstance(metric, Gauge):
+            kind = "gauge"
+        else:
+            kind = "counter"
+        prior = kinds.setdefault(family, kind)
+        if prior != kind:
+            # Two repro metrics sanitizing to one Prometheus family with
+            # different kinds would be a malformed exposition; keep the
+            # series apart by suffixing the kind.
+            family = f"{family}_{kind}"
+            kinds.setdefault(family, kind)
+        families.setdefault(family, []).append((labels, metric, kind))
+
+    lines: list[str] = []
+    for family in sorted(families):
+        series = families[family]
+        kind = series[0][2]
+        lines.append(f"# TYPE {family} {kind}")
+        for labels, metric, _ in sorted(series, key=lambda s: sorted(s[0].items())):
+            if kind == "histogram":
+                cumulative = 0
+                for bound, bucket in zip(metric.bounds, metric.bucket_counts):
+                    cumulative += bucket
+                    le = _prom_labels(labels, f'le="{_prom_num(bound)}"')
+                    lines.append(f"{family}_bucket{le} {cumulative}")
+                inf = _prom_labels(labels, 'le="+Inf"')
+                lines.append(f"{family}_bucket{inf} {metric.count}")
+                label_txt = _prom_labels(labels)
+                lines.append(f"{family}_sum{label_txt} {_prom_num(metric.total)}")
+                lines.append(f"{family}_count{label_txt} {metric.count}")
+            else:
+                label_txt = _prom_labels(labels)
+                lines.append(f"{family}{label_txt} {_prom_num(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(registry))
     return path

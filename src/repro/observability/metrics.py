@@ -22,12 +22,20 @@ the same counters and histograms concurrently once the trunk exec lock
 is gone, and ``value += amount`` / ``insort`` are not atomic under the
 interpreter.  Reads stay lock-free — a torn read of a monotone counter
 is at worst one update stale, which exporters tolerate.
+
+Counters and histograms additionally accept *watchers* — callbacks
+invoked with each new observation, the tap the sliding-window layer
+(:mod:`repro.observability.windows`) attaches to build time-windowed
+views without the metric paying anything when unwatched: the default is
+a shared empty tuple, so an unwatched ``observe``/``add`` costs one
+truthiness check and zero allocations.
 """
 
 from __future__ import annotations
 
 import threading
 from bisect import bisect_left, insort
+from collections import deque
 from typing import Iterator, Optional, Sequence, Union
 
 __all__ = [
@@ -39,6 +47,7 @@ __all__ = [
     "MetricsRegistry",
     "global_registry",
     "labeled",
+    "parse_labels",
 ]
 
 
@@ -57,6 +66,31 @@ def labeled(name: str, **labels: object) -> str:
     inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
     return f"{name}{{{inner}}}"
 
+
+def parse_labels(name: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`labeled`: series name → ``(base, labels)``.
+
+    ``parse_labels("sched.queue_depth{shard=2}")`` →
+    ``("sched.queue_depth", {"shard": "2"})``; a bare name comes back
+    with an empty label dict.  Label values are returned as strings
+    (the series name is the only durable encoding), so the round trip
+    ``labeled(base, **labels) == name`` holds for every name
+    :func:`labeled` can produce — the property the SLO layer and
+    ``repro top`` rely on to group per-shard series.
+    """
+    if not name.endswith("}"):
+        return name, {}
+    brace = name.find("{")
+    if brace < 0:
+        return name, {}
+    base, inner = name[:brace], name[brace + 1 : -1]
+    labels: dict[str, str] = {}
+    if inner:
+        for part in inner.split(","):
+            key, _, value = part.partition("=")
+            labels[key] = value
+    return base, labels
+
 #: Default latency buckets (upper bounds, ms).  Values above the last
 #: bound land in the implicit overflow bucket.
 DEFAULT_BUCKETS_MS: tuple[float, ...] = (
@@ -69,16 +103,29 @@ class Counter:
     """A monotone (by convention) accumulator; ``value`` may be int or float."""
 
     kind = "counter"
-    __slots__ = ("name", "value", "_lock")
+    __slots__ = ("name", "value", "_lock", "_watchers")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Union[int, float] = 0
         self._lock = threading.Lock()
+        self._watchers: tuple = ()
 
     def add(self, amount: Union[int, float] = 1) -> None:
         with self._lock:
             self.value += amount
+        if self._watchers:
+            for watch in self._watchers:
+                watch(amount)
+
+    def watch(self, fn) -> None:
+        """Attach ``fn(amount)``, called after every :meth:`add`."""
+        with self._lock:
+            self._watchers = (*self._watchers, fn)
+
+    def unwatch(self, fn) -> None:
+        with self._lock:
+            self._watchers = tuple(w for w in self._watchers if w is not fn)
 
     def reset(self) -> None:
         self.value = 0
@@ -135,28 +182,50 @@ class Histogram:
     sorted sample list, so the edge cases are crisp: an empty histogram
     has ``None`` percentiles, a single-sample histogram answers every
     quantile with that sample.
+
+    **Bounded mode** (``max_samples=N``): exact mode keeps every raw
+    observation, which grows without bound in a long-running fleet.
+    With ``max_samples`` set, only the most recent ``N`` observations
+    are retained (a fixed-capacity ring) and percentiles are exact
+    *over that suffix* — the documented error is that quantiles reflect
+    the last ``N`` samples, not all time.  ``count``/``total``/
+    ``bucket_counts``/``mean`` stay exact all-time in both modes;
+    ``min``/``max`` cover the retained window in bounded mode.  Exact
+    mode remains the default so tests and benches keep their all-time
+    percentiles.
     """
 
     kind = "histogram"
     __slots__ = (
-        "name", "bounds", "bucket_counts", "count", "total", "_sorted", "_lock"
+        "name", "bounds", "bucket_counts", "count", "total", "max_samples",
+        "_sorted", "_ring", "_lock", "_watchers",
     )
 
     def __init__(
-        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS_MS
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_BUCKETS_MS,
+        max_samples: Optional[int] = None,
     ) -> None:
         bounds = tuple(float(b) for b in bounds)
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
         if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
             raise ValueError("bucket bounds must be strictly increasing")
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be at least 1 (or None for exact)")
         self.name = name
         self.bounds = bounds
         self.bucket_counts = [0] * (len(bounds) + 1)
         self.count = 0
         self.total = 0.0
+        self.max_samples = max_samples
         self._sorted: list[float] = []
+        self._ring: Optional[deque] = (
+            deque(maxlen=max_samples) if max_samples is not None else None
+        )
         self._lock = threading.Lock()
+        self._watchers: tuple = ()
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -164,7 +233,35 @@ class Histogram:
             self.bucket_counts[bisect_left(self.bounds, value)] += 1
             self.count += 1
             self.total += value
-            insort(self._sorted, value)
+            if self._ring is not None:
+                self._ring.append(value)
+            else:
+                insort(self._sorted, value)
+        if self._watchers:
+            for watch in self._watchers:
+                watch(value)
+
+    def watch(self, fn) -> None:
+        """Attach ``fn(value)``, called after every :meth:`observe`."""
+        with self._lock:
+            self._watchers = (*self._watchers, fn)
+
+    def unwatch(self, fn) -> None:
+        with self._lock:
+            self._watchers = tuple(w for w in self._watchers if w is not fn)
+
+    def _samples(self) -> list[float]:
+        """Retained samples in sorted order (all in exact mode, the most
+        recent ``max_samples`` in bounded mode)."""
+        if self._ring is not None:
+            return sorted(self._ring)
+        return self._sorted
+
+    @property
+    def retained(self) -> int:
+        """How many raw samples back the percentiles: ``count`` in exact
+        mode, at most ``max_samples`` in bounded mode."""
+        return len(self._ring) if self._ring is not None else self.count
 
     @property
     def mean(self) -> Optional[float]:
@@ -172,22 +269,26 @@ class Histogram:
 
     @property
     def min(self) -> Optional[float]:
-        return self._sorted[0] if self.count else None
+        samples = self._samples()
+        return samples[0] if samples else None
 
     @property
     def max(self) -> Optional[float]:
-        return self._sorted[-1] if self.count else None
+        samples = self._samples()
+        return samples[-1] if samples else None
 
     def percentile(self, q: float) -> Optional[float]:
         """Nearest-rank percentile; ``q`` in [0, 100].  ``None`` if empty."""
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        if not self.count:
+        samples = self._samples()
+        n = len(samples)
+        if not n:
             return None
         if q == 0.0:
-            return self._sorted[0]
-        rank = -(-q * self.count // 100)  # ceil(q/100 * n) without floats
-        return self._sorted[int(rank) - 1]
+            return samples[0]
+        rank = -(-q * n // 100)  # ceil(q/100 * n) without floats
+        return samples[int(rank) - 1]
 
     @property
     def p50(self) -> Optional[float]:
@@ -205,17 +306,24 @@ class Histogram:
         self.bucket_counts = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0.0
-        self._sorted = []
+        if self._ring is not None:
+            self._ring.clear()
+        else:
+            self._sorted = []
 
     def state(self) -> object:
-        return (list(self.bucket_counts), self.count, self.total, list(self._sorted))
+        retained = self._ring if self._ring is not None else self._sorted
+        return (list(self.bucket_counts), self.count, self.total, list(retained))
 
     def restore(self, state: object) -> None:
         counts, count, total, values = state  # type: ignore[misc]
         self.bucket_counts = list(counts)
         self.count = count
         self.total = total
-        self._sorted = list(values)
+        if self._ring is not None:
+            self._ring = deque(values, maxlen=self.max_samples)
+        else:
+            self._sorted = list(values)
 
     def as_dict(self) -> dict[str, object]:
         """JSON-ready summary: counts, moments, and the percentile trio."""
@@ -275,12 +383,34 @@ class MetricsRegistry:
         return self._get(name, lambda: Gauge(name), "gauge")
 
     def histogram(
-        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS_MS
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_BUCKETS_MS,
+        max_samples: Optional[int] = None,
     ) -> Histogram:
-        return self._get(name, lambda: Histogram(name, bounds), "histogram")
+        """Get-or-create; ``bounds``/``max_samples`` apply only on first
+        creation (subsequent calls return the existing histogram as-is)."""
+        return self._get(
+            name, lambda: Histogram(name, bounds, max_samples=max_samples), "histogram"
+        )
 
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)
+
+    def labeled_group(self, base: str) -> dict[tuple[tuple[str, str], ...], Metric]:
+        """Every series of one logical metric, keyed by sorted label items.
+
+        ``labeled_group("sched.queue_depth")`` over a fleet registry maps
+        ``(("shard", "0"),) → Gauge`` etc.; an unlabeled series appears
+        under the empty key ``()``.  This is the programmatic grouping
+        the SLO layer and ``repro top`` use to walk per-shard series.
+        """
+        out: dict[tuple[tuple[str, str], ...], Metric] = {}
+        for name, metric in list(self._metrics.items()):
+            got, labels = parse_labels(name)
+            if got == base:
+                out[tuple(sorted(labels.items()))] = metric
+        return out
 
     def __iter__(self) -> Iterator[Metric]:
         return iter(self._metrics.values())

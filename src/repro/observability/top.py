@@ -1,0 +1,113 @@
+"""Terminal rendering for fleet health snapshots (``repro top``).
+
+Pure formatting: :func:`render_fleet_top` turns the JSON-ready dict
+from ``FleetRouter.health()`` into a fixed-width dashboard frame, and
+the CLI decides how to display it (print once for ``repro health``,
+clear-and-redraw per round for ``repro top``).  Keeping the renderer
+here — with **no** import of :mod:`repro.runtime` — preserves the layer
+order: runtime depends on observability, never the reverse.
+
+The frame layout::
+
+    fleet  round 7   clock 812.4ms   shards 2/3 up   served 1184
+    SHARD  STATE     Q-DEPTH  BUSY   SERVED  OK%     P99-WAIT  BUDGET
+    0      up        3        0.75   512     100.0   12.4      1.00
+    1      down      0        0.00   256     66.7    48.1      0.12  [page]
+    ...
+    ALERTS
+    page    queue-wait-p99 {shard=1}  fast 14.2x  slow 11.8x
+
+Column sources are documented in DESIGN.md §14; everything renders from
+the snapshot alone so a frame can also be produced offline from a saved
+``repro health --json`` file.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["ANSI_CLEAR", "render_fleet_top"]
+
+#: Clear screen + home cursor — prefixed to each live ``repro top`` frame.
+ANSI_CLEAR = "\x1b[2J\x1b[H"
+
+_HEADER = (
+    f"{'SHARD':<6} {'STATE':<9} {'Q-DEPTH':>7} {'BUSY':>6} {'SERVED':>7} "
+    f"{'OK%':>6} {'P99-WAIT':>9} {'BUDGET':>7}"
+)
+
+
+def _fmt(value: Optional[float], spec: str, missing: str = "-") -> str:
+    if value is not None:
+        return format(value, spec)
+    # Align the missing marker to the same column width as the numbers.
+    return format(missing, spec.split(".")[0].rstrip("f"))
+
+
+def _shard_row(shard: dict) -> str:
+    slo_rows = shard.get("slo", [])
+    p99 = None
+    budget = None
+    flags = []
+    for row in slo_rows:
+        if row["slo"] == "queue-wait-p99":
+            p99 = row.get("fast_value")
+        budget = (
+            row["budget_remaining"]
+            if budget is None
+            else min(budget, row["budget_remaining"])
+        )
+        if row["state"] == "firing":
+            flags.append(str(row["severity"]))
+    ok_pct = None
+    total = shard.get("requests_total", 0)
+    if total:
+        ok_pct = 100.0 * shard.get("requests_ok", 0) / total
+    line = (
+        f"{shard['shard']:<6} {shard['state']:<9} "
+        f"{shard.get('queue_depth', 0):>7} "
+        f"{_fmt(shard.get('busy_fraction'), '>6.2f')} "
+        f"{shard.get('samples_served', 0):>7} "
+        f"{_fmt(ok_pct, '>6.1f')} "
+        f"{_fmt(p99, '>9.1f')} "
+        f"{_fmt(budget, '>7.2f')}"
+    )
+    if flags:
+        line += "  [" + ",".join(sorted(set(flags))) + "]"
+    return line
+
+
+def render_fleet_top(health: dict, clear: bool = False) -> str:
+    """Render one dashboard frame from a ``FleetRouter.health()`` dict."""
+    shards = health.get("shards", [])
+    up = sum(1 for s in shards if s["state"] == "active")
+    lines = []
+    if clear:
+        lines.append(ANSI_CLEAR.rstrip("\n"))
+    lines.append(
+        f"fleet  round {health.get('rounds', 0)}   "
+        f"clock {health.get('clock_ms', 0.0):.1f}ms   "
+        f"shards {up}/{len(shards)} up   "
+        f"served {health.get('samples_served', 0)}"
+    )
+    lines.append(_HEADER)
+    for shard in shards:
+        lines.append(_shard_row(shard))
+    alerts = health.get("alerts", [])
+    lines.append("")
+    if alerts:
+        lines.append("ALERTS")
+        for alert in alerts:
+            labels = alert.get("labels", {})
+            label_txt = (
+                " {" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            lines.append(
+                f"{alert['severity']:<7} {alert['slo']}{label_txt}  "
+                f"fast {alert['fast_burn']:.1f}x  slow {alert['slow_burn']:.1f}x"
+            )
+    else:
+        lines.append("ALERTS  none")
+    return "\n".join(lines)

@@ -300,6 +300,12 @@ class SchedulerCounters(_RegistryFacade):
         d["_queue_wait_h"] = d["registry"].histogram(
             self.metric_name("batch_queue_wait_ms")
         )
+        # Per-request waits feed the windowed p99 SLO; bounded mode caps
+        # retained samples so long-running fleets don't grow without
+        # bound (bucket counts and the sum stay exact regardless).
+        d["_request_wait_h"] = d["registry"].histogram(
+            self.metric_name("request_queue_wait_ms"), max_samples=4096
+        )
 
     def tenant(self, tenant_id: int) -> dict[str, int]:
         """The (created-on-demand) counter row for one session/tenant."""
@@ -315,6 +321,16 @@ class SchedulerCounters(_RegistryFacade):
         self.batch_size_hist[batch_size] = self.batch_size_hist.get(batch_size, 0) + 1
         self._batch_size_h.observe(batch_size)
         self._queue_wait_h.observe(waits_ms / batch_size if batch_size else 0.0)
+
+    def record_request_wait(self, wait_ms: float) -> None:
+        """One request's simulated queue wait (per-request resolution,
+        unlike :meth:`record_batch`'s per-batch mean)."""
+        self._request_wait_h.observe(wait_ms)
+
+    @property
+    def request_wait_histogram(self):
+        """The ``sched.request_queue_wait_ms`` histogram (bounded mode)."""
+        return self._request_wait_h
 
     @property
     def shed_rate(self) -> float:
@@ -346,6 +362,7 @@ class SchedulerCounters(_RegistryFacade):
         self.__dict__["per_tenant"] = {}
         self._batch_size_h.reset()
         self._queue_wait_h.reset()
+        self._request_wait_h.reset()
 
     def as_dict(self) -> dict[str, object]:
         out = super().as_dict()

@@ -54,7 +54,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..observability import NULL_RECORDER
-from ..observability.metrics import MetricsRegistry
+from ..observability.metrics import MetricsRegistry, labeled
+from ..observability.slo import BurnRatePolicy, SloMonitor, default_fleet_slos
 from .network import FAULT_PROFILES, FrameDropped, FrameTimeout, NetworkLink, faulty
 from .protocol import (
     BatchInferenceRequest,
@@ -77,6 +78,9 @@ SHARD_ACTIVE = "active"
 SHARD_DRAINING = "draining"
 SHARD_DOWN = "down"
 SHARD_RETIRED = "retired"
+
+#: Autoscaler pressure signals :class:`AutoscalerConfig` accepts.
+AUTOSCALER_POLICIES = ("queue-depth", "burn-rate")
 
 
 @dataclass(frozen=True)
@@ -105,6 +109,16 @@ class AutoscalerConfig:
     max_idle_busy_fraction: float = 1.0
     hold_rounds: int = 2
     cooldown_rounds: int = 2
+    #: Pressure signal: ``"queue-depth"`` (the default, bit-compatible
+    #: with fleets that predate SLO monitoring) reads the queue/busy
+    #: gauges; ``"burn-rate"`` reads the attached
+    #: :class:`~repro.observability.slo.SloMonitor`'s worst joint burn
+    #: and scales on error-budget spend instead of raw backlog (requires
+    #: :meth:`FleetRouter.enable_monitoring`; rounds without a burn
+    #: reading fall back to the queue-depth signal).
+    policy: str = "queue-depth"
+    scale_up_burn: float = 2.0
+    scale_down_burn: float = 0.5
 
     def __post_init__(self) -> None:
         if self.min_shards < 1:
@@ -126,6 +140,18 @@ class AutoscalerConfig:
             raise ValueError("hold_rounds must be at least 1")
         if self.cooldown_rounds < 0:
             raise ValueError("cooldown_rounds must be non-negative")
+        if self.policy not in AUTOSCALER_POLICIES:
+            raise ValueError(
+                f"unknown autoscaler policy {self.policy!r}; "
+                f"choose from {list(AUTOSCALER_POLICIES)}"
+            )
+        if self.scale_down_burn < 0 or self.scale_up_burn <= 0:
+            raise ValueError("burn thresholds must be non-negative")
+        if self.scale_down_burn >= self.scale_up_burn:
+            raise ValueError(
+                "scale_down_burn must be below scale_up_burn "
+                "(the dead band is the hysteresis)"
+            )
 
 
 @dataclass(frozen=True)
@@ -197,10 +223,27 @@ class Autoscaler:
         self._cooldown = 0
 
     def step(
-        self, mean_depth: float, busy_fraction: float, active_shards: int
+        self,
+        mean_depth: float,
+        busy_fraction: float,
+        active_shards: int,
+        burn_rate: Optional[float] = None,
     ) -> Optional[str]:
         cfg = self.config
-        if mean_depth >= cfg.scale_up_depth and busy_fraction >= cfg.min_busy_fraction:
+        if cfg.policy == "burn-rate" and burn_rate is not None:
+            # SLO-driven sizing: pressure is error-budget spend, not
+            # backlog.  Same streak/dead-band/cooldown machinery, so the
+            # no-flapping contract carries over unchanged.
+            if burn_rate >= cfg.scale_up_burn:
+                self._over += 1
+                self._under = 0
+            elif burn_rate <= cfg.scale_down_burn:
+                self._under += 1
+                self._over = 0
+            else:
+                self._over = 0
+                self._under = 0
+        elif mean_depth >= cfg.scale_up_depth and busy_fraction >= cfg.min_busy_fraction:
             self._over += 1
             self._under = 0
         elif (
@@ -248,6 +291,8 @@ class _Shard:
         "consecutive_failures",
         "sessions",
         "busy_gauge",
+        "requests_ok",
+        "requests_total",
     )
 
     def __init__(self, shard_id: int, scheduler: EdgeScheduler) -> None:
@@ -258,8 +303,19 @@ class _Shard:
         self.state = SHARD_ACTIVE
         self.consecutive_failures = 0
         self.sessions: set[int] = set()
-        self.busy_gauge = scheduler.counters.registry.gauge(
+        registry = scheduler.counters.registry
+        self.busy_gauge = registry.gauge(
             scheduler.counters.metric_name("workers_busy")
+        )
+        # Availability series the per-shard SLO watches: a request is
+        # "ok" when its reply was computed and collected from this
+        # shard; failed submits and stranded tickets bump only the
+        # total.  Bumped via Counter.add so windowed watchers fire.
+        self.requests_ok = registry.counter(
+            labeled("fleet.requests_ok", shard=shard_id)
+        )
+        self.requests_total = registry.counter(
+            labeled("fleet.requests_total", shard=shard_id)
         )
 
     @property
@@ -285,6 +341,39 @@ class _Shard:
             "mean_queue_wait_ms": c.mean_queue_wait_ms,
             "shed_samples": c.shed_samples,
             "clock_ms": self.scheduler.clock_ms,
+        }
+
+
+@dataclass
+class FleetHealth:
+    """One fleet health snapshot — the payload behind ``repro health
+    --json`` and each ``repro top`` frame.
+
+    ``shards`` rows merge the shard's routing state (lifecycle state,
+    placed sessions, consecutive failures, availability counters) with
+    its scheduler's :meth:`~repro.runtime.scheduler.EdgeScheduler.health`
+    panel and, when monitoring is on, that shard's SLO rows (state,
+    burn rates, budget remaining).  ``alerts`` and ``slo`` are the
+    monitor's live view (empty / ``None`` when monitoring is off).
+    """
+
+    rounds: int
+    clock_ms: float
+    active_shards: int
+    samples_served: int
+    shards: list[dict]
+    alerts: list[dict]
+    slo: Optional[dict]
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rounds": self.rounds,
+            "clock_ms": self.clock_ms,
+            "active_shards": self.active_shards,
+            "samples_served": self.samples_served,
+            "shards": [dict(s) for s in self.shards],
+            "alerts": [dict(a) for a in self.alerts],
+            "slo": dict(self.slo) if self.slo is not None else None,
         }
 
 
@@ -333,7 +422,12 @@ class FleetRouter:
         #: Hooks called as ``hook(router, round)`` at the top of every
         #: flush — the seam scripted failures and load traces plug into.
         self.before_flush_hooks: list[Callable[["FleetRouter", int], None]] = []
+        self.after_flush_hooks: list[Callable[["FleetRouter", int], None]] = []
         self.events: list[dict[str, object]] = []
+        #: Optional SLO monitor (see :meth:`enable_monitoring`).  ``None``
+        #: keeps every serving path allocation-identical to a fleet that
+        #: predates monitoring.
+        self._monitor: Optional[SloMonitor] = None
         self.autoscaler = (
             Autoscaler(self.config.autoscaler)
             if self.config.autoscaler is not None
@@ -396,6 +490,43 @@ class FleetRouter:
         return max(s.scheduler.clock_ms for s in self._shards.values())
 
     @property
+    def monitor(self) -> Optional[SloMonitor]:
+        return self._monitor
+
+    def enable_monitoring(
+        self,
+        specs=None,
+        policy: Optional[BurnRatePolicy] = None,
+        recorder=None,
+        capacity: Optional[int] = None,
+    ) -> SloMonitor:
+        """Attach an SLO monitor over the fleet registry (opt-in).
+
+        The monitor's clock is the fleet's simulated makespan, so every
+        window, burn rate, and alert transition is deterministic for a
+        given run.  ``specs`` defaults to
+        :func:`~repro.observability.slo.default_fleet_slos`; alert
+        transitions emit ``slo.alert`` spans through ``recorder`` (the
+        router's recorder when not given).  The monitor is evaluated
+        once per :meth:`flush` round, after serving and before the
+        autoscaler — which is what lets the ``"burn-rate"`` autoscaler
+        policy read a fresh burn signal.  Without this call, no watcher
+        is ever attached and the serving paths are unchanged.
+        """
+        if self._monitor is not None:
+            return self._monitor
+        kwargs = {} if capacity is None else {"capacity": capacity}
+        self._monitor = SloMonitor(
+            self.registry,
+            specs if specs is not None else default_fleet_slos(),
+            clock=lambda: self.clock_ms,
+            policy=policy,
+            recorder=recorder if recorder is not None else self._recorder,
+            **kwargs,
+        )
+        return self._monitor
+
+    @property
     def active_shard_ids(self) -> list[int]:
         return sorted(
             sid for sid, s in self._shards.items() if s.state == SHARD_ACTIVE
@@ -438,6 +569,37 @@ class FleetRouter:
             "events": [dict(e) for e in self.events],
         }
 
+    def health(self) -> FleetHealth:
+        """Snapshot the fleet's operational state (see :class:`FleetHealth`)."""
+        now = self.clock_ms
+        monitor = self._monitor
+        shards: list[dict] = []
+        for sid in sorted(self._shards):
+            shard = self._shards[sid]
+            entry = shard.scheduler.health()
+            entry.update(
+                {
+                    "shard": sid,
+                    "state": shard.state,
+                    "sessions": len(shard.sessions),
+                    "consecutive_failures": shard.consecutive_failures,
+                    "requests_ok": shard.requests_ok.value,
+                    "requests_total": shard.requests_total.value,
+                }
+            )
+            if monitor is not None:
+                entry["slo"] = monitor.rows_for_labels({"shard": str(sid)}, now)
+            shards.append(entry)
+        return FleetHealth(
+            rounds=self.rounds,
+            clock_ms=now,
+            active_shards=len(self.active_shard_ids),
+            samples_served=sum(int(s["samples_served"]) for s in shards),
+            shards=shards,
+            alerts=monitor.active_alerts() if monitor is not None else [],
+            slo=monitor.report(now) if monitor is not None else None,
+        )
+
     def analytic_capacity_rps(self, batch_size: int = 1) -> float:
         """The M/M/c·N bound: active shards × per-shard capacity."""
         any_shard = next(iter(self._shards.values()))
@@ -467,6 +629,10 @@ class FleetRouter:
         self._shards[shard_id] = _Shard(shard_id, scheduler)
         self._rebuild_ring()
         self._active_gauge.set(float(len(self.active_shard_ids)))
+        if self._monitor is not None:
+            # Grouped SLOs pick up the new shard's labeled series now,
+            # not at the next evaluation.
+            self._monitor.sync()
         if _event:
             self._record("shard-added", shard=shard_id)
         return shard_id
@@ -520,6 +686,24 @@ class FleetRouter:
             self._active_gauge.set(float(len(self.active_shard_ids)))
         self._record("shard-healed", shard=shard_id)
 
+    def rebalance(self) -> None:
+        """Unpin every session so its next submit re-places it.
+
+        Placement is sticky by design, so sessions rerouted off a downed
+        shard stay crowded on the survivors after a heal — the queue-wait
+        SLO keeps burning on a healthy fleet.  An operator (or the drill
+        harness) calls this after membership recovers; re-placement uses
+        the configured policy, so ``"hash"`` sessions return to their
+        ring positions and ``"least-loaded"`` sessions spread evenly.
+        """
+        cleared = 0
+        for shard in self._shards.values():
+            cleared += len(shard.sessions)
+            for sid in shard.sessions:
+                self._placement.pop(sid, None)
+            shard.sessions.clear()
+        self._record("rebalance", sessions=cleared)
+
     def _evict_sessions(self, shard: _Shard) -> None:
         """Unpin a shard's sessions; they re-place on their next submit."""
         for sid in shard.sessions:
@@ -554,6 +738,8 @@ class FleetRouter:
                 0.0,
             )
             self._lost_tickets.add(1)
+            # The request happened; it will never be ok.
+            shard.requests_total.add(1)
         self._rebuild_ring()
         self._active_gauge.set(float(len(self.active_shard_ids)))
         self._record(
@@ -680,6 +866,7 @@ class FleetRouter:
 
     def _note_failure(self, shard: _Shard, kind: str) -> None:
         self._failures.add(1)
+        shard.requests_total.add(1)
         shard.consecutive_failures += 1
         if (
             shard.consecutive_failures >= self.config.failure_threshold
@@ -712,8 +899,12 @@ class FleetRouter:
                 ticket = self._local_to_global.get((sid, local))
                 if ticket is not None:
                     served.append(ticket)
+        if self._monitor is not None:
+            self._monitor.evaluate(self.clock_ms)
         if self.autoscaler is not None:
             self._autoscale()
+        for hook in list(self.after_flush_hooks):
+            hook(self, self.rounds)
         return served
 
     def _autoscale(self) -> None:
@@ -731,7 +922,12 @@ class FleetRouter:
             shard.busy_gauge.set(0.0)
         mean_depth = sum(depths) / len(depths)
         busy_fraction = sum(busy) / len(busy)
-        action = self.autoscaler.step(mean_depth, busy_fraction, len(active))
+        action = self.autoscaler.step(
+            mean_depth,
+            busy_fraction,
+            len(active),
+            burn_rate=self._monitor.last_burn if self._monitor is not None else None,
+        )
         if action == "scale-up":
             shard_id = self.add_shard(_event=False)
             self._scale_ups.add(1)
@@ -771,4 +967,8 @@ class FleetRouter:
             raise KeyError(f"no result for ticket {ticket}; flush() first")
         self._local_to_global.pop(pair, None)
         shard_id, local = pair
-        return self._shards[shard_id].scheduler.collect(local)
+        shard = self._shards[shard_id]
+        reply = shard.scheduler.collect(local)
+        shard.requests_ok.add(1)
+        shard.requests_total.add(1)
+        return reply

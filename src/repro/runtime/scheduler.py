@@ -44,7 +44,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..observability import NULL_RECORDER
+from ..observability import NULL_RECORDER, Counter, labeled
 from ..observability.clock import now_ms
 from ..profiling import SchedulerCounters
 from ..profiling.layer_stats import NetworkProfile
@@ -61,6 +61,7 @@ from .protocol import (
     encode_frame,
 )
 from .session import (
+    SERVED_BY_FALLBACK,
     EdgeEndpoint,
     LCRSDeployment,
     RecognitionOutcome,
@@ -187,12 +188,13 @@ class EdgeScheduler:
             self.counters.metric_name("queue_depth")
         )
         #: Real thread pool for batch execution; its busy high-water
-        #: feeds the `sched.workers_busy` gauge and counter.
+        #: feeds the `sched.workers_busy` gauge and counter.  The gauge
+        #: is also read by :meth:`health` for the busy fraction.
+        self.workers_busy_gauge = self.counters.registry.gauge(
+            self.counters.metric_name("workers_busy")
+        )
         self.worker_pool = WorkerPool(
-            self.config.num_workers,
-            gauge=self.counters.registry.gauge(
-                self.counters.metric_name("workers_busy")
-            ),
+            self.config.num_workers, gauge=self.workers_busy_gauge
         )
         self._queue: list[_Queued] = []
         self._results: dict[int, tuple[bytes, float]] = {}
@@ -255,6 +257,36 @@ class EdgeScheduler:
         return sum(
             q.samples for q in self._queue if tenant is None or q.tenant == tenant
         )
+
+    def health(self) -> dict[str, object]:
+        """JSON-ready operational snapshot of this scheduler.
+
+        The per-shard panel of ``FleetRouter.health()`` and ``repro
+        top``: instantaneous queue state plus the windowable wait
+        summaries.  ``queue_depth`` is live (samples queued right now);
+        ``queue_depth_hw`` is the high-water gauge the autoscaler reads
+        and resets per round.
+        """
+        counters = self.counters
+        wait_h = counters.request_wait_histogram
+        return {
+            "shard": self.shard,
+            "clock_ms": self.clock_ms,
+            "queue_depth": self.queued_samples(),
+            "queue_depth_hw": self.queue_depth_gauge.value,
+            "busy_fraction": (
+                self.workers_busy_gauge.value / self.config.num_workers
+                if self.config.num_workers
+                else 0.0
+            ),
+            "num_workers": self.config.num_workers,
+            "samples_served": counters.samples_served,
+            "shed_samples": counters.shed_samples,
+            "batches": counters.batches,
+            "mean_queue_wait_ms": counters.mean_queue_wait_ms,
+            "p99_queue_wait_ms": wait_h.p99,
+            "tenants": len(self._tenants),
+        }
 
     # -- admission -----------------------------------------------------
     def submit(self, frame: bytes, arrival_ms: float) -> bytes:
@@ -480,6 +512,7 @@ class EdgeScheduler:
                 )
                 wait = start - q.arrival_ms
                 self._results[q.ticket] = (encode_frame(response), wait)
+                self.counters.record_request_wait(wait)
                 self.counters.tenant(q.tenant)["served"] += q.samples
                 waits += wait * q.samples
                 offset += q.samples
@@ -605,6 +638,25 @@ def run_concurrent_sessions(
         scheduler.recorder = recorder
     rec = scheduler.recorder
     cfg = config if config is not None else SessionConfig()
+    # Session-level registry series (satellite of the SLO layer): who
+    # served each sample and the running fallback fraction.  Bumped via
+    # Counter.add so windowed watchers see every increment (a facade
+    # `+=` would bypass them).  ``scheduler`` may be a FleetRouter,
+    # which exposes ``registry`` directly and no shard identity (these
+    # series aggregate the whole fleet; sessions move across shards).
+    registry = getattr(scheduler, "registry", None)
+    if registry is None:
+        registry = scheduler.counters.registry
+    shard = getattr(scheduler, "shard", None)
+    session_labels = {"shard": shard} if shard is not None else {}
+    samples_c = registry.counter(labeled("session.samples", **session_labels))
+    fallback_c = registry.counter(
+        labeled("session.fallback_samples", **session_labels)
+    )
+    fallback_rate_g = registry.gauge(
+        labeled("session.fallback_rate", **session_labels)
+    )
+    served_by_c: dict[str, Counter] = {}
     sessions: list[_SessionState] = []
     for deployment, images in zip(deployments, streams):
         scheduler.register(deployment._session_id)
@@ -685,6 +737,22 @@ def run_concurrent_sessions(
             deployment._finish_chunk(
                 pending, s.ctx, s.outcomes, s.costs, sim_now=s.clock_ms
             )
+            if pending.count:
+                samples_c.add(pending.count)
+                for outcome in s.outcomes[-pending.count :]:
+                    who = outcome.served_by
+                    counter = served_by_c.get(who)
+                    if counter is None:
+                        counter = registry.counter(
+                            labeled(f"session.served_by.{who}", **session_labels)
+                        )
+                        served_by_c[who] = counter
+                    counter.add(1)
+                    if who == SERVED_BY_FALLBACK:
+                        fallback_c.add(1)
+                fallback_rate_g.set(
+                    fallback_c.value / samples_c.value if samples_c.value else 0.0
+                )
             s.clock_ms += sum(c.total_ms for c in s.costs[-pending.count :])
             s.cursor += pending.count
 

@@ -31,12 +31,16 @@ class TestParser:
         parser = build_parser()
         commands = (
             "train", "evaluate", "export", "study", "session", "scale",
-            "trace", "fleet", "plan",
+            "trace", "fleet", "health", "top", "plan",
+        )
+        needs_checkpoint = (
+            "evaluate", "session", "scale", "trace", "fleet", "health",
+            "top", "plan",
         )
         for command in commands:
             assert parser.parse_args([command] + (
                 ["x.npz"]
-                if command in ("evaluate", "session", "scale", "trace", "fleet", "plan")
+                if command in needs_checkpoint
                 else ["x.npz", "y.lcrs"] if command == "export" else []
             )).command == command
 
@@ -261,3 +265,48 @@ class TestStudyCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "Table II" in out and "Table III" in out and "Figure 7" in out
+
+
+@pytest.mark.fleet
+class TestHealthCommand:
+    def test_health_prints_snapshot_and_writes_artifacts(
+        self, checkpoint, tmp_path, capsys
+    ):
+        import json
+
+        out_json = tmp_path / "drill.json"
+        prom = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "health", str(checkpoint),
+                "--samples", "24",
+                "--out", str(out_json),
+                "--prometheus", str(prom),
+            ]
+        )
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert {"rounds", "shards", "alerts", "slo"} <= set(snapshot)
+        assert len(snapshot["shards"]) == 2
+        record = json.loads(out_json.read_text())
+        assert record["monitored"] is True
+        assert "alert_events" in record
+        text = prom.read_text()
+        assert "# TYPE" in text and "fleet_requests_total" in text
+
+
+@pytest.mark.fleet
+class TestTopCommand:
+    def test_top_renders_one_frame_per_round(self, checkpoint, capsys):
+        code = main(["top", str(checkpoint), "--samples", "24", "--no-ansi"])
+        assert code == 0
+        out = capsys.readouterr().out
+        frames = out.count("SHARD  STATE")
+        assert frames >= 4  # one frame per fleet round
+        assert "drill complete" in out
+        assert "\x1b[2J" not in out  # --no-ansi suppresses clears
+
+    def test_top_ansi_mode_clears_between_frames(self, checkpoint, capsys):
+        code = main(["top", str(checkpoint), "--samples", "24"])
+        assert code == 0
+        assert "\x1b[2J" in capsys.readouterr().out

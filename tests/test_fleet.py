@@ -686,3 +686,179 @@ class TestSweepConfigShims:
                 batch_size=2,
             )
         assert [p.workers for p in result.points] == [1]
+
+
+class TestBurnRateAutoscaler:
+    CFG = AutoscalerConfig(
+        min_shards=1,
+        max_shards=4,
+        policy="burn-rate",
+        scale_up_burn=2.0,
+        scale_down_burn=0.5,
+        hold_rounds=2,
+        cooldown_rounds=1,
+    )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="policy"):
+            AutoscalerConfig(policy="latency")
+        with pytest.raises(ValueError):
+            AutoscalerConfig(
+                policy="burn-rate", scale_up_burn=1.0, scale_down_burn=2.0
+            )
+        with pytest.raises(ValueError):
+            AutoscalerConfig(policy="burn-rate", scale_down_burn=-0.1)
+
+    def test_scale_up_on_sustained_burn(self):
+        scaler = Autoscaler(self.CFG)
+        assert scaler.step(0.0, 0.0, 1, burn_rate=5.0) is None
+        assert scaler.step(0.0, 0.0, 1, burn_rate=5.0) == "scale-up"
+
+    def test_scale_down_when_budget_recovers(self):
+        scaler = Autoscaler(self.CFG)
+        assert scaler.step(0.0, 0.0, 2, burn_rate=0.1) is None
+        assert scaler.step(0.0, 0.0, 2, burn_rate=0.1) == "scale-down"
+
+    def test_dead_band_between_burn_thresholds(self):
+        scaler = Autoscaler(self.CFG)
+        scaler.step(0.0, 0.0, 1, burn_rate=5.0)
+        # Burn hovers between down (0.5) and up (2.0): streak broken.
+        assert scaler.step(0.0, 0.0, 1, burn_rate=1.0) is None
+        assert scaler.step(0.0, 0.0, 1, burn_rate=5.0) is None
+        assert scaler.step(0.0, 0.0, 1, burn_rate=5.0) == "scale-up"
+
+    def test_oscillating_burn_never_flaps(self):
+        scaler = Autoscaler(self.CFG)
+        actions = [
+            scaler.step(0.0, 0.0, 2, burn_rate=5.0 if i % 2 == 0 else 0.0)
+            for i in range(20)
+        ]
+        assert actions == [None] * 20
+
+    def test_missing_burn_signal_falls_back_to_depth(self):
+        # No monitor attached: burn_rate is None, depth signal drives.
+        cfg = AutoscalerConfig(
+            max_shards=4,
+            policy="burn-rate",
+            scale_up_depth=10.0,
+            hold_rounds=1,
+            cooldown_rounds=0,
+        )
+        scaler = Autoscaler(cfg)
+        assert scaler.step(50.0, 1.0, 1, burn_rate=None) == "scale-up"
+
+    def test_depth_policy_ignores_burn_signal(self):
+        cfg = AutoscalerConfig(
+            max_shards=4, scale_up_depth=10.0, hold_rounds=1, cooldown_rounds=0
+        )
+        scaler = Autoscaler(cfg)
+        # Huge burn but empty queues under the default depth policy.
+        assert scaler.step(0.0, 0.0, 1, burn_rate=100.0) is None
+
+
+class TestFleetHealthSnapshot:
+    def test_health_shape_without_monitor(self):
+        fleet = make_fleet(
+            num_shards=2, scheduler=SchedulerConfig(window_ms=0.0)
+        )
+        fleet.register(1)
+        submit(fleet, make_frame(1, [0, 1]))
+        fleet.flush()
+        health = fleet.health()
+        assert health.rounds == 1
+        assert health.active_shards == 2
+        assert health.samples_served == 2
+        assert health.alerts == [] and health.slo is None
+        assert len(health.shards) == 2
+        for shard in health.shards:
+            assert {"shard", "state", "queue_depth", "busy_fraction",
+                    "requests_ok", "requests_total"} <= set(shard)
+            assert "slo" not in shard  # no monitor attached
+        payload = health.as_dict()
+        assert payload["shards"] == health.shards
+
+    def test_health_with_monitor_includes_slo_panels(self):
+        fleet = make_fleet(
+            num_shards=2, scheduler=SchedulerConfig(window_ms=0.0)
+        )
+        fleet.enable_monitoring()
+        fleet.register(1)
+        submit(fleet, make_frame(1, [0, 1]))
+        fleet.flush()
+        health = fleet.health()
+        assert health.slo is not None
+        for shard in health.shards:
+            assert isinstance(shard["slo"], list)
+
+    def test_enable_monitoring_is_idempotent(self):
+        fleet = make_fleet(num_shards=1, scheduler=SchedulerConfig(window_ms=0.0))
+        monitor = fleet.enable_monitoring()
+        assert fleet.enable_monitoring() is monitor
+        assert fleet.monitor is monitor
+
+    def test_requests_ok_total_track_outcomes(self):
+        fleet = make_fleet(
+            num_shards=2,
+            scheduler=SchedulerConfig(window_ms=0.0),
+            failure_threshold=1,
+        )
+        fleet.register(1)
+        victim = fleet.route(1).shard_id
+        ack = submit(fleet, make_frame(1, [0, 1]))
+        assert isinstance(ack, SchedulerAck)
+        fleet.flush()
+        fleet.collect(ack.ticket)
+        shard = fleet.shard(victim)
+        assert shard.requests_ok.value == 1
+        assert shard.requests_total.value == 1
+        # A failed submit counts against the total but not ok.
+        fleet.partition_shard(victim)
+        submit(fleet, make_frame(1, [2, 3]))
+        assert shard.requests_ok.value == 1
+        assert shard.requests_total.value == 2
+
+
+class TestRebalance:
+    def test_rebalance_unpins_all_sessions(self):
+        fleet = make_fleet(
+            num_shards=2,
+            placement="least-loaded",
+            scheduler=SchedulerConfig(window_ms=0.0),
+            failure_threshold=1,
+        )
+        for sid in (1, 2, 3, 4):
+            fleet.register(sid)
+        victim = fleet.route(1).shard_id
+        fleet.partition_shard(victim)
+        for sid in (1, 2, 3, 4):
+            submit(fleet, make_frame(sid, [0]))
+        # The victim's first submit tripped the failure detector (503);
+        # resubmitting lands everyone on the survivor.
+        for sid in (1, 2, 3, 4):
+            submit(fleet, make_frame(sid, [1]))
+        survivor = next(s for s in fleet.active_shard_ids)
+        assert len(fleet.shard(survivor).sessions) == 4
+
+        fleet.heal_shard(victim)
+        fleet.rebalance()
+        assert all(
+            len(fleet.shard(s).sessions) == 0 for s in fleet.active_shard_ids
+        )
+        # Next submits spread across both shards again.
+        for sid in (1, 2, 3, 4):
+            submit(fleet, make_frame(sid, [0]))
+        by_shard = [len(fleet.shard(s).sessions) for s in sorted(fleet.active_shard_ids)]
+        assert by_shard == [2, 2]
+        assert "rebalance" in [e["event"] for e in fleet.events]
+
+    def test_rebalance_does_not_count_as_rerouted(self):
+        fleet = make_fleet(
+            num_shards=2,
+            placement="least-loaded",
+            scheduler=SchedulerConfig(window_ms=0.0),
+        )
+        fleet.register(1)
+        submit(fleet, make_frame(1, [0]))
+        before = fleet.describe()["sessions_rerouted"]
+        fleet.rebalance()
+        assert fleet.describe()["sessions_rerouted"] == before

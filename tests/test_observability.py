@@ -18,6 +18,7 @@ Three layers of coverage, all under the ``obs`` marker:
 from __future__ import annotations
 
 import json
+import re
 
 import numpy as np
 import pytest
@@ -391,3 +392,161 @@ class TestSixteenUserAcceptance:
         tracks = {s.track for s in spans}
         assert sum(t.startswith("session-") for t in tracks) == 16
         assert "edge" in tracks
+
+
+# ----------------------------------------------------------------------
+# Labeled series names: labeled() <-> parse_labels() round trip
+# ----------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability import labeled, parse_labels
+
+_label_keys = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_"),
+    min_size=1,
+    max_size=8,
+).filter(lambda s: "=" not in s and "," not in s and "{" not in s and "}" not in s)
+_label_values = st.one_of(
+    st.integers(min_value=0, max_value=10**6),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_.-"),
+        min_size=1,
+        max_size=12,
+    ),
+)
+_base_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="._"),
+    min_size=1,
+    max_size=24,
+).filter(lambda s: "{" not in s and "}" not in s)
+
+
+class TestLabeledRoundTrip:
+    def test_bare_name_passes_through(self):
+        assert labeled("sched.queue_depth") == "sched.queue_depth"
+        assert parse_labels("sched.queue_depth") == ("sched.queue_depth", {})
+
+    def test_known_example(self):
+        name = labeled("sched.queue_depth", shard=2)
+        assert name == "sched.queue_depth{shard=2}"
+        assert parse_labels(name) == ("sched.queue_depth", {"shard": "2"})
+
+    def test_label_keys_sorted_canonically(self):
+        assert labeled("m", b=1, a=2) == labeled("m", a=2, b=1)
+
+    @settings(max_examples=200, deadline=None)
+    @given(base=_base_names, labels=st.dictionaries(_label_keys, _label_values, max_size=4))
+    def test_round_trip_property(self, base, labels):
+        name = labeled(base, **labels)
+        got_base, got_labels = parse_labels(name)
+        assert got_base == base
+        # Values come back as their string encoding (the name is the
+        # only durable form), and re-labeling reproduces the name.
+        assert got_labels == {k: str(v) for k, v in labels.items()}
+        assert labeled(got_base, **got_labels) == name
+
+
+# ----------------------------------------------------------------------
+# Bounded histogram mode
+# ----------------------------------------------------------------------
+class TestBoundedHistogram:
+    def test_percentiles_cover_only_the_ring(self):
+        h = Histogram("h", bounds=(10.0, 100.0), max_samples=4)
+        for v in (1000.0, 1000.0, 1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        # The two early spikes fell off the ring.
+        assert h.retained == 4
+        assert h.percentile(99.0) == 4.0
+        assert h.max == 4.0
+
+    def test_alltime_aggregates_stay_exact(self):
+        h = Histogram("h", bounds=(10.0,), max_samples=2)
+        for v in (1.0, 2.0, 3.0, 20.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 26.0
+        assert h.bucket_counts == [3, 1]  # all-time, not ring-limited
+
+    def test_state_restore_round_trips_the_ring(self):
+        h = Histogram("h", bounds=(10.0,), max_samples=3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        snap = h.state()
+        h.observe(100.0)
+        h.restore(snap)
+        assert h.retained == 3
+        assert h.percentile(99.0) == 4.0
+
+    def test_invalid_max_samples_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0,), max_samples=0)
+
+    def test_registry_histogram_forwards_max_samples(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("bounded", bounds=(1.0,), max_samples=8)
+        assert h.max_samples == 8
+        # get-or-create: params only apply on first creation.
+        assert reg.histogram("bounded") is h
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+from repro.observability import labeled as _labeled
+from repro.observability import prometheus_text, write_prometheus
+
+_PROM_LINE = re.compile(
+    r"^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.e+-]+(\.[0-9]+)?)$"
+)
+
+
+class TestPrometheusText:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter(_labeled("fleet.requests_ok", shard=0)).add(5)
+        reg.counter(_labeled("fleet.requests_ok", shard=1)).add(7)
+        reg.gauge("sched.queue_depth").set(3.0)
+        h = reg.histogram("wait.ms", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        return reg
+
+    def test_every_line_is_valid_exposition(self):
+        text = prometheus_text(self._registry())
+        assert text.endswith("\n")
+        for line in text.rstrip("\n").split("\n"):
+            assert _PROM_LINE.match(line), f"invalid exposition line: {line!r}"
+
+    def test_labeled_series_share_one_family(self):
+        text = prometheus_text(self._registry())
+        assert text.count("# TYPE fleet_requests_ok counter") == 1
+        assert 'fleet_requests_ok{shard="0"} 5' in text
+        assert 'fleet_requests_ok{shard="1"} 7' in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = prometheus_text(self._registry())
+        assert 'wait_ms_bucket{le="1"} 1' in text
+        assert 'wait_ms_bucket{le="10"} 2' in text
+        assert 'wait_ms_bucket{le="+Inf"} 3' in text
+        assert "wait_ms_sum 55.5" in text
+        assert "wait_ms_count 3" in text
+
+    def test_kind_collision_suffixes_family(self):
+        reg = MetricsRegistry()
+        reg.counter("metric.x").add(1)
+        reg.gauge("metric/x").set(2.0)  # sanitizes to the same family
+        text = prometheus_text(reg)
+        assert "# TYPE metric_x counter" in text
+        assert "# TYPE metric_x_gauge gauge" in text
+
+    def test_deterministic_and_empty_registry(self):
+        reg = self._registry()
+        assert prometheus_text(reg) == prometheus_text(reg)
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_write_prometheus_creates_file(self, tmp_path):
+        out = write_prometheus(self._registry(), tmp_path / "metrics" / "fleet.prom")
+        assert out.exists()
+        assert out.read_text() == prometheus_text(self._registry())

@@ -340,3 +340,129 @@ class TestSharedEndpointConcurrency:
             assert key == solo_key
 
         _run_threads(THREADS, work)
+
+
+# ----------------------------------------------------------------------
+# Concurrent metric mutation + export (JSONL / Chrome / Prometheus)
+# ----------------------------------------------------------------------
+class TestConcurrentMutationAndExport:
+    """WorkerPool threads hammer one registry while exporters read it.
+
+    The contract: totals are exact (no lost updates through the watcher
+    path either), every exporter produces valid output mid-hammer, and
+    the final exposition reflects exactly the summed per-thread work.
+    """
+
+    WORKERS = 4
+    ROUNDS = 50
+
+    def _hammer(self, registry, tracer):
+        from repro.observability import labeled
+        from repro.runtime import WorkerPool
+
+        def work(idx):
+            shard = idx % 2
+            counter = registry.counter(labeled("hammer.requests", shard=shard))
+            hist = registry.histogram("hammer.wait_ms", max_samples=64)
+            gauge = registry.gauge("hammer.depth")
+            for i in range(self.ROUNDS):
+                counter.add(1)
+                hist.observe(float(i % 7))
+                gauge.set_max(float(i))
+                with tracer.span("hammer.step", track=f"w{idx}"):
+                    pass
+            return idx
+
+        with WorkerPool(self.WORKERS) as pool:
+            done = pool.map(work, list(range(self.WORKERS)))
+        assert sorted(done) == list(range(self.WORKERS))
+
+    def test_exact_totals_and_valid_exports(self, tmp_path):
+        import json as _json
+
+        from repro.observability import (
+            MetricsRegistry,
+            Tracer,
+            chrome_trace,
+            labeled,
+            prometheus_text,
+            spans_to_jsonl,
+            write_prometheus,
+        )
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        # Attach a watcher before the hammer so the watcher path is
+        # exercised under the same contention as the metric itself.
+        seen = []
+        lock = threading.Lock()
+
+        def tap(value):
+            with lock:
+                seen.append(value)
+
+        registry.histogram("hammer.wait_ms", max_samples=64).watch(tap)
+        self._hammer(registry, tracer)
+
+        total_adds = self.WORKERS * self.ROUNDS
+        per_shard = total_adds // 2
+        for shard in (0, 1):
+            counter = registry.get(labeled("hammer.requests", shard=shard))
+            assert counter.value == per_shard
+        hist = registry.get("hammer.wait_ms")
+        assert hist.count == total_adds
+        assert len(seen) == total_adds  # watcher saw every observation
+        assert registry.get("hammer.depth").value == float(self.ROUNDS - 1)
+
+        # JSONL: one well-formed object per span line.
+        jsonl = spans_to_jsonl(tracer.spans())
+        lines = [ln for ln in jsonl.strip().split("\n") if ln]
+        assert len(lines) == total_adds
+        for ln in lines:
+            record = _json.loads(ln)
+            assert record["name"] == "hammer.step"
+
+        # Chrome: every emitted event is schema-complete.
+        trace = chrome_trace(tracer.spans())
+        events = trace["traceEvents"]
+        duration_events = [e for e in events if e["ph"] == "X"]
+        assert len(duration_events) == total_adds
+        for e in duration_events:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+
+        # Prometheus: exact numbers in the exposition.
+        text = prometheus_text(registry)
+        assert f'hammer_requests{{shard="0"}} {per_shard}' in text
+        assert f"hammer_wait_ms_count {total_adds}" in text
+        out = write_prometheus(registry, tmp_path / "hammer.prom")
+        assert out.read_text() == text
+
+    def test_export_during_mutation_is_well_formed(self):
+        from repro.observability import MetricsRegistry, Tracer, prometheus_text
+        from repro.runtime import WorkerPool
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        stop = threading.Event()
+        failures = []
+
+        def exporter():
+            while not stop.is_set():
+                try:
+                    text = prometheus_text(registry)
+                    for line in text.rstrip("\n").split("\n"):
+                        if line and not (
+                            line.startswith("# TYPE") or " " in line
+                        ):
+                            failures.append(line)
+                except Exception as exc:  # noqa: BLE001 - reported below
+                    failures.append(exc)
+
+        reader = threading.Thread(target=exporter)
+        reader.start()
+        try:
+            self._hammer(registry, tracer)
+        finally:
+            stop.set()
+            reader.join()
+        assert not failures
