@@ -10,7 +10,7 @@
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest -x -q
 
-.PHONY: test fault-smoke trace-smoke plan-smoke fleet-smoke obs-smoke golden stress verify bench bench-sched bench-par bench-par-wall bench-plan bench-fleet bench-check bench-check-dry
+.PHONY: test fault-smoke trace-smoke plan-smoke fleet-smoke obs-smoke tau-smoke golden stress verify bench bench-sched bench-par bench-par-wall bench-plan bench-fleet bench-tau bench-check bench-check-dry
 
 test:
 	$(PYTEST)
@@ -30,13 +30,16 @@ fleet-smoke:
 obs-smoke:
 	$(PYTEST) -m obs tests/test_observability.py tests/test_windows.py tests/test_slo.py
 
+tau-smoke:
+	$(PYTEST) -m tau tests/test_tau_control.py tests/test_tiered_branch.py tests/test_golden_tau.py
+
 golden:
 	$(PYTEST) tests/test_protocol_fuzz.py tests/test_codec_properties.py tests/test_golden_trace.py tests/test_parallel.py
 
 stress:
 	$(PYTEST) -m par tests/test_thread_safety.py
 
-verify: test fault-smoke golden stress trace-smoke plan-smoke fleet-smoke obs-smoke bench-check-dry
+verify: test fault-smoke golden stress trace-smoke plan-smoke fleet-smoke obs-smoke tau-smoke bench-check-dry
 
 bench:
 	PYTHONPATH=src $(PY) benchmarks/bench_kernels.py
@@ -55,6 +58,9 @@ bench-plan:
 
 bench-fleet:
 	PYTHONPATH=src $(PY) benchmarks/bench_fleet.py
+
+bench-tau:
+	PYTHONPATH=src $(PY) benchmarks/bench_tau.py
 
 # Diff the committed BENCH_*.json headline ratios against their floors.
 # bench-check requires the files; bench-check-dry tolerates missing ones

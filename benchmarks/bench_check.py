@@ -19,6 +19,10 @@ Floors (mirroring the claims in DESIGN.md):
   wall parallelism at 1x and record that exemption themselves).
 * ``BENCH_fleet.json``    — ``results.headline_speedup`` >= 3.0x
   (4-shard fleet capacity vs a single shard).
+* ``BENCH_adaptive.json`` — ``results.headline_shed_margin`` >= 0.10
+  (at peak load the closed-loop τ controller sheds at least ten points
+  fewer admission attempts than the static-τ fleet), plus the wait
+  relief (>= 3x) and retained-accuracy (>= 0.9) side contracts.
 
 ``--dry-run`` tolerates *missing* files (a fresh clone that has not run
 the benches yet still verifies) but still fails on a regression in any
@@ -118,6 +122,24 @@ CHECKS = [
         "results.headline_speedup",
         3.0,
         "4-shard fleet capacity speedup",
+    ),
+    HeadlineCheck(
+        "BENCH_adaptive.json",
+        "results.headline_shed_margin",
+        0.10,
+        "closed-loop shed-rate margin over static τ",
+    ),
+    HeadlineCheck(
+        "BENCH_adaptive.json",
+        "results.checks.wait_relief",
+        3.0,
+        "closed-loop p99 queue-wait relief",
+    ),
+    HeadlineCheck(
+        "BENCH_adaptive.json",
+        "results.checks.accuracy_retained",
+        0.9,
+        "closed-loop retained accuracy",
     ),
 ]
 

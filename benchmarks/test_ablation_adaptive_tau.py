@@ -5,54 +5,21 @@ suboptimal; the integral controller raises τ when observed latency
 drifts over the SLA and relaxes it when the link recovers.  This is an
 extension in the spirit of the paper's future work ("more simulation in
 different system environments").
+
+The sweep itself lives in :func:`repro.experiments.adaptive_tau_study`
+so this ablation and the closed-loop fleet experiment
+(``repro tau`` / ``make bench-tau``) share one τ-sweep path.
 """
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
-from repro.core import AdaptiveThresholdController, simulate_adaptive_session
+from repro.core import AdaptiveThresholdController
+from repro.experiments import adaptive_tau_study
 from repro.experiments.reporting import render_table
 
 
-def _run_adaptive_study():
-    rng = np.random.default_rng(2)
-    n = 600
-    entropies = rng.uniform(0, 1, n)
-    hit_ms = 5.0
-    # Three link phases: healthy 4G, congested, recovered.
-    miss_ms = np.concatenate(
-        [
-            rng.normal(90, 10, n // 3),
-            rng.normal(700, 60, n // 3),
-            rng.normal(90, 10, n - 2 * (n // 3)),
-        ]
-    ).clip(min=10)
-
-    fixed_tau = 0.30
-    fixed_exits = entropies < fixed_tau
-    fixed_latency = np.where(fixed_exits, hit_ms, hit_ms + miss_ms)
-
-    controller = AdaptiveThresholdController(
-        tau_initial=fixed_tau, target_latency_ms=80.0, tau_max=0.95, gain=0.08
-    )
-    adaptive_latency, adaptive_exits = simulate_adaptive_session(
-        entropies, hit_ms, miss_ms, controller
-    )
-    return {
-        "fixed_mean": float(fixed_latency.mean()),
-        "adaptive_mean": float(adaptive_latency.mean()),
-        "fixed_exit": float(fixed_exits.mean()),
-        "adaptive_exit": float(adaptive_exits.mean()),
-        "congested_fixed": float(fixed_latency[n // 3 : 2 * n // 3].mean()),
-        "congested_adaptive": float(adaptive_latency[n // 3 : 2 * n // 3].mean()),
-        "recovered_tau": controller.threshold,
-    }
-
-
 def test_adaptive_threshold_under_unstable_link(benchmark, announce):
-    r = benchmark.pedantic(_run_adaptive_study, rounds=1, iterations=1)
+    r = benchmark.pedantic(adaptive_tau_study, rounds=1, iterations=1)
     announce(
         render_table(
             ["policy", "mean(ms)", "congested mean(ms)", "exit rate"],

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eleven commands cover the library's lifecycle without writing Python:
+Twelve commands cover the library's lifecycle without writing Python:
 
 * ``train``   — joint-train an LCRS on a synthetic dataset, calibrate,
   report, and optionally checkpoint.
@@ -29,6 +29,9 @@ Eleven commands cover the library's lifecycle without writing Python:
   binary branch, edge trunk) from a checkpoint, verify them bit-for-bit
   against the interpreter, and dump the fused steps with per-step
   counters.
+* ``tau``     — run the open- vs closed-loop adaptive-τ overload drill
+  (the :class:`~repro.runtime.tau_control.TauController` relief valve)
+  and print the shed/latency/accuracy trade-off curve.
 """
 
 from __future__ import annotations
@@ -250,6 +253,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=Path, default=None,
         help="write the plan descriptions (steps, counters, arenas) as JSON here",
     )
+
+    tau = sub.add_parser(
+        "tau",
+        help="open- vs closed-loop adaptive-τ overload drill "
+        "(shed/latency/accuracy trade-off curve)",
+    )
+    tau.add_argument("checkpoint", type=Path)
+    tau.add_argument(
+        "--sessions", type=int, nargs="+", default=[2, 4, 8],
+        help="arrival-rate levels: concurrent sessions per drill",
+    )
+    tau.add_argument(
+        "--rounds", type=int, default=12,
+        help="fleet rounds in the overload→drain stream",
+    )
+    tau.add_argument(
+        "--batch-size", type=int, default=4,
+        help="frames per browser-side chunk",
+    )
+    tau.add_argument(
+        "--bases", type=int, default=1,
+        help="ABC-Net binary bases in the branch (accuracy tiers the "
+        "controller may step down)",
+    )
+    tau.add_argument(
+        "--queue-capacity", type=int, default=24,
+        help="shard admission queue (samples) — the overload cliff",
+    )
+    tau.add_argument(
+        "--workers", type=int, default=1,
+        help="trunk workers per shard (M/M/c c)",
+    )
+    tau.add_argument("--seed", type=int, default=0)
+    tau.add_argument("--json", type=Path, default=None, help="also write JSON here")
     return parser
 
 
@@ -859,6 +896,70 @@ def _print_plan(name: str, plan, identical: bool) -> None:
         )
 
 
+def _cmd_tau(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments import run_adaptive_tau
+
+    system = load_system(args.checkpoint)
+    if not system.dataset_name:
+        print("checkpoint has no dataset name; cannot regenerate data", file=sys.stderr)
+        return 2
+    need = args.rounds * args.batch_size
+    _, test = make_dataset(system.dataset_name, 10, max(need, 64), seed=args.seed)
+    if system.calibration is None:
+        system.calibrate(test)
+
+    result = run_adaptive_tau(
+        system,
+        test.images,
+        test.labels,
+        session_levels=tuple(args.sessions),
+        rounds=args.rounds,
+        batch_size=args.batch_size,
+        num_bases=args.bases,
+        queue_capacity=args.queue_capacity,
+        num_workers=args.workers,
+        seed=args.seed,
+    )
+    print(
+        f"{result.network}: adaptive τ drill, static τ={result.static_tau:.3f}, "
+        f"{result.samples_per_session} frames/session, {args.bases} base(s), "
+        f"queue={args.queue_capacity}"
+    )
+    print(
+        f"{'sessions':>8} {'loop':>7} {'shed%':>7} {'p99wait':>9} "
+        f"{'exit%':>7} {'acc':>6} {'lat(ms)':>8} {'adjusts':>7}"
+    )
+    for p in result.points:
+        acc = "-" if p.accuracy is None else f"{p.accuracy:.3f}"
+        print(
+            f"{p.sessions:>8} {'closed' if p.controller else 'open':>7} "
+            f"{100 * p.shed_rate:>6.1f}% {p.p99_queue_wait_ms:>9.2f} "
+            f"{100 * p.exit_rate:>6.1f}% {acc:>6} {p.mean_latency_ms:>8.1f} "
+            f"{len(p.adjustments):>7}"
+        )
+    head = result.headline
+    print(
+        f"\nheadline @ {int(head['peak_sessions'])} sessions: "
+        f"static sheds {100 * head['static_shed_rate']:.1f}% of attempts "
+        f"(p99 wait {head['static_p99_wait_ms']:.0f}ms); closed loop sheds "
+        f"{100 * head['closed_shed_rate']:.1f}% (p99 wait "
+        f"{head['closed_p99_wait_ms']:.0f}ms) in {int(head['tau_adjustments'])} "
+        f"adjustments"
+    )
+    if "accuracy_drop" in head:
+        print(
+            f"accuracy: static {head['static_accuracy']:.3f} -> closed "
+            f"{head['closed_accuracy']:.3f} (drop {head['accuracy_drop']:.3f})"
+        )
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(result.as_dict(), indent=2))
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
@@ -871,6 +972,7 @@ _COMMANDS = {
     "health": _cmd_health,
     "top": _cmd_top,
     "plan": _cmd_plan,
+    "tau": _cmd_tau,
 }
 
 

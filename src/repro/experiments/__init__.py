@@ -13,8 +13,20 @@
 | §IV-D.1 instability | :func:`repro.experiments.faults_exp.run_degradation` |
 | §I concurrency | :func:`repro.experiments.scale.run_concurrency` |
 | §I fleet scale | :mod:`repro.experiments.fleet` |
+| §III-C closed loop | :mod:`repro.experiments.adaptive_tau` |
 """
 
+from .adaptive_tau import (
+    AdaptiveTauResult,
+    OverloadStream,
+    TauDrillResult,
+    adaptive_tau_study,
+    build_overload_stream,
+    congested_edge_model,
+    default_drill_control,
+    run_adaptive_tau,
+    run_tau_drill,
+)
 from .ablations import (
     BranchCountResult,
     BranchLocationResult,
@@ -82,6 +94,7 @@ from .table1 import Table1Cell, Table1Result, run_table1, run_table1_cell
 from .webar_exp import Figure10Result, run_figure10
 
 __all__ = [
+    "AdaptiveTauResult",
     "BranchCountResult",
     "BranchLocationResult",
     "CapacityPlanRow",
@@ -104,6 +117,7 @@ __all__ = [
     "FleetPartitionResult",
     "FleetSloResult",
     "LatencyComparison",
+    "OverloadStream",
     "PAPER_CLAIMS",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
@@ -116,16 +130,22 @@ __all__ = [
     "Table1Cell",
     "Table1Result",
     "Table1Row",
+    "TauDrillResult",
     "WorkerScalingConfig",
     "WorkerScalingPoint",
     "WorkerScalingResult",
+    "adaptive_tau_study",
     "build_network_assets",
+    "build_overload_stream",
     "build_plans",
     "capacity_planning_table",
+    "congested_edge_model",
+    "default_drill_control",
     "paper_table1_row",
     "render_capacity_table",
     "render_series",
     "render_table",
+    "run_adaptive_tau",
     "run_branch_count",
     "run_branch_location",
     "run_concurrency",
@@ -142,6 +162,7 @@ __all__ = [
     "run_latency_comparison",
     "run_table1",
     "run_table1_cell",
+    "run_tau_drill",
     "run_worker_scaling",
     "shape_check",
 ]

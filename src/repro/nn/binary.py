@@ -44,6 +44,30 @@ def binarize(weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return sign, alpha.astype(weights.dtype)
 
 
+def binarize_bases(
+    weights: np.ndarray, num_bases: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """ABC-Net-style greedy residual decomposition: W ≈ Σ_k α_k · B_k.
+
+    Base 1 is exactly :func:`binarize` (sign + L1-mean scale); each
+    further base binarizes the reconstruction residual, so truncating
+    the list to the first ``t`` bases yields the best-effort tier-``t``
+    approximation and ``num_bases=1`` reproduces the XNOR layer
+    bit-for-bit.  Returns ``[(sign_k, alpha_k), ...]`` in base order.
+    """
+    if num_bases < 1:
+        raise ValueError("num_bases must be at least 1")
+    axes = tuple(range(1, weights.ndim))
+    shape = (-1,) + (1,) * (weights.ndim - 1)
+    bases: list[tuple[np.ndarray, np.ndarray]] = []
+    residual = weights
+    for _ in range(num_bases):
+        sign, alpha = binarize(residual)
+        bases.append((sign, alpha))
+        residual = residual - alpha.reshape(shape) * sign
+    return bases
+
+
 def input_scaling_factors(
     x: np.ndarray, kernel: int, stride: int, padding: int
 ) -> np.ndarray:

@@ -413,7 +413,11 @@ class MetricsRegistry:
         return out
 
     def __iter__(self) -> Iterator[Metric]:
-        return iter(self._metrics.values())
+        # Snapshot under the lock: exporters iterate while request
+        # threads get-or-create metrics, and a live dict-values iterator
+        # raises "dictionary changed size during iteration" mid-scrape.
+        with self._lock:
+            return iter(list(self._metrics.values()))
 
     def __len__(self) -> int:
         return len(self._metrics)

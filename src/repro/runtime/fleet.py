@@ -66,6 +66,7 @@ from .protocol import (
     encode_frame,
 )
 from .scheduler import EdgeScheduler, SchedulerConfig
+from .tau_control import TauControlConfig, TauController
 
 #: Placement policies :class:`FleetConfig` accepts.
 PLACEMENT_POLICIES = ("hash", "least-loaded")
@@ -364,6 +365,9 @@ class FleetHealth:
     shards: list[dict]
     alerts: list[dict]
     slo: Optional[dict]
+    #: Closed-loop τ controller snapshot (``None`` when control is off):
+    #: per-shard τ / quality tier / streaks plus the policy bounds.
+    tau: Optional[dict] = None
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -374,6 +378,7 @@ class FleetHealth:
             "shards": [dict(s) for s in self.shards],
             "alerts": [dict(a) for a in self.alerts],
             "slo": dict(self.slo) if self.slo is not None else None,
+            "tau": dict(self.tau) if self.tau is not None else None,
         }
 
 
@@ -428,6 +433,10 @@ class FleetRouter:
         #: keeps every serving path allocation-identical to a fleet that
         #: predates monitoring.
         self._monitor: Optional[SloMonitor] = None
+        #: Optional closed-loop τ controller (see
+        #: :meth:`enable_tau_control`).  ``None`` keeps routing, flushes,
+        #: and session gating bit-identical to a static-τ fleet.
+        self._tau: Optional[TauController] = None
         self.autoscaler = (
             Autoscaler(self.config.autoscaler)
             if self.config.autoscaler is not None
@@ -527,6 +536,62 @@ class FleetRouter:
         return self._monitor
 
     @property
+    def tau_controller(self) -> Optional[TauController]:
+        return self._tau
+
+    def enable_tau_control(
+        self,
+        config: Optional[TauControlConfig] = None,
+        max_quality_tier: int = 1,
+        recorder=None,
+    ) -> TauController:
+        """Attach a closed-loop τ controller over the fleet (opt-in).
+
+        The controller reads each shard's windowed p99 queue wait off
+        the fleet registry (same clock as the SLO monitor: the simulated
+        makespan) and maintains a per-shard τ — and, when the deployment
+        ships ``max_quality_tier`` > 1 accuracy tiers, a per-shard branch
+        tier — that sessions pick up through
+        :meth:`session_threshold` / :meth:`session_quality_tier`.  It
+        runs once per :meth:`flush` round, after the SLO monitor (fresh
+        burn signal for alerting) and before the autoscaler: τ is the
+        fast relief valve, capacity the slow one.  Without this call no
+        window is attached and sessions gate exactly as configured.
+        """
+        if self._tau is not None:
+            return self._tau
+        self._tau = TauController(
+            config,
+            registry=self.registry,
+            clock=lambda: self.clock_ms,
+            max_quality_tier=max_quality_tier,
+            recorder=recorder if recorder is not None else self._recorder,
+        )
+        return self._tau
+
+    def session_threshold(self, session_id: int) -> Optional[float]:
+        """The controller's τ for a session's shard (``None`` = static τ).
+
+        ``None`` — controller off, or the session not yet placed — tells
+        the serving loop to leave the session's configured gate alone.
+        """
+        if self._tau is None:
+            return None
+        shard_id = self._placement.get(int(session_id))
+        if shard_id is None:
+            return None
+        return self._tau.threshold(shard_id)
+
+    def session_quality_tier(self, session_id: int) -> Optional[int]:
+        """The controller's branch tier for a session's shard."""
+        if self._tau is None:
+            return None
+        shard_id = self._placement.get(int(session_id))
+        if shard_id is None:
+            return None
+        return self._tau.quality_tier(shard_id)
+
+    @property
     def active_shard_ids(self) -> list[int]:
         return sorted(
             sid for sid, s in self._shards.items() if s.state == SHARD_ACTIVE
@@ -589,6 +654,8 @@ class FleetRouter:
             )
             if monitor is not None:
                 entry["slo"] = monitor.rows_for_labels({"shard": str(sid)}, now)
+            if self._tau is not None:
+                entry["tau"] = self._tau.state(sid).as_dict()
             shards.append(entry)
         return FleetHealth(
             rounds=self.rounds,
@@ -598,6 +665,7 @@ class FleetRouter:
             shards=shards,
             alerts=monitor.active_alerts() if monitor is not None else [],
             slo=monitor.report(now) if monitor is not None else None,
+            tau=self._tau.describe() if self._tau is not None else None,
         )
 
     def analytic_capacity_rps(self, batch_size: int = 1) -> float:
@@ -901,6 +969,11 @@ class FleetRouter:
                     served.append(ticket)
         if self._monitor is not None:
             self._monitor.evaluate(self.clock_ms)
+        if self._tau is not None:
+            # The relief valve runs before the autoscaler: raising τ is
+            # cheap and instant, adding a shard is neither.
+            for adjust in self._tau.update(self.active_shard_ids, self.clock_ms):
+                self._record("tau-adjust", **adjust)
         if self.autoscaler is not None:
             self._autoscale()
         for hook in list(self.after_flush_hooks):

@@ -122,6 +122,10 @@ class SampleCost:
     ``queue_ms`` is the slice of ``communication_ms`` spent waiting in a
     shared edge scheduler's queue (dynamic-batching window + head-of-line
     wait); it is zero for sessions served by a private endpoint.
+
+    ``quality_tier`` is the accuracy tier (active ABC-Net bases) the
+    sample's branch pass ran at; ``1`` is the single-base XNOR layer
+    every pre-tier session used.
     """
 
     total_ms: float
@@ -130,6 +134,7 @@ class SampleCost:
     exited_locally: Optional[bool] = None
     retry_ms: float = 0.0
     queue_ms: float = 0.0
+    quality_tier: int = 1
 
 
 @dataclass
@@ -205,6 +210,7 @@ def simulate_plan(
     include_setup: bool = True,
     retry_ms: Optional[Sequence[float]] = None,
     queue_ms: Optional[Sequence[float]] = None,
+    quality_tier: int = 1,
 ) -> SessionTrace:
     """Price a plan over ``num_samples`` samples.
 
@@ -222,6 +228,10 @@ def simulate_plan(
 
     ``queue_ms[i]`` charges scheduler queueing delay (shared-edge dynamic
     batching) to sample ``i``, also as communication time.
+
+    ``quality_tier`` is recorded verbatim on every :class:`SampleCost`
+    (the plan itself should already price the tier's reduced branch
+    FLOPs — see ``LCRSAssets.plan``).
     """
     if num_samples <= 0:
         raise ValueError("num_samples must be positive")
@@ -270,6 +280,7 @@ def simulate_plan(
                 exited_locally=None if missed is None else not missed,
                 retry_ms=retries,
                 queue_ms=queued,
+                quality_tier=int(quality_tier),
             )
         )
     return SessionTrace(approach=plan.approach, network=plan.network, samples=samples)

@@ -668,12 +668,31 @@ def run_concurrent_sessions(
             )
         )
 
+    # Closed-loop τ control (the FleetRouter seam): when the scheduler
+    # exposes per-session threshold/tier lookups, each round's chunks
+    # gate with the controller's current values for the session's shard.
+    # A bare scheduler — or a fleet without `enable_tau_control` — has
+    # no lookups (or returns None), and the contexts are never touched,
+    # which keeps static-τ runs bit-identical to pre-controller code.
+    session_threshold = getattr(scheduler, "session_threshold", None)
+    session_quality_tier = getattr(scheduler, "session_quality_tier", None)
+
     while not all(s.done for s in sessions):
         in_flight = []
         for s in sessions:
             if s.done:
                 continue
             deployment = s.deployment
+            if session_threshold is not None:
+                tau = session_threshold(deployment._session_id)
+                if tau is not None:
+                    s.ctx.threshold = float(tau)
+            if session_quality_tier is not None:
+                tier = session_quality_tier(deployment._session_id)
+                if tier is not None:
+                    s.ctx.quality_tier = max(
+                        1, min(int(tier), deployment.browser.max_quality_tier)
+                    )
             pending = deployment._begin_chunk(s.images, s.cursor, s.ctx)
             ticket = None
             if pending.request is not None:

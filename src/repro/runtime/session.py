@@ -133,6 +133,12 @@ class SessionConfig:
     time and fall back to it transparently (no C compiler, unsupported
     layer, verification failure), so this is purely a throughput knob —
     predictions, entropies, and exit decisions never change.
+
+    ``quality_tier`` pins the branch's accuracy tier (active ABC-Net
+    bases) for this session; ``None`` (the default) uses the
+    deployment's full-quality branch, which for single-base deployments
+    is the only tier and keeps the session bit-identical to pre-tier
+    behaviour.
     """
 
     batch_size: int = 1
@@ -145,12 +151,15 @@ class SessionConfig:
     fault_seed: int = 0
     num_threads: int = 1
     compile_plan: bool = True
+    quality_tier: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise ValueError("batch_size must be positive")
         if self.num_threads < 1:
             raise ValueError("num_threads must be at least 1")
+        if self.quality_tier is not None and self.quality_tier < 1:
+            raise ValueError("quality_tier must be at least 1")
         if self.threshold is not None and not 0.0 <= self.threshold <= 1.0:
             raise ValueError("threshold must be in [0, 1]")
         if self.codec is not None:
@@ -201,6 +210,12 @@ class _SessionContext:
     track: str = "main"
     stem_ms: float = 0.0
     branch_ms: float = 0.0
+    # Accuracy tier (active ABC-Net bases) for chunks begun from now on.
+    # A closed-loop controller may mutate `threshold`/`quality_tier`
+    # between chunks; in-flight chunks keep the values they started with.
+    quality_tier: int = 1
+    # Tier → priced plan cache (tier plans differ only in branch FLOPs).
+    tier_plans: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -227,6 +242,9 @@ class _PendingChunk:
     attempts: int = 0
     retry_ms: float = 0.0
     queue_ms: float = 0.0
+    # Accuracy tier the chunk's branch pass ran at, captured at begin
+    # time so a mid-flight tier switch cannot corrupt its pricing.
+    quality_tier: int = 1
     # Tracing context (empty/None when the recorder is disabled): the
     # chunk's trace id, its open root span, and the named child spans
     # that pricing places on the simulated timeline at finish.
@@ -242,8 +260,11 @@ class RecognitionOutcome:
     ``served_by`` names who produced the prediction — ``"binary-branch"``
     (confident local exit), ``"edge"`` (collaborative answer from the
     trunk), or ``"binary-fallback"`` (the edge was unreachable and the
-    branch answer was used as a degraded exit).  ``attempts`` counts
-    miss-path frame exchanges (0 for local exits).
+    branch answer was used as a degraded exit).  A local exit produced
+    below the deployment's full accuracy tier is suffixed with the tier
+    it ran at (``"binary-branch@tier1"``); the exact tier is always on
+    ``cost.quality_tier``.  ``attempts`` counts miss-path frame
+    exchanges (0 for local exits).
     """
 
     index: int
@@ -458,14 +479,42 @@ class BrowserClient:
     stem output must be retained for possible upload to the edge —
     "the mobile web browser frees them after sending them to the edge
     server" (§IV-A).
+
+    ``tier_payloads`` (one ``.lcrs`` payload per accuracy tier, lowest
+    first, last entry the full-quality branch) enables the tiered-branch
+    path: tier ``t`` runs the branch with its first ``t`` ABC-Net bases.
+    Lower tiers reuse bases the full bundle already shipped, so they add
+    no download bytes; engines below the top tier are loaded lazily on
+    first use.  The default (no tiers) is the single-engine client.
     """
 
-    def __init__(self, stem_payload: bytes, branch_payload: bytes, threshold: float) -> None:
+    def __init__(
+        self,
+        stem_payload: bytes,
+        branch_payload: bytes,
+        threshold: float,
+        tier_payloads: tuple = (),
+    ) -> None:
         self.stem_engine = WasmModel.load(stem_payload)
         self.branch_engine = WasmModel.load(branch_payload)
         self.threshold = threshold
         self.loaded_bytes = len(stem_payload) + len(branch_payload)
         self.compile_plan = True
+        self._tier_payloads = tuple(tier_payloads)
+        self.max_quality_tier = max(1, len(self._tier_payloads))
+        self._tier_engines: dict[int, WasmModel] = {
+            self.max_quality_tier: self.branch_engine
+        }
+
+    def branch_engine_for(self, quality_tier: int) -> WasmModel:
+        """The branch engine for an accuracy tier (clamped; lazy-loaded)."""
+        tier = max(1, min(int(quality_tier), self.max_quality_tier))
+        engine = self._tier_engines.get(tier)
+        if engine is None:
+            engine = WasmModel.load(self._tier_payloads[tier - 1])
+            engine.num_threads = self.branch_engine.num_threads
+            self._tier_engines[tier] = engine
+        return engine
 
     def set_compile_plan(self, compile_plan: bool) -> None:
         """Route both engines through trace-compiled plans (or not).
@@ -477,7 +526,7 @@ class BrowserClient:
         self.compile_plan = bool(compile_plan)
 
     def set_num_threads(self, num_threads: int) -> None:
-        """Set both engines' intra-op kernel thread count.
+        """Set every engine's intra-op kernel thread count.
 
         Purely a performance knob: the threaded popcount kernels are
         bit-identical to serial (see
@@ -488,6 +537,8 @@ class BrowserClient:
             raise ValueError("num_threads must be at least 1")
         self.stem_engine.num_threads = num_threads
         self.branch_engine.num_threads = num_threads
+        for engine in self._tier_engines.values():
+            engine.num_threads = num_threads
 
     def process(self, image: np.ndarray) -> tuple[np.ndarray, np.ndarray, float, bool]:
         """Run the local pipeline on one CHW image.
@@ -502,6 +553,7 @@ class BrowserClient:
         images: np.ndarray,
         threshold: Optional[float] = None,
         *,
+        quality_tier: Optional[int] = None,
         recorder=NULL_RECORDER,
         trace_id: str = "",
         track: str = "browser",
@@ -518,6 +570,8 @@ class BrowserClient:
 
         ``threshold`` overrides the calibrated entropy gate for this
         call (session-level τ sweeps); the default is the loaded one.
+        ``quality_tier`` selects the branch accuracy tier (``None`` = the
+        full-quality branch, identical to the pre-tier client).
 
         With an enabled ``recorder``, the three stages record as
         ``stem`` / ``binary_branch`` / ``entropy_gate`` spans on
@@ -526,13 +580,18 @@ class BrowserClient:
         identical on both paths; the disabled path allocates nothing.
         """
         gate = self.threshold if threshold is None else threshold
+        branch = (
+            self.branch_engine
+            if quality_tier is None
+            else self.branch_engine_for(quality_tier)
+        )
         if not recorder.enabled:
             if self.compile_plan:
                 features = self.stem_engine.forward_planned(images)
-                logits = self.branch_engine.forward_planned(features)
+                logits = branch.forward_planned(features)
             else:
                 features = self.stem_engine.forward(images)
-                logits = self.branch_engine.forward(features)
+                logits = branch.forward(features)
             probs = softmax(logits, axis=1)
             entropies = normalized_entropy(probs, axis=1)
             return features, logits, entropies, entropies < gate
@@ -549,11 +608,11 @@ class BrowserClient:
             "binary_branch", track=track, trace_id=trace_id, samples=len(images)
         ) as branch_span:
             if self.compile_plan:
-                logits = self.branch_engine.forward_planned(
+                logits = branch.forward_planned(
                     features, recorder=recorder, trace_id=trace_id, track=track
                 )
             else:
-                logits = self.branch_engine.forward(features)
+                logits = branch.forward(features)
         with recorder.span("entropy_gate", track=track, trace_id=trace_id) as gate_span:
             probs = softmax(logits, axis=1)
             entropies = normalized_entropy(probs, axis=1)
@@ -589,22 +648,40 @@ class LCRSAssets:
     branch_profile: NetworkProfile
     trunk_profile: NetworkProfile
     feature_bytes: int
+    #: Accuracy tiers the branch ships with (ABC-Net bases); 1 = the
+    #: classic single-base XNOR branch, byte-identical to the pre-tier
+    #: format.
+    num_bases: int = 1
+    #: Per-tier branch payloads (tier t = first t bases), empty for the
+    #: single-base deployment.  The last entry equals ``branch_payload``.
+    branch_tier_payloads: tuple = ()
 
     @property
     def bundle_bytes(self) -> int:
         """On-the-wire browser download (the Figure 7 LCRS bar)."""
         return len(self.stem_payload) + len(self.branch_payload)
 
-    def plan(self, codec: FeatureCodec = FP32_CODEC) -> ExecutionPlan:
+    def plan(
+        self, codec: FeatureCodec = FP32_CODEC, quality_tier: Optional[int] = None
+    ) -> ExecutionPlan:
         """The LCRS execution plan for the latency engine.
 
         ``codec`` determines the miss-path feature payload size; the
-        paper's behaviour is fp32 (the default).
+        paper's behaviour is fp32 (the default).  ``quality_tier``
+        prices the branch at that tier: the branch's binary FLOPs scale
+        with the number of active bases (``branch_profile`` counts one
+        base), which is the service-time knob the closed-loop controller
+        steps under sustained overload.
         """
+        tier = self.num_bases if quality_tier is None else int(quality_tier)
+        if not 1 <= tier <= self.num_bases:
+            raise ValueError(
+                f"quality_tier must be in [1, {self.num_bases}], got {tier}"
+            )
         browser_compute = ComputeStep(
             location=Location.BROWSER,
             float_flops=self.stem_profile.float_flops + self.branch_profile.float_flops,
-            binary_flops=self.branch_profile.binary_flops,
+            binary_flops=self.branch_profile.binary_flops * tier,
             num_layers=len(self.stem_profile) + len(self.branch_profile),
             label="stem+binary-branch",
         )
@@ -626,18 +703,38 @@ class LCRSAssets:
         )
 
 
-def build_lcrs_assets(model) -> LCRSAssets:
-    """Extract deployment assets from a :class:`CompositeNetwork`."""
+def build_lcrs_assets(model, num_bases: int = 1) -> LCRSAssets:
+    """Extract deployment assets from a :class:`CompositeNetwork`.
+
+    ``num_bases`` > 1 serializes the binary branch at every accuracy tier
+    ``1..num_bases`` (ABC-Net residual bases — see
+    :func:`repro.nn.binary.binarize_bases`); the shipped
+    ``branch_payload`` is the full-quality tier.  The default produces
+    byte-identical assets to the pre-tier builder.
+    """
+    if num_bases < 1:
+        raise ValueError("num_bases must be at least 1")
     input_shape = (model.in_channels, model.input_size, model.input_size)
     stem_shape = model.stem_output_shape
+    if num_bases == 1:
+        branch_payload = serialize_browser_bundle(model.binary_branch, stem_shape)
+        tier_payloads: tuple = ()
+    else:
+        tier_payloads = tuple(
+            serialize_browser_bundle(model.binary_branch, stem_shape, num_bases=t)
+            for t in range(1, num_bases + 1)
+        )
+        branch_payload = tier_payloads[-1]
     return LCRSAssets(
         network=model.base_name,
         stem_payload=serialize_browser_bundle(model.stem, input_shape),
-        branch_payload=serialize_browser_bundle(model.binary_branch, stem_shape),
+        branch_payload=branch_payload,
         stem_profile=NetworkProfile.of(model.stem, input_shape),
         branch_profile=NetworkProfile.of(model.binary_branch, stem_shape),
         trunk_profile=NetworkProfile.of(model.main_trunk, stem_shape),
         feature_bytes=int(np.prod(stem_shape)) * FLOAT_BYTES,
+        num_bases=num_bases,
+        branch_tier_payloads=tier_payloads,
     )
 
 
@@ -653,6 +750,7 @@ class LCRSDeployment:
         feature_codec: FeatureCodec = FP32_CODEC,
         retry_policy: Optional[RetryPolicy] = None,
         recorder=None,
+        num_bases: int = 1,
     ) -> None:
         if system.calibration is None:
             raise RuntimeError("calibrate the system before deploying it")
@@ -667,9 +765,12 @@ class LCRSDeployment:
         # behind a single `enabled` check with zero per-sample allocation.
         self.recorder = recorder if recorder is not None else NULL_RECORDER
 
-        self.assets = build_lcrs_assets(system.model)
+        self.assets = build_lcrs_assets(system.model, num_bases=num_bases)
         self.browser = BrowserClient(
-            self.assets.stem_payload, self.assets.branch_payload, system.threshold
+            self.assets.stem_payload,
+            self.assets.branch_payload,
+            system.threshold,
+            tier_payloads=self.assets.branch_tier_payloads,
         )
         self.edge = EdgeEndpoint(system.model.main_trunk)
         # Misses travel as protocol frames: encode(features) → frame →
@@ -1003,9 +1104,20 @@ class LCRSDeployment:
             branch_ms = profile_compute_step(
                 self.assets.branch_profile, Location.BROWSER, "binary-branch"
             ).duration_ms(self.browser_device)
+        tier = (
+            config.quality_tier
+            if config.quality_tier is not None
+            else self.browser.max_quality_tier
+        )
+        if tier > self.browser.max_quality_tier:
+            raise ValueError(
+                f"quality_tier {tier} exceeds the deployment's "
+                f"{self.browser.max_quality_tier} tier(s)"
+            )
+        plan = self.assets.plan(codec=codec, quality_tier=tier)
         return _SessionContext(
             config=config,
-            plan=self.assets.plan(codec=codec),
+            plan=plan,
             codec=codec,
             policy=config.retry_policy or self.retry_policy,
             threshold=(
@@ -1018,6 +1130,8 @@ class LCRSDeployment:
             track=f"session-{self._session_id}",
             stem_ms=stem_ms,
             branch_ms=branch_ms,
+            quality_tier=tier,
+            tier_plans={tier: plan},
         )
 
     def _begin_chunk(
@@ -1054,6 +1168,7 @@ class LCRSDeployment:
         features, logits, entropies, exits = self.browser.process_batch(
             chunk,
             threshold=ctx.threshold,
+            quality_tier=ctx.quality_tier,
             recorder=rec,
             trace_id=trace_id,
             track=ctx.track,
@@ -1096,6 +1211,7 @@ class LCRSDeployment:
             trace_id=trace_id,
             root=root,
             spans=spans,
+            quality_tier=ctx.quality_tier,
         )
 
     def _apply_reply(
@@ -1147,11 +1263,24 @@ class LCRSDeployment:
         ``link.exchange``) and the root span is closed.
         """
         config = ctx.config
+        # Price with the plan of the tier the chunk *ran* at (captured at
+        # begin time), not the context's current tier — a controller may
+        # have stepped the tier while this chunk was in flight.
+        plan = ctx.tier_plans.get(pending.quality_tier)
+        if plan is None:
+            plan = self.assets.plan(
+                codec=ctx.codec, quality_tier=pending.quality_tier
+            )
+            ctx.tier_plans[pending.quality_tier] = plan
+        # Degraded tiers are visible in `served_by` for branch-served
+        # samples; edge-served answers came from the fp32 trunk, whose
+        # quality is tier-independent.
+        degraded_tier = pending.quality_tier < self.browser.max_quality_tier
         for j in range(pending.count):
             i = pending.start + j
             is_miss = not bool(pending.exits[j])
             trace = simulate_plan(
-                ctx.plan,
+                plan,
                 num_samples=1,
                 link=ctx.link,
                 browser=self.browser_device,
@@ -1165,9 +1294,13 @@ class LCRSDeployment:
                 # The bundle loads on the first visit only unless every
                 # scan is a fresh page load (cold_start).
                 include_setup=config.cold_start or i == 0,
+                quality_tier=pending.quality_tier,
             )
             cost = trace.samples[0]
             costs.append(cost)
+            served_by = pending.served_by if is_miss else SERVED_BY_BRANCH
+            if degraded_tier and served_by == SERVED_BY_BRANCH:
+                served_by = f"{served_by}@tier{pending.quality_tier}"
             outcomes.append(
                 RecognitionOutcome(
                     index=i,
@@ -1175,7 +1308,7 @@ class LCRSDeployment:
                     exited_locally=bool(pending.exits[j]),
                     entropy=float(pending.entropies[j]),
                     cost=cost,
-                    served_by=pending.served_by if is_miss else SERVED_BY_BRANCH,
+                    served_by=served_by,
                     attempts=pending.attempts if is_miss else 0,
                 )
             )

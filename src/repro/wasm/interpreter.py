@@ -498,6 +498,60 @@ class WasmModel:
 
         return op, (int(spec["out_features"]),)
 
+    def _op_base_fold(
+        self, spec: dict, parsed: ParsedModel, in_shape: tuple[int, ...]
+    ) -> tuple[Callable, tuple[int, ...]]:
+        """Sum the K base groups of a widened ABC-Net binary layer.
+
+        The preceding binary layer carries K base sign-planes stacked
+        base-major along its output axis; this op reshapes the widened
+        activation to ``(n, K, ...)`` and sums over the base axis,
+        recovering ``Σ_k α_k·(B_k ⊛ x̃)`` — plus the layer bias, which
+        serialization relocates here so it is added once, not K times.
+        """
+        groups = int(spec["groups"])
+        if groups < 1:
+            raise ModelFormatError("base_fold groups must be at least 1")
+        bias = parsed.buffer(spec["bias"]).astype(np.float32) if "bias" in spec else None
+        if len(in_shape) == 3:
+            kc, h, w = in_shape
+            if kc % groups:
+                raise ModelFormatError(
+                    f"base_fold: {kc} channels not divisible by {groups} groups"
+                )
+            oc = kc // groups
+            bias_nchw = bias[None, :, None, None] if bias is not None else None
+
+            def op(x: np.ndarray) -> np.ndarray:
+                n = x.shape[0]
+                out = x.reshape(n, groups, oc, h, w).sum(axis=1)
+                if bias_nchw is not None:
+                    out = out + bias_nchw
+                return out.astype(np.float32)
+
+            return op, (oc, h, w)
+
+        if len(in_shape) == 1:
+            kf = in_shape[0]
+            if kf % groups:
+                raise ModelFormatError(
+                    f"base_fold: {kf} features not divisible by {groups} groups"
+                )
+            f = kf // groups
+
+            def op(x: np.ndarray) -> np.ndarray:
+                n = x.shape[0]
+                out = x.reshape(n, groups, f).sum(axis=1)
+                if bias is not None:
+                    out = out + bias
+                return out.astype(np.float32)
+
+            return op, (f,)
+
+        raise ModelFormatError(
+            f"base_fold expects a CHW or flat input, got shape {in_shape}"
+        )
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------

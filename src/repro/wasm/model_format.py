@@ -30,7 +30,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
-from ..nn.binary import BinaryConv2d, BinaryLinear
+from ..nn.binary import BinaryConv2d, BinaryLinear, binarize_bases
 from ..nn.layers import (
     BatchNorm1d,
     BatchNorm2d,
@@ -89,14 +89,35 @@ class _BufferWriter:
         return b"".join(self._chunks)
 
 
-def _serialize_layer(layer: Module, writer: _BufferWriter) -> dict[str, object]:
+def _tiered_bases(layer: Module, num_bases: int) -> tuple[np.ndarray, np.ndarray]:
+    """Stack the first ``num_bases`` ABC-Net bases of a binary layer.
+
+    Base sign-planes concatenate along the output axis (base-major, so
+    group ``k`` of the widened output is base ``k``'s contribution) and
+    the per-base alphas concatenate to match — a K-base layer is then
+    just a K×-wider single binary layer followed by a ``base_fold``
+    group-sum, and the binary kernels never learn about tiers.
+    """
+    bases = binarize_bases(layer.weight.data, num_bases)
+    signs = np.concatenate([s for s, _ in bases], axis=0)
+    alpha = np.concatenate([a for _, a in bases], axis=0)
+    return signs, alpha
+
+
+def _serialize_layer(
+    layer: Module, writer: _BufferWriter, num_bases: int = 1
+) -> list[dict[str, object]]:
     if isinstance(layer, BinaryConv2d):
-        signs, alpha = layer.binary_weights()
-        packed, bit_length = pack_signs(signs.reshape(layer.out_channels, -1))
+        if num_bases == 1:
+            signs, alpha = layer.binary_weights()
+        else:
+            signs, alpha = _tiered_bases(layer, num_bases)
+        out_channels = layer.out_channels * num_bases
+        packed, bit_length = pack_signs(signs.reshape(out_channels, -1))
         spec: dict[str, object] = {
             "type": "binary_conv2d",
             "in_channels": layer.in_channels,
-            "out_channels": layer.out_channels,
+            "out_channels": out_channels,
             "kernel_size": layer.kernel_size,
             "stride": layer.stride,
             "padding": layer.padding,
@@ -105,25 +126,39 @@ def _serialize_layer(layer: Module, writer: _BufferWriter) -> dict[str, object]:
             "weight_bits": writer.add(packed),
             "alpha": writer.add(alpha),
         }
+        if num_bases == 1:
+            if layer.bias is not None:
+                spec["bias"] = writer.add(layer.bias.data)
+            return [spec]
+        # The bias belongs to the folded output, not the widened one.
+        fold: dict[str, object] = {"type": "base_fold", "groups": num_bases}
         if layer.bias is not None:
-            spec["bias"] = writer.add(layer.bias.data)
-        return spec
+            fold["bias"] = writer.add(layer.bias.data)
+        return [spec, fold]
 
     if isinstance(layer, BinaryLinear):
-        signs, alpha = layer.binary_weights()
+        if num_bases == 1:
+            signs, alpha = layer.binary_weights()
+        else:
+            signs, alpha = _tiered_bases(layer, num_bases)
         packed, bit_length = pack_signs(signs)
         spec = {
             "type": "binary_linear",
             "in_features": layer.in_features,
-            "out_features": layer.out_features,
+            "out_features": layer.out_features * num_bases,
             "binarize_input": layer.binarize_input,
             "bit_length": bit_length,
             "weight_bits": writer.add(packed),
             "alpha": writer.add(alpha),
         }
+        if num_bases == 1:
+            if layer.bias is not None:
+                spec["bias"] = writer.add(layer.bias.data)
+            return [spec]
+        fold = {"type": "base_fold", "groups": num_bases}
         if layer.bias is not None:
-            spec["bias"] = writer.add(layer.bias.data)
-        return spec
+            fold["bias"] = writer.add(layer.bias.data)
+        return [spec, fold]
 
     if isinstance(layer, Conv2d):
         spec = {
@@ -137,7 +172,7 @@ def _serialize_layer(layer: Module, writer: _BufferWriter) -> dict[str, object]:
         }
         if layer.bias is not None:
             spec["bias"] = writer.add(layer.bias.data)
-        return spec
+        return [spec]
 
     if isinstance(layer, Linear):
         spec = {
@@ -148,29 +183,33 @@ def _serialize_layer(layer: Module, writer: _BufferWriter) -> dict[str, object]:
         }
         if layer.bias is not None:
             spec["bias"] = writer.add(layer.bias.data)
-        return spec
+        return [spec]
 
     if isinstance(layer, (BatchNorm2d, BatchNorm1d)):
         # One spec covers both: eval-mode BN is the same affine transform
         # broadcast over whatever trailing dims the input has.
-        return {
-            "type": "batch_norm",
-            "num_features": layer.num_features,
-            "eps": layer.eps,
-            "gamma": writer.add(layer.gamma.data),
-            "beta": writer.add(layer.beta.data),
-            "running_mean": writer.add(layer.running_mean),
-            "running_var": writer.add(layer.running_var),
-        }
+        return [
+            {
+                "type": "batch_norm",
+                "num_features": layer.num_features,
+                "eps": layer.eps,
+                "gamma": writer.add(layer.gamma.data),
+                "beta": writer.add(layer.beta.data),
+                "running_mean": writer.add(layer.running_mean),
+                "running_var": writer.add(layer.running_var),
+            }
+        ]
 
     if isinstance(layer, MaxPool2d):
-        return {"type": "max_pool2d", "kernel_size": layer.kernel_size, "stride": layer.stride}
+        return [
+            {"type": "max_pool2d", "kernel_size": layer.kernel_size, "stride": layer.stride}
+        ]
     if isinstance(layer, ReLU):
-        return {"type": "relu"}
+        return [{"type": "relu"}]
     if isinstance(layer, Flatten):
-        return {"type": "flatten"}
+        return [{"type": "flatten"}]
     if isinstance(layer, GlobalAvgPool2d):
-        return {"type": "global_avg_pool2d"}
+        return [{"type": "global_avg_pool2d"}]
 
     raise ModelFormatError(f"unsupported layer type: {type(layer).__name__}")
 
@@ -179,10 +218,23 @@ def serialize_browser_bundle(
     bundle: Module,
     input_shape: tuple[int, int, int],
     metadata: Optional[dict[str, object]] = None,
+    num_bases: int = 1,
 ) -> bytes:
-    """Serialize a browser bundle (conv1 + binary branch) to ``.lcrs`` bytes."""
+    """Serialize a browser bundle (conv1 + binary branch) to ``.lcrs`` bytes.
+
+    ``num_bases`` > 1 serializes each binary layer as its first K
+    ABC-Net bases — a K×-wider binary layer followed by a ``base_fold``
+    group-sum (see :func:`~repro.nn.binary.binarize_bases`).  The
+    default emits byte-identical payloads to the pre-tier format.
+    """
+    if num_bases < 1:
+        raise ModelFormatError("num_bases must be at least 1")
     writer = _BufferWriter()
-    layers = [_serialize_layer(layer, writer) for layer in iter_leaf_modules(bundle)]
+    layers = [
+        spec
+        for layer in iter_leaf_modules(bundle)
+        for spec in _serialize_layer(layer, writer, num_bases=num_bases)
+    ]
     header = {
         "input_shape": list(input_shape),
         "layers": layers,

@@ -68,7 +68,7 @@ __all__ = [
 ANCHOR_KINDS = frozenset({"conv2d", "binary_conv2d", "linear", "binary_linear"})
 #: Ops that fuse into the nearest anchor's step as micro-kernels.
 APPEND_KINDS = frozenset(
-    {"relu", "batch_norm", "max_pool2d", "flatten", "global_avg_pool2d"}
+    {"relu", "batch_norm", "max_pool2d", "flatten", "global_avg_pool2d", "base_fold"}
 )
 
 
@@ -439,6 +439,56 @@ class _PlanBuilder:
             runners.append(runner)
             self.buf = dst
             self.shape = (c,)
+        elif kind == "base_fold":
+            # Group-sum of a widened ABC-Net binary layer (plus its
+            # relocated bias); the reshape/sum expression mirrors the
+            # interpreter's _op_base_fold exactly, so both flavors are
+            # bit-identical by construction.
+            groups = int(spec["groups"])
+            bias = self._param(spec, "bias", required=False)
+            if len(self.shape) == 3:
+                kc, h, w = self.shape
+                if kc % groups:
+                    raise PlanCompileError(
+                        f"base_fold: {kc} channels not divisible by {groups}"
+                    )
+                oc = kc // groups
+                dst = self.arena.new("fold", (self.capacity, oc, h, w))
+                src = self.buf
+                bias_nchw = bias[None, :, None, None] if bias is not None else None
+
+                def runner(n, src=src, dst=dst, bias=bias_nchw):
+                    out = src[:n].reshape(n, groups, oc, h, w).sum(axis=1)
+                    if bias is not None:
+                        out = out + bias
+                    dst[:n] = out
+
+                runners.append(runner)
+                self.buf = dst
+                self.shape = (oc, h, w)
+            elif len(self.shape) == 1:
+                kf = int(self.shape[0])
+                if kf % groups:
+                    raise PlanCompileError(
+                        f"base_fold: {kf} features not divisible by {groups}"
+                    )
+                f = kf // groups
+                dst = self.arena.new("fold", (self.capacity, f))
+                src = self.buf
+
+                def runner(n, src=src, dst=dst, bias=bias):
+                    out = src[:n].reshape(n, groups, f).sum(axis=1)
+                    if bias is not None:
+                        out = out + bias
+                    dst[:n] = out
+
+                runners.append(runner)
+                self.buf = dst
+                self.shape = (f,)
+            else:
+                raise PlanCompileError(
+                    f"base_fold expects CHW or flat activation, got {self.shape}"
+                )
         else:  # pragma: no cover - _split_groups filters kinds
             raise PlanCompileError(f"cannot fuse op kind {kind!r}")
 

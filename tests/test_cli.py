@@ -31,11 +31,11 @@ class TestParser:
         parser = build_parser()
         commands = (
             "train", "evaluate", "export", "study", "session", "scale",
-            "trace", "fleet", "health", "top", "plan",
+            "trace", "fleet", "health", "top", "plan", "tau",
         )
         needs_checkpoint = (
             "evaluate", "session", "scale", "trace", "fleet", "health",
-            "top", "plan",
+            "top", "plan", "tau",
         )
         for command in commands:
             assert parser.parse_args([command] + (
@@ -214,6 +214,37 @@ class TestFleetCommand:
     def test_fleet_rejects_indivisible_requests(self, checkpoint, capsys):
         with pytest.raises(ValueError, match="divide evenly"):
             main(["fleet", str(checkpoint), "--shards", "3", "--requests", "8"])
+
+
+@pytest.mark.tau
+class TestTauCommand:
+    def test_tau_sweep_writes_json(self, checkpoint, tmp_path, capsys):
+        output = tmp_path / "tau.json"
+        code = main(
+            [
+                "tau", str(checkpoint),
+                "--sessions", "2", "4",
+                "--rounds", "6",
+                "--bases", "2",
+                "--json", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptive τ drill" in out
+        assert "headline @ 4 sessions" in out
+        assert output.exists()
+        import json
+
+        record = json.loads(output.read_text())
+        assert record["num_bases"] == 2
+        # Two loop modes per session level, open first.
+        assert [
+            (p["sessions"], p["controller"]) for p in record["points"]
+        ] == [(2, False), (2, True), (4, False), (4, True)]
+        assert "static_shed_rate" in record["headline"]
+        for point in record["points"]:
+            assert len(point["tau_trajectory"]) == point["rounds"]
 
 
 class TestTraceCommand:

@@ -159,6 +159,72 @@ class TestBinaryStackProperties:
         bundle = nn.Sequential(nn.Flatten(), BinaryLinear(features, out, rng=rng))
         assert_plan_bit_identical(bundle, (features, 1, 1))
 
+    @given(
+        num_bases=st.integers(2, 4),
+        out_channels=st.integers(1, 5),
+        padding=st.integers(0, 1),
+        size=st.integers(6, 10),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_tiered_binary_conv_matches_interpreter(
+        self, num_bases, out_channels, padding, size, seed
+    ):
+        """ABC-Net tiers (K×-wider binary conv + ``base_fold``) are exact."""
+        rng = np.random.default_rng(seed)
+        bundle = nn.Sequential(
+            BinaryConv2d(2, out_channels, 3, padding=padding, rng=rng)
+        )
+        engine = WasmModel.load(
+            serialize_browser_bundle(bundle, (2, size, size), num_bases=num_bases)
+        )
+        plan = compile_wasm_plan(engine, 8)
+        for n in (1, 3, 8):
+            x = rng.standard_normal((n, 2, size, size)).astype(np.float32)
+            np.testing.assert_array_equal(plan.execute(x), engine.forward(x))
+
+    @given(
+        num_bases=st.integers(2, 4),
+        features=st.sampled_from([16, 63, 100]),
+        out=st.integers(2, 8),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_tiered_binary_linear_matches_interpreter(
+        self, num_bases, features, out, seed
+    ):
+        """``base_fold`` over flat activations is exact at every width."""
+        rng = np.random.default_rng(seed)
+        bundle = nn.Sequential(nn.Flatten(), BinaryLinear(features, out, rng=rng))
+        engine = WasmModel.load(
+            serialize_browser_bundle(bundle, (features, 1, 1), num_bases=num_bases)
+        )
+        plan = compile_wasm_plan(engine, 8)
+        for n in (1, 5):
+            x = rng.standard_normal((n, features, 1, 1)).astype(np.float32)
+            np.testing.assert_array_equal(plan.execute(x), engine.forward(x))
+
+    @given(num_bases=st.integers(2, 3), seed=st.integers(0, 2**31 - 1))
+    def test_tiered_branch_shaped_stack_matches_interpreter(
+        self, num_bases, seed
+    ):
+        """The full LeNet-branch shape at a reduced-accuracy tier."""
+        rng = np.random.default_rng(seed)
+        bundle = nn.Sequential(
+            nn.BatchNorm2d(2),
+            BinaryConv2d(2, 4, 3, padding=1, rng=rng),
+            nn.MaxPool2d(2),
+            nn.BatchNorm2d(4),
+            nn.Flatten(),
+            BinaryLinear(4 * 5 * 5, 8, rng=rng),
+            nn.BatchNorm1d(8),
+            nn.Linear(8, 4, rng=rng),
+        )
+        engine = WasmModel.load(
+            serialize_browser_bundle(bundle, (2, 10, 10), num_bases=num_bases)
+        )
+        plan = compile_wasm_plan(engine, 8)
+        x = rng.standard_normal((4, 2, 10, 10)).astype(np.float32)
+        np.testing.assert_array_equal(plan.execute(x), engine.forward(x))
+
     @given(seed=st.integers(0, 2**31 - 1))
     def test_branch_shaped_stack_matches_interpreter(self, seed):
         """The LeNet binary-branch shape: bn→binconv→pool→bn→flatten→binlin."""

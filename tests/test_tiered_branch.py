@@ -1,0 +1,286 @@
+"""Accuracy-tiered binary branch: bases, serialization, pricing, serving.
+
+The tier stack in one file:
+
+* :func:`repro.nn.binary.binarize_bases` — the ABC-Net residual
+  decomposition (base 1 *is* the XNOR layer; more bases reconstruct the
+  float weights strictly better);
+* the ``.lcrs`` tier serialization — ``num_bases=1`` stays byte-
+  identical to the legacy format, higher tiers fold K bases through a
+  ``base_fold`` op and every tier's engine is exact plan-vs-interpreter
+  (geometry properties live in ``test_plan_properties.py``);
+* :class:`LCRSAssets` pricing — the branch's binary FLOPs scale with the
+  active tier, which is the service-time knob the τ controller steps;
+* serving — the browser client's lazy per-tier engines, the
+  ``@tier{t}`` serving suffix, and the capture-at-begin rule that keeps
+  a mid-flight tier switch from corrupting an in-flight chunk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.binary import BinaryConv2d, BinaryLinear, binarize, binarize_bases
+from repro.runtime import (
+    FleetConfig,
+    FleetRouter,
+    LCRSDeployment,
+    SchedulerConfig,
+    SessionConfig,
+    TauControlConfig,
+    four_g,
+    run_concurrent_sessions,
+)
+from repro.runtime.session import (
+    SERVED_BY_BRANCH,
+    BrowserClient,
+    build_lcrs_assets,
+)
+from repro.runtime.tau_control import ACTION_TIER_DOWN
+from repro.wasm import WasmModel, serialize_browser_bundle
+
+pytestmark = pytest.mark.tau
+
+NUM_BASES = 3
+
+
+class TestBinarizeBases:
+    def test_single_base_is_the_xnor_layer(self, rng):
+        w = rng.standard_normal((6, 3, 3, 3)).astype(np.float32)
+        ((sign, alpha),) = binarize_bases(w, 1)
+        ref_sign, ref_alpha = binarize(w)
+        np.testing.assert_array_equal(sign, ref_sign)
+        np.testing.assert_array_equal(alpha, ref_alpha)
+
+    @pytest.mark.parametrize("shape", [(6, 3, 3, 3), (10, 24)])
+    def test_reconstruction_error_decreases_with_bases(self, rng, shape):
+        w = rng.standard_normal(shape).astype(np.float32)
+        view = (-1,) + (1,) * (w.ndim - 1)
+        errors = []
+        for k in range(1, 5):
+            approx = sum(
+                alpha.reshape(view) * sign
+                for sign, alpha in binarize_bases(w, k)
+            )
+            errors.append(float(np.linalg.norm(w - approx)))
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < errors[0]
+
+    def test_rejects_zero_bases(self):
+        with pytest.raises(ValueError):
+            binarize_bases(np.ones((2, 2)), 0)
+
+
+def branch_bundle(rng) -> nn.Sequential:
+    """The LeNet-branch shape: bn → binconv → pool → bn → flat → binlin."""
+    return nn.Sequential(
+        nn.BatchNorm2d(2),
+        BinaryConv2d(2, 4, 3, padding=1, rng=rng),
+        nn.MaxPool2d(2),
+        nn.BatchNorm2d(4),
+        nn.Flatten(),
+        BinaryLinear(4 * 5 * 5, 8, rng=rng),
+        nn.BatchNorm1d(8),
+        nn.Linear(8, 4, rng=rng),
+    )
+
+
+class TestTierSerialization:
+    SHAPE = (2, 10, 10)
+
+    def test_tier_one_is_byte_identical_to_legacy_format(self, rng):
+        bundle = branch_bundle(rng)
+        legacy = serialize_browser_bundle(bundle, self.SHAPE)
+        tiered = serialize_browser_bundle(bundle, self.SHAPE, num_bases=1)
+        assert legacy == tiered
+
+    def test_tiers_change_the_forward_pass(self, rng):
+        bundle = branch_bundle(rng)
+        x = rng.standard_normal((5, *self.SHAPE)).astype(np.float32)
+        outs = [
+            WasmModel.load(
+                serialize_browser_bundle(bundle, self.SHAPE, num_bases=t)
+            ).forward(x)
+            for t in (1, 2, 3)
+        ]
+        assert outs[0].shape == outs[1].shape == outs[2].shape
+        assert not np.array_equal(outs[0], outs[2])
+
+    def test_rejects_zero_bases(self, rng):
+        from repro.wasm import ModelFormatError
+
+        with pytest.raises(ModelFormatError):
+            serialize_browser_bundle(branch_bundle(rng), self.SHAPE, num_bases=0)
+
+
+@pytest.mark.slow
+class TestAssetsPricing:
+    @pytest.fixture(scope="class")
+    def assets(self, trained_system):
+        return build_lcrs_assets(trained_system.model, num_bases=NUM_BASES)
+
+    def test_tier_payload_layout(self, assets, trained_system):
+        assert assets.num_bases == NUM_BASES
+        assert len(assets.branch_tier_payloads) == NUM_BASES
+        assert assets.branch_tier_payloads[-1] == assets.branch_payload
+        legacy = build_lcrs_assets(trained_system.model)
+        assert legacy.branch_tier_payloads == ()
+        # Tier 1 of the tiered build is the legacy single-base branch.
+        assert assets.branch_tier_payloads[0] == legacy.branch_payload
+
+    def test_plan_prices_binary_flops_by_tier(self, assets):
+        per_base = assets.branch_profile.binary_flops
+        for tier in range(1, NUM_BASES + 1):
+            step = assets.plan(quality_tier=tier).per_sample_steps[0]
+            assert step.binary_flops == per_base * tier
+        full = assets.plan().per_sample_steps[0]
+        assert full.binary_flops == per_base * NUM_BASES
+
+    def test_plan_rejects_out_of_range_tier(self, assets):
+        with pytest.raises(ValueError):
+            assets.plan(quality_tier=0)
+        with pytest.raises(ValueError):
+            assets.plan(quality_tier=NUM_BASES + 1)
+
+
+@pytest.mark.slow
+class TestBrowserTiering:
+    @pytest.fixture(scope="class")
+    def client(self, trained_system):
+        assets = build_lcrs_assets(trained_system.model, num_bases=NUM_BASES)
+        return BrowserClient(
+            assets.stem_payload,
+            assets.branch_payload,
+            trained_system.threshold,
+            tier_payloads=assets.branch_tier_payloads,
+        )
+
+    def test_tier_engines_load_lazily_and_clamp(self, client):
+        assert client.max_quality_tier == NUM_BASES
+        top = client.branch_engine_for(NUM_BASES)
+        assert top is client.branch_engine
+        assert client.branch_engine_for(99) is top  # clamped up
+        low = client.branch_engine_for(1)
+        assert low is not top
+        assert client.branch_engine_for(0) is low  # clamped down
+        assert client.branch_engine_for(1) is low  # cached
+
+    def test_default_tier_is_bit_identical_to_full_quality(
+        self, client, tiny_mnist
+    ):
+        _, test = tiny_mnist
+        x = test.images[:8]
+        for a, b in zip(
+            client.process_batch(x),
+            client.process_batch(x, quality_tier=NUM_BASES),
+        ):
+            np.testing.assert_array_equal(a, b)
+
+    def test_lower_tier_changes_the_logits(self, client, tiny_mnist):
+        _, test = tiny_mnist
+        x = test.images[:8]
+        _, full_logits, _, _ = client.process_batch(x)
+        _, low_logits, _, _ = client.process_batch(x, quality_tier=1)
+        assert not np.array_equal(full_logits, low_logits)
+
+
+def aggressive_control(static_tau: float) -> TauControlConfig:
+    """A policy that pins τ almost immediately so tier actions fire."""
+    return TauControlConfig(
+        tau_min=static_tau,
+        tau_max=static_tau + 0.02,
+        tau_initial=static_tau,
+        step_up=0.02,
+        step_down=0.01,
+        target_wait_ms=2.0,
+        low_wait_ms=0.5,
+        hold_rounds=1,
+        cooldown_rounds=0,
+        window_ms=40.0,
+        tier_hold_rounds=1,
+    )
+
+
+@pytest.mark.slow
+class TestTierServing:
+    def test_full_tier_session_has_no_suffix(self, trained_system, tiny_mnist):
+        _, test = tiny_mnist
+        deployment = LCRSDeployment(
+            trained_system, four_g(seed=3), num_bases=NUM_BASES
+        )
+        session = deployment.run_session(
+            test.images[:12], config=SessionConfig(batch_size=4, threshold=0.9)
+        )
+        assert any(o.exited_locally for o in session.outcomes)
+        for o in session.outcomes:
+            assert "@tier" not in o.served_by
+            assert o.cost.quality_tier == NUM_BASES
+
+    def test_mid_flight_tier_switch_never_corrupts_chunks(
+        self, trained_system, tiny_mnist
+    ):
+        """Drive the controller into tier-down mid-run and check the
+        capture-at-begin rule on every outcome: the priced tier always
+        matches the serving suffix, and an unsuffixed local exit always
+        ran at the full tier."""
+        from repro.experiments import build_overload_stream, congested_edge_model
+
+        _, test = tiny_mnist
+        stream = build_overload_stream(
+            trained_system,
+            test.images,
+            batch_size=4,
+            rounds=12,
+            num_bases=NUM_BASES,
+        )
+        sessions = 6
+        fleet = FleetRouter.for_system(
+            trained_system,
+            config=FleetConfig(
+                num_shards=1,
+                placement="least-loaded",
+                scheduler=SchedulerConfig(
+                    window_ms=0.0,
+                    num_workers=1,
+                    queue_capacity=24,
+                    max_per_tenant=stream.batch_size,
+                ),
+                failure_threshold=10_000,
+                seed=0,
+            ),
+            service_model=congested_edge_model(),
+        )
+        fleet.enable_tau_control(
+            aggressive_control(stream.static_tau), max_quality_tier=NUM_BASES
+        )
+        deployments = [
+            LCRSDeployment(trained_system, four_g(seed=i), num_bases=NUM_BASES)
+            for i in range(sessions)
+        ]
+        results = run_concurrent_sessions(
+            deployments,
+            [stream.images] * sessions,
+            fleet,
+            config=SessionConfig(
+                batch_size=stream.batch_size, threshold=stream.static_tau
+            ),
+        )
+
+        actions = [a["action"] for a in fleet.tau_controller.actions]
+        assert ACTION_TIER_DOWN in actions, "the drill never stepped a tier"
+        degraded = 0
+        for result in results:
+            assert len(result.outcomes) == len(stream.images)
+            for o in result.outcomes:
+                tier = o.cost.quality_tier
+                assert 1 <= tier <= NUM_BASES
+                if "@tier" in o.served_by:
+                    base, _, suffix = o.served_by.partition("@tier")
+                    assert base == SERVED_BY_BRANCH
+                    assert int(suffix) == tier < NUM_BASES
+                    degraded += 1
+                elif o.served_by == SERVED_BY_BRANCH:
+                    assert tier == NUM_BASES
+        assert degraded > 0, "no sample was served below the full tier"
